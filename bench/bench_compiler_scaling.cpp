@@ -1,0 +1,73 @@
+// Compiler scalability (extra, not a paper figure): wall-clock cost of the
+// analyses and transformation passes as the application graph grows.
+
+#include <benchmark/benchmark.h>
+
+#include "apps/pipelines.h"
+#include "compiler/pipeline.h"
+#include "kernels/elementwise.h"
+#include "kernels/input.h"
+#include "kernels/output.h"
+
+using namespace bpp;
+
+namespace {
+
+Graph chain(int stages, Size2 frame, double rate) {
+  Graph g;
+  auto& in = g.add<InputKernel>("input", frame, rate, 1);
+  const Kernel* prev = &in;
+  for (int d = 0; d < stages; ++d) {
+    Kernel& s = g.add_kernel(make_scale("s" + std::to_string(d), 1.01, 0.0));
+    g.connect(*prev, "out", s, "in");
+    prev = &s;
+  }
+  auto& out = g.add<OutputKernel>("sink");
+  g.connect(*prev, "out", out, "in");
+  return g;
+}
+
+void BM_Analyze(benchmark::State& state) {
+  Graph g = chain(static_cast<int>(state.range(0)), {32, 24}, 50.0);
+  for (auto _ : state) benchmark::DoNotOptimize(analyze(g));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Analyze)->Range(8, 256)->Complexity();
+
+void BM_CompileChain(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Graph g = chain(static_cast<int>(state.range(0)), {32, 24}, 50.0);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(compile(std::move(g)));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CompileChain)->Range(8, 128)->Complexity();
+
+void BM_CompileFigure1(benchmark::State& state) {
+  const auto cfgs = apps::fig11_configs();
+  const auto& cfg = cfgs[static_cast<size_t>(state.range(0))];
+  for (auto _ : state) {
+    state.PauseTiming();
+    Graph g = apps::figure1_app(cfg.frame, cfg.rate_hz, 1, 64);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(compile(std::move(g)));
+  }
+  state.SetLabel(cfg.tag);
+}
+BENCHMARK(BM_CompileFigure1)->DenseRange(0, 3);
+
+void BM_GreedyMapping(benchmark::State& state) {
+  Graph g = chain(static_cast<int>(state.range(0)), {32, 24}, 50.0);
+  DataflowResult df = analyze(g);
+  LoadMap loads(g, df);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(map_greedy(g, loads, MachineSpec{}));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_GreedyMapping)->Range(8, 128)->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+// §VI framing: "Rather than finding the minimum number of processors to
+// meet a fixed rate, [StreamIt tries] to use a fixed number of processors
+// to obtain the highest rate possible. Here the minimum number of
+// processors is set by the real-time requirements."
+//
+// This sweep shows that tradeoff directly: as the input rate of the
+// Fig. 1(b) application grows, the compiler provisions more cores (1:1 and
+// greedy-mapped), and each configuration is verified to meet real time on
+// the simulator.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "kernels/kernels.h"
+
+using namespace bpp;
+
+int main() {
+  bench::print_header("Cores vs rate",
+                      "minimum processors to meet a growing real-time rate");
+
+  const Size2 frame{48, 36};
+  std::printf("\nFig. 1(b) application at %dx%d\n", frame.w, frame.h);
+  std::printf("%8s | %8s %8s | %10s %10s | %9s %4s\n", "rate Hz", "kernels",
+              "replicas", "cores 1:1", "cores GM", "util GM", "RT");
+
+  for (double rate : {60.0, 120.0, 180.0, 240.0, 300.0, 360.0, 420.0, 480.0}) {
+    CompiledApp app = compile(apps::figure1_app(frame, rate, 2, 64));
+    int replicas = 0;
+    for (const auto& [name, p] : app.parallelization.factors) replicas += p;
+    const SimResult r = bench::simulate_mapping(app, app.mapping);
+    std::printf("%8.0f | %8d %8d | %10d %10d | %8.1f%% %4s\n", rate,
+                app.graph.kernel_count(), replicas, app.one_to_one.cores,
+                app.mapping.cores,
+                100.0 * bench::breakdown(r, app.options.machine).total(),
+                r.realtime_met ? "MET" : "VIOL");
+  }
+
+  std::printf("\nthe compiler buys exactly the cores the rate demands; the\n"
+              "greedy mapping gives some of them back (§V) while keeping the\n"
+              "real-time guarantee.\n");
+  return 0;
+}

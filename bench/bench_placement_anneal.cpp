@@ -1,0 +1,43 @@
+// §IV-D extension: simulated-annealing placement onto a 2-D mesh
+// ("implemented, but not integrated within the simulator" in the paper).
+// Communication cost (traffic-weighted Manhattan distance) of row-major vs
+// annealed placements for the compiled benchmark applications.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "placement/placement.h"
+
+using namespace bpp;
+
+int main() {
+  bench::print_header("Placement (SA)",
+                      "annealed vs row-major mesh placement cost");
+
+  struct Case {
+    const char* name;
+    Graph g;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"fig1b SS", apps::figure1_app({48, 36}, 180.0, 1, 64)});
+  cases.push_back({"fig1b BF", apps::figure1_app({96, 72}, 130.0, 1, 64)});
+  cases.push_back({"histogram 2F", apps::histogram_app({64, 48}, 450.0, 1)});
+  cases.push_back({"multi-conv", apps::multi_convolution_app({48, 36}, 150.0, 1)});
+
+  std::printf("\n%-14s %6s %6s | %14s %14s | %6s\n", "program", "cores",
+              "mesh", "row-major", "annealed", "saved");
+  for (Case& c : cases) {
+    CompiledApp app = compile(std::move(c.g));
+    const MeshSpec mesh = mesh_for(app.mapping.cores);
+    const Placement base =
+        place_row_major(app.graph, app.mapping, app.loads, mesh);
+    const Placement sa =
+        place_annealed(app.graph, app.mapping, app.loads, mesh, 1, 20000);
+    std::printf("%-14s %6d %3dx%-3d | %14.3e %14.3e | %5.1f%%\n", c.name,
+                app.mapping.cores, mesh.width, mesh.height, base.cost, sa.cost,
+                100.0 * (1.0 - sa.cost / base.cost));
+  }
+  std::printf("\ncost = sum over cross-core channels of words/s x Manhattan "
+              "distance.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Host-runtime throughput (repro substrate: "DSL+runtime on a multicore
+// laptop"): pixels per second through the compiled Fig. 1(b) application
+// for different worker-thread mappings, plus simulator event throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "apps/pipelines.h"
+#include "compiler/pipeline.h"
+#include "runtime/runtime.h"
+#include "sim/simulator.h"
+
+using namespace bpp;
+
+namespace {
+
+void BM_RuntimeThreads(benchmark::State& state) {
+  const Size2 frame{48, 36};
+  const int frames = 4;
+  CompiledApp app = compile(apps::figure1_app(frame, 180.0, frames, 32));
+  const int threads = static_cast<int>(state.range(0));
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    Graph g = app.graph.clone();
+    Mapping m;
+    m.cores = threads;
+    m.core_of.resize(static_cast<size_t>(g.kernel_count()));
+    for (int k = 0; k < g.kernel_count(); ++k)
+      m.core_of[static_cast<size_t>(k)] = k % threads;
+    state.ResumeTiming();
+    const RuntimeResult r = run_threaded(g, m);
+    if (!r.completed) state.SkipWithError("runtime did not complete");
+  }
+  state.SetItemsProcessed(state.iterations() * frame.area() * frames);
+}
+BENCHMARK(BM_RuntimeThreads)->DenseRange(1, 4)->Unit(benchmark::kMillisecond);
+
+void BM_RuntimeCompiledMapping(benchmark::State& state) {
+  const Size2 frame{48, 36};
+  const int frames = 4;
+  CompiledApp app = compile(apps::figure1_app(frame, 180.0, frames, 32));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Graph g = app.graph.clone();
+    state.ResumeTiming();
+    const RuntimeResult r = run_threaded(g, app.mapping);
+    if (!r.completed) state.SkipWithError("runtime did not complete");
+  }
+  state.SetItemsProcessed(state.iterations() * frame.area() * frames);
+  state.SetLabel(std::to_string(app.mapping.cores) + " cores");
+}
+BENCHMARK(BM_RuntimeCompiledMapping)->Unit(benchmark::kMillisecond);
+
+void BM_SimulatorEvents(benchmark::State& state) {
+  const Size2 frame{48, 36};
+  CompiledApp app = compile(apps::figure1_app(frame, 180.0, 2, 32));
+  long firings = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Graph g = app.graph.clone();
+    state.ResumeTiming();
+    SimOptions opt;
+    opt.machine = app.options.machine;
+    const SimResult r = simulate(g, app.mapping, opt);
+    firings = r.total_firings;
+    if (!r.completed) state.SkipWithError("simulation did not complete");
+  }
+  state.SetItemsProcessed(state.iterations() * firings);
+  state.SetLabel("firings/run: " + std::to_string(firings));
+}
+BENCHMARK(BM_SimulatorEvents)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

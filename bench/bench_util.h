@@ -1,0 +1,57 @@
+#pragma once
+// Shared helpers for the figure-reproduction benchmark binaries.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/pipelines.h"
+#include "compiler/pipeline.h"
+#include "compiler/report.h"
+#include "sim/simulator.h"
+
+namespace bpp::bench {
+
+/// Simulate a compiled app under a given mapping (on a clone, so the
+/// caller can reuse the compiled graph) and return the result.
+inline SimResult simulate_mapping(const CompiledApp& app, const Mapping& map,
+                                  int channel_capacity = 4) {
+  Graph g = app.graph.clone();
+  SimOptions opt;
+  opt.machine = app.options.machine;
+  opt.channel_capacity = channel_capacity;
+  return simulate(g, map, opt);
+}
+
+/// Utilization breakdown of a simulation, normalized per non-source core:
+/// fractions of the total core-time spent running, reading, and writing.
+struct UtilBreakdown {
+  double run = 0.0, read = 0.0, write = 0.0, sw = 0.0;
+  [[nodiscard]] double total() const { return run + read + write + sw; }
+};
+
+inline UtilBreakdown breakdown(const SimResult& r, const MachineSpec& m) {
+  UtilBreakdown b;
+  if (r.sim_seconds <= 0.0) return b;
+  int n = 0;
+  for (const CoreStats& c : r.cores)
+    if (!c.source_only) ++n;
+  if (n == 0) return b;
+  const double denom = m.clock_hz * r.sim_seconds * n;
+  const CoreStats t = r.totals();
+  b.run = t.run_cycles / denom;
+  b.read = t.read_cycles / denom;
+  b.write = t.write_cycles / denom;
+  b.sw = t.switch_cycles / denom;
+  return b;
+}
+
+inline void print_header(const char* figure, const char* what) {
+  std::printf("================================================================\n");
+  std::printf("%s - %s\n", figure, what);
+  std::printf("(block-parallel programming reproduction; shapes match the\n");
+  std::printf(" paper, absolute numbers depend on this machine model)\n");
+  std::printf("================================================================\n");
+}
+
+}  // namespace bpp::bench

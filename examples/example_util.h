@@ -1,0 +1,30 @@
+#pragma once
+// Small helpers shared by the example programs.
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "core/tile.h"
+
+namespace bpp::examples {
+
+/// Write a tile as a binary PGM image (values clamped to [0, 255]).
+inline bool write_pgm(const Tile& t, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  f << "P5\n" << t.width() << ' ' << t.height() << "\n255\n";
+  for (int y = 0; y < t.height(); ++y)
+    for (int x = 0; x < t.width(); ++x) {
+      const double v = std::clamp(t.at(x, y), 0.0, 255.0);
+      f.put(static_cast<char>(static_cast<unsigned char>(v)));
+    }
+  return static_cast<bool>(f);
+}
+
+inline void banner(const char* title) {
+  std::printf("== %s ==\n", title);
+}
+
+}  // namespace bpp::examples

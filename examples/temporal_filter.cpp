@@ -1,0 +1,73 @@
+// Feedback example (paper §III-D extension): a per-pixel temporal IIR
+// filter y_t = alpha x_t + (1-alpha) y_{t-1}. The feedback loop is broken
+// by an initialization kernel that primes one frame of initial values and
+// then passes the loop data through. Demonstrates that the noise of a
+// static-plus-noise input stream shrinks frame over frame.
+
+#include <cmath>
+#include <cstdio>
+
+#include "apps/pipelines.h"
+#include "compiler/pipeline.h"
+#include "example_util.h"
+#include "kernels/kernels.h"
+#include "ref/reference.h"
+#include "runtime/runtime.h"
+
+using namespace bpp;
+
+namespace {
+
+/// Static scene + per-frame noise.
+PixelFn noisy_scene() {
+  const PixelFn noise = default_pixel_fn();
+  return [noise](int f, int x, int y) {
+    const double scene = 96.0 + 64.0 * std::sin(x * 0.3) * std::cos(y * 0.2);
+    return scene + 0.25 * (noise(f, x, y) - 128.0);
+  };
+}
+
+double noise_rms(const Tile& got, Size2 frame) {
+  double sum = 0.0;
+  for (int y = 0; y < frame.h; ++y)
+    for (int x = 0; x < frame.w; ++x) {
+      const double scene = 96.0 + 64.0 * std::sin(x * 0.3) * std::cos(y * 0.2);
+      const double e = got.at(x, y) - scene;
+      sum += e * e;
+    }
+  return std::sqrt(sum / frame.area());
+}
+
+}  // namespace
+
+int main() {
+  examples::banner("temporal filter: feedback IIR denoising");
+
+  const Size2 frame{48, 36};
+  const int frames = 8;
+  const double alpha = 0.3;
+
+  Graph g;
+  auto& input = g.add<InputKernel>("input", frame, 60.0, frames, noisy_scene());
+  auto& mix = g.add<TemporalMixKernel>("mix", alpha);
+  auto& init = g.add<InitialValueKernel>("loopInit", frame, 60.0, 96.0);
+  auto& out = g.add<OutputKernel>("result");
+  g.connect(input, "out", mix, "x");
+  g.connect(init, "out", mix, "prev");
+  g.connect(mix, "out", init, "in");
+  g.connect(mix, "out", out, "in");
+
+  CompileOptions opt;
+  CompiledApp app = compile(std::move(g), opt);
+  const RuntimeResult rr = run_threaded(app.graph, app.mapping);
+  const auto& result = dynamic_cast<const OutputKernel&>(app.graph.by_name("result"));
+  std::printf("runtime completed=%s, %zu frames\n", rr.completed ? "yes" : "no",
+              result.frames().size());
+
+  std::printf("\nper-frame RMS error vs the static scene (alpha=%.2f):\n", alpha);
+  for (size_t f = 0; f < result.frames().size(); ++f)
+    std::printf("  frame %zu: %.3f\n", f, noise_rms(result.frames()[f], frame));
+  std::printf("the IIR feedback loop integrates the scene: the error drops\n"
+              "toward the alpha-limited floor across frames.\n");
+  return 0;
+}

@@ -1,0 +1,312 @@
+#include "apps/pipelines.h"
+
+#include "kernels/kernels.h"
+
+namespace bpp::apps {
+
+Tile blur_coeff5x5() {
+  // Outer product of the binomial row (1 4 6 4 1)/16.
+  const double row[5] = {1 / 16.0, 4 / 16.0, 6 / 16.0, 4 / 16.0, 1 / 16.0};
+  Tile t(5, 5);
+  for (int y = 0; y < 5; ++y)
+    for (int x = 0; x < 5; ++x) t.at(x, y) = row[x] * row[y];
+  return t;
+}
+
+Tile blur_coeff3x3() {
+  const double row[3] = {1 / 4.0, 2 / 4.0, 1 / 4.0};
+  Tile t(3, 3);
+  for (int y = 0; y < 3; ++y)
+    for (int x = 0; x < 3; ++x) t.at(x, y) = row[x] * row[y];
+  return t;
+}
+
+std::vector<double> diff_bins(int bins) {
+  // The median-minus-blur difference concentrates near zero.
+  std::vector<double> uppers(static_cast<size_t>(bins));
+  for (int i = 0; i < bins; ++i)
+    uppers[static_cast<size_t>(i)] = -128.0 + 256.0 * (i + 1) / bins;
+  return uppers;
+}
+
+namespace {
+
+Tile bins_tile(const std::vector<double>& uppers) {
+  Tile t(static_cast<int>(uppers.size()), 1);
+  for (size_t i = 0; i < uppers.size(); ++i)
+    t.at(static_cast<int>(i), 0) = uppers[i];
+  return t;
+}
+
+}  // namespace
+
+Graph figure1_app(Size2 frame, double rate_hz, int frames, int bins) {
+  Graph g;
+  auto& input = g.add<InputKernel>("input", frame, rate_hz, frames);
+  auto& med = g.add<MedianKernel>("median3x3", 3, 3);
+  auto& conv = g.add<ConvolutionKernel>("conv5x5", 5, 5);
+  auto& coeff = g.add<ConstSource>("coeff5x5", blur_coeff5x5());
+  Kernel& sub = g.add_kernel(make_subtract("subtract"));
+  auto& hist = g.add<HistogramKernel>("histogram", bins);
+  auto& hbins = g.add<ConstSource>("histBins", bins_tile(diff_bins(bins)));
+  auto& merge = g.add<HistogramMergeKernel>("merge", bins);
+  auto& out = g.add<OutputKernel>("result", Size2{bins, 1});
+
+  g.connect(input, "out", med, "in");
+  g.connect(input, "out", conv, "in");
+  g.connect(coeff, "out", conv, "coeff");
+  g.connect(med, "out", sub, "in0");
+  g.connect(conv, "out", sub, "in1");
+  g.connect(sub, "out", hist, "in");
+  g.connect(hbins, "out", hist, "bins");
+  g.connect(hist, "out", merge, "partial");
+  g.connect(merge, "out", out, "in");
+
+  // The histogram's final combination is serial, once per frame: a data
+  // dependency edge from the input bounds the merge kernel (Fig. 1(b)).
+  g.add_dependency(input, merge);
+  return g;
+}
+
+Graph bayer_app(Size2 frame, double rate_hz, int frames) {
+  Graph g;
+  auto& input = g.add<InputKernel>("input", frame, rate_hz, frames);
+  auto& demosaic = g.add<BayerDemosaicKernel>("demosaic");
+  auto& out = g.add<OutputKernel>("result", Size2{2, 2});
+  g.connect(input, "out", demosaic, "in");
+  g.connect(demosaic, "out", out, "in");
+  return g;
+}
+
+Graph histogram_app(Size2 frame, double rate_hz, int frames, int bins) {
+  Graph g;
+  auto& input = g.add<InputKernel>("input", frame, rate_hz, frames);
+  auto& hist = g.add<HistogramKernel>("histogram", bins);
+  auto& hbins = g.add<ConstSource>(
+      "histBins", HistogramKernel::uniform_bins(bins, 0.0, 256.0));
+  auto& merge = g.add<HistogramMergeKernel>("merge", bins);
+  auto& out = g.add<OutputKernel>("result", Size2{bins, 1});
+  g.connect(input, "out", hist, "in");
+  g.connect(hbins, "out", hist, "bins");
+  g.connect(hist, "out", merge, "partial");
+  g.connect(merge, "out", out, "in");
+  g.add_dependency(input, merge);
+  return g;
+}
+
+Graph parallel_buffer_app(Size2 frame, double rate_hz, int frames) {
+  Graph g;
+  auto& input = g.add<InputKernel>("input", frame, rate_hz, frames);
+  auto& conv = g.add<ConvolutionKernel>("conv9x9", 9, 9);
+  Tile coeff(Size2{9, 9}, 1.0 / 81.0);
+  auto& csrc = g.add<ConstSource>("coeff9x9", coeff);
+  auto& out = g.add<OutputKernel>("result");
+  g.connect(input, "out", conv, "in");
+  g.connect(csrc, "out", conv, "coeff");
+  g.connect(conv, "out", out, "in");
+  return g;
+}
+
+Graph multi_convolution_app(Size2 frame, double rate_hz, int frames) {
+  Graph g;
+  auto& input = g.add<InputKernel>("input", frame, rate_hz, frames);
+  auto& c1 = g.add<ConvolutionKernel>("convA", 3, 3);
+  auto& s1 = g.add<ConstSource>("coeffA", blur_coeff3x3());
+  auto& c2 = g.add<ConvolutionKernel>("convB", 3, 3);
+  auto& s2 = g.add<ConstSource>("coeffB", blur_coeff3x3());
+  auto& c3 = g.add<ConvolutionKernel>("convC", 5, 5);
+  auto& s3 = g.add<ConstSource>("coeffC", blur_coeff5x5());
+  auto& out = g.add<OutputKernel>("result");
+  g.connect(input, "out", c1, "in");
+  g.connect(s1, "out", c1, "coeff");
+  g.connect(c1, "out", c2, "in");
+  g.connect(s2, "out", c2, "coeff");
+  g.connect(c2, "out", c3, "in");
+  g.connect(s3, "out", c3, "coeff");
+  g.connect(c3, "out", out, "in");
+  return g;
+}
+
+Graph pipeline_app(Size2 frame, double rate_hz, int frames, long stage_cycles) {
+  Graph g;
+  auto& input = g.add<InputKernel>("input", frame, rate_hz, frames);
+  auto stage1 = std::make_unique<UnaryOpKernel>(
+      "stage1", [](double v) { return 0.5 * v + 1.0; }, stage_cycles);
+  auto stage2 = std::make_unique<UnaryOpKernel>(
+      "stage2", [](double v) { return v > 64.0 ? v : 0.0; }, stage_cycles);
+  Kernel& s1 = g.add_kernel(std::move(stage1));
+  Kernel& s2 = g.add_kernel(std::move(stage2));
+  auto& out = g.add<OutputKernel>("result");
+  g.connect(input, "out", s1, "in");
+  g.connect(s1, "out", s2, "in");
+  g.connect(s2, "out", out, "in");
+  // Identical loads plus a dependency edge: the compiler replicates the
+  // whole pipeline with lane connections (§IV-B).
+  g.add_dependency(s1, s2);
+  return g;
+}
+
+Graph feedback_app(Size2 frame, double rate_hz, int frames, double alpha) {
+  Graph g;
+  auto& input = g.add<InputKernel>("input", frame, rate_hz, frames);
+  auto& mix = g.add<TemporalMixKernel>("mix", alpha);
+  auto& init = g.add<InitialValueKernel>("loopInit", frame, rate_hz, 0.0);
+  auto& out = g.add<OutputKernel>("result");
+  g.connect(input, "out", mix, "x");
+  g.connect(init, "out", mix, "prev");
+  g.connect(mix, "out", init, "in");
+  g.connect(mix, "out", out, "in");
+  return g;
+}
+
+Graph sobel_app(Size2 frame, double rate_hz, int frames, double threshold) {
+  Graph g;
+  auto& input = g.add<InputKernel>("input", frame, rate_hz, frames);
+  auto& sob = g.add<SobelKernel>("sobel");
+  Kernel& th = g.add_kernel(make_threshold("threshold", threshold));
+  auto& out = g.add<OutputKernel>("result");
+  g.connect(input, "out", sob, "in");
+  g.connect(sob, "out", th, "in");
+  g.connect(th, "out", out, "in");
+  return g;
+}
+
+Graph downsample_app(Size2 frame, double rate_hz, int frames) {
+  Graph g;
+  auto& input = g.add<InputKernel>("input", frame, rate_hz, frames);
+  auto& down = g.add<DownsampleKernel>("down2", 2);
+  auto& conv = g.add<ConvolutionKernel>("conv3x3", 3, 3);
+  auto& csrc = g.add<ConstSource>("coeff3x3", blur_coeff3x3());
+  auto& out = g.add<OutputKernel>("result");
+  g.connect(input, "out", down, "in");
+  g.connect(down, "out", conv, "in");
+  g.connect(csrc, "out", conv, "coeff");
+  g.connect(conv, "out", out, "in");
+  return g;
+}
+
+namespace {
+
+Tile binomial_row5() {
+  const double row[5] = {1 / 16.0, 4 / 16.0, 6 / 16.0, 4 / 16.0, 1 / 16.0};
+  Tile t(5, 1);
+  for (int x = 0; x < 5; ++x) t.at(x, 0) = row[x];
+  return t;
+}
+
+Tile binomial_col5() {
+  const double row[5] = {1 / 16.0, 4 / 16.0, 6 / 16.0, 4 / 16.0, 1 / 16.0};
+  Tile t(1, 5);
+  for (int y = 0; y < 5; ++y) t.at(0, y) = row[y];
+  return t;
+}
+
+}  // namespace
+
+Graph separable_blur_app(Size2 frame, double rate_hz, int frames) {
+  Graph g;
+  auto& input = g.add<InputKernel>("input", frame, rate_hz, frames);
+  auto& horiz = g.add<ConvolutionKernel>("blurH", 5, 1);
+  auto& hcoeff = g.add<ConstSource>("coeffH", binomial_row5());
+  auto& vert = g.add<ConvolutionKernel>("blurV", 1, 5);
+  auto& vcoeff = g.add<ConstSource>("coeffV", binomial_col5());
+  auto& out = g.add<OutputKernel>("result");
+  g.connect(input, "out", horiz, "in");
+  g.connect(hcoeff, "out", horiz, "coeff");
+  g.connect(horiz, "out", vert, "in");
+  g.connect(vcoeff, "out", vert, "coeff");
+  g.connect(vert, "out", out, "in");
+  return g;
+}
+
+Graph motion_app(Size2 frame, double rate_hz, int frames, int radius,
+                 long bound_cycles) {
+  Graph g;
+  auto& input = g.add<InputKernel>("input", frame, rate_hz, frames);
+  auto& blocks = g.add<BufferKernel>("blocks", Size2{1, 1}, Size2{4, 4},
+                                     Step2{4, 4}, frame);
+  auto& motion = g.add<MotionEstimateKernel>("motion", frame, radius,
+                                             bound_cycles);
+  auto& out = g.add<OutputKernel>("result");
+  g.connect(input, "out", blocks, "in");
+  g.connect(blocks, "out", motion, "in");
+  g.connect(motion, "out", out, "in");
+  return g;
+}
+
+Graph analytics_app(Size2 frame, double rate_hz, int frames, double alpha,
+                    double edge_level, int bins) {
+  Graph g;
+  auto& input = g.add<InputKernel>("input", frame, rate_hz, frames);
+
+  // Temporal denoise: y_t = alpha x_t + (1-alpha) y_{t-1} (§III-D loop).
+  auto& mix = g.add<TemporalMixKernel>("denoise", alpha);
+  auto& init = g.add<InitialValueKernel>("loopInit", frame, rate_hz, 0.0);
+  g.connect(input, "out", mix, "x");
+  g.connect(init, "out", mix, "prev");
+  g.connect(mix, "out", init, "in");
+
+  // Separable 5x5 blur of the denoised stream.
+  auto& blurH = g.add<ConvolutionKernel>("blurH", 5, 1);
+  auto& cH = g.add<ConstSource>("coeffH", binomial_row5());
+  auto& blurV = g.add<ConvolutionKernel>("blurV", 1, 5);
+  auto& cV = g.add<ConstSource>("coeffV", binomial_col5());
+  g.connect(mix, "out", blurH, "in");
+  g.connect(cH, "out", blurH, "coeff");
+  g.connect(blurH, "out", blurV, "in");
+  g.connect(cV, "out", blurV, "coeff");
+
+  // Edge branch: sobel -> threshold -> dilate (close small gaps).
+  auto& sob = g.add<SobelKernel>("sobel");
+  Kernel& th = g.add_kernel(make_threshold("edgeThresh", edge_level));
+  auto& dil = g.add<MorphologyKernel>("clean", MorphologyKernel::Op::Dilate, 3, 3);
+  auto& edges = g.add<OutputKernel>("edges");
+  g.connect(blurV, "out", sob, "in");
+  g.connect(sob, "out", th, "in");
+  g.connect(th, "out", dil, "in");
+  g.connect(dil, "out", edges, "in");
+
+  // Statistics branch: per-frame histogram of the blurred image with the
+  // explicitly serial merge of Fig. 1(b).
+  auto& hist = g.add<HistogramKernel>("histogram", bins);
+  auto& hbins = g.add<ConstSource>(
+      "histBins", HistogramKernel::uniform_bins(bins, 0.0, 256.0));
+  auto& merge = g.add<HistogramMergeKernel>("merge", bins);
+  auto& stats = g.add<OutputKernel>("stats", Size2{bins, 1});
+  g.connect(blurV, "out", hist, "in");
+  g.connect(hbins, "out", hist, "bins");
+  g.connect(hist, "out", merge, "partial");
+  g.connect(merge, "out", stats, "in");
+  g.add_dependency(input, merge);
+  return g;
+}
+
+Graph radio_app(int samples, double block_rate_hz, int blocks) {
+  Graph g;
+  auto& input = g.add<InputKernel>("input", Size2{samples, 1}, block_rate_hz,
+                                   blocks);
+  auto& lp = g.add<FirDecimateKernel>("lowpass", lowpass_taps(16, 0.1), 4);
+  Kernel& mag = g.add_kernel(make_abs("magnitude"));
+  auto& env = g.add<FirDecimateKernel>("envelope", moving_average_taps(8), 1);
+  auto& out = g.add<OutputKernel>("result");
+  g.connect(input, "out", lp, "in");
+  g.connect(lp, "out", mag, "in");
+  g.connect(mag, "out", env, "in");
+  g.connect(env, "out", out, "in");
+  return g;
+}
+
+std::vector<Fig11Config> fig11_configs() {
+  // Tuned against the default embedded machine so the replication pattern
+  // follows Fig. 11: slow rates parallelize the filters ~2x, fast rates
+  // 4-5x with a second histogram, and the big input's buffers exceed one
+  // PE's storage and column-split.
+  return {
+      {"SS", {48, 36}, 180.0},  // small / slow
+      {"BS", {96, 72}, 60.0},   // big / slow
+      {"SF", {48, 36}, 420.0},  // small / fast
+      {"BF", {96, 72}, 130.0},  // big / fast
+  };
+}
+
+}  // namespace bpp::apps

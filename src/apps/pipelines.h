@@ -1,0 +1,101 @@
+#pragma once
+// Application builders: the paper's benchmark programs (Fig. 13 caption)
+// plus the extension demos. Each returns a fresh application graph wired
+// from library kernels; compile() then buffers/aligns/parallelizes it.
+//
+// Benchmarks (paper numbering):
+//   1 / 1F  Bayer demosaicing, baseline and faster input rate
+//   2 / 2F  image histogram, baseline and faster input rate
+//   3       parallel buffer test (storage-bound buffer forces §IV-C split)
+//   4       multiple convolutions test
+//   SS/SF/BS/BF  the Fig. 1(b)/Fig. 11 image-processing example at
+//                small/big input sizes and slow/fast input rates
+//   5       the Fig. 1(b) application at its baseline configuration
+
+#include <string>
+#include <vector>
+
+#include "core/graph.h"
+#include "core/tile.h"
+
+namespace bpp::apps {
+
+/// Normalized 5x5 binomial blur coefficients.
+[[nodiscard]] Tile blur_coeff5x5();
+/// Normalized 3x3 binomial blur coefficients.
+[[nodiscard]] Tile blur_coeff3x3();
+/// Histogram bin upper bounds for the Fig. 1 difference image.
+[[nodiscard]] std::vector<double> diff_bins(int bins);
+
+/// The Fig. 1(b) application: 3x3 median and 5x5 convolution of the input,
+/// per-pixel difference, histogram with explicitly serial merge (data
+/// dependency edge from the input). Sink kernel is named "result".
+[[nodiscard]] Graph figure1_app(Size2 frame, double rate_hz, int frames,
+                                int bins = 32);
+
+/// Benchmark 1/1F: Bayer demosaicing.
+[[nodiscard]] Graph bayer_app(Size2 frame, double rate_hz, int frames);
+
+/// Benchmark 2/2F: whole-image histogram with serial merge.
+[[nodiscard]] Graph histogram_app(Size2 frame, double rate_hz, int frames,
+                                  int bins = 32);
+
+/// Benchmark 3: parallel buffer test — a 9x9 convolution whose input
+/// buffer exceeds one PE's storage and must be column-split.
+[[nodiscard]] Graph parallel_buffer_app(Size2 frame, double rate_hz, int frames);
+
+/// Benchmark 4: multiple convolutions test — a three-stage convolution
+/// chain, each stage with its own replicated coefficient input.
+[[nodiscard]] Graph multi_convolution_app(Size2 frame, double rate_hz,
+                                          int frames);
+
+/// Dependency-edged pipeline (paper §IV-B): two equal-cost stages chained
+/// by data-dependency edges so the compiler replicates whole pipelines
+/// (lane connections) instead of splitting between the stages.
+[[nodiscard]] Graph pipeline_app(Size2 frame, double rate_hz, int frames,
+                                 long stage_cycles = 60);
+
+/// Feedback extension (§III-D): per-pixel temporal IIR filter
+/// y_t = alpha x_t + (1-alpha) y_{t-1}, primed by an initial-value kernel.
+[[nodiscard]] Graph feedback_app(Size2 frame, double rate_hz, int frames,
+                                 double alpha);
+
+/// Edge-detect example: Sobel magnitude followed by a threshold.
+[[nodiscard]] Graph sobel_app(Size2 frame, double rate_hz, int frames,
+                              double threshold);
+
+/// Fractional-offset example: 2x block downsample then 3x3 convolution.
+[[nodiscard]] Graph downsample_app(Size2 frame, double rate_hz, int frames);
+
+/// Separable 5x5 blur as a (5x1) then (1x5) convolution pipeline —
+/// exercises non-square windows; equals the full blur_coeff5x5() filter.
+[[nodiscard]] Graph separable_blur_app(Size2 frame, double rate_hz, int frames);
+
+/// Motion estimation over 4x4 blocks (the dynamic-resource extension from
+/// the paper's conclusions). bound_cycles <= 0 uses the worst case.
+[[nodiscard]] Graph motion_app(Size2 frame, double rate_hz, int frames,
+                               int radius = 2, long bound_cycles = 0);
+
+/// One-dimensional radio-style chain (§II-A's 1-D claim): lowpass FIR with
+/// 4x decimation, magnitude, then a moving-average envelope. The "frame"
+/// is a samples x 1 block at the block rate.
+[[nodiscard]] Graph radio_app(int samples, double block_rate_hz, int blocks);
+
+/// Flagship composition: a video-analytics front end using most of the
+/// library. Temporal IIR denoising (feedback loop), separable 5x5 blur,
+/// Sobel + threshold edge map cleaned by a 3x3 dilate, and a per-frame
+/// histogram of the blurred image with serial merge. Two sinks:
+/// "edges" (the cleaned edge map) and "stats" (the histogram).
+[[nodiscard]] Graph analytics_app(Size2 frame, double rate_hz, int frames,
+                                  double alpha = 0.4, double edge_level = 120.0,
+                                  int bins = 16);
+
+/// Fig. 11 configurations of the Fig. 1(b) example.
+struct Fig11Config {
+  const char* tag;
+  Size2 frame;
+  double rate_hz;
+};
+[[nodiscard]] std::vector<Fig11Config> fig11_configs();
+
+}  // namespace bpp::apps

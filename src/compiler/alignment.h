@@ -1,0 +1,46 @@
+#pragma once
+// Trimming and padding (paper §III-C, Fig. 8).
+//
+// When differently-haloed streams meet at a multi-input kernel the
+// compiler overlays their extents in origin coordinates and makes them
+// consistent:
+//  * Trim: intersect the extents and insert InsetKernels that discard the
+//    excess of the larger streams (Fig. 3's inverted house).
+//  * Pad: take the union and zero-pad the *input of the windowed kernel*
+//    that produced the more-inset stream, growing its output (the paper's
+//    "pad evenly around the input to the convolution filter").
+// The pad-vs-trim choice affects the result and so belongs to the
+// programmer; the sizing and insertion are automatic.
+
+#include <string>
+#include <vector>
+
+#include "compiler/dataflow.h"
+#include "core/graph.h"
+
+namespace bpp {
+
+enum class AlignPolicy {
+  Trim,       ///< discard the excess of the larger streams (Fig. 3)
+  Pad,        ///< zero-pad the shrinking filter's input
+  MirrorPad,  ///< mirror-pad the shrinking filter's input (§III-C)
+};
+
+struct AlignmentEdit {
+  std::string at_kernel;       ///< kernel whose inputs were misaligned
+  std::string inserted;        ///< name of the inset/pad kernel added
+  Border border;
+  bool padded = false;
+};
+
+/// Repeatedly analyzes the graph (leniently) and fixes the first
+/// misalignment until none remain. Returns the edits made.
+std::vector<AlignmentEdit> align(Graph& g, AlignPolicy policy = AlignPolicy::Trim);
+
+/// Splice a single-input/single-output kernel into channel `c`.
+/// Returns the id of the inserted kernel.
+KernelId splice_into_channel(Graph& g, ChannelId c, std::unique_ptr<Kernel> k,
+                             const std::string& in_port = "in",
+                             const std::string& out_port = "out");
+
+}  // namespace bpp

@@ -1,0 +1,146 @@
+#include "compiler/buffer_split.h"
+
+#include "kernels/buffer.h"
+#include "kernels/split_join.h"
+
+namespace bpp {
+
+std::vector<int> slice_boundaries(int it_w, int slices) {
+  std::vector<int> w(static_cast<size_t>(slices) + 1, 0);
+  for (int i = 0; i <= slices; ++i)
+    w[static_cast<size_t>(i)] =
+        static_cast<int>(static_cast<long>(it_w) * i / slices);
+  return w;
+}
+
+BufferSplitResult split_buffer(Graph& g, DataflowResult& df, LoadMap& loads,
+                               KernelId k, int slices) {
+  auto* buf = dynamic_cast<BufferKernel*>(&g.kernel(k));
+  if (!buf) throw AnalysisError(g.kernel(k).name() + ": not a buffer kernel");
+  if (buf->in_granularity() != Size2{1, 1})
+    throw AnalysisError(buf->name() +
+                        ": column splitting requires pixel-granularity input");
+
+  const Size2 frame = buf->frame();
+  const Size2 win = buf->out_window();
+  const Step2 step = buf->out_step();
+  const Size2 iters = iteration_count(frame, win, step);
+  slices = std::min(slices, iters.w);
+  if (slices < 2)
+    throw AnalysisError(buf->name() + ": nothing to split (slices <= 1)");
+
+  BufferSplitResult res;
+  res.original = buf->name();
+  res.slices = slices;
+  res.overlap_columns = win.w - step.x;
+
+  const std::vector<int> w = slice_boundaries(iters.w, slices);
+  std::vector<std::pair<int, int>> ranges;  // input pixel columns per slice
+  std::vector<int> runs;                    // window columns per slice
+  for (int i = 0; i < slices; ++i) {
+    const int a = w[static_cast<size_t>(i)] * step.x;
+    const int b = (w[static_cast<size_t>(i) + 1] - 1) * step.x + win.w;
+    ranges.emplace_back(a, b);
+    runs.push_back(w[static_cast<size_t>(i) + 1] - w[static_cast<size_t>(i)]);
+  }
+  res.input_ranges = ranges;
+
+  // Remember the original wiring.
+  const ChannelId first_new_channel = g.channel_count();
+  const ChannelId in_c = *g.in_channel(k, buf->input_index("in"));
+  const Channel in_ch = g.channel(in_c);
+  const std::vector<ChannelId> out_cs = g.out_channels(k, buf->output_index("out"));
+  const double rate = df.channel[static_cast<size_t>(in_c)].rate_hz;
+
+  // Slice kernels: reuse the original as slice 0, clone-construct the rest.
+  std::vector<KernelId> slice_ids;
+  const std::string base = buf->name();
+  buf->set_name(base + "_0");
+  buf->reshape({ranges[0].second - ranges[0].first, frame.h});
+  slice_ids.push_back(k);
+  for (int i = 1; i < slices; ++i) {
+    auto s = std::make_unique<BufferKernel>(
+        base + "_" + std::to_string(i), Size2{1, 1}, win, step,
+        Size2{ranges[static_cast<size_t>(i)].second -
+                  ranges[static_cast<size_t>(i)].first,
+              frame.h});
+    slice_ids.push_back(g.id_of(g.add_kernel(std::move(s))));
+  }
+  for (KernelId sid : slice_ids)
+    res.slice_annotations.push_back(
+        static_cast<BufferKernel&>(g.kernel(sid)).size_annotation());
+
+  // Split FSM in front (Fig. 10): overlapping column ranges, 1x1 items.
+  auto split = std::make_unique<SplitKernel>(g.unique_name(base + "_split"),
+                                             ranges, frame.w, Size2{1, 1},
+                                             Step2{1, 1});
+  const KernelId split_id = g.id_of(g.add_kernel(std::move(split)));
+  g.disconnect(in_c);
+  g.connect(in_ch.src_kernel, in_ch.src_port, split_id, 0);
+  for (int i = 0; i < slices; ++i)
+    g.connect(split_id, i, slice_ids[static_cast<size_t>(i)],
+              g.kernel(slice_ids[static_cast<size_t>(i)]).input_index("in"));
+
+  // Run-length join behind, restoring scan order window-by-window.
+  auto join = std::make_unique<JoinKernel>(g.unique_name(base + "_join"), runs,
+                                           win, step);
+  const KernelId join_id = g.id_of(g.add_kernel(std::move(join)));
+  for (int i = 0; i < slices; ++i)
+    g.connect(slice_ids[static_cast<size_t>(i)],
+              g.kernel(slice_ids[static_cast<size_t>(i)]).output_index("out"),
+              join_id, i);
+  for (ChannelId c : out_cs) {
+    const Channel ch = g.channel(c);
+    g.disconnect(c);
+    g.connect(join_id, 0, ch.dst_kernel, ch.dst_port);
+  }
+
+  // Load bookkeeping.
+  const double pixel_ps = static_cast<double>(frame.area()) * rate;
+  double total_in = 0.0;
+  for (const auto& [a, b] : ranges) total_in += b - a;
+  for (int i = 0; i < slices; ++i) {
+    const auto& [a, b] = ranges[static_cast<size_t>(i)];
+    auto& sb = static_cast<BufferKernel&>(g.kernel(slice_ids[static_cast<size_t>(i)]));
+    LoadModel l;
+    const double in_items_ps = static_cast<double>(b - a) * frame.h * rate;
+    const double out_items_ps =
+        static_cast<double>(runs[static_cast<size_t>(i)]) * iters.h * rate;
+    l.firings_per_second = in_items_ps;
+    l.cycles_per_second = in_items_ps * 6.0;
+    l.read_words_per_second = in_items_ps;
+    l.write_words_per_second = out_items_ps * win.area() + iters.h * rate;
+    l.memory_words = sb.storage_words() + 16;
+    loads.set(slice_ids[static_cast<size_t>(i)], l);
+  }
+  // Split reads every pixel once and writes overlap columns twice.
+  loads.set(split_id,
+            forwarding_load(pixel_ps, 1, total_in / frame.w));
+  loads.set(join_id, forwarding_load(static_cast<double>(iters.area()) * rate,
+                                     win.area()));
+
+  // Stream info for the new channels: conservative copies so later passes
+  // can still look up item shapes.
+  df.channel.resize(static_cast<size_t>(g.channel_count()));
+  for (ChannelId c = first_new_channel; c < g.channel_count(); ++c) {
+    const Channel& ch = g.channel(c);
+    if (!ch.alive) continue;
+    StreamInfo s;
+    const Kernel& src = g.kernel(ch.src_kernel);
+    const PortSpec& op = src.output(ch.src_port).spec;
+    s.item = op.window;
+    s.item_step = op.step;
+    s.rate_hz = rate;
+    s.frame = frame;
+    s.items_per_frame = 0;  // routed subsets: not a whole-frame stream
+    if (ch.src_kernel == join_id) {
+      // The join restores the original buffered stream.
+      s = df.channel[static_cast<size_t>(out_cs.front())];
+    }
+    df.channel[static_cast<size_t>(c)] = s;
+  }
+
+  return res;
+}
+
+}  // namespace bpp

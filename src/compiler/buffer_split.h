@@ -1,0 +1,39 @@
+#pragma once
+// Buffer column-splitting (paper §IV-C, Fig. 10).
+//
+// Buffers are rarely CPU-bound but are limited by per-PE storage, so they
+// are parallelized by splitting column-wise rather than round-robin (which
+// would reorder the data). Output window-columns are divided among B
+// slices; each slice's input column range extends past its window range by
+// the window halo, so the overlapping columns are replicated to both
+// neighbors by a ColumnRanges split FSM. A RunLength join restores scan
+// order.
+
+#include <string>
+#include <vector>
+
+#include "compiler/dataflow.h"
+#include "compiler/loads.h"
+#include "core/graph.h"
+
+namespace bpp {
+
+struct BufferSplitResult {
+  std::string original;
+  int slices = 1;
+  std::vector<std::string> slice_annotations;  ///< "[26x6]", "[25x6]", ...
+  std::vector<std::pair<int, int>> input_ranges;  ///< per-slice input columns
+  int overlap_columns = 0;  ///< columns replicated between adjacent slices
+};
+
+/// Compute the per-slice window-column boundaries for it_w output columns
+/// over B slices (balanced, in order).
+[[nodiscard]] std::vector<int> slice_boundaries(int it_w, int slices);
+
+/// Split buffer kernel `k` (which must be a BufferKernel with 1x1 input
+/// granularity) into `slices` column slices. Rewires the graph, updates
+/// the load map, and returns a description of the split.
+BufferSplitResult split_buffer(Graph& g, DataflowResult& df, LoadMap& loads,
+                               KernelId k, int slices);
+
+}  // namespace bpp

@@ -1,0 +1,41 @@
+#include "compiler/buffering.h"
+
+#include "compiler/alignment.h"
+#include "kernels/buffer.h"
+
+namespace bpp {
+
+std::vector<BufferInsertion> insert_buffers(Graph& g, const DataflowResult& df) {
+  std::vector<BufferInsertion> out;
+
+  const int original_channels = g.channel_count();
+  for (ChannelId c = 0; c < original_channels; ++c) {
+    const Channel& ch = g.channel(c);
+    if (!ch.alive) continue;
+    const StreamInfo& s = df.channel[static_cast<size_t>(c)];
+    const Kernel& dst = g.kernel(ch.dst_kernel);
+    const PortSpec& want = dst.input(ch.dst_port).spec;
+
+    const Step2 item_as_step{s.item.w, s.item.h};
+    if (s.item == want.window && s.item_step == want.step) continue;  // matches
+
+    if (s.item_step != item_as_step)
+      throw AnalysisError(g.kernel(ch.src_kernel).name() + " -> " + dst.name() +
+                          ": producer emits overlapping items; cannot re-buffer");
+
+    auto buf = std::make_unique<BufferKernel>(
+        g.unique_name("buffer_" + dst.name() + "_" + want.name), s.item,
+        want.window, want.step, s.frame);
+    BufferInsertion ins;
+    ins.name = buf->name();
+    ins.producer = g.kernel(ch.src_kernel).name();
+    ins.consumer = dst.name();
+    ins.annotation = buf->size_annotation();
+    ins.storage_words = buf->storage_words();
+    splice_into_channel(g, c, std::move(buf));
+    out.push_back(std::move(ins));
+  }
+  return out;
+}
+
+}  // namespace bpp

@@ -1,0 +1,30 @@
+#pragma once
+// Automatic buffering (paper §III-B).
+//
+// The only implicit channel buffering in the model is the one-iteration
+// buffer in each kernel input and output. Wherever a producer's emission
+// granularity differs from the consumer's declared window/step, this pass
+// splices in a parameterized BufferKernel sized from the data-flow
+// analysis (double-buffering the larger of input/output).
+
+#include <string>
+#include <vector>
+
+#include "compiler/dataflow.h"
+#include "core/graph.h"
+
+namespace bpp {
+
+struct BufferInsertion {
+  std::string name;        ///< inserted buffer kernel
+  std::string producer;
+  std::string consumer;
+  std::string annotation;  ///< paper-style "[20x10]"
+  long storage_words = 0;
+};
+
+/// Insert buffers on every granularity-mismatched channel. `df` must be a
+/// fresh strict analysis of `g`; re-analyze after this pass.
+std::vector<BufferInsertion> insert_buffers(Graph& g, const DataflowResult& df);
+
+}  // namespace bpp

@@ -1,0 +1,332 @@
+#include "compiler/dataflow.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "core/error.h"
+
+namespace bpp {
+
+namespace {
+
+constexpr double kInsetTolerance = 1e-9;
+
+StreamInfo stream_from_spec(const SourceStreamSpec& spec, KernelId origin) {
+  StreamInfo s;
+  s.frame = spec.frame;
+  s.item = spec.granularity;
+  s.item_step = {spec.granularity.w, spec.granularity.h};
+  s.grid = {spec.frame.w / spec.granularity.w, spec.frame.h / spec.granularity.h};
+  s.items_per_frame = s.grid.area();
+  s.rate_hz = spec.rate_hz;
+  s.pixel_space = spec.pixel_space;
+  s.origin = spec.pixel_space ? origin : -1;
+  return s;
+}
+
+class Analyzer {
+ public:
+  Analyzer(const Graph& g, Strictness strict) : g_(g), strict_(strict) {
+    res_.channel.resize(static_cast<size_t>(g.channel_count()));
+    known_.assign(static_cast<size_t>(g.channel_count()), false);
+    res_.kernel.resize(static_cast<size_t>(g.kernel_count()));
+  }
+
+  DataflowResult run() {
+    seed();
+    bool changed = true;
+    std::vector<bool> done(static_cast<size_t>(g_.kernel_count()), false);
+    while (changed) {
+      changed = false;
+      for (KernelId k = 0; k < g_.kernel_count(); ++k) {
+        if (done[static_cast<size_t>(k)] || g_.kernel(k).is_source()) continue;
+        if (!inputs_known(k)) continue;
+        process(k);
+        done[static_cast<size_t>(k)] = true;
+        changed = true;
+      }
+    }
+    if (strict_ == Strictness::Strict) {
+      if (!res_.misaligned.empty()) {
+        const Misalignment& m = res_.misaligned.front();
+        throw AnalysisError(g_.kernel(m.kernel).name() +
+                            ": unaligned inputs to method '" +
+                            g_.kernel(m.kernel).methods()[static_cast<size_t>(m.method)].name +
+                            "' (run the alignment pass, paper §III-C)");
+      }
+      for (int c = 0; c < g_.channel_count(); ++c)
+        if (g_.channel(c).alive && !known_[static_cast<size_t>(c)])
+          throw AnalysisError("data-flow analysis could not resolve channel into " +
+                              g_.kernel(g_.channel(c).dst_kernel).name());
+    }
+    return std::move(res_);
+  }
+
+ private:
+  void seed() {
+    for (KernelId k = 0; k < g_.kernel_count(); ++k) {
+      const Kernel& kn = g_.kernel(k);
+      if (kn.is_source()) {
+        for (size_t o = 0; o < kn.outputs().size(); ++o) {
+          auto spec = kn.source_spec(static_cast<int>(o));
+          if (!spec)
+            throw AnalysisError(kn.name() + ": source without stream spec");
+          assign_output(k, static_cast<int>(o), stream_from_spec(*spec, k));
+        }
+        KernelAnalysis& a = res_.kernel[static_cast<size_t>(k)];
+        a.resolved = true;
+        a.rate_hz = kn.source_spec(0) ? kn.source_spec(0)->rate_hz : 0.0;
+      } else if (kn.is_feedback()) {
+        auto spec = kn.feedback_spec();
+        if (!spec)
+          throw AnalysisError(kn.name() +
+                              ": feedback kernel must declare feedback_spec() "
+                              "(paper §III-D)");
+        assign_output(k, 0, stream_from_spec(*spec, k));
+      }
+    }
+  }
+
+  bool inputs_known(KernelId k) const {
+    for (ChannelId c : g_.in_channels(k))
+      if (!known_[static_cast<size_t>(c)]) return false;
+    return true;
+  }
+
+  void assign_output(KernelId k, int port, const StreamInfo& s) {
+    for (ChannelId c : g_.out_channels(k, port)) {
+      res_.channel[static_cast<size_t>(c)] = s;
+      known_[static_cast<size_t>(c)] = true;
+    }
+  }
+
+  [[nodiscard]] const StreamInfo* input_stream(KernelId k, int port) const {
+    auto c = g_.in_channel(k, port);
+    if (!c || !known_[static_cast<size_t>(*c)]) return nullptr;
+    return &res_.channel[static_cast<size_t>(*c)];
+  }
+
+  void process(KernelId k) {
+    const Kernel& kn = g_.kernel(k);
+    KernelAnalysis a;
+    a.resolved = true;
+    bool any_misaligned = false;
+
+    for (size_t mi = 0; mi < kn.methods().size(); ++mi) {
+      const MethodDef& m = kn.methods()[mi];
+      if (m.inputs.empty()) continue;
+      if (m.token_triggered())
+        process_token_method(k, static_cast<int>(mi), a);
+      else if (!process_data_method(k, static_cast<int>(mi), a))
+        any_misaligned = true;
+    }
+
+    a.memory_words = kn.state_memory();
+    for (const InputPort& p : kn.inputs()) a.memory_words += p.spec.words();
+    for (const OutputPort& p : kn.outputs()) a.memory_words += p.spec.words();
+
+    if (any_misaligned) a.resolved = false;
+    if (kn.is_feedback()) a.rate_hz = kn.feedback_spec()->rate_hz;
+    res_.kernel[static_cast<size_t>(k)] = a;
+  }
+
+  /// Returns false when the method's pixel inputs are misaligned.
+  bool process_data_method(KernelId k, int mi, KernelAnalysis& a) {
+    const Kernel& kn = g_.kernel(k);
+    const MethodDef& m = kn.methods()[static_cast<size_t>(mi)];
+
+    // Iteration counts per input, and the aligned output position of the
+    // pixel-space inputs.
+    Size2 iters{0, 0};
+    double rate = 0.0;
+    const StreamInfo* pixel_ref = nullptr;
+    int pixel_ref_port = -1;
+    bool misaligned = false;
+    std::vector<int> pixel_ports;
+    std::vector<StreamInfo> pixel_infos;
+
+    for (int i : m.inputs) {
+      const StreamInfo* s = input_stream(k, i);
+      if (!s) throw AnalysisError(kn.name() + ": unresolved input stream");
+      const PortSpec& spec = kn.input(i).spec;
+      const Size2 it = iteration_count(s->frame, spec.window, spec.step);
+      if (!it.positive())
+        throw AnalysisError(kn.name() + ": input '" + spec.name + "' window " +
+                            to_string(spec.window) + " does not fit frame " +
+                            to_string(s->frame));
+      if (s->rate_hz > 0.0) {
+        if (rate > 0.0 && std::abs(rate - s->rate_hz) > 1e-9)
+          throw AnalysisError(kn.name() + ": inputs of method '" + m.name +
+                              "' arrive at different rates");
+        rate = s->rate_hz;
+      }
+      if (s->pixel_space) {
+        pixel_ports.push_back(i);
+        pixel_infos.push_back(*s);
+        if (!pixel_ref) {
+          pixel_ref = &pixel_infos.back();
+          pixel_ref_port = i;
+          iters = it;
+        } else {
+          const PortSpec& rspec = kn.input(pixel_ref_port).spec;
+          const StreamInfo& r = pixel_infos.front();
+          const Offset2 pos_r{r.inset.x + rspec.offset.x * r.scale.x,
+                              r.inset.y + rspec.offset.y * r.scale.y};
+          const Offset2 pos_i{s->inset.x + spec.offset.x * s->scale.x,
+                              s->inset.y + spec.offset.y * s->scale.y};
+          if (it != iters || std::abs(pos_r.x - pos_i.x) > kInsetTolerance ||
+              std::abs(pos_r.y - pos_i.y) > kInsetTolerance ||
+              std::abs(r.scale.x - s->scale.x) > kInsetTolerance ||
+              std::abs(r.scale.y - s->scale.y) > kInsetTolerance)
+            misaligned = true;
+        }
+      } else if (!pixel_ref && !iters.positive()) {
+        iters = it;  // parameter-only methods iterate over items
+      }
+    }
+
+    if (misaligned) {
+      Misalignment mis;
+      mis.kernel = k;
+      mis.method = mi;
+      mis.input_ports = pixel_ports;
+      mis.inputs = pixel_infos;
+      res_.misaligned.push_back(std::move(mis));
+      return false;
+    }
+
+    // Resource accounting: firings scale with the iteration grid; rate-0
+    // parameter streams (coefficients) contribute nothing per frame.
+    const long count = rate > 0.0 ? iters.area() : 0;
+    a.cycles_per_frame += m.res.cycles * count;
+    a.firings_per_frame += count;
+    for (int i : m.inputs)
+      a.read_words_per_frame += count * kn.input(i).spec.words();
+    if (iters.area() > static_cast<long>(a.iterations.area())) a.iterations = iters;
+    if (rate > a.rate_hz) a.rate_hz = rate;
+
+    // Output streams.
+    const StreamInfo* first_in = input_stream(k, m.inputs.front());
+    for (int o : m.outputs) {
+      const PortSpec& ospec = kn.output(o).spec;
+      StreamInfo out;
+      if (auto custom = kn.custom_output_stream(o, *first_in)) {
+        out = *custom;
+      } else {
+        out.item = ospec.window;
+        out.item_step = ospec.step;
+        out.grid = iters;
+        out.items_per_frame = iters.area();
+        out.frame = covered_extent(iters, ospec.window, ospec.step);
+        out.rate_hz = rate;
+        if (pixel_ref) {
+          const PortSpec& rspec = kn.input(pixel_ref_port).spec;
+          out.pixel_space = true;
+          out.origin = pixel_ref->origin;
+          out.inset = {pixel_ref->inset.x + rspec.offset.x * pixel_ref->scale.x,
+                       pixel_ref->inset.y + rspec.offset.y * pixel_ref->scale.y};
+          // Consecutive output items are ospec.step apart in the output
+          // stream and rspec.step input pixels apart at the source, so the
+          // origin-units-per-pixel scale changes by their ratio.
+          out.scale = {pixel_ref->scale.x * rspec.step.x / ospec.step.x,
+                       pixel_ref->scale.y * rspec.step.y / ospec.step.y};
+        } else {
+          out.pixel_space = false;
+          out.origin = -1;
+        }
+      }
+      out.rate_hz = rate;
+      // User tokens this kernel does not handle are forwarded in order
+      // (§II-C), so their declared rates continue downstream.
+      if (first_in)
+        for (const auto& [cls, r] : first_in->token_rates)
+          if (cls >= tok::kFirstUser &&
+              kn.token_method_of_input(m.inputs.front(), cls) < 0)
+            out.token_rates.emplace_back(cls, r);
+      // Declared user-token emissions ride this stream (§II-C): record
+      // their rates for downstream handler costing and charge the words.
+      for (const TokenEmission& te : m.token_outputs)
+        if (te.port == o) {
+          out.token_rates.emplace_back(te.cls, te.max_per_frame);
+          a.write_words_per_frame += static_cast<long>(te.max_per_frame);
+        }
+      a.write_words_per_frame +=
+          out.items_per_frame * out.item.area() + out.grid.h + 1;
+      assign_output(k, o, out);
+    }
+    return true;
+  }
+
+  void process_token_method(KernelId k, int mi, KernelAnalysis& a) {
+    const Kernel& kn = g_.kernel(k);
+    const MethodDef& m = kn.methods()[static_cast<size_t>(mi)];
+    const StreamInfo* in = input_stream(k, m.inputs.front());
+    if (!in) throw AnalysisError(kn.name() + ": unresolved token input stream");
+
+    long count = 0;
+    switch (*m.trigger_token) {
+      case tok::kEndOfFrame:
+        count = 1;
+        break;
+      case tok::kEndOfLine:
+        count = in->grid.h;
+        break;
+      case tok::kEndOfStream:
+        count = 0;  // once per run: amortized to zero per frame
+        break;
+      default:
+        // User tokens fire at the emitter's declared maximum rate (§II-C),
+        // "so the compiler can account for the resources consumed
+        // handling them".
+        count = static_cast<long>(
+            std::ceil(in->token_rate(*m.trigger_token)));
+        break;
+    }
+    const long charged = in->rate_hz > 0.0 ? count : 0;
+    a.cycles_per_frame += m.res.cycles * charged;
+    a.firings_per_frame += charged;
+    a.read_words_per_frame += charged;  // the token itself
+
+    for (int o : m.outputs) {
+      // A port also written by a data-triggered method keeps that stream;
+      // the token method merely forwards frame boundaries on it (buffers,
+      // inset kernels). Only token-exclusive ports (histogram finishCount)
+      // carry a token-paced stream.
+      bool data_written = false;
+      for (const MethodDef& other : kn.methods())
+        if (!other.token_triggered() &&
+            std::find(other.outputs.begin(), other.outputs.end(), o) !=
+                other.outputs.end())
+          data_written = true;
+      a.write_words_per_frame += charged * kn.output(o).spec.words() + charged;
+      if (data_written) continue;
+
+      const PortSpec& ospec = kn.output(o).spec;
+      StreamInfo out;
+      out.item = ospec.window;
+      out.item_step = ospec.step;
+      out.grid = {1, static_cast<int>(std::max<long>(count, 1))};
+      out.items_per_frame = std::max<long>(count, 1);
+      out.frame = {ospec.window.w,
+                   ospec.window.h * static_cast<int>(out.items_per_frame)};
+      out.rate_hz = in->rate_hz;
+      out.pixel_space = false;
+      out.origin = -1;
+      assign_output(k, o, out);
+    }
+  }
+
+  const Graph& g_;
+  Strictness strict_;
+  DataflowResult res_;
+  std::vector<bool> known_;
+};
+
+}  // namespace
+
+DataflowResult analyze(const Graph& g, Strictness strict) {
+  return Analyzer(g, strict).run();
+}
+
+}  // namespace bpp

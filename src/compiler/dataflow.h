@@ -1,0 +1,65 @@
+#pragma once
+// Data-flow analysis (paper §III-A).
+//
+// Propagates the application inputs' sizes and rates through the graph and
+// computes, per kernel, the iteration size and rate (how many times each
+// kernel executes per input frame) and, per channel, the StreamInfo —
+// including the inset of each stream from the application input that
+// generated it, which drives the trimming/padding analysis (§III-C).
+//
+// The traversal is a work-list (as §III-D prescribes for feedback support);
+// feedback kernels seed their loop-carried output from feedback_spec().
+//
+// Two strictness levels: Strict throws on kernels whose inputs disagree in
+// iteration count or inset (unalignable data, Fig. 8); Lenient records
+// those kernels in `misaligned` and stops propagation there, which is what
+// the alignment pass iterates on.
+
+#include <string>
+#include <vector>
+
+#include "core/graph.h"
+#include "core/stream_info.h"
+
+namespace bpp {
+
+/// Per-kernel result of the analysis.
+struct KernelAnalysis {
+  bool resolved = false;     ///< inputs known and consistent
+  Size2 iterations{0, 0};    ///< data-method executions per frame (2-D grid)
+  double rate_hz = 0.0;      ///< frame rate seen by this kernel
+  long cycles_per_frame = 0; ///< all methods, weighted by firing counts
+  long read_words_per_frame = 0;
+  long write_words_per_frame = 0;
+  long firings_per_frame = 0;
+  long memory_words = 0;     ///< state + implicit one-iteration port buffers
+};
+
+/// A kernel whose (pixel-space) inputs disagree — different iteration
+/// counts or insets — and the offending method.
+struct Misalignment {
+  KernelId kernel = -1;
+  int method = -1;
+  /// Streams feeding the method's pixel-space inputs, for the overlay.
+  std::vector<int> input_ports;
+  std::vector<StreamInfo> inputs;
+};
+
+struct DataflowResult {
+  std::vector<StreamInfo> channel;   ///< indexed by ChannelId
+  std::vector<KernelAnalysis> kernel;  ///< indexed by KernelId
+  std::vector<Misalignment> misaligned;
+
+  [[nodiscard]] bool complete() const { return misaligned.empty(); }
+};
+
+enum class Strictness { Strict, Lenient };
+
+/// Run the analysis. Strict mode throws AnalysisError on misalignment or on
+/// structurally impossible streams (window larger than frame, mismatched
+/// rates). Applies to graphs before parallelization (split/join kernels
+/// have data-dependent routing the stream calculus does not model).
+[[nodiscard]] DataflowResult analyze(const Graph& g,
+                                     Strictness strict = Strictness::Strict);
+
+}  // namespace bpp

@@ -1,0 +1,102 @@
+#pragma once
+// Per-kernel load model: the compiler's estimate of the steady-state
+// resource demand of each kernel, used to size parallelization (§IV) and
+// to pack kernels onto cores during multiplexing (§V).
+//
+// The LoadMap starts from the data-flow analysis of the source graph and
+// is kept up to date by the transformation passes: replicas carry 1/P of
+// the original data load, and inserted infrastructure kernels (buffers,
+// splits, joins, replicates, insets) get analytically computed entries.
+
+#include <vector>
+
+#include "compiler/dataflow.h"
+#include "compiler/machine.h"
+#include "core/graph.h"
+
+namespace bpp {
+
+struct LoadModel {
+  double cycles_per_second = 0.0;      ///< method execution
+  double read_words_per_second = 0.0;  ///< input access volume
+  double write_words_per_second = 0.0; ///< output access volume
+  double firings_per_second = 0.0;     ///< method activations
+  long memory_words = 0;               ///< resident state + port buffers
+
+  /// Fraction of one PE this kernel consumes, including I/O access time
+  /// and per-activation context-switch overhead — the quantity Fig. 13
+  /// decomposes into run/read/write.
+  [[nodiscard]] double utilization(const MachineSpec& m) const {
+    return (cycles_per_second + read_words_per_second * m.read_cost +
+            write_words_per_second * m.write_cost +
+            firings_per_second * m.context_switch) /
+           m.clock_hz;
+  }
+
+  [[nodiscard]] double compute_utilization(const MachineSpec& m) const {
+    return cycles_per_second / m.clock_hz;
+  }
+
+  /// Scaled copy: a replica handling 1/p of the data stream.
+  [[nodiscard]] LoadModel divided(int p) const {
+    LoadModel out = *this;
+    out.cycles_per_second /= p;
+    out.read_words_per_second /= p;
+    out.write_words_per_second /= p;
+    out.firings_per_second /= p;
+    return out;
+  }
+};
+
+class LoadMap {
+ public:
+  LoadMap() = default;
+
+  /// Seed from a data-flow analysis of (a prefix of) the graph.
+  LoadMap(const Graph& g, const DataflowResult& df) {
+    loads_.resize(static_cast<size_t>(g.kernel_count()));
+    for (KernelId k = 0; k < g.kernel_count(); ++k) {
+      const KernelAnalysis& a = df.kernel[static_cast<size_t>(k)];
+      LoadModel& l = loads_[static_cast<size_t>(k)];
+      l.cycles_per_second = a.cycles_per_frame * a.rate_hz;
+      l.read_words_per_second = a.read_words_per_frame * a.rate_hz;
+      l.write_words_per_second = a.write_words_per_frame * a.rate_hz;
+      l.firings_per_second = a.firings_per_frame * a.rate_hz;
+      l.memory_words = a.memory_words;
+    }
+  }
+
+  [[nodiscard]] const LoadModel& of(KernelId k) const {
+    return loads_.at(static_cast<size_t>(k));
+  }
+  [[nodiscard]] LoadModel& of(KernelId k) { return loads_.at(static_cast<size_t>(k)); }
+
+  /// Register a load for a newly added kernel (extends the table).
+  void set(KernelId k, const LoadModel& l) {
+    if (k >= static_cast<int>(loads_.size()))
+      loads_.resize(static_cast<size_t>(k) + 1);
+    loads_[static_cast<size_t>(k)] = l;
+  }
+
+  [[nodiscard]] int size() const { return static_cast<int>(loads_.size()); }
+
+ private:
+  std::vector<LoadModel> loads_;
+};
+
+/// Analytical load of a kernel that forwards `items_ps` items of
+/// `item_words` words each (splits, joins, replicates, insets), with
+/// `copies` output copies per item (replicates and overlapping splits).
+[[nodiscard]] inline LoadModel forwarding_load(double items_ps, long item_words,
+                                               double copies = 1.0,
+                                               long memory = 64) {
+  LoadModel l;
+  l.firings_per_second = items_ps;
+  l.cycles_per_second = items_ps * 8.0;  // FSM step; data moves via streamed I/O
+  l.read_words_per_second = items_ps * item_words;
+  l.write_words_per_second = items_ps * item_words * copies;
+  l.memory_words = memory;
+  return l;
+}
+
+}  // namespace bpp

@@ -1,0 +1,51 @@
+#pragma once
+// Machine model: the target many-core processor (paper §IV).
+//
+// The compiler sizes parallelization from the resources one processing
+// element (PE) provides — compute cycles per second and data memory — and
+// the timing model charges per-word costs for kernel input/output access
+// (the read/write components of Fig. 13) plus a context-switch overhead
+// when several kernels time-multiplex one core (§V).
+
+#include <cmath>
+
+namespace bpp {
+
+struct MachineSpec {
+  double clock_hz = 20e6;   ///< PE compute throughput, cycles/second
+  long mem_words = 512;     ///< PE-local data memory, words
+  double read_cost = 0.2;   ///< cycles per word streamed from an input
+  double write_cost = 0.2;  ///< cycles per word streamed to an output
+  double context_switch = 2.0;  ///< cycles per method activation
+  /// Headroom when sizing parallelism: a kernel is replicated until its
+  /// per-instance utilization drops below this bound.
+  double target_utilization = 0.9;
+
+  /// Seconds per cycle.
+  [[nodiscard]] double cycle_seconds() const { return 1.0 / clock_hz; }
+};
+
+/// Pre-tuned machine configurations used by the benchmark suite.
+namespace machines {
+
+/// The default embedded many-core PE used for the Fig. 11-13 experiments.
+[[nodiscard]] inline MachineSpec embedded() { return MachineSpec{}; }
+
+/// A memory-poor PE that forces buffer column-splitting (§IV-C).
+[[nodiscard]] inline MachineSpec small_memory() {
+  MachineSpec m;
+  m.mem_words = 160;
+  return m;
+}
+
+/// A generous PE on which nothing needs parallelizing (functional runs).
+[[nodiscard]] inline MachineSpec roomy() {
+  MachineSpec m;
+  m.clock_hz = 1e9;
+  m.mem_words = 1L << 22;
+  return m;
+}
+
+}  // namespace machines
+
+}  // namespace bpp

@@ -1,0 +1,64 @@
+#pragma once
+// Automatic parallelization (paper §IV).
+//
+// From the kernel resource parameterization, the rates from the data-flow
+// analysis, and the per-PE resources, compute the replication factor each
+// kernel needs to meet the real-time input rate, then transform the graph:
+//  * data-parallel kernels are replicated behind round-robin split/join
+//    FSMs (§IV-A);
+//  * data-dependency edges cap a kernel's parallelism at its edge-source's
+//    (§IV-B) — equal-parallelism dependent neighbors are lane-connected,
+//    which is how dependency-edged pipelines replicate as whole pipelines;
+//  * replicated inputs are fed through replicate kernels instead of splits;
+//  * buffers (ParKind::Custom) are column-split with halo replication
+//    (§IV-C, see buffer_split.h);
+//  * consumers downstream of a replicated producer are notified via
+//    on_upstream_parallelized (how histogram-merge learns how many partial
+//    histograms form one frame).
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "compiler/buffer_split.h"
+#include "compiler/dataflow.h"
+#include "compiler/loads.h"
+#include "compiler/machine.h"
+#include "core/graph.h"
+
+namespace bpp {
+
+struct ParallelizationResult {
+  /// Original kernel name -> replication factor (only entries > 1).
+  std::map<std::string, int> factors;
+  std::vector<BufferSplitResult> buffer_splits;
+  int splits_inserted = 0;
+  int joins_inserted = 0;
+  int replicates_inserted = 0;
+  int lane_connections = 0;
+  /// Kernels parallelized by the reuse-optimized striping of Fig. 9 (the
+  /// extension the paper describes but did not implement): each replica
+  /// owns a column stripe fed by its own reuse-linked buffer slice, with a
+  /// decoupling output FIFO per replica.
+  int reuse_striped = 0;
+  std::vector<std::string> warnings;
+};
+
+struct ParallelizeOptions {
+  MachineSpec machine;
+  /// Enable the Fig. 9 reuse-optimized buffering transformation.
+  bool reuse_opt = false;
+};
+
+/// Replication factor demanded by a load on the given machine.
+[[nodiscard]] int required_parallelism(const LoadModel& load, const MachineSpec& m);
+
+/// Transform `g` in place. `df` must be a strict analysis of `g` (post
+/// buffering); it is extended for the channels this pass creates. `loads`
+/// is updated for replicas and inserted infrastructure kernels.
+ParallelizationResult parallelize(Graph& g, DataflowResult& df, LoadMap& loads,
+                                  const MachineSpec& m);
+ParallelizationResult parallelize(Graph& g, DataflowResult& df, LoadMap& loads,
+                                  const ParallelizeOptions& options);
+
+}  // namespace bpp

@@ -1,0 +1,79 @@
+#include "compiler/report.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "kernels/buffer.h"
+
+namespace bpp {
+
+GraphCensus census(const Graph& g) {
+  GraphCensus c;
+  c.total = g.kernel_count();
+  for (KernelId k = 0; k < g.kernel_count(); ++k) {
+    const Kernel& kn = g.kernel(k);
+    if (kn.is_source()) {
+      ++c.sources;
+    } else if (kn.dot_shape() == "parallelogram") {
+      ++c.buffers;
+    } else if (kn.dot_shape() == "diamond") {
+      ++c.splits_joins;
+    } else if (kn.dot_shape() == "invhouse") {
+      ++c.insets;
+    } else {
+      ++c.computation;
+    }
+  }
+  return c;
+}
+
+void write_report(const CompiledApp& app, std::ostream& os) {
+  const GraphCensus c = census(app.graph);
+  os << "compiled application: " << c.total << " kernels ("
+     << c.computation << " computation, " << c.buffers << " buffer, "
+     << c.splits_joins << " split/join/replicate, " << c.insets << " inset, "
+     << c.sources << " source)\n";
+
+  if (!app.alignment_edits.empty()) {
+    os << "alignment edits:\n";
+    for (const AlignmentEdit& e : app.alignment_edits)
+      os << "  " << (e.padded ? "pad " : "trim ") << e.inserted << " at "
+         << e.at_kernel << " [" << e.border.left << ',' << e.border.top << ','
+         << e.border.right << ',' << e.border.bottom << "]\n";
+  }
+
+  if (!app.buffers.empty()) {
+    os << "buffers inserted:\n";
+    for (const BufferInsertion& b : app.buffers)
+      os << "  " << b.name << ' ' << b.annotation << " between " << b.producer
+         << " and " << b.consumer << " (" << b.storage_words << " words)\n";
+  }
+
+  if (!app.parallelization.factors.empty()) {
+    os << "replication factors:\n";
+    for (const auto& [name, p] : app.parallelization.factors)
+      os << "  " << name << " x" << p << '\n';
+  }
+  for (const BufferSplitResult& s : app.parallelization.buffer_splits) {
+    os << "buffer split: " << s.original << " -> " << s.slices << " slices";
+    for (const std::string& a : s.slice_annotations) os << ' ' << a;
+    os << " (overlap " << s.overlap_columns << " col)\n";
+  }
+
+  const double u1 = estimated_utilization(app.graph, app.loads,
+                                          app.options.machine, app.one_to_one);
+  const double ug = estimated_utilization(app.graph, app.loads,
+                                          app.options.machine, app.mapping);
+  os << std::fixed << std::setprecision(1);
+  os << "mapping: " << app.one_to_one.cores << " cores 1:1 (est. util "
+     << 100 * u1 << "%) -> " << app.mapping.cores << " cores mapped (est. util "
+     << 100 * ug << "%)\n";
+}
+
+std::string report_string(const CompiledApp& app) {
+  std::ostringstream os;
+  write_report(app, os);
+  return os.str();
+}
+
+}  // namespace bpp

@@ -1,0 +1,28 @@
+#pragma once
+// Human-readable summaries of compiled applications, in the vocabulary of
+// the paper's figures (replication factors, buffer annotations, mapping
+// group counts, estimated utilizations).
+
+#include <ostream>
+#include <string>
+
+#include "compiler/pipeline.h"
+
+namespace bpp {
+
+/// Kernel inventory of a compiled app: counts by role.
+struct GraphCensus {
+  int total = 0;
+  int sources = 0;
+  int computation = 0;
+  int buffers = 0;
+  int splits_joins = 0;  ///< split, join, replicate FSMs
+  int insets = 0;
+};
+
+[[nodiscard]] GraphCensus census(const Graph& g);
+
+void write_report(const CompiledApp& app, std::ostream& os);
+[[nodiscard]] std::string report_string(const CompiledApp& app);
+
+}  // namespace bpp

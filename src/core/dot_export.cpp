@@ -1,0 +1,59 @@
+#include "core/dot_export.h"
+
+#include <sstream>
+
+namespace bpp {
+
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_dot(const Graph& g, std::ostream& os) {
+  os << "digraph application {\n"
+     << "  rankdir=LR;\n"
+     << "  node [fontname=\"Helvetica\", fontsize=10];\n";
+
+  for (int k = 0; k < g.kernel_count(); ++k) {
+    const Kernel& kn = g.kernel(k);
+    os << "  k" << k << " [label=\"" << escape(kn.name()) << "\", shape="
+       << kn.dot_shape() << "];\n";
+  }
+
+  for (int c = 0; c < g.channel_count(); ++c) {
+    const Channel& ch = g.channel(c);
+    if (!ch.alive) continue;
+    const Kernel& src = g.kernel(ch.src_kernel);
+    const Kernel& dst = g.kernel(ch.dst_kernel);
+    const PortSpec& out = src.output(ch.src_port).spec;
+    const PortSpec& in = dst.input(ch.dst_port).spec;
+    os << "  k" << ch.src_kernel << " -> k" << ch.dst_kernel << " [label=\""
+       << escape(out.name) << out.describe() << " -> " << escape(in.name)
+       << in.describe() << "\"";
+    if (in.replicated) os << ", style=dashed";
+    os << "];\n";
+  }
+
+  for (const DepEdge& d : g.dependencies())
+    os << "  k" << d.src << " -> k" << d.dst
+       << " [style=dotted, color=gray, constraint=false];\n";
+
+  os << "}\n";
+}
+
+std::string to_dot(const Graph& g) {
+  std::ostringstream os;
+  write_dot(g, os);
+  return os.str();
+}
+
+}  // namespace bpp

@@ -1,0 +1,17 @@
+#pragma once
+// Graphviz export of application graphs, mirroring the paper's figures:
+// computation kernels as boxes, buffers as parallelograms, inset kernels as
+// inverted houses, split/join as diamonds, replicated inputs as dashed
+// edges, and data-dependency edges as dotted edges.
+
+#include <ostream>
+#include <string>
+
+#include "core/graph.h"
+
+namespace bpp {
+
+void write_dot(const Graph& g, std::ostream& os);
+[[nodiscard]] std::string to_dot(const Graph& g);
+
+}  // namespace bpp

@@ -1,0 +1,36 @@
+#pragma once
+// Error types thrown by graph construction, analysis, and execution.
+
+#include <stdexcept>
+#include <string>
+
+namespace bpp {
+
+/// Base class for all errors raised by the block-parallel framework.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when an application graph is structurally invalid (dangling
+/// ports, duplicate names, cycles without feedback kernels, ...).
+class GraphError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Raised when a compiler analysis fails (window larger than frame,
+/// inconsistent iteration counts, unalignable inputs, ...).
+class AnalysisError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Raised when kernel code misuses the runtime API (reading an input the
+/// triggering method is not registered on, writing a wrongly-sized tile).
+class ExecutionError : public Error {
+ public:
+  using Error::Error;
+};
+
+}  // namespace bpp

@@ -1,0 +1,80 @@
+#pragma once
+// Execution context: the engine<->kernel interface for one method firing.
+//
+// Both the timing-accurate simulator (src/sim) and the threaded host
+// runtime (src/runtime) drive kernels through this structure: they place
+// the triggering items here, invoke the method, and collect the emissions
+// the method produced. Emissions are drained to channels by the engine as
+// space allows, which is what models output back-pressure (Fig. 9(b)).
+
+#include <utility>
+#include <vector>
+
+#include "core/token.h"
+
+namespace bpp {
+
+struct Emission {
+  int port = -1;  ///< output-port index on the emitting kernel
+  Item item;
+  /// Words actually transferred for this item; -1 means the full item.
+  /// Reuse-optimized buffer links (Fig. 9) emit whole windows but only
+  /// transfer the columns the consumer has not already seen.
+  long charge_words = -1;
+};
+
+class ExecContext {
+ public:
+  /// Engine side: bind the item consumed from input port `port`.
+  void bind_input(int port, const Item* item) {
+    if (port >= static_cast<int>(inputs_.size())) inputs_.resize(port + 1, nullptr);
+    inputs_[static_cast<size_t>(port)] = item;
+  }
+
+  /// Engine side: the token class that triggered a token method, or -1.
+  void set_trigger_token(TokenClass cls, std::int64_t payload = 0) {
+    trigger_token_ = cls;
+    trigger_payload_ = payload;
+  }
+
+  [[nodiscard]] const Item* input(int port) const {
+    if (port < 0 || port >= static_cast<int>(inputs_.size())) return nullptr;
+    return inputs_[static_cast<size_t>(port)];
+  }
+
+  [[nodiscard]] TokenClass trigger_token() const { return trigger_token_; }
+  [[nodiscard]] std::int64_t trigger_payload() const { return trigger_payload_; }
+
+  void emit(int port, Item item, long charge_words = -1) {
+    emissions_.push_back({port, std::move(item), charge_words});
+  }
+
+  [[nodiscard]] std::vector<Emission>& emissions() { return emissions_; }
+  [[nodiscard]] const std::vector<Emission>& emissions() const { return emissions_; }
+
+  /// Dynamic-resource extension (the paper's conclusion): a method with
+  /// input-dependent work reports its actual cycles here; the declared
+  /// Resources::cycles become its *bound*. The simulator times the firing
+  /// with the reported value and raises a runtime resource exception when
+  /// the bound is exceeded.
+  void report_dynamic_cycles(long cycles) { dynamic_cycles_ = cycles; }
+  [[nodiscard]] long dynamic_cycles() const { return dynamic_cycles_; }
+  [[nodiscard]] bool has_dynamic_cycles() const { return dynamic_cycles_ >= 0; }
+
+  void reset() {
+    inputs_.clear();
+    emissions_.clear();
+    trigger_token_ = -1;
+    trigger_payload_ = 0;
+    dynamic_cycles_ = -1;
+  }
+
+ private:
+  std::vector<const Item*> inputs_;
+  std::vector<Emission> emissions_;
+  TokenClass trigger_token_ = -1;
+  std::int64_t trigger_payload_ = 0;
+  long dynamic_cycles_ = -1;
+};
+
+}  // namespace bpp

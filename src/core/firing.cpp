@@ -1,0 +1,108 @@
+#include "core/firing.h"
+
+#include <algorithm>
+
+#include "core/kernel.h"
+
+namespace bpp {
+
+namespace {
+
+/// True when every port in `ports` is connected and has a head item
+/// satisfying `pred`.
+template <class Pred>
+bool all_heads(const std::vector<int>& ports, const std::vector<int>& connected,
+               const HeadFn& head, Pred pred) {
+  if (ports.empty()) return false;
+  for (int p : ports) {
+    if (std::find(connected.begin(), connected.end(), p) == connected.end())
+      return false;
+    const Item* it = head(p);
+    if (!it || !pred(*it)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+FireDecision decide_fire(const Kernel& k, const std::vector<int>& connected,
+                         const HeadFn& head) {
+  if (auto custom = k.decide_custom(connected, head)) return *custom;
+
+  // 1. Method triggers, in registration order.
+  const auto& methods = k.methods();
+  for (size_t m = 0; m < methods.size(); ++m) {
+    const MethodDef& def = methods[m];
+    if (def.inputs.empty()) continue;
+    bool ready;
+    if (def.token_triggered()) {
+      ready = all_heads(def.inputs, connected, head, [&](const Item& it) {
+        return is_token(it) && as_token(it).cls == *def.trigger_token;
+      });
+    } else {
+      ready = all_heads(def.inputs, connected, head,
+                        [](const Item& it) { return is_data(it); });
+    }
+    if (ready) {
+      FireDecision d;
+      d.kind = FireDecision::Kind::Method;
+      d.method = static_cast<int>(m);
+      d.pop_inputs = def.inputs;
+      if (def.token_triggered()) {
+        d.token = *def.trigger_token;
+        d.payload = as_token(*head(def.inputs.front())).payload;
+      }
+      return d;
+    }
+  }
+
+  // 2. Automatic forwarding of unhandled tokens, grouped by the data method
+  //    each input feeds (§II-C). Inputs feeding no data method form
+  //    singleton groups whose tokens are dropped.
+  std::vector<char> grouped(k.inputs().size(), 0);
+  auto try_group = [&](const std::vector<int>& group,
+                       const std::vector<int>& outs) -> FireDecision {
+    FireDecision none;
+    const Item* first = nullptr;
+    for (int p : group) {
+      if (std::find(connected.begin(), connected.end(), p) == connected.end())
+        return none;
+      const Item* it = head(p);
+      if (!it || !is_token(*it)) return none;
+      if (!first) {
+        first = it;
+      } else if (as_token(*it).cls != as_token(*first).cls) {
+        return none;
+      }
+    }
+    if (!first) return none;
+    TokenClass cls = as_token(*first).cls;
+    // A registered handler takes precedence; it simply was not ready yet
+    // (e.g. waits on further inputs), so do not forward past it.
+    for (int p : group)
+      if (k.token_method_of_input(p, cls) >= 0) return none;
+    FireDecision d;
+    d.kind = FireDecision::Kind::Forward;
+    d.token = cls;
+    d.payload = as_token(*first).payload;
+    d.pop_inputs = group;
+    d.forward_outputs = outs;
+    return d;
+  };
+
+  for (const MethodDef& def : methods) {
+    if (def.token_triggered() || def.inputs.empty()) continue;
+    for (int p : def.inputs) grouped[static_cast<size_t>(p)] = 1;
+    FireDecision d = try_group(def.inputs, def.outputs);
+    if (d.fires()) return d;
+  }
+  for (size_t p = 0; p < k.inputs().size(); ++p) {
+    if (grouped[p]) continue;
+    FireDecision d = try_group({static_cast<int>(p)}, {});
+    if (d.fires()) return d;
+  }
+
+  return {};
+}
+
+}  // namespace bpp

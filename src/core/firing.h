@@ -1,0 +1,55 @@
+#pragma once
+// Firing rules shared by the simulator and the host runtime.
+//
+// Given the items at the head of each input FIFO of a kernel, decide what
+// happens next (paper §II-B/§II-C):
+//  * a data-triggered method fires when every one of its inputs has a data
+//    tile at its head;
+//  * a token-triggered method fires when every one of its inputs has the
+//    registered token class at its head;
+//  * a control token no method handles is forwarded, in order, to the
+//    outputs of the data method fed by that input — and when several inputs
+//    feed one method, the same token class must head all of them before one
+//    copy is forwarded (the subtract-kernel rule).
+//
+// Kernels with data-dependent consumption (round-robin joins) override
+// Kernel::decide_custom instead.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/token.h"
+
+namespace bpp {
+
+class Kernel;
+
+/// View of the head item of input port `port`; nullptr when empty.
+using HeadFn = std::function<const Item*(int port)>;
+
+struct FireDecision {
+  enum class Kind {
+    None,     ///< nothing can fire now
+    Method,   ///< run method `method` on the popped inputs
+    Forward,  ///< pop a token from each input and forward one copy
+  };
+
+  Kind kind = Kind::None;
+  int method = -1;
+  TokenClass token = -1;  ///< trigger/forwarded token class
+  std::int64_t payload = 0;
+  std::vector<int> pop_inputs;       ///< input ports to pop
+  std::vector<int> forward_outputs;  ///< outputs receiving the forwarded token
+
+  [[nodiscard]] bool fires() const { return kind != Kind::None; }
+};
+
+/// Compute the next action for `k` given its input heads. `connected`
+/// lists the input-port indices that have a live channel; unconnected
+/// inputs are ignored (they can never trigger).
+[[nodiscard]] FireDecision decide_fire(const Kernel& k,
+                                       const std::vector<int>& connected,
+                                       const HeadFn& head);
+
+}  // namespace bpp

@@ -1,0 +1,25 @@
+#include "core/geometry.h"
+
+#include <sstream>
+
+namespace bpp {
+
+std::string to_string(Size2 s) {
+  std::ostringstream os;
+  os << s;
+  return os.str();
+}
+
+std::string to_string(Step2 s) {
+  std::ostringstream os;
+  os << s;
+  return os.str();
+}
+
+std::string to_string(Offset2 o) {
+  std::ostringstream os;
+  os << o;
+  return os.str();
+}
+
+}  // namespace bpp

@@ -1,0 +1,136 @@
+#pragma once
+// Geometry primitives for the block-parallel programming model (paper §II-A).
+//
+// Every kernel input/output is parameterized as
+//     (width x height)[step_x, step_y] [offset_x, offset_y]
+// over a fixed scan-line data order (left-to-right, top-to-bottom).
+// These small value types carry that parameterization through the
+// compiler analyses.
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace bpp {
+
+/// A 2-D extent in pixels (window sizes, frame sizes, iteration counts).
+struct Size2 {
+  int w = 0;
+  int h = 0;
+
+  friend constexpr bool operator==(const Size2&, const Size2&) = default;
+
+  /// Total number of elements covered by this extent.
+  [[nodiscard]] constexpr long area() const { return static_cast<long>(w) * h; }
+
+  /// True when both dimensions are strictly positive.
+  [[nodiscard]] constexpr bool positive() const { return w > 0 && h > 0; }
+};
+
+/// A 2-D step: how far an input/output window advances per iteration.
+struct Step2 {
+  int x = 1;
+  int y = 1;
+
+  friend constexpr bool operator==(const Step2&, const Step2&) = default;
+
+  [[nodiscard]] constexpr bool positive() const { return x > 0 && y > 0; }
+};
+
+/// A 2-D (possibly fractional) offset from the upper-left corner of an
+/// input window to the output sample it produces. Fractional offsets are
+/// required for downsampling kernels (paper §II-A, footnote 2).
+struct Offset2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Offset2&, const Offset2&) = default;
+
+  friend Offset2 operator+(Offset2 a, Offset2 b) { return {a.x + b.x, a.y + b.y}; }
+  friend Offset2 operator-(Offset2 a, Offset2 b) { return {a.x - b.x, a.y - b.y}; }
+};
+
+/// An axis-aligned rectangle in stream-pixel coordinates, used by the
+/// alignment analysis (§III-C) to overlay the data extents of multiple
+/// streams feeding one kernel (Fig. 8).
+struct Rect {
+  double x0 = 0.0;  ///< left edge (inclusive)
+  double y0 = 0.0;  ///< top edge (inclusive)
+  double x1 = 0.0;  ///< right edge (exclusive)
+  double y1 = 0.0;  ///< bottom edge (exclusive)
+
+  friend bool operator==(const Rect&, const Rect&) = default;
+
+  [[nodiscard]] double width() const { return x1 - x0; }
+  [[nodiscard]] double height() const { return y1 - y0; }
+  [[nodiscard]] bool empty() const { return x1 <= x0 || y1 <= y0; }
+
+  /// Intersection of two rectangles (used by the Trim alignment policy).
+  [[nodiscard]] static Rect intersect(const Rect& a, const Rect& b) {
+    return {std::max(a.x0, b.x0), std::max(a.y0, b.y0),
+            std::min(a.x1, b.x1), std::min(a.y1, b.y1)};
+  }
+
+  /// Bounding box of two rectangles (used by the Pad alignment policy).
+  [[nodiscard]] static Rect bounds(const Rect& a, const Rect& b) {
+    return {std::min(a.x0, b.x0), std::min(a.y0, b.y0),
+            std::max(a.x1, b.x1), std::max(a.y1, b.y1)};
+  }
+};
+
+/// Per-side trim/pad amounts, in pixels.
+struct Border {
+  int left = 0;
+  int top = 0;
+  int right = 0;
+  int bottom = 0;
+
+  friend constexpr bool operator==(const Border&, const Border&) = default;
+
+  [[nodiscard]] constexpr bool any() const {
+    return left != 0 || top != 0 || right != 0 || bottom != 0;
+  }
+};
+
+/// Number of iterations a window of size `win` stepping by `step` fits in a
+/// frame of size `frame` (per dimension: floor((frame - win)/step) + 1).
+/// Returns {0,0} when the window does not fit at all.
+[[nodiscard]] constexpr Size2 iteration_count(Size2 frame, Size2 win, Step2 step) {
+  if (frame.w < win.w || frame.h < win.h) return {0, 0};
+  return {(frame.w - win.w) / step.x + 1, (frame.h - win.h) / step.y + 1};
+}
+
+/// Extent of unique pixels covered by `iters` placements of a window of
+/// size `win` advancing by `step` (the inverse of iteration_count for
+/// exact tilings).
+[[nodiscard]] constexpr Size2 covered_extent(Size2 iters, Size2 win, Step2 step) {
+  if (!iters.positive()) return {0, 0};
+  return {(iters.w - 1) * step.x + win.w, (iters.h - 1) * step.y + win.h};
+}
+
+/// The halo of a windowed input: the data consumed around each output
+/// sample that shrinks the output frame (size - step per dimension).
+[[nodiscard]] constexpr Size2 halo(Size2 win, Step2 step) {
+  return {win.w - step.x, win.h - step.y};
+}
+
+inline std::ostream& operator<<(std::ostream& os, Size2 s) {
+  return os << '(' << s.w << 'x' << s.h << ')';
+}
+inline std::ostream& operator<<(std::ostream& os, Step2 s) {
+  return os << '[' << s.x << ',' << s.y << ']';
+}
+inline std::ostream& operator<<(std::ostream& os, Offset2 o) {
+  return os << '[' << o.x << ',' << o.y << ']';
+}
+inline std::ostream& operator<<(std::ostream& os, const Rect& r) {
+  return os << '[' << r.x0 << ',' << r.y0 << " .. " << r.x1 << ',' << r.y1 << ')';
+}
+
+[[nodiscard]] std::string to_string(Size2 s);
+[[nodiscard]] std::string to_string(Step2 s);
+[[nodiscard]] std::string to_string(Offset2 o);
+
+}  // namespace bpp

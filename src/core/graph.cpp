@@ -1,0 +1,180 @@
+#include "core/graph.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace bpp {
+
+Kernel& Graph::add_kernel(std::unique_ptr<Kernel> k) {
+  if (!k) throw GraphError("add_kernel: null kernel");
+  if (find(k->name()) >= 0)
+    throw GraphError("duplicate kernel name '" + k->name() + "'");
+  k->ensure_configured();
+  kernels_.push_back(std::move(k));
+  return *kernels_.back();
+}
+
+ChannelId Graph::connect(const Kernel& src, const std::string& out,
+                         const Kernel& dst, const std::string& in) {
+  KernelId s = id_of(src);
+  KernelId d = id_of(dst);
+  int op = src.output_index(out);
+  if (op < 0) throw GraphError(src.name() + ": no output port '" + out + "'");
+  int ip = dst.input_index(in);
+  if (ip < 0) throw GraphError(dst.name() + ": no input port '" + in + "'");
+  return connect(s, op, d, ip);
+}
+
+ChannelId Graph::connect(KernelId src, int out_port, KernelId dst, int in_port) {
+  if (src < 0 || src >= kernel_count() || dst < 0 || dst >= kernel_count())
+    throw GraphError("connect: kernel id out of range");
+  const Kernel& sk = kernel(src);
+  const Kernel& dk = kernel(dst);
+  if (out_port < 0 || out_port >= static_cast<int>(sk.outputs().size()))
+    throw GraphError(sk.name() + ": output port index out of range");
+  if (in_port < 0 || in_port >= static_cast<int>(dk.inputs().size()))
+    throw GraphError(dk.name() + ": input port index out of range");
+  if (in_channel(dst, in_port))
+    throw GraphError(dk.name() + ": input '" + dk.input(in_port).spec.name +
+                     "' is already connected");
+  channels_.push_back(Channel{src, out_port, dst, in_port, true});
+  return static_cast<ChannelId>(channels_.size() - 1);
+}
+
+void Graph::disconnect(ChannelId c) {
+  channels_.at(static_cast<size_t>(c)).alive = false;
+}
+
+void Graph::add_dependency(const Kernel& src, const Kernel& dst) {
+  add_dependency(id_of(src), id_of(dst));
+}
+
+void Graph::add_dependency(KernelId src, KernelId dst) {
+  if (src < 0 || src >= kernel_count() || dst < 0 || dst >= kernel_count())
+    throw GraphError("add_dependency: kernel id out of range");
+  dep_edges_.push_back(DepEdge{src, dst});
+}
+
+KernelId Graph::id_of(const Kernel& k) const {
+  for (size_t i = 0; i < kernels_.size(); ++i)
+    if (kernels_[i].get() == &k) return static_cast<KernelId>(i);
+  throw GraphError("kernel '" + k.name() + "' is not part of this graph");
+}
+
+KernelId Graph::find(const std::string& name) const {
+  for (size_t i = 0; i < kernels_.size(); ++i)
+    if (kernels_[i]->name() == name) return static_cast<KernelId>(i);
+  return -1;
+}
+
+Kernel& Graph::by_name(const std::string& name) {
+  KernelId id = find(name);
+  if (id < 0) throw GraphError("no kernel named '" + name + "'");
+  return kernel(id);
+}
+
+std::vector<ChannelId> Graph::out_channels(KernelId k, int port) const {
+  std::vector<ChannelId> out;
+  for (size_t c = 0; c < channels_.size(); ++c) {
+    const Channel& ch = channels_[c];
+    if (ch.alive && ch.src_kernel == k && ch.src_port == port)
+      out.push_back(static_cast<ChannelId>(c));
+  }
+  return out;
+}
+
+std::vector<ChannelId> Graph::out_channels(KernelId k) const {
+  std::vector<ChannelId> out;
+  for (size_t c = 0; c < channels_.size(); ++c) {
+    const Channel& ch = channels_[c];
+    if (ch.alive && ch.src_kernel == k) out.push_back(static_cast<ChannelId>(c));
+  }
+  return out;
+}
+
+std::optional<ChannelId> Graph::in_channel(KernelId k, int port) const {
+  for (size_t c = 0; c < channels_.size(); ++c) {
+    const Channel& ch = channels_[c];
+    if (ch.alive && ch.dst_kernel == k && ch.dst_port == port)
+      return static_cast<ChannelId>(c);
+  }
+  return std::nullopt;
+}
+
+std::vector<ChannelId> Graph::in_channels(KernelId k) const {
+  std::vector<ChannelId> out;
+  for (size_t c = 0; c < channels_.size(); ++c) {
+    const Channel& ch = channels_[c];
+    if (ch.alive && ch.dst_kernel == k) out.push_back(static_cast<ChannelId>(c));
+  }
+  return out;
+}
+
+std::vector<KernelId> Graph::sources() const {
+  std::vector<KernelId> out;
+  for (int i = 0; i < kernel_count(); ++i)
+    if (kernel(i).is_source()) out.push_back(i);
+  return out;
+}
+
+std::vector<KernelId> Graph::sinks() const {
+  std::vector<KernelId> out;
+  for (int i = 0; i < kernel_count(); ++i)
+    if (out_channels(i).empty() && !kernel(i).is_source()) out.push_back(i);
+  return out;
+}
+
+std::vector<KernelId> Graph::topo_order() const {
+  const int n = kernel_count();
+  std::vector<int> indeg(static_cast<size_t>(n), 0);
+  for (const Channel& ch : channels_) {
+    if (!ch.alive) continue;
+    if (kernel(ch.dst_kernel).is_feedback()) continue;  // break loops here
+    ++indeg[static_cast<size_t>(ch.dst_kernel)];
+  }
+  std::queue<KernelId> ready;
+  for (int i = 0; i < n; ++i)
+    if (indeg[static_cast<size_t>(i)] == 0) ready.push(i);
+
+  std::vector<KernelId> order;
+  order.reserve(static_cast<size_t>(n));
+  while (!ready.empty()) {
+    KernelId k = ready.front();
+    ready.pop();
+    order.push_back(k);
+    for (ChannelId c : out_channels(k)) {
+      const Channel& ch = channel(c);
+      if (kernel(ch.dst_kernel).is_feedback()) continue;
+      if (--indeg[static_cast<size_t>(ch.dst_kernel)] == 0) ready.push(ch.dst_kernel);
+    }
+  }
+  if (static_cast<int>(order.size()) != n)
+    throw GraphError(
+        "application graph contains a cycle without a feedback kernel "
+        "(see paper §III-D)");
+  return order;
+}
+
+Graph Graph::clone() const {
+  Graph out;
+  out.kernels_.reserve(kernels_.size());
+  for (const auto& k : kernels_) {
+    auto c = k->clone();
+    if (!c || c->name() != k->name())
+      throw GraphError(k->name() + ": clone() returned a mismatched kernel");
+    out.kernels_.push_back(std::move(c));
+  }
+  out.channels_ = channels_;
+  out.dep_edges_ = dep_edges_;
+  return out;
+}
+
+std::string Graph::unique_name(const std::string& base) const {
+  if (find(base) < 0) return base;
+  for (int i = 1;; ++i) {
+    std::string cand = base + "_" + std::to_string(i);
+    if (find(cand) < 0) return cand;
+  }
+}
+
+}  // namespace bpp

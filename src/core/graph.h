@@ -1,0 +1,124 @@
+#pragma once
+// Application graph (paper §II): kernels connected by FIFO stream channels,
+// plus data-dependency edges that bound parallelism (§IV-B).
+//
+// The graph is the single IR shared by the programmer-facing DSL, every
+// compiler pass, and both execution engines. Compiler passes mutate it by
+// adding kernels and rewiring channels; kernel ids stay stable and
+// disconnected channels are tombstoned so that analysis results keyed by id
+// survive across passes.
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/kernel.h"
+
+namespace bpp {
+
+using KernelId = int;
+using ChannelId = int;
+
+struct Channel {
+  KernelId src_kernel = -1;
+  int src_port = -1;  ///< output-port index on src_kernel
+  KernelId dst_kernel = -1;
+  int dst_port = -1;  ///< input-port index on dst_kernel
+  bool alive = true;
+};
+
+/// A data-dependency edge: the parallelism of `dst` may not exceed the
+/// parallelism chosen for `src` (paper §IV-B, Fig. 1(b)).
+struct DepEdge {
+  KernelId src = -1;
+  KernelId dst = -1;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
+
+  /// Construct a kernel in place, configure it, and add it to the graph.
+  template <class K, class... Args>
+  K& add(Args&&... args) {
+    auto k = std::make_unique<K>(std::forward<Args>(args)...);
+    K& ref = *k;
+    add_kernel(std::move(k));
+    return ref;
+  }
+
+  /// Add a pre-built kernel (configures it if needed). Names must be unique.
+  Kernel& add_kernel(std::unique_ptr<Kernel> k);
+
+  /// Connect output `out` of `src` to input `in` of `dst`. Outputs may fan
+  /// out to several channels; each input accepts exactly one live channel.
+  ChannelId connect(const Kernel& src, const std::string& out, const Kernel& dst,
+                    const std::string& in);
+  ChannelId connect(KernelId src, int out_port, KernelId dst, int in_port);
+
+  /// Tombstone a channel (used when passes splice kernels into an edge).
+  void disconnect(ChannelId c);
+
+  /// Add a data-dependency edge limiting dst's parallelism to src's.
+  void add_dependency(const Kernel& src, const Kernel& dst);
+  void add_dependency(KernelId src, KernelId dst);
+
+  // ---- Lookup ----
+
+  [[nodiscard]] int kernel_count() const { return static_cast<int>(kernels_.size()); }
+  [[nodiscard]] Kernel& kernel(KernelId id) { return *kernels_.at(static_cast<size_t>(id)); }
+  [[nodiscard]] const Kernel& kernel(KernelId id) const {
+    return *kernels_.at(static_cast<size_t>(id));
+  }
+  [[nodiscard]] KernelId id_of(const Kernel& k) const;
+  [[nodiscard]] KernelId find(const std::string& name) const;  ///< -1 if absent
+  [[nodiscard]] Kernel& by_name(const std::string& name);
+  [[nodiscard]] const Kernel& by_name(const std::string& name) const {
+    return const_cast<Graph*>(this)->by_name(name);
+  }
+
+  [[nodiscard]] int channel_count() const { return static_cast<int>(channels_.size()); }
+  [[nodiscard]] const Channel& channel(ChannelId c) const {
+    return channels_.at(static_cast<size_t>(c));
+  }
+  [[nodiscard]] const std::vector<Channel>& channels() const { return channels_; }
+  [[nodiscard]] const std::vector<DepEdge>& dependencies() const { return dep_edges_; }
+
+  /// Live channels leaving (kernel, output port).
+  [[nodiscard]] std::vector<ChannelId> out_channels(KernelId k, int port) const;
+  /// All live channels leaving any output of `k`.
+  [[nodiscard]] std::vector<ChannelId> out_channels(KernelId k) const;
+  /// The live channel feeding (kernel, input port), or nullopt.
+  [[nodiscard]] std::optional<ChannelId> in_channel(KernelId k, int port) const;
+  /// All live channels entering any input of `k`.
+  [[nodiscard]] std::vector<ChannelId> in_channels(KernelId k) const;
+
+  /// Kernel ids of all sources (is_source() == true).
+  [[nodiscard]] std::vector<KernelId> sources() const;
+  /// Kernel ids with no live outgoing channels (application outputs).
+  [[nodiscard]] std::vector<KernelId> sinks() const;
+
+  /// Topological order over live channels. Channels entering feedback
+  /// kernels are ignored so that feedback loops (§III-D) do not prevent
+  /// ordering. Throws GraphError on any other cycle.
+  [[nodiscard]] std::vector<KernelId> topo_order() const;
+
+  /// Generate a fresh kernel name based on `base` (base, base_1, base_2...).
+  [[nodiscard]] std::string unique_name(const std::string& base) const;
+
+  /// Deep copy: clones every kernel (including its current configuration
+  /// and private state) and duplicates channels and dependency edges with
+  /// identical ids. Lets benchmarks compile one application under several
+  /// policies.
+  [[nodiscard]] Graph clone() const;
+
+ private:
+  std::vector<std::unique_ptr<Kernel>> kernels_;
+  std::vector<Channel> channels_;
+  std::vector<DepEdge> dep_edges_;
+};
+
+}  // namespace bpp

@@ -1,0 +1,60 @@
+#pragma once
+// Kernel methods (paper §II-B).
+//
+// A kernel can register several computation methods, each triggered either
+// by data arriving on a disjoint set of inputs or by a control token of a
+// given class (§II-C). Methods share the kernel's private state, which is
+// how control handling (e.g. histogram finishCount) communicates with data
+// processing (count). Each method declares the resources one execution
+// consumes so the compiler can size the parallelization (§IV).
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/token.h"
+
+namespace bpp {
+
+class Kernel;
+
+/// Resources consumed by one execution of a method.
+struct Resources {
+  long cycles = 0;        ///< compute cycles per invocation
+  long memory_words = 0;  ///< state memory held while the kernel is resident
+
+  friend constexpr bool operator==(const Resources&, const Resources&) = default;
+};
+
+/// The body of a method. It receives the kernel instance so that clones of
+/// a kernel (made during parallelization) re-bind automatically.
+using MethodBody = std::function<void(Kernel&)>;
+
+/// A declared control-token emission (paper §II-C): kernels may define
+/// their own token classes "as long as they specify the maximum rate at
+/// which they can be generated", so the compiler can allocate resources
+/// for the methods that handle them.
+struct TokenEmission {
+  int port = -1;
+  TokenClass cls = 0;
+  double max_per_frame = 0.0;
+};
+
+struct MethodDef {
+  std::string name;
+  Resources res;
+  /// Input-port indices whose data (or token) triggers this method.
+  std::vector<int> inputs;
+  /// If set, the method fires on this token class instead of on data.
+  std::optional<TokenClass> trigger_token;
+  /// Output-port indices this method may write.
+  std::vector<int> outputs;
+  /// User control tokens this method may emit, with their rate bounds.
+  std::vector<TokenEmission> token_outputs;
+  MethodBody body;
+
+  [[nodiscard]] bool token_triggered() const { return trigger_token.has_value(); }
+};
+
+}  // namespace bpp

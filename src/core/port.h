@@ -1,0 +1,44 @@
+#pragma once
+// Input/output port parameterization (paper §II-A).
+//
+// Each port is described as (width x height)[step_x, step_y] with, for
+// inputs, an [offset_x, offset_y] from the upper-left of the input window
+// to the output sample and a `replicated` flag. Replicated inputs are
+// copied — not split — when the kernel is parallelized (e.g. convolution
+// coefficients, histogram bin boundaries).
+
+#include <string>
+
+#include "core/geometry.h"
+
+namespace bpp {
+
+enum class PortDir { Input, Output };
+
+struct PortSpec {
+  std::string name;
+  Size2 window{1, 1};  ///< data consumed/produced per iteration
+  Step2 step{1, 1};    ///< window advance per iteration
+  Offset2 offset{};    ///< input->output offset (inputs only)
+  bool replicated = false;  ///< replicate instead of split when parallelizing
+
+  /// Words moved through this port per iteration.
+  [[nodiscard]] long words() const { return window.area(); }
+
+  /// Halo contributed by this input (window - step per dimension).
+  [[nodiscard]] Size2 halo() const { return bpp::halo(window, step); }
+
+  [[nodiscard]] std::string describe() const {
+    return to_string(window) + to_string(step);
+  }
+};
+
+struct InputPort {
+  PortSpec spec;
+};
+
+struct OutputPort {
+  PortSpec spec;
+};
+
+}  // namespace bpp

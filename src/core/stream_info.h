@@ -1,0 +1,58 @@
+#pragma once
+// StreamInfo: what the data-flow analysis (paper §III-A) knows about the
+// data moving over one channel — the frame extent, delivery granularity,
+// rate, and the inset of the stream relative to the application input that
+// generated it (used by the alignment analysis of §III-C).
+
+#include <utility>
+#include <vector>
+
+#include "core/geometry.h"
+
+namespace bpp {
+
+struct StreamInfo {
+  /// Logical frame extent in stream pixels (unique samples per frame).
+  Size2 frame{0, 0};
+  /// Tile shape delivered per channel item.
+  Size2 item{1, 1};
+  /// Advance between consecutive items (item overlap when < item size).
+  Step2 item_step{1, 1};
+  /// Data items per frame.
+  long items_per_frame = 0;
+  /// Arrangement of those items in scan order (grid.w per line); grid.h is
+  /// the number of end-of-line tokens carried per frame.
+  Size2 grid{0, 0};
+  /// Frames per second; 0 for untimed parameter streams.
+  double rate_hz = 0.0;
+  /// Position of this stream's frame origin in origin-input pixel
+  /// coordinates (grows through windowed-kernel halos).
+  Offset2 inset{};
+  /// Origin pixels per stream pixel (changes through re-sampling kernels;
+  /// fractional offsets make this meaningful, §II-A footnote 2).
+  Offset2 scale{1.0, 1.0};
+  /// False for parameter/result streams (coefficients, histogram bins)
+  /// that take no part in inset/alignment analysis.
+  bool pixel_space = true;
+  /// Kernel id of the application input this stream derives from, or -1.
+  int origin = -1;
+  /// Declared maximum rates of user control tokens carried by this stream
+  /// (class, tokens per frame) — §II-C; lets receivers' handler methods be
+  /// costed statically.
+  std::vector<std::pair<int, double>> token_rates;
+
+  [[nodiscard]] double token_rate(int cls) const {
+    for (const auto& [c, r] : token_rates)
+      if (c == cls) return r;
+    return 0.0;
+  }
+
+  /// Extent of this stream in origin coordinates, for alignment overlays
+  /// (Fig. 8).
+  [[nodiscard]] Rect extent() const {
+    return {inset.x, inset.y, inset.x + frame.w * scale.x,
+            inset.y + frame.h * scale.y};
+  }
+};
+
+}  // namespace bpp

@@ -1,0 +1,94 @@
+#pragma once
+// Tile: the unit of data moved over stream channels.
+//
+// A tile is a dense 2-D array of doubles in row-major order. After the
+// buffering pass every channel carries exactly one tile of the consumer's
+// declared window size per iteration, so the tile shape on a channel is an
+// invariant checked at execution time.
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "core/geometry.h"
+
+namespace bpp {
+
+class Tile {
+ public:
+  Tile() = default;
+  Tile(int w, int h) : size_{w, h}, data_(static_cast<size_t>(w) * h, 0.0) {
+    assert(w >= 0 && h >= 0);
+  }
+  explicit Tile(Size2 s) : Tile(s.w, s.h) {}
+  Tile(Size2 s, double fill)
+      : size_(s), data_(static_cast<size_t>(s.w) * s.h, fill) {}
+
+  [[nodiscard]] Size2 size() const { return size_; }
+  [[nodiscard]] int width() const { return size_.w; }
+  [[nodiscard]] int height() const { return size_.h; }
+  [[nodiscard]] long words() const { return size_.area(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  [[nodiscard]] double& at(int x, int y) {
+    assert(x >= 0 && x < size_.w && y >= 0 && y < size_.h);
+    return data_[static_cast<size_t>(y) * size_.w + x];
+  }
+  [[nodiscard]] double at(int x, int y) const {
+    assert(x >= 0 && x < size_.w && y >= 0 && y < size_.h);
+    return data_[static_cast<size_t>(y) * size_.w + x];
+  }
+
+  [[nodiscard]] double* data() { return data_.data(); }
+  [[nodiscard]] const double* data() const { return data_.data(); }
+
+  [[nodiscard]] std::vector<double>& raw() { return data_; }
+  [[nodiscard]] const std::vector<double>& raw() const { return data_; }
+
+  /// Copies the sub-rectangle [x0, x0+s.w) x [y0, y0+s.h) into a new tile.
+  [[nodiscard]] Tile crop(int x0, int y0, Size2 s) const {
+    assert(x0 >= 0 && y0 >= 0 && x0 + s.w <= size_.w && y0 + s.h <= size_.h);
+    Tile out(s);
+    for (int y = 0; y < s.h; ++y)
+      for (int x = 0; x < s.w; ++x) out.at(x, y) = at(x0 + x, y0 + y);
+    return out;
+  }
+
+  /// Returns a copy of this tile surrounded by a zero (or mirrored) border.
+  [[nodiscard]] Tile padded(const Border& b, bool mirror = false) const {
+    Tile out(size_.w + b.left + b.right, size_.h + b.top + b.bottom);
+    for (int y = 0; y < out.height(); ++y) {
+      for (int x = 0; x < out.width(); ++x) {
+        int sx = x - b.left;
+        int sy = y - b.top;
+        if (mirror) {
+          sx = reflect(sx, size_.w);
+          sy = reflect(sy, size_.h);
+          out.at(x, y) = at(sx, sy);
+        } else if (sx >= 0 && sx < size_.w && sy >= 0 && sy < size_.h) {
+          out.at(x, y) = at(sx, sy);
+        }
+      }
+    }
+    return out;
+  }
+
+  friend bool operator==(const Tile& a, const Tile& b) {
+    return a.size_ == b.size_ && a.data_ == b.data_;
+  }
+
+ private:
+  static int reflect(int v, int n) {
+    if (n == 1) return 0;
+    while (v < 0 || v >= n) {
+      if (v < 0) v = -v;
+      if (v >= n) v = 2 * n - 2 - v;
+    }
+    return v;
+  }
+
+  Size2 size_{0, 0};
+  std::vector<double> data_;
+};
+
+}  // namespace bpp

@@ -1,0 +1,18 @@
+#include "core/token.h"
+
+namespace bpp {
+
+std::string token_class_name(TokenClass cls) {
+  switch (cls) {
+    case tok::kEndOfLine:
+      return "EOL";
+    case tok::kEndOfFrame:
+      return "EOF";
+    case tok::kEndOfStream:
+      return "EOS";
+    default:
+      return "user" + std::to_string(cls);
+  }
+}
+
+}  // namespace bpp

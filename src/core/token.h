@@ -1,0 +1,63 @@
+#pragma once
+// Control tokens (paper §II-C).
+//
+// Tokens travel in-order with the data on stream channels. The application
+// inputs automatically generate end-of-line and end-of-frame tokens; an
+// end-of-stream token is appended by sources when a finite run completes so
+// that executions terminate cleanly. Kernels may define further token
+// classes, but must declare the maximum rate at which they generate them so
+// the compiler can account for the resources consumed handling them.
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "core/tile.h"
+
+namespace bpp {
+
+/// Identifier of a control-token class. Values below kFirstUserToken are
+/// reserved for the framework.
+using TokenClass = int;
+
+namespace tok {
+inline constexpr TokenClass kEndOfLine = 0;    ///< emitted after each input row
+inline constexpr TokenClass kEndOfFrame = 1;   ///< emitted after each input frame
+inline constexpr TokenClass kEndOfStream = 2;  ///< emitted once when a finite input run ends
+inline constexpr TokenClass kFirstUser = 8;    ///< first id available to applications
+}  // namespace tok
+
+[[nodiscard]] std::string token_class_name(TokenClass cls);
+
+/// A control token instance moving through a channel.
+struct ControlToken {
+  TokenClass cls = tok::kEndOfFrame;
+  /// Optional small payload (e.g. the index of the frame just completed).
+  std::int64_t payload = 0;
+
+  friend bool operator==(const ControlToken&, const ControlToken&) = default;
+};
+
+/// A channel item: either a data tile or a control token, in FIFO order.
+using Item = std::variant<Tile, ControlToken>;
+
+[[nodiscard]] inline bool is_data(const Item& it) {
+  return std::holds_alternative<Tile>(it);
+}
+[[nodiscard]] inline bool is_token(const Item& it) {
+  return std::holds_alternative<ControlToken>(it);
+}
+[[nodiscard]] inline const Tile& as_tile(const Item& it) {
+  return std::get<Tile>(it);
+}
+[[nodiscard]] inline const ControlToken& as_token(const Item& it) {
+  return std::get<ControlToken>(it);
+}
+
+/// Number of machine words an item occupies when read or written, used by
+/// the timing model. Control tokens cost one word.
+[[nodiscard]] inline long item_words(const Item& it) {
+  return is_data(it) ? as_tile(it).words() : 1;
+}
+
+}  // namespace bpp

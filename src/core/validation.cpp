@@ -1,0 +1,74 @@
+#include "core/validation.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace bpp {
+
+std::vector<std::string> validate(const Graph& g) {
+  std::vector<std::string> issues;
+  auto issue = [&](const std::string& s) { issues.push_back(s); };
+
+  for (int k = 0; k < g.kernel_count(); ++k) {
+    const Kernel& kn = g.kernel(k);
+
+    if (!kn.configured()) issue(kn.name() + ": kernel was never configured");
+
+    // Inputs: connected, and feeding at least one method.
+    for (size_t i = 0; i < kn.inputs().size(); ++i) {
+      const PortSpec& spec = kn.input(static_cast<int>(i)).spec;
+      if (!g.in_channel(k, static_cast<int>(i)))
+        issue(kn.name() + ": input '" + spec.name + "' is not connected");
+      bool feeds = false;
+      for (const MethodDef& m : kn.methods())
+        if (std::find(m.inputs.begin(), m.inputs.end(), static_cast<int>(i)) !=
+            m.inputs.end())
+          feeds = true;
+      if (!feeds && !kn.is_source())
+        issue(kn.name() + ": input '" + spec.name + "' does not trigger any method");
+    }
+
+    // Outputs: connected somewhere.
+    for (size_t o = 0; o < kn.outputs().size(); ++o) {
+      const PortSpec& spec = kn.output(static_cast<int>(o)).spec;
+      if (g.out_channels(k, static_cast<int>(o)).empty())
+        issue(kn.name() + ": output '" + spec.name + "' is not connected");
+    }
+
+    if (kn.is_source()) {
+      for (size_t o = 0; o < kn.outputs().size(); ++o)
+        if (!kn.source_spec(static_cast<int>(o)))
+          issue(kn.name() + ": source provides no stream spec for output '" +
+                kn.output(static_cast<int>(o)).spec.name + "'");
+      if (!kn.inputs().empty())
+        issue(kn.name() + ": source kernels may not have inputs");
+    } else if (kn.methods().empty()) {
+      issue(kn.name() + ": kernel defines no methods");
+    }
+
+    // Every method body must exist and reference valid ports (checked at
+    // registration); here we confirm data methods actually read something.
+    for (const MethodDef& m : kn.methods())
+      if (!kn.is_source() && m.inputs.empty())
+        issue(kn.name() + ": method '" + m.name + "' has no triggering inputs");
+  }
+
+  try {
+    (void)g.topo_order();
+  } catch (const GraphError& e) {
+    issue(e.what());
+  }
+
+  return issues;
+}
+
+void validate_or_throw(const Graph& g) {
+  std::vector<std::string> issues = validate(g);
+  if (issues.empty()) return;
+  std::ostringstream os;
+  os << "invalid application graph (" << issues.size() << " problem(s)):";
+  for (const std::string& s : issues) os << "\n  - " << s;
+  throw GraphError(os.str());
+}
+
+}  // namespace bpp

@@ -1,0 +1,19 @@
+#pragma once
+// Structural validation of application graphs, run before any analysis.
+
+#include <string>
+#include <vector>
+
+#include "core/graph.h"
+
+namespace bpp {
+
+/// Returns a list of human-readable problems; empty means the graph is
+/// structurally sound (all inputs connected and feeding a method, all
+/// outputs connected, sources well-specified, no unbroken cycles).
+[[nodiscard]] std::vector<std::string> validate(const Graph& g);
+
+/// Throws GraphError listing every problem found.
+void validate_or_throw(const Graph& g);
+
+}  // namespace bpp

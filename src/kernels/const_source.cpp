@@ -1,0 +1,42 @@
+#include "kernels/const_source.h"
+
+namespace bpp {
+
+ConstSource::ConstSource(std::string name, Tile payload)
+    : Kernel(std::move(name)), payload_(std::move(payload)) {
+  if (payload_.empty()) throw GraphError(this->name() + ": empty payload tile");
+}
+
+void ConstSource::configure() {
+  create_output("out", payload_.size(), {payload_.width(), payload_.height()});
+}
+
+std::optional<SourceStreamSpec> ConstSource::source_spec(int port) const {
+  if (port != 0) return std::nullopt;
+  SourceStreamSpec s;
+  s.frame = payload_.size();
+  s.granularity = payload_.size();
+  s.rate_hz = 0.0;       // untimed: available immediately
+  s.pixel_space = false;  // not part of inset/alignment analysis
+  s.frames = 1;
+  return s;
+}
+
+bool ConstSource::source_poll(SourceEmission& out) {
+  out.port = 0;
+  out.release_seconds = 0.0;
+  out.cycles = payload_.words();
+  if (emitted_ == 0) {
+    out.item = payload_;
+    emitted_ = 1;
+    return true;
+  }
+  if (emitted_ == 1) {
+    out.item = ControlToken{tok::kEndOfStream, 0};
+    emitted_ = 2;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace bpp

@@ -1,0 +1,35 @@
+#pragma once
+// Constant-tile source: feeds replicated parameter inputs such as
+// convolution coefficients ("5x5 Coeff") and histogram bin boundaries
+// ("Hist Bins") — see Fig. 2. Emits its payload once at start-up, followed
+// by end-of-stream.
+
+#include <string>
+
+#include "core/kernel.h"
+
+namespace bpp {
+
+class ConstSource final : public Kernel {
+ public:
+  ConstSource(std::string name, Tile payload);
+
+  void configure() override;
+  [[nodiscard]] std::unique_ptr<Kernel> clone() const override {
+    return std::make_unique<ConstSource>(*this);
+  }
+  void init() override { emitted_ = 0; }
+
+  [[nodiscard]] bool is_source() const override { return true; }
+  [[nodiscard]] ParKind parallel_kind() const override { return ParKind::Serial; }
+  [[nodiscard]] std::optional<SourceStreamSpec> source_spec(int port) const override;
+  bool source_poll(SourceEmission& out) override;
+
+  [[nodiscard]] const Tile& payload() const { return payload_; }
+
+ private:
+  Tile payload_;
+  int emitted_ = 0;  // 0: payload pending, 1: EOS pending, 2: done
+};
+
+}  // namespace bpp

@@ -1,0 +1,77 @@
+#include "kernels/convolution.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bpp {
+
+ConvolutionKernel::ConvolutionKernel(std::string name, int width, int height)
+    : Kernel(std::move(name)), width_(width), height_(height) {
+  if (width < 1 || height < 1)
+    throw GraphError(this->name() + ": convolution window must be >= 1x1");
+}
+
+void ConvolutionKernel::configure() {
+  create_input("in", {width_, height_}, {1, 1},
+               {std::floor(width_ / 2.0), std::floor(height_ / 2.0)});
+  create_output("out", {1, 1});
+  create_input("coeff", {width_, height_}, {width_, height_},
+               {std::floor(width_ / 2.0), std::floor(height_ / 2.0)});
+  set_replicated("coeff");
+
+  // Registered before runConvolve: when both inputs are ready, a pending
+  // coefficient reload wins.
+  auto& load = register_method("loadCoeff",
+                               Resources{10 + 2L * width_ * height_,
+                                         static_cast<long>(width_) * height_},
+                               &ConvolutionKernel::load_coeff);
+  method_input(load, "coeff");
+
+  auto& run = register_method("runConvolve",
+                              Resources{run_cycles(width_, height_), 10},
+                              &ConvolutionKernel::run_convolve);
+  method_input(run, "in");
+  method_output(run, "out");
+
+  init();
+}
+
+std::optional<FireDecision> ConvolutionKernel::decide_custom(
+    const std::vector<int>& connected, const HeadFn& head) const {
+  if (loaded_) return std::nullopt;
+  const int ci = input_index("coeff");
+  const bool coeff_connected =
+      std::find(connected.begin(), connected.end(), ci) != connected.end();
+  if (!coeff_connected) return std::nullopt;  // free-running (tests only)
+  const Item* c = head(ci);
+  if (c && is_data(*c)) return std::nullopt;  // loadCoeff fires first anyway
+  const Item* in = head(input_index("in"));
+  if (in && is_data(*in)) return FireDecision{};  // hold data until loaded
+  return std::nullopt;
+}
+
+void ConvolutionKernel::init() {
+  // Until coefficients arrive the kernel behaves as an identity (delta)
+  // filter so that start-up races cannot produce garbage.
+  coeff_ = Tile(width_, height_);
+  coeff_.at(width_ / 2, height_ / 2) = 1.0;
+  loaded_ = false;
+}
+
+void ConvolutionKernel::run_convolve() {
+  const Tile& in = read_input("in");
+  Tile result(1, 1);
+  double acc = 0.0;
+  for (int x = 0; x < width_; ++x)
+    for (int y = 0; y < height_; ++y)
+      acc += in.at(x, y) * coeff_.at(width_ - x - 1, height_ - y - 1);
+  result.at(0, 0) = acc;
+  write_output("out", std::move(result));
+}
+
+void ConvolutionKernel::load_coeff() {
+  coeff_ = read_input("coeff");
+  loaded_ = true;
+}
+
+}  // namespace bpp

@@ -1,0 +1,92 @@
+#include "kernels/events.h"
+
+namespace bpp {
+
+EventDetectKernel::EventDetectKernel(std::string name, double level,
+                                     double max_per_frame)
+    : Kernel(std::move(name)), level_(level), max_per_frame_(max_per_frame) {
+  if (max_per_frame <= 0.0)
+    throw GraphError(this->name() + ": event rate bound must be positive");
+}
+
+void EventDetectKernel::configure() {
+  create_input("in", {1, 1}, {1, 1}, {0.0, 0.0});
+  create_output("out", {1, 1});
+  auto& det = register_method("detect", Resources{8, 8},
+                              &EventDetectKernel::detect);
+  method_input(det, "in");
+  method_output(det, "out");
+  // §II-C: the user token is declared together with its maximum rate.
+  method_token_output(det, "out", tok::kThresholdEvent, max_per_frame_);
+
+  auto& eof = register_method("eof", Resources{3, 0}, &EventDetectKernel::on_eof);
+  method_input(eof, "in", tok::kEndOfFrame);
+  method_output(eof, "out");
+}
+
+void EventDetectKernel::init() {
+  above_ = false;
+  emitted_this_frame_ = 0;
+  emitted_total_ = 0;
+  suppressed_total_ = 0;
+}
+
+void EventDetectKernel::detect() {
+  const Tile& t = read_input("in");
+  const bool now_above = t.at(0, 0) > level_;
+  if (now_above && !above_) {
+    if (emitted_this_frame_ < static_cast<long>(max_per_frame_)) {
+      // In order with the data: token follows the crossing pixel.
+      write_output("out", t);
+      emit_token("out", tok::kThresholdEvent, ++emitted_total_);
+      ++emitted_this_frame_;
+      above_ = now_above;
+      return;
+    }
+    ++suppressed_total_;  // contract kept: excess crossings are dropped
+  }
+  above_ = now_above;
+  write_output("out", t);
+}
+
+void EventDetectKernel::on_eof() {
+  emitted_this_frame_ = 0;
+  above_ = false;
+  emit_token("out", tok::kEndOfFrame, trigger_payload());
+}
+
+EventHandlerKernel::EventHandlerKernel(std::string name, long handler_cycles)
+    : Kernel(std::move(name)), handler_cycles_(handler_cycles) {}
+
+void EventHandlerKernel::configure() {
+  create_input("in", {1, 1}, {1, 1}, {0.0, 0.0});
+  create_output("out", {1, 1});
+  auto& pass = register_method("pass", Resources{6, 4},
+                               &EventHandlerKernel::pass);
+  method_input(pass, "in");
+  method_output(pass, "out");
+  // The paper's point: this handler can do real work because its cost is
+  // budgeted from the emitter's declared rate.
+  auto& ev = register_method("onEvent", Resources{handler_cycles_, 16},
+                             &EventHandlerKernel::on_event);
+  method_input(ev, "in", tok::kThresholdEvent);
+}
+
+void EventHandlerKernel::init() {
+  handled_ = 0;
+  gain_ = 1.0;
+}
+
+void EventHandlerKernel::pass() {
+  Tile out(1, 1);
+  out.at(0, 0) = gain_ * read_input("in").at(0, 0);
+  write_output("out", out);
+}
+
+void EventHandlerKernel::on_event() {
+  ++handled_;
+  // Model a recalibration: events nudge the gain down.
+  gain_ *= 0.99;
+}
+
+}  // namespace bpp

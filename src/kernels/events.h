@@ -1,0 +1,88 @@
+#pragma once
+// User-defined control tokens (paper §II-C).
+//
+// "Kernels are free to define their own control tokens as long as they
+// specify the maximum rate at which they can be generated, which is
+// necessary to allow the compilation system to allocate sufficient
+// resources to guarantee real-time execution. ... This allows programmers
+// to write methods that handle the control signals that do more than
+// simply set local flags, as the time and resources spent in them are
+// appropriately accounted for."
+//
+// EventDetectKernel passes its pixel stream through and emits a
+// `kThresholdEvent` token in-stream whenever the value crosses a level —
+// bounded to the declared maximum per frame (excess crossings are counted
+// but suppressed, preserving the static contract).
+//
+// EventHandlerKernel is a downstream consumer with a genuinely expensive
+// handler method for that token class, demonstrating that the handler's
+// resource cost is planned for by the data-flow analysis.
+
+#include <string>
+
+#include "core/kernel.h"
+
+namespace bpp {
+
+namespace tok {
+/// Demo user token: the stream value crossed the detector's level.
+inline constexpr TokenClass kThresholdEvent = kFirstUser;
+}  // namespace tok
+
+class EventDetectKernel final : public Kernel {
+ public:
+  /// @param level          crossing level (rising edges only)
+  /// @param max_per_frame  declared §II-C rate bound for the event token
+  EventDetectKernel(std::string name, double level, double max_per_frame);
+
+  void configure() override;
+  [[nodiscard]] std::unique_ptr<Kernel> clone() const override {
+    return std::make_unique<EventDetectKernel>(*this);
+  }
+  void init() override;
+
+  /// Scan-order edge detection state forbids replication.
+  [[nodiscard]] ParKind parallel_kind() const override { return ParKind::Serial; }
+
+  [[nodiscard]] long events_emitted() const { return emitted_total_; }
+  [[nodiscard]] long events_suppressed() const { return suppressed_total_; }
+
+ private:
+  void detect();
+  void on_eof();
+
+  double level_;
+  double max_per_frame_;
+  bool above_ = false;
+  long emitted_this_frame_ = 0;
+  long emitted_total_ = 0;
+  long suppressed_total_ = 0;
+};
+
+class EventHandlerKernel final : public Kernel {
+ public:
+  /// @param handler_cycles cost of one event handling (accounted in §III-A)
+  EventHandlerKernel(std::string name, long handler_cycles = 500);
+
+  void configure() override;
+  [[nodiscard]] std::unique_ptr<Kernel> clone() const override {
+    return std::make_unique<EventHandlerKernel>(*this);
+  }
+  void init() override;
+
+  [[nodiscard]] ParKind parallel_kind() const override { return ParKind::Serial; }
+
+  [[nodiscard]] long events_handled() const { return handled_; }
+  /// Value of the (expensive) per-event recalibration this kernel models.
+  [[nodiscard]] double gain() const { return gain_; }
+
+ private:
+  void pass();
+  void on_event();
+
+  long handler_cycles_;
+  long handled_ = 0;
+  double gain_ = 1.0;
+};
+
+}  // namespace bpp

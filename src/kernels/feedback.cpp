@@ -1,0 +1,77 @@
+#include "kernels/feedback.h"
+
+namespace bpp {
+
+InitialValueKernel::InitialValueKernel(std::string name, Size2 frame,
+                                       double rate_hz, double initial)
+    : Kernel(std::move(name)), frame_(frame), rate_hz_(rate_hz), initial_(initial) {
+  if (!frame.positive()) throw GraphError(this->name() + ": empty loop frame");
+}
+
+void InitialValueKernel::configure() {
+  create_input("in", {1, 1}, {1, 1}, {0.0, 0.0});
+  create_output("out", {1, 1});
+  auto& pass = register_method("pass", Resources{4, 8}, &InitialValueKernel::pass);
+  method_input(pass, "in");
+  method_output(pass, "out");
+}
+
+std::optional<SourceStreamSpec> InitialValueKernel::feedback_spec() const {
+  SourceStreamSpec s;
+  s.frame = frame_;
+  s.granularity = {1, 1};
+  s.rate_hz = rate_hz_;
+  s.pixel_space = true;
+  s.frames = 0;  // loop-carried: run length follows the external input
+  return s;
+}
+
+std::vector<Emission> InitialValueKernel::initial_emissions() const {
+  std::vector<Emission> out;
+  out.reserve(static_cast<size_t>(frame_.area()) + frame_.h + 1);
+  for (int y = 0; y < frame_.h; ++y) {
+    for (int x = 0; x < frame_.w; ++x)
+      out.push_back(Emission{0, Tile({1, 1}, initial_)});
+    out.push_back(Emission{0, ControlToken{tok::kEndOfLine, y}});
+  }
+  out.push_back(Emission{0, ControlToken{tok::kEndOfFrame, -1}});
+  return out;
+}
+
+void InitialValueKernel::pass() { write_output("out", read_input("in")); }
+
+TemporalMixKernel::TemporalMixKernel(std::string name, double alpha)
+    : Kernel(std::move(name)), alpha_(alpha) {
+  if (alpha < 0.0 || alpha > 1.0)
+    throw GraphError(this->name() + ": alpha must be in [0, 1]");
+}
+
+void TemporalMixKernel::configure() {
+  create_input("x", {1, 1}, {1, 1}, {0.0, 0.0});
+  create_input("prev", {1, 1}, {1, 1}, {0.0, 0.0});
+  create_output("out", {1, 1});
+  auto& mix = register_method("mix", Resources{10, 4}, &TemporalMixKernel::mix);
+  method_input(mix, "x");
+  method_input(mix, "prev");
+  method_output(mix, "out");
+
+  // End-of-stream arrives on the external input only; the loop-carried
+  // branch is one frame behind and would deadlock a paired forward.
+  auto& eos = register_method("eos", Resources{2, 0}, &TemporalMixKernel::on_eos);
+  method_input(eos, "x", tok::kEndOfStream);
+  method_output(eos, "out");
+}
+
+void TemporalMixKernel::mix() {
+  const double x = read_input("x").at(0, 0);
+  const double prev = read_input("prev").at(0, 0);
+  Tile out(1, 1);
+  out.at(0, 0) = alpha_ * x + (1.0 - alpha_) * prev;
+  write_output("out", std::move(out));
+}
+
+void TemporalMixKernel::on_eos() {
+  emit_token("out", tok::kEndOfStream, trigger_payload());
+}
+
+}  // namespace bpp

@@ -1,0 +1,78 @@
+#pragma once
+// Feedback support (paper §III-D) — implemented here as the extension the
+// paper sketches: "breaking the feedback loops in the graph using special
+// feedback kernels ... providing the initial values for a feedback loop
+// can be accomplished by using an initialization kernel which outputs the
+// initial values once and then passes on its input values thereafter."
+//
+// InitialValueKernel is that initialization kernel: it primes the loop
+// with one frame of initial pixels (plus the matching EOL/EOF tokens) via
+// initial_emissions(), then forwards its input unchanged. It reports
+// is_feedback() so the data-flow analysis and topological sort treat its
+// incoming channel as a loop back-edge, and it declares its output stream
+// statically via feedback_spec().
+//
+// TemporalMixKernel is a loop body for the canonical use: a per-pixel
+// temporal IIR filter y_t = alpha*x_t + (1-alpha)*y_{t-1}. It terminates
+// the loop cleanly by forwarding end-of-stream from the external input
+// alone (the loop-carried branch would otherwise deadlock shutdown).
+
+#include <string>
+
+#include "core/kernel.h"
+
+namespace bpp {
+
+class InitialValueKernel final : public Kernel {
+ public:
+  /// @param frame   loop-carried frame extent
+  /// @param rate_hz loop-carried frame rate (matches the external input)
+  /// @param initial value the primed frame is filled with
+  InitialValueKernel(std::string name, Size2 frame, double rate_hz,
+                     double initial = 0.0);
+
+  void configure() override;
+  [[nodiscard]] std::unique_ptr<Kernel> clone() const override {
+    return std::make_unique<InitialValueKernel>(*this);
+  }
+
+  [[nodiscard]] bool is_feedback() const override { return true; }
+  [[nodiscard]] ParKind parallel_kind() const override { return ParKind::Serial; }
+  [[nodiscard]] std::optional<SourceStreamSpec> feedback_spec() const override;
+  [[nodiscard]] std::vector<Emission> initial_emissions() const override;
+
+  /// The initialization kernel is the loop's delay element: it must be
+  /// able to hold one whole frame of loop-carried data (plus its tokens)
+  /// or the cycle deadlocks on channel capacity.
+  [[nodiscard]] long pending_capacity() const override {
+    return static_cast<long>(frame_.area()) + frame_.h + 4;
+  }
+
+ private:
+  void pass();
+
+  Size2 frame_;
+  double rate_hz_;
+  double initial_;
+};
+
+class TemporalMixKernel final : public Kernel {
+ public:
+  TemporalMixKernel(std::string name, double alpha);
+
+  void configure() override;
+  [[nodiscard]] std::unique_ptr<Kernel> clone() const override {
+    return std::make_unique<TemporalMixKernel>(*this);
+  }
+
+  /// Serial: the loop-carried state forbids replication.
+  [[nodiscard]] ParKind parallel_kind() const override { return ParKind::Serial; }
+
+ private:
+  void mix();
+  void on_eos();
+
+  double alpha_;
+};
+
+}  // namespace bpp

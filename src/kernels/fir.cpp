@@ -1,0 +1,59 @@
+#include "kernels/fir.h"
+
+#include <cmath>
+
+namespace bpp {
+
+FirDecimateKernel::FirDecimateKernel(std::string name, std::vector<double> taps,
+                                     int decimate)
+    : Kernel(std::move(name)), taps_(std::move(taps)), decimate_(decimate) {
+  if (taps_.empty()) throw GraphError(this->name() + ": FIR needs taps");
+  if (decimate < 1) throw GraphError(this->name() + ": decimation must be >= 1");
+}
+
+void FirDecimateKernel::configure() {
+  const int t = taps();
+  // Fractional offsets appear naturally for decimating filters
+  // (§II-A footnote 2): the output sample sits at the window center in
+  // input coordinates, (t-1)/2, scaled by 1/decimate in output space.
+  create_input("in", {t, 1}, {decimate_, 1},
+               {(t - 1) / 2.0, 0.0});
+  create_output("out", {1, 1});
+  auto& run = register_method("runFir", Resources{run_cycles(t), t + 6},
+                              &FirDecimateKernel::run);
+  method_input(run, "in");
+  method_output(run, "out");
+}
+
+void FirDecimateKernel::run() {
+  const Tile& in = read_input("in");
+  double acc = 0.0;
+  const int t = taps();
+  for (int i = 0; i < t; ++i) acc += in.at(i, 0) * taps_[static_cast<size_t>(t - 1 - i)];
+  Tile out(1, 1);
+  out.at(0, 0) = acc;
+  write_output("out", std::move(out));
+}
+
+std::vector<double> moving_average_taps(int n) {
+  return std::vector<double>(static_cast<size_t>(n), 1.0 / n);
+}
+
+std::vector<double> lowpass_taps(int n, double cutoff) {
+  // Hamming-windowed sinc.
+  std::vector<double> taps(static_cast<size_t>(n));
+  const double mid = (n - 1) / 2.0;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = i - mid;
+    const double sinc =
+        x == 0.0 ? 2.0 * cutoff : std::sin(2.0 * M_PI * cutoff * x) / (M_PI * x);
+    const double win = 0.54 - 0.46 * std::cos(2.0 * M_PI * i / (n - 1));
+    taps[static_cast<size_t>(i)] = sinc * win;
+    sum += taps[static_cast<size_t>(i)];
+  }
+  for (double& t : taps) t /= sum;  // unity DC gain
+  return taps;
+}
+
+}  // namespace bpp

@@ -1,0 +1,101 @@
+#include "kernels/input.h"
+
+#include <cstdint>
+
+namespace bpp {
+
+namespace {
+
+/// SplitMix64 — cheap deterministic hash for synthetic pixel noise.
+std::uint64_t splitmix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+PixelFn default_pixel_fn() {
+  return [](int frame, int x, int y) {
+    const double gradient = (x * 7 + y * 13 + frame * 3) % 256;
+    const std::uint64_t h = splitmix64(
+        (static_cast<std::uint64_t>(frame) << 40) ^
+        (static_cast<std::uint64_t>(x) << 20) ^ static_cast<std::uint64_t>(y));
+    const double noise = static_cast<double>(h % 64);
+    double v = 0.75 * gradient + noise;
+    return v < 256.0 ? v : v - 256.0;
+  };
+}
+
+InputKernel::InputKernel(std::string name, Size2 frame, double rate_hz,
+                         int frames, PixelFn fn)
+    : Kernel(std::move(name)),
+      frame_(frame),
+      rate_hz_(rate_hz),
+      frames_(frames),
+      fn_(std::move(fn)) {
+  if (!frame.positive()) throw GraphError(this->name() + ": empty input frame");
+  if (rate_hz <= 0) throw GraphError(this->name() + ": input rate must be positive");
+  if (frames <= 0) throw GraphError(this->name() + ": input must emit >= 1 frame");
+}
+
+void InputKernel::configure() { create_output("out", {1, 1}); }
+
+void InputKernel::init() {
+  phase_ = Phase::Pixel;
+  f_ = x_ = y_ = 0;
+  emitted_pixels_ = 0;
+}
+
+std::optional<SourceStreamSpec> InputKernel::source_spec(int port) const {
+  if (port != 0) return std::nullopt;
+  SourceStreamSpec s;
+  s.frame = frame_;
+  s.granularity = {1, 1};
+  s.rate_hz = rate_hz_;
+  s.pixel_space = true;
+  s.frames = frames_;
+  return s;
+}
+
+bool InputKernel::source_poll(SourceEmission& out) {
+  out.port = 0;
+  out.cycles = 1;
+  // Tokens piggyback on the preceding pixel's release time.
+  out.release_seconds = emitted_pixels_ > 0
+                            ? (emitted_pixels_ - 1) * pixel_period()
+                            : 0.0;
+  switch (phase_) {
+    case Phase::Pixel: {
+      Tile t(1, 1);
+      t.at(0, 0) = fn_(f_, x_, y_);
+      out.item = std::move(t);
+      out.release_seconds = emitted_pixels_ * pixel_period();
+      ++emitted_pixels_;
+      if (++x_ == frame_.w) {
+        x_ = 0;
+        phase_ = Phase::Eol;
+      }
+      return true;
+    }
+    case Phase::Eol:
+      out.item = ControlToken{tok::kEndOfLine, y_};
+      phase_ = (++y_ == frame_.h) ? Phase::Eof : Phase::Pixel;
+      return true;
+    case Phase::Eof:
+      out.item = ControlToken{tok::kEndOfFrame, f_};
+      y_ = 0;
+      phase_ = (++f_ == frames_) ? Phase::Eos : Phase::Pixel;
+      return true;
+    case Phase::Eos:
+      out.item = ControlToken{tok::kEndOfStream, frames_};
+      phase_ = Phase::Done;
+      return true;
+    case Phase::Done:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace bpp

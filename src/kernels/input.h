@@ -1,0 +1,65 @@
+#pragma once
+// Application input source (paper §II-A, §II-C).
+//
+// Emits frames pixel-by-pixel in scan-line order at a fixed rate — the
+// real-time constraint the compiler must meet — and automatically
+// generates end-of-line and end-of-frame control tokens in order with the
+// data. A finite run of frames is terminated by one end-of-stream token.
+
+#include <functional>
+#include <string>
+
+#include "core/kernel.h"
+
+namespace bpp {
+
+/// Deterministic pixel generator: (frame, x, y) -> value.
+using PixelFn = std::function<double(int frame, int x, int y)>;
+
+/// Default generator: smooth gradient plus hash noise, values in [0, 256).
+[[nodiscard]] PixelFn default_pixel_fn();
+
+class InputKernel final : public Kernel {
+ public:
+  /// @param frame   logical frame extent in pixels
+  /// @param rate_hz frames per second (the hard real-time constraint)
+  /// @param frames  number of frames emitted per execution run
+  InputKernel(std::string name, Size2 frame, double rate_hz, int frames,
+              PixelFn fn = default_pixel_fn());
+
+  void configure() override;
+  [[nodiscard]] std::unique_ptr<Kernel> clone() const override {
+    return std::make_unique<InputKernel>(*this);
+  }
+  void init() override;
+
+  [[nodiscard]] bool is_source() const override { return true; }
+  [[nodiscard]] ParKind parallel_kind() const override { return ParKind::Serial; }
+  [[nodiscard]] std::optional<SourceStreamSpec> source_spec(int port) const override;
+  bool source_poll(SourceEmission& out) override;
+
+  [[nodiscard]] Size2 frame() const { return frame_; }
+  [[nodiscard]] double rate_hz() const { return rate_hz_; }
+  [[nodiscard]] int frames() const { return frames_; }
+  [[nodiscard]] const PixelFn& pixel_fn() const { return fn_; }
+
+  /// Seconds between consecutive pixel emissions.
+  [[nodiscard]] double pixel_period() const {
+    return 1.0 / (rate_hz_ * frame_.area());
+  }
+
+ private:
+  enum class Phase { Pixel, Eol, Eof, Eos, Done };
+
+  Size2 frame_;
+  double rate_hz_;
+  int frames_;
+  PixelFn fn_;
+
+  // Emission cursor.
+  Phase phase_ = Phase::Pixel;
+  int f_ = 0, x_ = 0, y_ = 0;
+  long emitted_pixels_ = 0;
+};
+
+}  // namespace bpp

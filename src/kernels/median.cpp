@@ -1,0 +1,37 @@
+#include "kernels/median.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace bpp {
+
+MedianKernel::MedianKernel(std::string name, int width, int height)
+    : Kernel(std::move(name)), width_(width), height_(height) {
+  if (width < 1 || height < 1)
+    throw GraphError(this->name() + ": median window must be >= 1x1");
+}
+
+void MedianKernel::configure() {
+  create_input("in", {width_, height_}, {1, 1},
+               {std::floor(width_ / 2.0), std::floor(height_ / 2.0)});
+  create_output("out", {1, 1});
+  auto& run = register_method("runMedian",
+                              Resources{run_cycles(width_, height_),
+                                        static_cast<long>(width_) * height_ + 8},
+                              &MedianKernel::run_median);
+  method_input(run, "in");
+  method_output(run, "out");
+}
+
+void MedianKernel::run_median() {
+  const Tile& in = read_input("in");
+  std::vector<double> v(in.raw());
+  auto mid = v.begin() + static_cast<std::ptrdiff_t>(v.size() / 2);
+  std::nth_element(v.begin(), mid, v.end());
+  Tile result(1, 1);
+  result.at(0, 0) = *mid;
+  write_output("out", std::move(result));
+}
+
+}  // namespace bpp

@@ -1,0 +1,99 @@
+#include "kernels/mirror_pad.h"
+
+namespace bpp {
+
+MirrorPadKernel::MirrorPadKernel(std::string name, Border border, Size2 frame)
+    : Kernel(std::move(name)), border_(border), frame_(frame) {
+  if (border.left < 0 || border.top < 0 || border.right < 0 || border.bottom < 0)
+    throw GraphError(this->name() + ": negative pad");
+  // Reflection about the edge needs the reflected samples to exist.
+  if (border.left >= frame.w || border.right >= frame.w ||
+      border.top >= frame.h || border.bottom >= frame.h)
+    throw GraphError(this->name() + ": mirror pad must be smaller than the frame");
+}
+
+void MirrorPadKernel::configure() {
+  create_input("in", {1, 1}, {1, 1}, {0.0, 0.0});
+  create_output("out", {1, 1});
+  auto& a = register_method(
+      "absorb", Resources{6, static_cast<long>(border_.top + 2) * frame_.w + 16},
+      &MirrorPadKernel::absorb);
+  method_input(a, "in");
+  method_output(a, "out");
+  auto& eol = register_method("eol", Resources{4, 0}, &MirrorPadKernel::on_eol);
+  method_input(eol, "in", tok::kEndOfLine);
+  method_output(eol, "out");
+  auto& eof = register_method("eof", Resources{4, 0}, &MirrorPadKernel::on_eof);
+  method_input(eof, "in", tok::kEndOfFrame);
+  method_output(eof, "out");
+  auto& eos = register_method("eos", Resources{2, 0}, &MirrorPadKernel::on_eos);
+  method_input(eos, "in", tok::kEndOfStream);
+  method_output(eos, "out");
+}
+
+void MirrorPadKernel::init() {
+  rows_.clear();
+  cur_.clear();
+  next_out_ = 0;
+}
+
+int MirrorPadKernel::reflect(int v, int n) {
+  if (n == 1) return 0;
+  while (v < 0 || v >= n) {
+    if (v < 0) v = -v;
+    if (v >= n) v = 2 * n - 2 - v;
+  }
+  return v;
+}
+
+void MirrorPadKernel::absorb() { cur_.push_back(read_input("in").at(0, 0)); }
+
+void MirrorPadKernel::emit_row(int out_row) {
+  const int src = reflect(out_row - border_.top, frame_.h);
+  const std::vector<double>& row = rows_[static_cast<size_t>(src)];
+  for (int x = 0; x < out_frame().w; ++x) {
+    Tile px(1, 1);
+    px.at(0, 0) = row[static_cast<size_t>(reflect(x - border_.left, frame_.w))];
+    write_output("out", std::move(px));
+  }
+  emit_token("out", tok::kEndOfLine, out_row);
+}
+
+void MirrorPadKernel::emit_ready_rows() {
+  while (next_out_ < out_frame().h) {
+    const int src = reflect(next_out_ - border_.top, frame_.h);
+    if (src >= static_cast<int>(rows_.size())) return;
+    emit_row(next_out_++);
+  }
+}
+
+void MirrorPadKernel::on_eol() {
+  if (static_cast<int>(cur_.size()) != frame_.w)
+    throw ExecutionError(name() + ": row of " + std::to_string(cur_.size()) +
+                         " pixels, expected " + std::to_string(frame_.w));
+  rows_.push_back(std::move(cur_));
+  cur_.clear();
+  emit_ready_rows();
+}
+
+void MirrorPadKernel::on_eof() {
+  if (static_cast<int>(rows_.size()) != frame_.h)
+    throw ExecutionError(name() + ": end-of-frame after " +
+                         std::to_string(rows_.size()) + " of " +
+                         std::to_string(frame_.h) + " rows");
+  emit_ready_rows();  // bottom border: all sources now available
+  if (next_out_ != out_frame().h)
+    throw ExecutionError(name() + ": frame ended with unemitted rows");
+  emit_token("out", tok::kEndOfFrame, trigger_payload());
+  rows_.clear();
+  next_out_ = 0;
+}
+
+void MirrorPadKernel::on_eos() {
+  emit_token("out", tok::kEndOfStream, trigger_payload());
+  rows_.clear();
+  cur_.clear();
+  next_out_ = 0;
+}
+
+}  // namespace bpp

@@ -1,0 +1,73 @@
+#pragma once
+// Mirror padding (paper §III-C: "The compiler can then choose to either
+// zero-pad or mirror the input...").
+//
+// Unlike zero padding, mirroring needs lookahead: the first output row
+// reflects input row `top`, so emission lags `top` rows behind the input.
+// The kernel buffers incoming rows and streams padded rows out in scan
+// order as their reflected sources arrive; the bottom border drains at
+// end-of-frame. Reflection excludes the edge sample (like Tile::padded
+// with mirror=true): out(-1) = in(1).
+
+#include <string>
+#include <vector>
+
+#include "core/kernel.h"
+
+namespace bpp {
+
+class MirrorPadKernel final : public Kernel {
+ public:
+  MirrorPadKernel(std::string name, Border border, Size2 frame);
+
+  void configure() override;
+  [[nodiscard]] std::unique_ptr<Kernel> clone() const override {
+    return std::make_unique<MirrorPadKernel>(*this);
+  }
+  void init() override;
+
+  [[nodiscard]] std::string dot_shape() const override { return "invhouse"; }
+  [[nodiscard]] ParKind parallel_kind() const override { return ParKind::Serial; }
+
+  [[nodiscard]] Border border() const { return border_; }
+  [[nodiscard]] Size2 in_frame() const { return frame_; }
+  [[nodiscard]] Size2 out_frame() const {
+    return {frame_.w + border_.left + border_.right,
+            frame_.h + border_.top + border_.bottom};
+  }
+
+  [[nodiscard]] std::optional<StreamInfo> custom_output_stream(
+      int out_port, const StreamInfo& in) const override {
+    if (out_port != 0) return std::nullopt;
+    StreamInfo out = in;
+    out.frame = out_frame();
+    out.items_per_frame = out.frame.area();
+    out.grid = out.frame;
+    out.inset.x -= border_.left * in.scale.x;
+    out.inset.y -= border_.top * in.scale.y;
+    return out;
+  }
+
+  /// Row bursts: when input row `top` completes, top+1 padded rows drain.
+  [[nodiscard]] long pending_capacity() const override {
+    return static_cast<long>(border_.top + 2) * (out_frame().w + 1) + 8;
+  }
+
+ private:
+  void absorb();
+  void on_eol();
+  void on_eof();
+  void on_eos();
+
+  void emit_ready_rows();
+  void emit_row(int out_row);
+  [[nodiscard]] static int reflect(int v, int n);
+
+  Border border_;
+  Size2 frame_;
+  std::vector<std::vector<double>> rows_;  // received input rows this frame
+  std::vector<double> cur_;
+  int next_out_ = 0;  // next output row to emit
+};
+
+}  // namespace bpp

@@ -1,0 +1,37 @@
+#include "kernels/morphology.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bpp {
+
+MorphologyKernel::MorphologyKernel(std::string name, Op op, int width,
+                                   int height)
+    : Kernel(std::move(name)), op_(op), width_(width), height_(height) {
+  if (width < 1 || height < 1)
+    throw GraphError(this->name() + ": morphology window must be >= 1x1");
+}
+
+void MorphologyKernel::configure() {
+  create_input("in", {width_, height_}, {1, 1},
+               {std::floor(width_ / 2.0), std::floor(height_ / 2.0)});
+  create_output("out", {1, 1});
+  auto& run = register_method(op_ == Op::Erode ? "erode" : "dilate",
+                              Resources{run_cycles(width_, height_), 8},
+                              &MorphologyKernel::run);
+  method_input(run, "in");
+  method_output(run, "out");
+}
+
+void MorphologyKernel::run() {
+  const Tile& in = read_input("in");
+  double v = in.at(0, 0);
+  for (int y = 0; y < height_; ++y)
+    for (int x = 0; x < width_; ++x)
+      v = op_ == Op::Erode ? std::min(v, in.at(x, y)) : std::max(v, in.at(x, y));
+  Tile out(1, 1);
+  out.at(0, 0) = v;
+  write_output("out", std::move(out));
+}
+
+}  // namespace bpp

@@ -1,0 +1,98 @@
+#include "kernels/motion.h"
+
+#include <cmath>
+#include <limits>
+
+namespace bpp {
+
+MotionEstimateKernel::MotionEstimateKernel(std::string name, Size2 frame,
+                                           int radius, long bound_cycles)
+    : Kernel(std::move(name)), frame_(frame), radius_(radius) {
+  if (frame.w % block != 0 || frame.h % block != 0)
+    throw GraphError(this->name() + ": frame must be a multiple of 4x4 blocks");
+  if (radius < 1) throw GraphError(this->name() + ": radius must be >= 1");
+  bound_ = bound_cycles > 0 ? bound_cycles : worst_case_cycles();
+}
+
+void MotionEstimateKernel::configure() {
+  create_input("in", {block, block}, {block, block}, {1.5, 1.5});
+  create_output("out", {1, 1});
+  auto& est = register_method("estimate", Resources{bound_, frame_.area() + 64},
+                              &MotionEstimateKernel::estimate);
+  method_input(est, "in");
+  method_output(est, "out");
+  auto& eof = register_method("eof", Resources{6, 0},
+                              &MotionEstimateKernel::on_eof);
+  method_input(eof, "in", tok::kEndOfFrame);
+  method_output(eof, "out");
+  auto& eos = register_method("eos", Resources{2, 0},
+                              &MotionEstimateKernel::on_eos);
+  method_input(eos, "in", tok::kEndOfStream);
+  method_output(eos, "out");
+  init();
+}
+
+void MotionEstimateKernel::init() {
+  prev_ = Tile(frame_);
+  cur_ = Tile(frame_);
+  have_prev_ = false;
+  bx_ = by_ = 0;
+}
+
+void MotionEstimateKernel::estimate() {
+  const Tile& blk = read_input("in");
+  const int px = bx_ * block;
+  const int py = by_ * block;
+  for (int y = 0; y < block; ++y)
+    for (int x = 0; x < block; ++x) cur_.at(px + x, py + y) = blk.at(x, y);
+
+  long cycles = 20;
+  double best = std::numeric_limits<double>::infinity();
+  int best_dx = 0, best_dy = 0;
+  if (have_prev_) {
+    // Spiral-free raster search with early exit: work depends on how fast
+    // a good match is found -- genuinely input-dependent cycles.
+    for (int dy = -radius_; dy <= radius_ && best > 1e-9; ++dy) {
+      for (int dx = -radius_; dx <= radius_ && best > 1e-9; ++dx) {
+        const int ox = px + dx;
+        const int oy = py + dy;
+        if (ox < 0 || oy < 0 || ox + block > frame_.w || oy + block > frame_.h)
+          continue;
+        cycles += candidate_cycles();
+        double sad = 0.0;
+        for (int y = 0; y < block && sad < best; ++y)
+          for (int x = 0; x < block; ++x)
+            sad += std::abs(blk.at(x, y) - prev_.at(ox + x, oy + y));
+        if (sad < best) {
+          best = sad;
+          best_dx = dx;
+          best_dy = dy;
+        }
+      }
+    }
+  }
+  report_cycles(cycles);  // actual work; the declared cycles are the bound
+
+  Tile out(1, 1);
+  out.at(0, 0) = std::sqrt(static_cast<double>(best_dx * best_dx +
+                                               best_dy * best_dy));
+  write_output("out", std::move(out));
+
+  if (++bx_ == frame_.w / block) {
+    bx_ = 0;
+    ++by_;
+  }
+}
+
+void MotionEstimateKernel::on_eof() {
+  prev_ = cur_;
+  have_prev_ = true;
+  by_ = 0;
+  emit_token("out", tok::kEndOfFrame, trigger_payload());
+}
+
+void MotionEstimateKernel::on_eos() {
+  emit_token("out", tok::kEndOfStream, trigger_payload());
+}
+
+}  // namespace bpp

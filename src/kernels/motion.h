@@ -1,0 +1,62 @@
+#pragma once
+// Variable-work kernel (the paper's canonical future-work case): "a motion
+// vector search, where ... the processing time per motion vector var[ies]
+// from frame to frame. Incorporating such a kernel into this framework
+// requires extending the system to support bounds on real-time processing
+// requirements and runtime exceptions to indicate when a kernel has
+// exceeded its allocated resources."
+//
+// MotionEstimateKernel consumes 4x4 blocks, holds the previous frame
+// internally, and runs an early-exit SAD search over a +-radius window in
+// the previous frame. Each firing reports its actual cycles via
+// report_cycles(); the declared method cycles are the bound the compiler
+// budgets, and the simulator raises resource exceptions past it.
+
+#include <string>
+#include <vector>
+
+#include "core/kernel.h"
+
+namespace bpp {
+
+class MotionEstimateKernel final : public Kernel {
+ public:
+  /// @param frame        pixel extent of the stream (multiple of 4)
+  /// @param radius       search radius in pixels
+  /// @param bound_cycles declared per-block cycle budget; <=0 derives the
+  ///                     full-search worst case automatically
+  MotionEstimateKernel(std::string name, Size2 frame, int radius,
+                       long bound_cycles = 0);
+
+  void configure() override;
+  [[nodiscard]] std::unique_ptr<Kernel> clone() const override {
+    return std::make_unique<MotionEstimateKernel>(*this);
+  }
+  void init() override;
+
+  /// Previous-frame state makes replication incorrect.
+  [[nodiscard]] ParKind parallel_kind() const override { return ParKind::Serial; }
+
+  static constexpr int block = 4;
+  /// Cycle model: per candidate one SAD of 16 pixels (~3 cycles each).
+  [[nodiscard]] static long candidate_cycles() { return 16 * 3; }
+  [[nodiscard]] long worst_case_cycles() const {
+    const long cands = (2L * radius_ + 1) * (2L * radius_ + 1);
+    return 20 + cands * candidate_cycles();
+  }
+
+ private:
+  void estimate();
+  void on_eof();
+  void on_eos();
+
+  Size2 frame_;
+  int radius_;
+  long bound_;
+  Tile prev_;
+  Tile cur_;
+  bool have_prev_ = false;
+  int bx_ = 0, by_ = 0;  // block cursor
+};
+
+}  // namespace bpp

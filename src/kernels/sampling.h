@@ -1,0 +1,48 @@
+#pragma once
+// Resampling kernels. Downsampling uses a fractional input->output offset
+// (paper §II-A footnote 2): the output sample of a 2x2 average sits half a
+// pixel from the window origin.
+
+#include <string>
+
+#include "core/kernel.h"
+
+namespace bpp {
+
+/// factor x factor block average; output is 1/factor the input extent.
+class DownsampleKernel final : public Kernel {
+ public:
+  DownsampleKernel(std::string name, int factor);
+
+  void configure() override;
+  [[nodiscard]] std::unique_ptr<Kernel> clone() const override {
+    return std::make_unique<DownsampleKernel>(*this);
+  }
+
+  [[nodiscard]] int factor() const { return factor_; }
+
+ private:
+  void run();
+
+  int factor_;
+};
+
+/// Nearest-neighbor upsampling: each input pixel becomes factor x factor.
+class UpsampleKernel final : public Kernel {
+ public:
+  UpsampleKernel(std::string name, int factor);
+
+  void configure() override;
+  [[nodiscard]] std::unique_ptr<Kernel> clone() const override {
+    return std::make_unique<UpsampleKernel>(*this);
+  }
+
+  [[nodiscard]] int factor() const { return factor_; }
+
+ private:
+  void run();
+
+  int factor_;
+};
+
+}  // namespace bpp

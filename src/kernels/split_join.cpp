@@ -1,0 +1,273 @@
+#include "kernels/split_join.h"
+
+#include <algorithm>
+
+namespace bpp {
+
+namespace {
+
+std::string branch_name(const char* base, int i) {
+  return std::string(base) + std::to_string(i);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Split
+
+SplitKernel::SplitKernel(std::string name, int n, Size2 item, Step2 step)
+    : Kernel(std::move(name)),
+      mode_(Mode::RoundRobin),
+      n_(n),
+      item_(item),
+      step_(step) {
+  if (n < 1) throw GraphError(this->name() + ": split needs >= 1 branch");
+}
+
+SplitKernel::SplitKernel(std::string name,
+                         std::vector<std::pair<int, int>> ranges,
+                         int items_per_line, Size2 item, Step2 step)
+    : Kernel(std::move(name)),
+      mode_(Mode::ColumnRanges),
+      n_(static_cast<int>(ranges.size())),
+      item_(item),
+      step_(step),
+      ranges_(std::move(ranges)),
+      items_per_line_(items_per_line) {
+  if (n_ < 1) throw GraphError(this->name() + ": split needs >= 1 range");
+  for (const auto& [a, b] : ranges_)
+    if (a < 0 || b <= a || b > items_per_line_)
+      throw GraphError(this->name() + ": bad column range [" + std::to_string(a) +
+                       ", " + std::to_string(b) + ")");
+}
+
+void SplitKernel::configure() {
+  create_input("in", item_, step_, {0.0, 0.0});
+  auto& route = register_method("route", Resources{8, 8},
+                                &SplitKernel::route);
+  method_input(route, "in");
+  for (int i = 0; i < n_; ++i) {
+    create_output(branch_name("out", i), item_, step_);
+    method_output(route, branch_name("out", i));
+  }
+  auto& eol = register_method("eol", Resources{2 + n_, 0}, &SplitKernel::on_eol);
+  method_input(eol, "in", tok::kEndOfLine);
+  auto& eof = register_method("eof", Resources{2 + n_, 0}, &SplitKernel::on_eof);
+  method_input(eof, "in", tok::kEndOfFrame);
+  auto& eos = register_method("eos", Resources{2 + n_, 0}, &SplitKernel::on_eos);
+  method_input(eos, "in", tok::kEndOfStream);
+  for (int i = 0; i < n_; ++i) {
+    method_output(eol, branch_name("out", i));
+    method_output(eof, branch_name("out", i));
+    method_output(eos, branch_name("out", i));
+  }
+}
+
+void SplitKernel::init() {
+  rr_ = 0;
+  x_ = 0;
+}
+
+void SplitKernel::route() {
+  const Tile& t = read_input("in");
+  if (mode_ == Mode::RoundRobin) {
+    write_output(branch_name("out", rr_), t);
+    rr_ = (rr_ + 1) % n_;
+  } else {
+    for (int i = 0; i < n_; ++i)
+      if (x_ >= ranges_[static_cast<size_t>(i)].first &&
+          x_ < ranges_[static_cast<size_t>(i)].second)
+        write_output(branch_name("out", i), t);
+    if (++x_ == items_per_line_) x_ = 0;
+  }
+}
+
+void SplitKernel::broadcast(TokenClass cls) {
+  for (int i = 0; i < n_; ++i)
+    emit_token(branch_name("out", i), cls, trigger_payload());
+}
+
+void SplitKernel::on_eol() {
+  x_ = 0;
+  broadcast(tok::kEndOfLine);
+}
+
+void SplitKernel::on_eof() {
+  rr_ = 0;
+  x_ = 0;
+  broadcast(tok::kEndOfFrame);
+}
+
+void SplitKernel::on_eos() {
+  rr_ = 0;
+  x_ = 0;
+  broadcast(tok::kEndOfStream);
+}
+
+// ----------------------------------------------------------------- Join
+
+JoinKernel::JoinKernel(std::string name, int n, Size2 item, Step2 step)
+    : Kernel(std::move(name)),
+      mode_(Mode::RoundRobin),
+      n_(n),
+      item_(item),
+      step_(step) {
+  if (n < 1) throw GraphError(this->name() + ": join needs >= 1 branch");
+}
+
+JoinKernel::JoinKernel(std::string name, std::vector<int> runs, Size2 item,
+                       Step2 step)
+    : Kernel(std::move(name)),
+      mode_(Mode::RunLength),
+      n_(static_cast<int>(runs.size())),
+      item_(item),
+      step_(step),
+      runs_(std::move(runs)) {
+  if (n_ < 1) throw GraphError(this->name() + ": join needs >= 1 run");
+  for (int r : runs_)
+    if (r < 0) throw GraphError(this->name() + ": negative run length");
+}
+
+void JoinKernel::configure() {
+  auto& take = register_method("take", Resources{8, 8},
+                               &JoinKernel::take);
+  for (int i = 0; i < n_; ++i) {
+    create_input(branch_name("in", i), item_, step_, {0.0, 0.0});
+    method_input(take, branch_name("in", i));
+  }
+  create_output("out", item_, step_);
+  method_output(take, "out");
+
+  auto& eol = register_method("eol", Resources{3, 0}, &JoinKernel::on_eol);
+  auto& eof = register_method("eof", Resources{3, 0}, &JoinKernel::on_eof);
+  auto& eos = register_method("eos", Resources{3, 0}, &JoinKernel::on_eos);
+  for (int i = 0; i < n_; ++i) {
+    method_input(eol, branch_name("in", i), tok::kEndOfLine);
+    method_input(eof, branch_name("in", i), tok::kEndOfFrame);
+    method_input(eos, branch_name("in", i), tok::kEndOfStream);
+  }
+  method_output(eol, "out");
+  method_output(eof, "out");
+  method_output(eos, "out");
+
+  init();
+}
+
+void JoinKernel::init() {
+  cur_ = 0;
+  taken_ = 0;
+  if (mode_ == Mode::RunLength) reset_line();
+}
+
+void JoinKernel::reset_line() {
+  cur_ = 0;
+  taken_ = 0;
+  // Skip branches that contribute nothing to a line.
+  while (mode_ == Mode::RunLength && cur_ < n_ &&
+         runs_[static_cast<size_t>(cur_)] == 0)
+    ++cur_;
+}
+
+std::optional<FireDecision> JoinKernel::decide_custom(
+    const std::vector<int>& connected, const HeadFn& head) const {
+  // Data: consume from the current branch only.
+  if (cur_ < n_) {
+    const Item* h = head(cur_);
+    if (h && is_data(*h)) {
+      FireDecision d;
+      d.kind = FireDecision::Kind::Method;
+      d.method = 0;  // take() is registered first
+      d.pop_inputs = {cur_};
+      return d;
+    }
+  }
+  // Tokens: require the same class at the head of every branch, then run
+  // the registered handler (which resets the FSM and forwards one copy).
+  const Item* first = nullptr;
+  for (int i : connected) {
+    const Item* h = head(i);
+    if (!h || !is_token(*h)) return FireDecision{};
+    if (!first)
+      first = h;
+    else if (as_token(*h).cls != as_token(*first).cls)
+      return FireDecision{};
+  }
+  if (!first || static_cast<int>(connected.size()) != n_) return FireDecision{};
+  const TokenClass cls = as_token(*first).cls;
+  const int m = token_method_of_input(0, cls);
+  FireDecision d;
+  d.pop_inputs = connected;
+  d.token = cls;
+  d.payload = as_token(*first).payload;
+  if (m >= 0) {
+    d.kind = FireDecision::Kind::Method;
+    d.method = m;
+  } else {
+    d.kind = FireDecision::Kind::Forward;
+    d.forward_outputs = {0};
+  }
+  return d;
+}
+
+void JoinKernel::take() {
+  write_output("out", read_input(branch_name("in", cur_)));
+  advance();
+}
+
+void JoinKernel::advance() {
+  if (mode_ == Mode::RoundRobin) {
+    cur_ = (cur_ + 1) % n_;
+    return;
+  }
+  if (++taken_ >= runs_[static_cast<size_t>(cur_)]) {
+    taken_ = 0;
+    ++cur_;
+    while (cur_ < n_ && runs_[static_cast<size_t>(cur_)] == 0) ++cur_;
+    // cur_ == n_ means the line is exhausted; the next EOL resets it.
+  }
+}
+
+void JoinKernel::on_eol() {
+  if (mode_ == Mode::RunLength) reset_line();
+  emit_token("out", tok::kEndOfLine, trigger_payload());
+}
+
+void JoinKernel::on_eof() {
+  if (mode_ == Mode::RunLength)
+    reset_line();
+  else
+    cur_ = 0;
+  emit_token("out", tok::kEndOfFrame, trigger_payload());
+}
+
+void JoinKernel::on_eos() {
+  if (mode_ == Mode::RunLength)
+    reset_line();
+  else
+    cur_ = 0;
+  emit_token("out", tok::kEndOfStream, trigger_payload());
+}
+
+// ------------------------------------------------------------ Replicate
+
+ReplicateKernel::ReplicateKernel(std::string name, int n, Size2 item, Step2 step)
+    : Kernel(std::move(name)), n_(n), item_(item), step_(step) {
+  if (n < 1) throw GraphError(this->name() + ": replicate needs >= 1 branch");
+}
+
+void ReplicateKernel::configure() {
+  create_input("in", item_, step_, {0.0, 0.0});
+  auto& copy = register_method("copy", Resources{4 + n_ * item_.area(), 8},
+                               &ReplicateKernel::copy_all);
+  method_input(copy, "in");
+  for (int i = 0; i < n_; ++i) {
+    create_output(branch_name("out", i), item_, step_);
+    method_output(copy, branch_name("out", i));
+  }
+}
+
+void ReplicateKernel::copy_all() {
+  const Tile& t = read_input("in");
+  for (int i = 0; i < n_; ++i) write_output(branch_name("out", i), t);
+}
+
+}  // namespace bpp

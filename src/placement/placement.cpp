@@ -1,0 +1,122 @@
+#include "placement/placement.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/error.h"
+
+namespace bpp {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& s) {
+  s += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = s;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double uniform01(std::uint64_t& s) {
+  return static_cast<double>(splitmix64(s) >> 11) * 0x1.0p-53;
+}
+
+int manhattan(int a, int b, int w) {
+  return std::abs(a % w - b % w) + std::abs(a / w - b / w);
+}
+
+}  // namespace
+
+MeshSpec mesh_for(int cores) {
+  int w = 1;
+  while (w * w < cores) ++w;
+  const int h = (cores + w - 1) / w;
+  return {w, h};
+}
+
+std::vector<double> channel_traffic(const Graph& g, const LoadMap& loads) {
+  std::vector<double> traffic(static_cast<size_t>(g.channel_count()), 0.0);
+  for (int c = 0; c < g.channel_count(); ++c) {
+    const Channel& ch = g.channel(c);
+    if (!ch.alive) continue;
+    const int fanout =
+        std::max<size_t>(1, g.out_channels(ch.src_kernel).size());
+    traffic[static_cast<size_t>(c)] =
+        loads.of(ch.src_kernel).write_words_per_second / fanout;
+  }
+  return traffic;
+}
+
+double placement_cost(const Graph& g, const Mapping& mapping,
+                      const std::vector<double>& traffic, const Placement& p) {
+  double cost = 0.0;
+  for (int c = 0; c < g.channel_count(); ++c) {
+    const Channel& ch = g.channel(c);
+    if (!ch.alive) continue;
+    const int ca = mapping.core_of[static_cast<size_t>(ch.src_kernel)];
+    const int cb = mapping.core_of[static_cast<size_t>(ch.dst_kernel)];
+    if (ca == cb) continue;
+    cost += traffic[static_cast<size_t>(c)] *
+            manhattan(p.tile_of_core[static_cast<size_t>(ca)],
+                      p.tile_of_core[static_cast<size_t>(cb)], p.mesh.width);
+  }
+  return cost;
+}
+
+Placement place_row_major(const Graph& g, const Mapping& mapping,
+                          const LoadMap& loads, MeshSpec mesh) {
+  if (mesh.tiles() < mapping.cores)
+    throw AnalysisError("mesh too small for mapping");
+  Placement p;
+  p.mesh = mesh;
+  p.tile_of_core.resize(static_cast<size_t>(mapping.cores));
+  std::iota(p.tile_of_core.begin(), p.tile_of_core.end(), 0);
+  p.cost = placement_cost(g, mapping, channel_traffic(g, loads), p);
+  return p;
+}
+
+Placement place_annealed(const Graph& g, const Mapping& mapping,
+                         const LoadMap& loads, MeshSpec mesh,
+                         std::uint64_t seed, int iterations) {
+  Placement p = place_row_major(g, mapping, loads, mesh);
+  const std::vector<double> traffic = channel_traffic(g, loads);
+
+  // Tile occupancy (tiles beyond `cores` stay empty and can host swaps).
+  std::vector<int> core_at(static_cast<size_t>(mesh.tiles()), -1);
+  for (int c = 0; c < mapping.cores; ++c)
+    core_at[static_cast<size_t>(p.tile_of_core[static_cast<size_t>(c)])] = c;
+
+  double cost = p.cost;
+  double temp = std::max(1.0, cost / 10.0);
+  const double cool = std::pow(1e-4, 1.0 / std::max(1, iterations));
+  std::uint64_t rng = seed * 0x9e3779b97f4a7c15ULL + 1;
+
+  for (int it = 0; it < iterations; ++it) {
+    const int ta = static_cast<int>(splitmix64(rng) % static_cast<std::uint64_t>(mesh.tiles()));
+    const int tb = static_cast<int>(splitmix64(rng) % static_cast<std::uint64_t>(mesh.tiles()));
+    if (ta == tb) continue;
+    const int ca = core_at[static_cast<size_t>(ta)];
+    const int cb = core_at[static_cast<size_t>(tb)];
+    if (ca < 0 && cb < 0) continue;
+
+    // Apply the swap tentatively.
+    if (ca >= 0) p.tile_of_core[static_cast<size_t>(ca)] = tb;
+    if (cb >= 0) p.tile_of_core[static_cast<size_t>(cb)] = ta;
+    const double next = placement_cost(g, mapping, traffic, p);
+    const double delta = next - cost;
+    if (delta <= 0.0 || uniform01(rng) < std::exp(-delta / temp)) {
+      core_at[static_cast<size_t>(ta)] = cb;
+      core_at[static_cast<size_t>(tb)] = ca;
+      cost = next;
+    } else {
+      if (ca >= 0) p.tile_of_core[static_cast<size_t>(ca)] = ta;
+      if (cb >= 0) p.tile_of_core[static_cast<size_t>(cb)] = tb;
+    }
+    temp *= cool;
+  }
+  p.cost = cost;
+  return p;
+}
+
+}  // namespace bpp

@@ -1,0 +1,57 @@
+#pragma once
+// Simulated-annealing placement (paper §IV-D).
+//
+// The paper reports: "A simulated annealing approach to placement has been
+// implemented, but not integrated within the simulator." This module is
+// that standalone component: it assigns the cores of a mapping to tiles of
+// a 2-D mesh, minimizing total communication cost = sum over channels of
+// (channel traffic x Manhattan distance between the endpoint tiles).
+// Cross-core channels only; intra-core channels are free.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "compiler/loads.h"
+#include "compiler/multiplex.h"
+#include "core/graph.h"
+
+namespace bpp {
+
+struct MeshSpec {
+  int width = 0;
+  int height = 0;
+  [[nodiscard]] int tiles() const { return width * height; }
+  friend constexpr bool operator==(const MeshSpec&, const MeshSpec&) = default;
+};
+
+/// Smallest near-square mesh with at least `cores` tiles.
+[[nodiscard]] MeshSpec mesh_for(int cores);
+
+struct Placement {
+  MeshSpec mesh;
+  /// core id -> tile index (y * mesh.width + x).
+  std::vector<int> tile_of_core;
+  double cost = 0.0;
+};
+
+/// Words/second crossing each channel (traffic weights for the cost).
+[[nodiscard]] std::vector<double> channel_traffic(const Graph& g,
+                                                  const LoadMap& loads);
+
+/// Total weighted Manhattan communication cost of a placement.
+[[nodiscard]] double placement_cost(const Graph& g, const Mapping& mapping,
+                                    const std::vector<double>& traffic,
+                                    const Placement& p);
+
+/// Baseline: cores laid out in index order, row-major.
+[[nodiscard]] Placement place_row_major(const Graph& g, const Mapping& mapping,
+                                        const LoadMap& loads, MeshSpec mesh);
+
+/// Simulated annealing from the row-major start. Deterministic in `seed`.
+[[nodiscard]] Placement place_annealed(const Graph& g, const Mapping& mapping,
+                                       const LoadMap& loads, MeshSpec mesh,
+                                       std::uint64_t seed = 1,
+                                       int iterations = 20000);
+
+}  // namespace bpp

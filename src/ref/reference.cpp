@@ -1,0 +1,171 @@
+#include "ref/reference.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "kernels/bayer.h"
+#include "kernels/sobel.h"
+
+namespace bpp::ref {
+
+Tile make_frame(Size2 size, int f, const PixelFn& fn) {
+  Tile t(size);
+  for (int y = 0; y < size.h; ++y)
+    for (int x = 0; x < size.w; ++x) t.at(x, y) = fn(f, x, y);
+  return t;
+}
+
+Tile convolve(const Tile& img, const Tile& coeff) {
+  const int kw = coeff.width();
+  const int kh = coeff.height();
+  Tile out(img.width() - kw + 1, img.height() - kh + 1);
+  for (int oy = 0; oy < out.height(); ++oy)
+    for (int ox = 0; ox < out.width(); ++ox) {
+      double acc = 0.0;
+      for (int x = 0; x < kw; ++x)
+        for (int y = 0; y < kh; ++y)
+          acc += img.at(ox + x, oy + y) * coeff.at(kw - x - 1, kh - y - 1);
+      out.at(ox, oy) = acc;
+    }
+  return out;
+}
+
+Tile median(const Tile& img, int w, int h) {
+  Tile out(img.width() - w + 1, img.height() - h + 1);
+  std::vector<double> win(static_cast<size_t>(w) * h);
+  for (int oy = 0; oy < out.height(); ++oy)
+    for (int ox = 0; ox < out.width(); ++ox) {
+      size_t i = 0;
+      // Window values in the kernel's (x-major) order; median is
+      // order-insensitive but keep it identical for clarity.
+      for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x) win[i++] = img.at(ox + x, oy + y);
+      auto mid = win.begin() + static_cast<std::ptrdiff_t>(win.size() / 2);
+      std::nth_element(win.begin(), mid, win.end());
+      out.at(ox, oy) = *mid;
+    }
+  return out;
+}
+
+Tile subtract(const Tile& a, const Tile& b) {
+  Tile out(a.size());
+  for (int y = 0; y < a.height(); ++y)
+    for (int x = 0; x < a.width(); ++x) out.at(x, y) = a.at(x, y) - b.at(x, y);
+  return out;
+}
+
+std::vector<long> histogram(const Tile& img, const std::vector<double>& uppers) {
+  std::vector<long> counts(uppers.size(), 0);
+  const int bins = static_cast<int>(uppers.size());
+  for (int y = 0; y < img.height(); ++y)
+    for (int x = 0; x < img.width(); ++x) {
+      const double v = img.at(x, y);
+      int b = bins - 1;
+      for (int i = 0; i < bins - 1; ++i)
+        if (v < uppers[static_cast<size_t>(i)]) {
+          b = i;
+          break;
+        }
+      ++counts[static_cast<size_t>(b)];
+    }
+  return counts;
+}
+
+namespace {
+Tile morph(const Tile& img, int w, int h, bool erode_op) {
+  Tile out(img.width() - w + 1, img.height() - h + 1);
+  for (int oy = 0; oy < out.height(); ++oy)
+    for (int ox = 0; ox < out.width(); ++ox) {
+      double v = img.at(ox, oy);
+      for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x)
+          v = erode_op ? std::min(v, img.at(ox + x, oy + y))
+                       : std::max(v, img.at(ox + x, oy + y));
+      out.at(ox, oy) = v;
+    }
+  return out;
+}
+}  // namespace
+
+Tile erode(const Tile& img, int w, int h) { return morph(img, w, h, true); }
+Tile dilate(const Tile& img, int w, int h) { return morph(img, w, h, false); }
+
+Tile crop(const Tile& img, const Border& b) {
+  return img.crop(b.left, b.top, {img.width() - b.left - b.right,
+                                  img.height() - b.top - b.bottom});
+}
+
+Tile pad(const Tile& img, const Border& b) { return img.padded(b, false); }
+
+Tile sobel(const Tile& img) {
+  Tile out(img.width() - 2, img.height() - 2);
+  for (int oy = 0; oy < out.height(); ++oy)
+    for (int ox = 0; ox < out.width(); ++ox)
+      out.at(ox, oy) =
+          SobelKernel::gradient_magnitude(img.crop(ox, oy, {3, 3}));
+  return out;
+}
+
+Tile bayer_demosaic(const Tile& mosaic) {
+  const Size2 it = iteration_count(mosaic.size(), {4, 4}, {2, 2});
+  Tile out(it.w * 2, it.h * 2);
+  for (int wy = 0; wy < it.h; ++wy)
+    for (int wx = 0; wx < it.w; ++wx) {
+      const Tile cell = BayerDemosaicKernel::demosaic_window(
+          mosaic.crop(wx * 2, wy * 2, {4, 4}));
+      for (int j = 0; j < 2; ++j)
+        for (int i = 0; i < 2; ++i) out.at(wx * 2 + i, wy * 2 + j) = cell.at(i, j);
+    }
+  return out;
+}
+
+Tile downsample(const Tile& img, int factor) {
+  Tile out(img.width() / factor, img.height() / factor);
+  for (int oy = 0; oy < out.height(); ++oy)
+    for (int ox = 0; ox < out.width(); ++ox) {
+      double sum = 0.0;
+      for (int y = 0; y < factor; ++y)
+        for (int x = 0; x < factor; ++x)
+          sum += img.at(ox * factor + x, oy * factor + y);
+      out.at(ox, oy) = sum / (factor * factor);
+    }
+  return out;
+}
+
+Tile upsample(const Tile& img, int factor) {
+  Tile out(img.width() * factor, img.height() * factor);
+  for (int y = 0; y < out.height(); ++y)
+    for (int x = 0; x < out.width(); ++x)
+      out.at(x, y) = img.at(x / factor, y / factor);
+  return out;
+}
+
+std::vector<long> figure1_histogram(const Tile& frame, const Tile& coeff5x5,
+                                    const std::vector<double>& uppers) {
+  const Tile med = median(frame, 3, 3);               // inset 1, frame-2
+  const Tile conv = convolve(frame, coeff5x5);        // inset 2, frame-4
+  const Tile med_trimmed = crop(med, {1, 1, 1, 1});   // align to inset 2
+  const Tile diff = subtract(med_trimmed, conv);
+  return histogram(diff, uppers);
+}
+
+Tile mirror_pad(const Tile& img, const Border& b) { return img.padded(b, true); }
+
+std::vector<long> figure1_histogram_mirror_padded(
+    const Tile& frame, const Tile& coeff5x5, const std::vector<double>& uppers) {
+  const Tile med = median(frame, 3, 3);
+  const Tile conv = convolve(mirror_pad(frame, {1, 1, 1, 1}), coeff5x5);
+  return histogram(subtract(med, conv), uppers);
+}
+
+std::vector<long> figure1_histogram_padded(const Tile& frame,
+                                           const Tile& coeff5x5,
+                                           const std::vector<double>& uppers) {
+  const Tile med = median(frame, 3, 3);  // inset 1
+  const Tile conv =
+      convolve(pad(frame, {1, 1, 1, 1}), coeff5x5);  // grown to inset 1
+  const Tile diff = subtract(med, conv);
+  return histogram(diff, uppers);
+}
+
+}  // namespace bpp::ref

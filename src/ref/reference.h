@@ -1,0 +1,73 @@
+#pragma once
+// Golden scalar references.
+//
+// Straight-line implementations of every operation the kernel library
+// performs, operating on whole frames. Tests and benchmarks compare the
+// streaming system's output (through compilation, parallelization, and
+// multiplexing) against these — the transformations must be semantics
+// preserving.
+
+#include <vector>
+
+#include "core/tile.h"
+#include "kernels/input.h"
+
+namespace bpp::ref {
+
+/// Generate frame `f` of an input stream.
+[[nodiscard]] Tile make_frame(Size2 size, int f, const PixelFn& fn);
+
+/// Valid-mode convolution with the paper's coefficient flip
+/// (out(o) = sum in(o+x,o+y) * coeff(w-1-x, h-1-y)).
+[[nodiscard]] Tile convolve(const Tile& img, const Tile& coeff);
+
+/// Valid-mode windowed median.
+[[nodiscard]] Tile median(const Tile& img, int w, int h);
+
+/// Per-pixel difference (frames must be the same size).
+[[nodiscard]] Tile subtract(const Tile& a, const Tile& b);
+
+/// Histogram with per-bin upper bounds (last bin catches the rest).
+[[nodiscard]] std::vector<long> histogram(const Tile& img,
+                                          const std::vector<double>& uppers);
+
+/// Crop `b` pixels from each side.
+[[nodiscard]] Tile crop(const Tile& img, const Border& b);
+
+/// Zero-pad by `b` pixels on each side.
+[[nodiscard]] Tile pad(const Tile& img, const Border& b);
+
+/// Valid-mode windowed min/max (morphological erode/dilate).
+[[nodiscard]] Tile erode(const Tile& img, int w, int h);
+[[nodiscard]] Tile dilate(const Tile& img, int w, int h);
+
+/// Valid-mode Sobel gradient magnitude (|gx| + |gy|).
+[[nodiscard]] Tile sobel(const Tile& img);
+
+/// Bayer RGGB demosaic to luminance via the kernel's shared window rule.
+[[nodiscard]] Tile bayer_demosaic(const Tile& mosaic);
+
+/// Block average / nearest-neighbor resampling.
+[[nodiscard]] Tile downsample(const Tile& img, int factor);
+[[nodiscard]] Tile upsample(const Tile& img, int factor);
+
+/// The complete Fig. 1(b) pipeline under the Trim policy: median3x3 and
+/// conv5x5 of the frame, aligned by trimming the median result, per-pixel
+/// difference, then histogram. Returns the per-frame bin counts.
+[[nodiscard]] std::vector<long> figure1_histogram(const Tile& frame,
+                                                  const Tile& coeff5x5,
+                                                  const std::vector<double>& uppers);
+
+/// The same pipeline under the Pad policy: the convolution input is
+/// zero-padded by one pixel per side, so its output matches the median's.
+[[nodiscard]] std::vector<long> figure1_histogram_padded(
+    const Tile& frame, const Tile& coeff5x5, const std::vector<double>& uppers);
+
+/// Mirror-pad by `b` pixels on each side (edge-excluding reflection).
+[[nodiscard]] Tile mirror_pad(const Tile& img, const Border& b);
+
+/// The pipeline under the MirrorPad policy.
+[[nodiscard]] std::vector<long> figure1_histogram_mirror_padded(
+    const Tile& frame, const Tile& coeff5x5, const std::vector<double>& uppers);
+
+}  // namespace bpp::ref

@@ -1,0 +1,334 @@
+#include "runtime/runtime.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "core/error.h"
+#include "core/firing.h"
+
+namespace bpp {
+
+namespace {
+
+struct RtChannel {
+  std::mutex mu;
+  std::deque<Item> q;
+  int consumer_core = -1;
+  int producer_core = -1;
+};
+
+struct CoreSync {
+  std::mutex mu;
+  std::condition_variable cv;
+};
+
+class ThreadedRun {
+ public:
+  ThreadedRun(Graph& g, const Mapping& mapping, const RuntimeOptions& opt)
+      : g_(g), opt_(opt), mapping_(mapping) {
+    const int n = g.kernel_count();
+    channels_.resize(static_cast<size_t>(g.channel_count()));
+    for (auto& c : channels_) c = std::make_unique<RtChannel>();
+    for (int c = 0; c < g.channel_count(); ++c) {
+      const Channel& ch = g.channel(c);
+      if (!ch.alive) continue;
+      channels_[static_cast<size_t>(c)]->producer_core =
+          mapping.core_of[static_cast<size_t>(ch.src_kernel)];
+      channels_[static_cast<size_t>(c)]->consumer_core =
+          mapping.core_of[static_cast<size_t>(ch.dst_kernel)];
+    }
+
+    in_of_.resize(static_cast<size_t>(n));
+    outs_of_.resize(static_cast<size_t>(n));
+    connected_.resize(static_cast<size_t>(n));
+    pending_.resize(static_cast<size_t>(n));
+    eos_needed_.assign(static_cast<size_t>(n), 0);
+    eos_seen_.assign(static_cast<size_t>(n), 0);
+    is_sink_.assign(static_cast<size_t>(n), 0);
+    src_next_.resize(static_cast<size_t>(n));
+    sink_done_ = std::make_unique<std::atomic<bool>[]>(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) sink_done_[static_cast<size_t>(i)] = false;
+    core_kernels_.resize(static_cast<size_t>(mapping.cores));
+    sync_.resize(static_cast<size_t>(mapping.cores));
+    for (auto& s : sync_) s = std::make_unique<CoreSync>();
+
+    for (KernelId k = 0; k < n; ++k) {
+      Kernel& kn = g.kernel(k);
+      in_of_[static_cast<size_t>(k)].assign(kn.inputs().size(), -1);
+      for (size_t i = 0; i < kn.inputs().size(); ++i) {
+        auto c = g.in_channel(k, static_cast<int>(i));
+        if (c) {
+          in_of_[static_cast<size_t>(k)][i] = *c;
+          connected_[static_cast<size_t>(k)].push_back(static_cast<int>(i));
+          ++eos_needed_[static_cast<size_t>(k)];
+        }
+      }
+      outs_of_[static_cast<size_t>(k)].resize(kn.outputs().size());
+      for (size_t o = 0; o < kn.outputs().size(); ++o)
+        outs_of_[static_cast<size_t>(k)][o] = g.out_channels(k, static_cast<int>(o));
+      core_kernels_[static_cast<size_t>(mapping.core_of[static_cast<size_t>(k)])]
+          .push_back(k);
+      kn.init();
+      for (Emission& e : kn.initial_emissions())
+        pending_[static_cast<size_t>(k)].push_back(std::move(e));
+      if (!kn.is_source() && g.out_channels(k).empty()) {
+        is_sink_[static_cast<size_t>(k)] = 1;
+        ++total_sinks_;
+      }
+    }
+  }
+
+  [[nodiscard]] double elapsed() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_)
+        .count();
+  }
+
+  void update_max_lag(double lag) {
+    double cur = max_lag_.load(std::memory_order_relaxed);
+    while (lag > cur &&
+           !max_lag_.compare_exchange_weak(cur, lag, std::memory_order_relaxed)) {
+    }
+  }
+
+  RuntimeResult run() {
+    t0_ = std::chrono::steady_clock::now();
+    const auto t0 = t0_;
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<size_t>(mapping_.cores));
+    for (int c = 0; c < mapping_.cores; ++c)
+      if (!core_kernels_[static_cast<size_t>(c)].empty())
+        workers.emplace_back([this, c] { worker(c); });
+
+    // Watchdog / completion monitor.
+    long last_firings = -1;
+    auto last_change = std::chrono::steady_clock::now();
+    RuntimeResult res;
+    while (true) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      if (finished_sinks_.load(std::memory_order_relaxed) >= total_sinks_ &&
+          total_sinks_ > 0) {
+        res.completed = true;
+        break;
+      }
+      const long f = firings_.load(std::memory_order_relaxed);
+      if (f != last_firings) {
+        last_firings = f;
+        last_change = std::chrono::steady_clock::now();
+      } else if (std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                               last_change)
+                     .count() > opt_.watchdog_seconds) {
+        res.watchdog_fired = true;
+        res.diagnostics = "watchdog: no progress for " +
+                          std::to_string(opt_.watchdog_seconds) + "s";
+        break;
+      }
+    }
+    stop_.store(true, std::memory_order_relaxed);
+    for (auto& s : sync_) s->cv.notify_all();
+    for (std::thread& w : workers) w.join();
+
+    res.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    res.total_firings = firings_.load();
+    res.delayed_releases = delayed_.load();
+    res.max_release_lag_seconds = max_lag_.load();
+    return res;
+  }
+
+ private:
+  [[nodiscard]] bool has_space(const std::vector<ChannelId>& outs) {
+    for (ChannelId c : outs) {
+      RtChannel& ch = *channels_[static_cast<size_t>(c)];
+      std::lock_guard<std::mutex> lk(ch.mu);
+      if (static_cast<int>(ch.q.size()) >= opt_.channel_capacity) return false;
+    }
+    return true;
+  }
+
+  void push_all(const std::vector<ChannelId>& outs, const Item& item) {
+    for (ChannelId c : outs) {
+      RtChannel& ch = *channels_[static_cast<size_t>(c)];
+      {
+        std::lock_guard<std::mutex> lk(ch.mu);
+        ch.q.push_back(item);
+      }
+      if (ch.consumer_core >= 0)
+        sync_[static_cast<size_t>(ch.consumer_core)]->cv.notify_all();
+    }
+  }
+
+  /// Drain pending emissions of kernel k. Returns true if all were moved.
+  bool drain(KernelId k, bool& progressed) {
+    auto& pending = pending_[static_cast<size_t>(k)];
+    while (!pending.empty()) {
+      const Emission& e = pending.front();
+      const auto& outs = outs_of_[static_cast<size_t>(k)][static_cast<size_t>(e.port)];
+      if (!has_space(outs)) return false;
+      push_all(outs, e.item);
+      pending.pop_front();
+      progressed = true;
+    }
+    return true;
+  }
+
+  void worker(int core) {
+    const auto& kernels = core_kernels_[static_cast<size_t>(core)];
+    CoreSync& sync = *sync_[static_cast<size_t>(core)];
+    ExecContext ctx;
+
+    while (!stop_.load(std::memory_order_relaxed)) {
+      bool progressed = false;
+      for (KernelId k : kernels) {
+        Kernel& kn = g_.kernel(k);
+        if (!drain(k, progressed) &&
+            static_cast<long>(pending_[static_cast<size_t>(k)].size()) >=
+                kn.pending_capacity())
+          continue;
+
+        if (kn.is_source()) {
+          // Default: flood-fill, channel back-pressure throttles the
+          // source. With pace_inputs, each emission waits for its
+          // wall-clock release time and late releases are recorded.
+          SourceEmission e;
+          auto& next = src_next_[static_cast<size_t>(k)];
+          while (true) {
+            if (next.has_value()) {
+              if (opt_.pace_inputs) {
+                const double release =
+                    next->release_seconds * opt_.pace_slowdown;
+                const double now = elapsed();
+                if (now + 1e-9 < release) break;  // not due yet
+                const auto& outs = outs_of_[static_cast<size_t>(k)]
+                                           [static_cast<size_t>(next->port)];
+                if (!has_space(outs)) break;
+                const double lag = elapsed() - release;
+                // Host schedulers wake in ~ms quanta; only count lag that
+                // a real deadline monitor would (beyond 2 ms).
+                if (lag > 2e-3) {
+                  delayed_.fetch_add(1, std::memory_order_relaxed);
+                  update_max_lag(lag);
+                }
+                push_all(outs, next->item);
+                next.reset();
+                progressed = true;
+              } else {
+                const auto& outs = outs_of_[static_cast<size_t>(k)]
+                                           [static_cast<size_t>(next->port)];
+                if (!has_space(outs)) break;
+                push_all(outs, next->item);
+                next.reset();
+                progressed = true;
+              }
+            }
+            if (!kn.source_poll(e)) break;
+            next = std::move(e);
+          }
+          continue;
+        }
+
+        const FireDecision d = decide_fire(
+            kn, connected_[static_cast<size_t>(k)], [&](int port) -> const Item* {
+              const ChannelId c = in_of_[static_cast<size_t>(k)][static_cast<size_t>(port)];
+              if (c < 0) return nullptr;
+              RtChannel& ch = *channels_[static_cast<size_t>(c)];
+              std::lock_guard<std::mutex> lk(ch.mu);
+              // deque references stay valid across the producer's
+              // push_back; only this thread pops.
+              return ch.q.empty() ? nullptr : &ch.q.front();
+            });
+        if (!d.fires()) continue;
+
+        ctx.reset();
+        std::vector<Item> popped;
+        popped.reserve(d.pop_inputs.size());
+        for (int p : d.pop_inputs) {
+          const ChannelId c = in_of_[static_cast<size_t>(k)][static_cast<size_t>(p)];
+          RtChannel& ch = *channels_[static_cast<size_t>(c)];
+          {
+            std::lock_guard<std::mutex> lk(ch.mu);
+            popped.push_back(std::move(ch.q.front()));
+            ch.q.pop_front();
+          }
+          if (ch.producer_core >= 0)
+            sync_[static_cast<size_t>(ch.producer_core)]->cv.notify_all();
+          if (is_token(popped.back()) &&
+              as_token(popped.back()).cls == tok::kEndOfStream)
+            ++eos_seen_[static_cast<size_t>(k)];
+        }
+        for (size_t i = 0; i < d.pop_inputs.size(); ++i)
+          ctx.bind_input(d.pop_inputs[i], &popped[i]);
+
+        if (d.kind == FireDecision::Kind::Method) {
+          if (d.token >= 0) ctx.set_trigger_token(d.token, d.payload);
+          kn.invoke(d.method, ctx);
+        } else {
+          for (int o : d.forward_outputs)
+            ctx.emit(o, ControlToken{d.token, d.payload});
+        }
+        for (Emission& e : ctx.emissions())
+          pending_[static_cast<size_t>(k)].push_back(std::move(e));
+        drain(k, progressed);
+        progressed = true;
+        firings_.fetch_add(1, std::memory_order_relaxed);
+
+        // Sink completion: all connected inputs delivered end-of-stream.
+        if (is_sink_[static_cast<size_t>(k)] &&
+            eos_seen_[static_cast<size_t>(k)] >= eos_needed_[static_cast<size_t>(k)] &&
+            !sink_done_[static_cast<size_t>(k)].exchange(true))
+          finished_sinks_.fetch_add(1);
+      }
+      if (!progressed) {
+        std::unique_lock<std::mutex> lk(sync.mu);
+        // Paced sources need finer wakeups than the default tick.
+        sync.cv.wait_for(lk, opt_.pace_inputs ? std::chrono::microseconds(200)
+                                              : std::chrono::microseconds(1000));
+      }
+    }
+  }
+
+  Graph& g_;
+  RuntimeOptions opt_;
+  Mapping mapping_;
+  std::vector<std::unique_ptr<RtChannel>> channels_;
+  std::vector<std::unique_ptr<CoreSync>> sync_;
+  std::vector<std::vector<ChannelId>> in_of_;
+  std::vector<std::vector<std::vector<ChannelId>>> outs_of_;
+  std::vector<std::vector<int>> connected_;
+  std::vector<std::deque<Emission>> pending_;
+  std::vector<std::vector<KernelId>> core_kernels_;
+  std::vector<int> eos_needed_;
+  std::vector<int> eos_seen_;
+  std::vector<char> is_sink_;
+  std::vector<std::optional<SourceEmission>> src_next_;
+  std::unique_ptr<std::atomic<bool>[]> sink_done_;
+  std::atomic<bool> stop_{false};
+  std::atomic<long> firings_{0};
+  std::atomic<long> delayed_{0};
+  std::atomic<double> max_lag_{0.0};
+  std::chrono::steady_clock::time_point t0_{};
+  std::atomic<int> finished_sinks_{0};
+  int total_sinks_ = 0;
+};
+
+}  // namespace
+
+RuntimeResult run_threaded(Graph& g, const Mapping& mapping,
+                           const RuntimeOptions& options) {
+  if (static_cast<int>(mapping.core_of.size()) != g.kernel_count())
+    throw ExecutionError("run_threaded: mapping does not cover the graph");
+  return ThreadedRun(g, mapping, options).run();
+}
+
+RuntimeResult run_sequential(Graph& g, const RuntimeOptions& options) {
+  Mapping m;
+  m.core_of.assign(static_cast<size_t>(g.kernel_count()), 0);
+  m.cores = 1;
+  return run_threaded(g, m, options);
+}
+
+}  // namespace bpp

@@ -1,0 +1,298 @@
+#include "serialize/serialize.h"
+
+#include <iomanip>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "kernels/kernels.h"
+
+namespace bpp {
+
+namespace {
+
+// ----------------------------------------------------------- formatting
+
+std::string fmt_double(double v) {
+  std::ostringstream os;
+  os << std::setprecision(17) << v;
+  return os.str();
+}
+
+std::string fmt_size(Size2 s) {
+  return std::to_string(s.w) + "x" + std::to_string(s.h);
+}
+
+std::string fmt_tile(const Tile& t) {
+  std::string out = fmt_size(t.size()) + ":";
+  for (long i = 0; i < t.words(); ++i) {
+    if (i) out += ',';
+    out += fmt_double(t.raw()[static_cast<size_t>(i)]);
+  }
+  return out;
+}
+
+std::string fmt_taps(const std::vector<double>& taps) {
+  std::string out;
+  for (size_t i = 0; i < taps.size(); ++i) {
+    if (i) out += ',';
+    out += fmt_double(taps[i]);
+  }
+  return out;
+}
+
+// -------------------------------------------------------------- writing
+
+std::string describe_kernel(const Kernel& k) {
+  std::ostringstream os;
+  os << "kernel " << k.name() << ' ';
+  if (const auto* p = dynamic_cast<const InputKernel*>(&k)) {
+    os << "Input frame=" << fmt_size(p->frame()) << " rate=" << fmt_double(p->rate_hz())
+       << " frames=" << p->frames();
+  } else if (const auto* p = dynamic_cast<const ConstSource*>(&k)) {
+    os << "Const tile=" << fmt_tile(p->payload());
+  } else if (const auto* p = dynamic_cast<const OutputKernel*>(&k)) {
+    os << "Output item=" << fmt_size(p->inputs().front().spec.window);
+  } else if (const auto* p = dynamic_cast<const ConvolutionKernel*>(&k)) {
+    os << "Convolution w=" << p->kwidth() << " h=" << p->kheight();
+  } else if (const auto* p = dynamic_cast<const MedianKernel*>(&k)) {
+    os << "Median w=" << p->inputs().front().spec.window.w
+       << " h=" << p->inputs().front().spec.window.h;
+  } else if (const auto* p = dynamic_cast<const MorphologyKernel*>(&k)) {
+    os << (p->op() == MorphologyKernel::Op::Erode ? "Erode" : "Dilate")
+       << " w=" << p->inputs().front().spec.window.w
+       << " h=" << p->inputs().front().spec.window.h;
+  } else if (dynamic_cast<const SobelKernel*>(&k)) {
+    os << "Sobel";
+  } else if (dynamic_cast<const BayerDemosaicKernel*>(&k)) {
+    os << "Bayer";
+  } else if (const auto* p = dynamic_cast<const DownsampleKernel*>(&k)) {
+    os << "Downsample factor=" << p->factor();
+  } else if (const auto* p = dynamic_cast<const UpsampleKernel*>(&k)) {
+    os << "Upsample factor=" << p->factor();
+  } else if (const auto* p = dynamic_cast<const HistogramKernel*>(&k)) {
+    os << "Histogram bins=" << p->bins();
+  } else if (const auto* p = dynamic_cast<const HistogramMergeKernel*>(&k)) {
+    os << "HistogramMerge bins=" << p->inputs().front().spec.window.w;
+  } else if (const auto* p = dynamic_cast<const FirDecimateKernel*>(&k)) {
+    os << "Fir decimate=" << p->decimation() << " taps=" << fmt_taps(p->tap_values());
+  } else if (const auto* p = dynamic_cast<const BinaryOpKernel*>(&k)) {
+    if (p->op_tag().empty())
+      throw GraphError(k.name() + ": ad-hoc binary op is not serializable");
+    os << "Binary op=" << p->op_tag();
+  } else if (const auto* p = dynamic_cast<const UnaryOpKernel*>(&k)) {
+    if (p->op_tag().empty())
+      throw GraphError(k.name() + ": ad-hoc unary op is not serializable");
+    os << "Unary op=" << p->op_tag() << " p0=" << fmt_double(p->param0())
+       << " p1=" << fmt_double(p->param1());
+  } else {
+    throw GraphError(k.name() + ": kernel type is not serializable (compiled "
+                     "infrastructure and ad-hoc kernels are out of scope)");
+  }
+  return os.str();
+}
+
+// -------------------------------------------------------------- reading
+
+using Params = std::map<std::string, std::string>;
+
+Size2 parse_size(const std::string& v) {
+  Size2 s;
+  if (std::sscanf(v.c_str(), "%dx%d", &s.w, &s.h) != 2)
+    throw GraphError("bad size '" + v + "'");
+  return s;
+}
+
+std::vector<double> parse_list(const std::string& v) {
+  std::vector<double> out;
+  std::istringstream is(v);
+  std::string tok;
+  while (std::getline(is, tok, ',')) out.push_back(std::stod(tok));
+  return out;
+}
+
+Tile parse_tile(const std::string& v) {
+  const size_t colon = v.find(':');
+  if (colon == std::string::npos) throw GraphError("bad tile '" + v + "'");
+  const Size2 s = parse_size(v.substr(0, colon));
+  const std::vector<double> vals = parse_list(v.substr(colon + 1));
+  if (static_cast<long>(vals.size()) != s.area())
+    throw GraphError("tile value count mismatch in '" + v + "'");
+  Tile t(s);
+  t.raw() = vals;
+  return t;
+}
+
+const std::string& req(const Params& p, const std::string& key) {
+  auto it = p.find(key);
+  if (it == p.end()) throw GraphError("missing parameter '" + key + "'");
+  return it->second;
+}
+
+std::unique_ptr<Kernel> make_kernel(const std::string& name,
+                                    const std::string& type, const Params& p) {
+  if (type == "Input")
+    return std::make_unique<InputKernel>(name, parse_size(req(p, "frame")),
+                                         std::stod(req(p, "rate")),
+                                         std::stoi(req(p, "frames")));
+  if (type == "Const")
+    return std::make_unique<ConstSource>(name, parse_tile(req(p, "tile")));
+  if (type == "Output") {
+    Size2 item{1, 1};
+    if (p.count("item")) item = parse_size(p.at("item"));
+    return std::make_unique<OutputKernel>(name, item);
+  }
+  if (type == "Convolution")
+    return std::make_unique<ConvolutionKernel>(name, std::stoi(req(p, "w")),
+                                               std::stoi(req(p, "h")));
+  if (type == "Median")
+    return std::make_unique<MedianKernel>(name, std::stoi(req(p, "w")),
+                                          std::stoi(req(p, "h")));
+  if (type == "Erode")
+    return std::make_unique<MorphologyKernel>(name, MorphologyKernel::Op::Erode,
+                                              std::stoi(req(p, "w")),
+                                              std::stoi(req(p, "h")));
+  if (type == "Dilate")
+    return std::make_unique<MorphologyKernel>(name, MorphologyKernel::Op::Dilate,
+                                              std::stoi(req(p, "w")),
+                                              std::stoi(req(p, "h")));
+  if (type == "Sobel") return std::make_unique<SobelKernel>(name);
+  if (type == "Bayer") return std::make_unique<BayerDemosaicKernel>(name);
+  if (type == "Downsample")
+    return std::make_unique<DownsampleKernel>(name, std::stoi(req(p, "factor")));
+  if (type == "Upsample")
+    return std::make_unique<UpsampleKernel>(name, std::stoi(req(p, "factor")));
+  if (type == "Histogram")
+    return std::make_unique<HistogramKernel>(name, std::stoi(req(p, "bins")));
+  if (type == "HistogramMerge")
+    return std::make_unique<HistogramMergeKernel>(name, std::stoi(req(p, "bins")));
+  if (type == "Fir")
+    return std::make_unique<FirDecimateKernel>(name, parse_list(req(p, "taps")),
+                                               std::stoi(req(p, "decimate")));
+  if (type == "Binary") {
+    const std::string& op = req(p, "op");
+    if (op == "subtract") return make_subtract(name);
+    if (op == "add") return make_add(name);
+    if (op == "absdiff") return make_absdiff(name);
+    if (op == "multiply") return make_multiply(name);
+    throw GraphError("unknown binary op '" + op + "'");
+  }
+  if (type == "Unary") {
+    const std::string& op = req(p, "op");
+    const double p0 = p.count("p0") ? std::stod(p.at("p0")) : 0.0;
+    const double p1 = p.count("p1") ? std::stod(p.at("p1")) : 0.0;
+    if (op == "abs") return make_abs(name);
+    if (op == "scale") return make_scale(name, p0, p1);
+    if (op == "threshold") return make_threshold(name, p0);
+    if (op == "clamp") return make_clamp(name, p0, p1);
+    throw GraphError("unknown unary op '" + op + "'");
+  }
+  throw GraphError("unknown kernel type '" + type + "'");
+}
+
+}  // namespace
+
+void write_graph_text(const Graph& g, std::ostream& os) {
+  os << "bpp-graph 1\n";
+  for (int k = 0; k < g.kernel_count(); ++k)
+    os << describe_kernel(g.kernel(k)) << '\n';
+  for (int c = 0; c < g.channel_count(); ++c) {
+    const Channel& ch = g.channel(c);
+    if (!ch.alive) continue;
+    os << "channel " << g.kernel(ch.src_kernel).name() << '.'
+       << g.kernel(ch.src_kernel).output(ch.src_port).spec.name << " -> "
+       << g.kernel(ch.dst_kernel).name() << '.'
+       << g.kernel(ch.dst_kernel).input(ch.dst_port).spec.name << '\n';
+  }
+  for (const DepEdge& d : g.dependencies())
+    os << "dependency " << g.kernel(d.src).name() << " -> "
+       << g.kernel(d.dst).name() << '\n';
+}
+
+std::string graph_to_text(const Graph& g) {
+  std::ostringstream os;
+  write_graph_text(g, os);
+  return os.str();
+}
+
+Graph read_graph_text(std::istream& is) {
+  Graph g;
+  std::string line;
+  int lineno = 0;
+  bool header = false;
+
+  auto fail = [&](const std::string& why) {
+    throw GraphError("bpp-graph line " + std::to_string(lineno) + ": " + why);
+  };
+
+  while (std::getline(is, line)) {
+    ++lineno;
+    // Strip comments and whitespace-only lines.
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string word;
+    if (!(ls >> word)) continue;
+
+    if (!header) {
+      std::string version;
+      if (word != "bpp-graph" || !(ls >> version) || version != "1")
+        fail("expected header 'bpp-graph 1'");
+      header = true;
+      continue;
+    }
+
+    if (word == "kernel") {
+      std::string name, type;
+      if (!(ls >> name >> type)) fail("kernel needs a name and type");
+      Params params;
+      std::string kv;
+      while (ls >> kv) {
+        const size_t eq = kv.find('=');
+        if (eq == std::string::npos) fail("expected key=value, got '" + kv + "'");
+        params[kv.substr(0, eq)] = kv.substr(eq + 1);
+      }
+      try {
+        g.add_kernel(make_kernel(name, type, params));
+      } catch (const std::exception& e) {
+        fail(e.what());
+      }
+    } else if (word == "channel" || word == "dependency") {
+      std::string lhs, arrow, rhs;
+      if (!(ls >> lhs >> arrow >> rhs) || arrow != "->")
+        fail("expected '<src> -> <dst>'");
+      if (word == "dependency") {
+        const KernelId s = g.find(lhs);
+        const KernelId d = g.find(rhs);
+        if (s < 0 || d < 0) fail("unknown kernel in dependency");
+        g.add_dependency(s, d);
+        continue;
+      }
+      auto split_ref = [&](const std::string& r) {
+        const size_t dot = r.rfind('.');
+        if (dot == std::string::npos) fail("expected kernel.port, got '" + r + "'");
+        return std::pair<std::string, std::string>{r.substr(0, dot),
+                                                   r.substr(dot + 1)};
+      };
+      const auto [sk, sp] = split_ref(lhs);
+      const auto [dk, dp] = split_ref(rhs);
+      if (g.find(sk) < 0 || g.find(dk) < 0) fail("unknown kernel in channel");
+      try {
+        g.connect(g.by_name(sk), sp, g.by_name(dk), dp);
+      } catch (const std::exception& e) {
+        fail(e.what());
+      }
+    } else {
+      fail("unknown directive '" + word + "'");
+    }
+  }
+  if (!header) throw GraphError("bpp-graph: empty input");
+  return g;
+}
+
+Graph graph_from_text(const std::string& text) {
+  std::istringstream is(text);
+  return read_graph_text(is);
+}
+
+}  // namespace bpp

@@ -1,0 +1,41 @@
+#pragma once
+// Application-graph serialization.
+//
+// Saves and loads *source* application graphs (the programmer-facing
+// description: library kernels, channels, dependency edges) as a
+// line-oriented text format, so applications can be authored, versioned,
+// and fed to the `bpc` driver without recompiling C++.
+//
+//   bpp-graph 1
+//   kernel input Input frame=48x36 rate=180 frames=2
+//   kernel blur Convolution w=3 h=3
+//   kernel coeff Const tile=3x3:0.0625,0.125,...
+//   kernel out Output item=1x1
+//   channel input.out -> blur.in
+//   channel coeff.out -> blur.coeff
+//   channel blur.out -> out.in
+//   dependency input -> out        # (optional)
+//
+// Scope: the library's kernel vocabulary (sources, sinks, filters,
+// histogram, FIR, events, motion, feedback, named element-wise ops).
+// Ad-hoc lambda kernels and compiled-graph infrastructure (buffers,
+// splits) are intentionally out of scope — serialize the source graph and
+// re-run compile().
+
+#include <iosfwd>
+#include <string>
+
+#include "core/graph.h"
+
+namespace bpp {
+
+/// Serialize `g` as bpp-graph text. Throws GraphError for kernels outside
+/// the serializable vocabulary (e.g. ad-hoc lambdas, compiled buffers).
+void write_graph_text(const Graph& g, std::ostream& os);
+[[nodiscard]] std::string graph_to_text(const Graph& g);
+
+/// Parse a bpp-graph text back into an application graph.
+[[nodiscard]] Graph read_graph_text(std::istream& is);
+[[nodiscard]] Graph graph_from_text(const std::string& text);
+
+}  // namespace bpp

@@ -1,0 +1,396 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <queue>
+#include <limits>
+#include <sstream>
+
+#include "core/error.h"
+#include "core/firing.h"
+
+namespace bpp {
+
+double SimResult::avg_utilization(const MachineSpec& m) const {
+  if (sim_seconds <= 0.0) return 0.0;
+  const double capacity = m.clock_hz * sim_seconds;
+  double sum = 0.0;
+  int n = 0;
+  for (const CoreStats& c : cores) {
+    if (c.source_only) continue;
+    sum += c.busy_cycles() / capacity;
+    ++n;
+  }
+  return n > 0 ? sum / n : 0.0;
+}
+
+CoreStats SimResult::totals() const {
+  CoreStats t;
+  t.source_only = false;
+  for (const CoreStats& c : cores) {
+    if (c.source_only) continue;
+    t.run_cycles += c.run_cycles;
+    t.read_cycles += c.read_cycles;
+    t.write_cycles += c.write_cycles;
+    t.switch_cycles += c.switch_cycles;
+    t.firings += c.firings;
+  }
+  return t;
+}
+
+namespace {
+
+struct TimedItem {
+  Item item;
+  double avail = 0.0;
+  long charge = 0;  ///< words transferred (reuse links charge less)
+};
+
+struct ChannelState {
+  std::deque<TimedItem> q;
+};
+
+struct KernelState {
+  std::deque<Emission> pending;
+  std::vector<int> connected_inputs;
+  std::vector<ChannelId> in_channel_of_port;            // -1 if none
+  std::vector<std::vector<ChannelId>> out_channels_of_port;
+  bool is_sink = false;
+  int sink_index = -1;  ///< into SimResult::sink_frame_times
+};
+
+struct SourceState {
+  KernelId id = -1;
+  bool exhausted = false;
+  bool have_next = false;
+  SourceEmission next;
+};
+
+struct CoreState {
+  std::vector<KernelId> kernels;  // non-source kernels mapped here
+  double busy_until = 0.0;
+  size_t rr = 0;
+};
+
+class Sim {
+ public:
+  Sim(Graph& g, const Mapping& mapping, const SimOptions& opt)
+      : g_(g), opt_(opt) {
+    const int n = g.kernel_count();
+    channels_.resize(static_cast<size_t>(g.channel_count()));
+    kstate_.resize(static_cast<size_t>(n));
+    core_of_ = mapping.core_of;
+    cores_.resize(static_cast<size_t>(mapping.cores));
+    res_.cores.resize(static_cast<size_t>(mapping.cores));
+
+    for (KernelId k = 0; k < n; ++k) {
+      Kernel& kn = g.kernel(k);
+      KernelState& st = kstate_[static_cast<size_t>(k)];
+      st.in_channel_of_port.assign(kn.inputs().size(), -1);
+      for (size_t i = 0; i < kn.inputs().size(); ++i) {
+        auto c = g.in_channel(k, static_cast<int>(i));
+        if (c) {
+          st.in_channel_of_port[i] = *c;
+          st.connected_inputs.push_back(static_cast<int>(i));
+        }
+      }
+      st.out_channels_of_port.resize(kn.outputs().size());
+      for (size_t o = 0; o < kn.outputs().size(); ++o)
+        st.out_channels_of_port[o] = g.out_channels(k, static_cast<int>(o));
+
+      if (kn.is_source()) {
+        SourceState ss;
+        ss.id = k;
+        sources_.push_back(ss);
+        auto spec = kn.source_spec(0);
+        if (spec && spec->rate_hz > 0.0) {
+          pixel_period_ = std::min(
+              pixel_period_, 1.0 / (spec->rate_hz * spec->frame.area()));
+          res_.input_span_seconds = std::max(
+              res_.input_span_seconds, spec->frames / spec->rate_hz);
+        }
+      } else {
+        const int core = core_of_[static_cast<size_t>(k)];
+        cores_[static_cast<size_t>(core)].kernels.push_back(k);
+        res_.cores[static_cast<size_t>(core)].source_only = false;
+      }
+      if (!kn.is_source() && g.out_channels(k).empty()) {
+        st.is_sink = true;
+        st.sink_index = static_cast<int>(res_.sink_frame_times.size());
+        res_.sink_frame_times.emplace_back(k, std::vector<double>{});
+      }
+      kn.init();
+      for (Emission& e : kn.initial_emissions())
+        st.pending.push_back(std::move(e));
+    }
+    res_.kernel_activity.assign(static_cast<size_t>(n), {0L, 0.0});
+  }
+
+  SimResult run() {
+    for (SourceState& s : sources_) advance_source(s);
+
+    std::priority_queue<double, std::vector<double>, std::greater<>> wake;
+    wake.push(0.0);
+    double now = 0.0;
+
+    while (!wake.empty()) {
+      now = wake.top();
+      while (!wake.empty() && wake.top() <= now + 1e-15) wake.pop();
+
+      bool acted = true;
+      while (acted) {
+        acted = false;
+        // Application inputs release on their schedule; a blocked release
+        // is retried and its lag recorded (the camera cannot wait).
+        for (SourceState& s : sources_) {
+          while (s.have_next && s.next.release_seconds <= now + 1e-15) {
+            if (!push_source(s, now)) break;
+            acted = true;
+          }
+          if (s.have_next && s.next.release_seconds > now)
+            wake.push(s.next.release_seconds);
+        }
+        // One action per idle core per settling pass.
+        for (size_t c = 0; c < cores_.size(); ++c) {
+          CoreState& core = cores_[c];
+          if (core.busy_until > now + 1e-15 || core.kernels.empty()) continue;
+          const double dur = core_action(static_cast<int>(c), now);
+          if (dur > 0.0) {
+            core.busy_until = now + dur;
+            wake.push(core.busy_until);
+            acted = true;
+          }
+        }
+        if (res_.total_firings > opt_.max_firings) {
+          res_.diagnostics = "aborted: firing limit exceeded";
+          finish(now);
+          return std::move(res_);
+        }
+      }
+    }
+    finish(now);
+    return std::move(res_);
+  }
+
+ private:
+  [[nodiscard]] bool channel_has_space(ChannelId c) const {
+    return static_cast<int>(channels_[static_cast<size_t>(c)].q.size()) <
+           opt_.channel_capacity;
+  }
+
+  [[nodiscard]] bool all_have_space(const std::vector<ChannelId>& cs) const {
+    return std::all_of(cs.begin(), cs.end(),
+                       [&](ChannelId c) { return channel_has_space(c); });
+  }
+
+  void advance_source(SourceState& s) {
+    s.have_next = g_.kernel(s.id).source_poll(s.next);
+    if (!s.have_next) s.exhausted = true;
+  }
+
+  bool push_source(SourceState& s, double now) {
+    const KernelState& st = kstate_[static_cast<size_t>(s.id)];
+    const auto& outs = st.out_channels_of_port[static_cast<size_t>(s.next.port)];
+    if (!all_have_space(outs)) return false;
+    const double lag = now - s.next.release_seconds;
+    if (lag > 1e-12) {
+      ++res_.delayed_releases;
+      res_.max_input_lag_seconds = std::max(res_.max_input_lag_seconds, lag);
+    }
+    for (ChannelId c : outs)
+      channels_[static_cast<size_t>(c)].q.push_back(
+          TimedItem{s.next.item, now, item_words(s.next.item)});
+    advance_source(s);
+    return true;
+  }
+
+  /// Move as many pending emissions of kernel `k` to channels as fit,
+  /// marking them with a provisional +inf availability that retime_recent
+  /// replaces with the action's end time. Returns words written.
+  long drain_pending(KernelId k) {
+    constexpr double kProvisional = std::numeric_limits<double>::infinity();
+    KernelState& st = kstate_[static_cast<size_t>(k)];
+    long words = 0;
+    while (!st.pending.empty()) {
+      const Emission& e = st.pending.front();
+      const auto& outs = st.out_channels_of_port[static_cast<size_t>(e.port)];
+      if (!all_have_space(outs)) break;
+      const long charge =
+          e.charge_words >= 0 ? e.charge_words : item_words(e.item);
+      for (ChannelId c : outs) {
+        channels_[static_cast<size_t>(c)].q.push_back(
+            TimedItem{e.item, kProvisional, charge});
+        words += charge;
+      }
+      st.pending.pop_front();
+    }
+    return words;
+  }
+
+  /// Attempt one action on core `c` at time `now`; returns its duration in
+  /// seconds (0 = nothing to do).
+  double core_action(int c, double now) {
+    CoreState& core = cores_[static_cast<size_t>(c)];
+    CoreStats& stats = res_.cores[static_cast<size_t>(c)];
+    const size_t n = core.kernels.size();
+    for (size_t off = 0; off < n; ++off) {
+      const size_t idx = (core.rr + off) % n;
+      const KernelId k = core.kernels[idx];
+      KernelState& st = kstate_[static_cast<size_t>(k)];
+      Kernel& kn = g_.kernel(k);
+
+      // Deliver back-pressured output first; a kernel may keep firing
+      // while its undelivered items fit its modeled output buffering.
+      if (!st.pending.empty()) {
+        const long words = drain_pending(k);
+        if (words > 0) {
+          const double cycles = words * opt_.machine.write_cost;
+          const double dur = cycles / opt_.machine.clock_hz;
+          retime_recent(k, now + dur);
+          stats.write_cycles += cycles;
+          core.rr = (idx + 1) % n;
+          last_action_ = std::max(last_action_, now + dur);
+          return dur;
+        }
+        if (static_cast<long>(st.pending.size()) >= kn.pending_capacity())
+          continue;  // stalled on insufficient output buffering (Fig. 9(b))
+      }
+
+      const FireDecision d = decide_fire(
+          kn, st.connected_inputs, [&](int port) -> const Item* {
+            const ChannelId ch = st.in_channel_of_port[static_cast<size_t>(port)];
+            if (ch < 0) return nullptr;
+            const auto& q = channels_[static_cast<size_t>(ch)].q;
+            if (q.empty() || q.front().avail > now + 1e-15) return nullptr;
+            return &q.front().item;
+          });
+      if (!d.fires()) continue;
+
+      // Pop the consumed items.
+      ExecContext ctx;
+      std::vector<Item> popped;
+      popped.reserve(d.pop_inputs.size());
+      long read_words = 0;
+      for (int p : d.pop_inputs) {
+        const ChannelId ch = st.in_channel_of_port[static_cast<size_t>(p)];
+        auto& q = channels_[static_cast<size_t>(ch)].q;
+        read_words += q.front().charge;
+        popped.push_back(std::move(q.front().item));
+        q.pop_front();
+      }
+      for (size_t i = 0; i < d.pop_inputs.size(); ++i)
+        ctx.bind_input(d.pop_inputs[static_cast<size_t>(i)], &popped[i]);
+
+      long run_cycles = 0;
+      if (d.kind == FireDecision::Kind::Method) {
+        if (d.token >= 0) ctx.set_trigger_token(d.token, d.payload);
+        kn.invoke(d.method, ctx);
+        run_cycles = kn.methods()[static_cast<size_t>(d.method)].res.cycles;
+        if (ctx.has_dynamic_cycles()) {
+          // Dynamic-resource extension: time the firing with the reported
+          // cycles; the declared count is the allocated bound.
+          const long bound = run_cycles;
+          run_cycles = ctx.dynamic_cycles();
+          if (run_cycles > bound) {
+            ++res_.resource_exception_count;
+            if (res_.resource_exceptions.size() < 64)
+              res_.resource_exceptions.push_back(ResourceException{
+                  kn.name(), kn.methods()[static_cast<size_t>(d.method)].name,
+                  run_cycles, bound, now});
+          }
+        }
+      } else {
+        for (int o : d.forward_outputs)
+          ctx.emit(o, ControlToken{d.token, d.payload});
+        run_cycles = 2;  // token forwarding FSM step
+      }
+
+      for (Emission& e : ctx.emissions()) st.pending.push_back(std::move(e));
+
+      const double base_cycles = opt_.machine.context_switch +
+                                 read_words * opt_.machine.read_cost +
+                                 static_cast<double>(run_cycles);
+      const long write_words = drain_pending(k);  // retimed below
+      const double cycles =
+          base_cycles + write_words * opt_.machine.write_cost;
+      const double dur = cycles / opt_.machine.clock_hz;
+      retime_recent(k, now + dur);
+
+      stats.switch_cycles += opt_.machine.context_switch;
+      stats.read_cycles += read_words * opt_.machine.read_cost;
+      stats.run_cycles += static_cast<double>(run_cycles);
+      stats.write_cycles += write_words * opt_.machine.write_cost;
+      ++stats.firings;
+      ++res_.total_firings;
+      res_.kernel_activity[static_cast<size_t>(k)].first += 1;
+      res_.kernel_activity[static_cast<size_t>(k)].second += cycles;
+      if (st.is_sink)
+        for (const Item& it : popped)
+          if (is_token(it) && as_token(it).cls == tok::kEndOfFrame)
+            res_.sink_frame_times[static_cast<size_t>(st.sink_index)]
+                .second.push_back(now + dur);
+      if (static_cast<long>(res_.trace.size()) < opt_.trace_limit)
+        res_.trace.push_back(FiringRecord{
+            now, dur, c, k,
+            d.kind == FireDecision::Kind::Method ? d.method : -1});
+      core.rr = (idx + 1) % n;
+      last_action_ = std::max(last_action_, now + dur);
+      return dur;
+    }
+    return 0.0;
+  }
+
+  /// Items just pushed with a provisional +inf availability get the final
+  /// action-end time (they sit at the back of their queues).
+  void retime_recent(KernelId k, double avail) {
+    const KernelState& st = kstate_[static_cast<size_t>(k)];
+    for (const auto& outs : st.out_channels_of_port)
+      for (ChannelId c : outs) {
+        auto& q = channels_[static_cast<size_t>(c)].q;
+        for (auto it = q.rbegin();
+             it != q.rend() && std::isinf(it->avail); ++it)
+          it->avail = avail;
+      }
+  }
+
+  void finish(double now) {
+    res_.sim_seconds = std::max(last_action_, now);
+    bool exhausted = true;
+    for (const SourceState& s : sources_) exhausted = exhausted && s.exhausted;
+    long leftover = 0;
+    for (const ChannelState& cs : channels_) leftover += static_cast<long>(cs.q.size());
+    for (const KernelState& ks : kstate_) leftover += static_cast<long>(ks.pending.size());
+    res_.completed = exhausted;
+    res_.deadlocked = !exhausted;
+    if (leftover > 0 && res_.diagnostics.empty()) {
+      std::ostringstream os;
+      os << leftover << " items left in flight";
+      res_.diagnostics = os.str();
+    }
+    const double tolerance = opt_.lag_tolerance_periods * pixel_period_;
+    res_.realtime_met = res_.completed &&
+                        res_.max_input_lag_seconds <= tolerance + 1e-12;
+  }
+
+  Graph& g_;
+  SimOptions opt_;
+  SimResult res_;
+  std::vector<ChannelState> channels_;
+  std::vector<KernelState> kstate_;
+  std::vector<SourceState> sources_;
+  std::vector<CoreState> cores_;
+  std::vector<int> core_of_;
+  double pixel_period_ = 1.0;
+  double last_action_ = 0.0;
+};
+
+}  // namespace
+
+SimResult simulate(Graph& g, const Mapping& mapping, const SimOptions& options) {
+  if (static_cast<int>(mapping.core_of.size()) != g.kernel_count())
+    throw ExecutionError("simulate: mapping does not cover the graph");
+  return Sim(g, mapping, options).run();
+}
+
+}  // namespace bpp

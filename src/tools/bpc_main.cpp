@@ -1,0 +1,254 @@
+// bpc — the block-parallel compiler driver.
+//
+// Builds one of the bundled applications, compiles it for a machine,
+// prints the transformation report, and optionally verifies it on the
+// timing simulator, executes it on host threads, exports the compiled
+// graph as Graphviz, or dumps a firing trace.
+//
+//   bpc fig1 --frame 96x72 --rate 130 --simulate
+//   bpc bayer --rate 450 --run
+//   bpc fig1 --policy pad --dot app.dot
+//   bpc histogram --machine 10e6,256 --simulate --trace 40
+
+#include <cstdio>
+#include <algorithm>
+#include <cstring>
+#include <vector>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "apps/pipelines.h"
+#include "serialize/serialize.h"
+#include "compiler/pipeline.h"
+#include "compiler/report.h"
+#include "core/dot_export.h"
+#include "kernels/kernels.h"
+#include "runtime/runtime.h"
+#include "sim/simulator.h"
+
+using namespace bpp;
+
+namespace {
+
+struct Args {
+  std::string app;
+  Size2 frame{48, 36};
+  double rate = 180.0;
+  int frames = 2;
+  int bins = 32;
+  AlignPolicy policy = AlignPolicy::Trim;
+  bool reuse = false;
+  bool multiplex = true;
+  bool do_sim = false;
+  bool do_run = false;
+  bool show_kernels = false;
+  long trace = 0;
+  std::string dot_path;
+  std::string save_path;
+  MachineSpec machine;
+};
+
+void usage() {
+  std::printf(
+      "usage: bpc <app>|@file.bpg [options]\n"
+      "apps (or @file to load a bpp-graph text file):\n"
+      "  fig1 | bayer | histogram | parallel-buffer | multi-conv |\n"
+      "  pipeline | sobel | downsample | separable | motion | feedback |\n"
+      "  radio | analytics\n"
+      "options:\n"
+      "  --frame WxH        input frame extent (default 48x36)\n"
+      "  --rate HZ          input frame rate (default 180)\n"
+      "  --frames N         frames per run (default 2)\n"
+      "  --bins N           histogram bins (default 32)\n"
+      "  --policy P         alignment: trim | pad | mirror (default trim)\n"
+      "  --reuse            Fig. 9 reuse-optimized striping\n"
+      "  --no-multiplex     keep the 1:1 kernel-to-core mapping\n"
+      "  --machine C,M      PE clock_hz and mem_words (default 20e6,512)\n"
+      "  --save FILE        write the source graph as bpp-graph text\n"
+      "  --dot FILE         write the compiled graph as Graphviz\n"
+      "  --simulate         verify real time on the timing simulator\n"
+      "  --trace N          with --simulate: print the first N firings\n"
+      "  --kernels          with --simulate: busiest kernels by cycles\n"
+      "  --run              execute functionally on host threads\n");
+}
+
+bool parse(int argc, char** argv, Args& a) {
+  if (argc < 2) return false;
+  a.app = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--frame") {
+      const char* v = value();
+      if (!v || std::sscanf(v, "%dx%d", &a.frame.w, &a.frame.h) != 2) return false;
+    } else if (flag == "--rate") {
+      const char* v = value();
+      if (!v) return false;
+      a.rate = std::atof(v);
+    } else if (flag == "--frames") {
+      const char* v = value();
+      if (!v) return false;
+      a.frames = std::atoi(v);
+    } else if (flag == "--bins") {
+      const char* v = value();
+      if (!v) return false;
+      a.bins = std::atoi(v);
+    } else if (flag == "--policy") {
+      const char* v = value();
+      if (!v) return false;
+      if (!std::strcmp(v, "trim")) a.policy = AlignPolicy::Trim;
+      else if (!std::strcmp(v, "pad")) a.policy = AlignPolicy::Pad;
+      else if (!std::strcmp(v, "mirror")) a.policy = AlignPolicy::MirrorPad;
+      else return false;
+    } else if (flag == "--reuse") {
+      a.reuse = true;
+    } else if (flag == "--no-multiplex") {
+      a.multiplex = false;
+    } else if (flag == "--machine") {
+      const char* v = value();
+      double clock = 0;
+      long mem = 0;
+      if (!v || std::sscanf(v, "%lf,%ld", &clock, &mem) != 2) return false;
+      a.machine.clock_hz = clock;
+      a.machine.mem_words = mem;
+    } else if (flag == "--save") {
+      const char* v = value();
+      if (!v) return false;
+      a.save_path = v;
+    } else if (flag == "--dot") {
+      const char* v = value();
+      if (!v) return false;
+      a.dot_path = v;
+    } else if (flag == "--simulate") {
+      a.do_sim = true;
+    } else if (flag == "--trace") {
+      const char* v = value();
+      if (!v) return false;
+      a.trace = std::atol(v);
+    } else if (flag == "--kernels") {
+      a.show_kernels = true;
+    } else if (flag == "--run") {
+      a.do_run = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+Graph build(const Args& a) {
+  if (!a.app.empty() && a.app[0] == '@') {
+    std::ifstream f(a.app.substr(1));
+    if (!f) throw GraphError("cannot open '" + a.app.substr(1) + "'");
+    return read_graph_text(f);
+  }
+  if (a.app == "fig1") return apps::figure1_app(a.frame, a.rate, a.frames, a.bins);
+  if (a.app == "bayer") return apps::bayer_app(a.frame, a.rate, a.frames);
+  if (a.app == "histogram")
+    return apps::histogram_app(a.frame, a.rate, a.frames, a.bins);
+  if (a.app == "parallel-buffer")
+    return apps::parallel_buffer_app(a.frame, a.rate, a.frames);
+  if (a.app == "multi-conv")
+    return apps::multi_convolution_app(a.frame, a.rate, a.frames);
+  if (a.app == "pipeline") return apps::pipeline_app(a.frame, a.rate, a.frames);
+  if (a.app == "sobel") return apps::sobel_app(a.frame, a.rate, a.frames, 100.0);
+  if (a.app == "downsample")
+    return apps::downsample_app(a.frame, a.rate, a.frames);
+  if (a.app == "separable")
+    return apps::separable_blur_app(a.frame, a.rate, a.frames);
+  if (a.app == "motion") return apps::motion_app(a.frame, a.rate, a.frames);
+  if (a.app == "feedback")
+    return apps::feedback_app(a.frame, a.rate, a.frames, 0.3);
+  if (a.app == "radio") return apps::radio_app(a.frame.w, a.rate, a.frames);
+  if (a.app == "analytics")
+    return apps::analytics_app(a.frame, a.rate, a.frames);
+  throw GraphError("unknown application '" + a.app + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args a;
+  if (!parse(argc, argv, a)) {
+    usage();
+    return 2;
+  }
+
+  try {
+    CompileOptions opt;
+    opt.machine = a.machine;
+    opt.align_policy = a.policy;
+    opt.reuse_opt = a.reuse;
+    opt.multiplex = a.multiplex;
+    Graph source = build(a);
+    if (!a.save_path.empty()) {
+      std::ofstream f(a.save_path);
+      write_graph_text(source, f);
+      std::printf("wrote %s\n", a.save_path.c_str());
+    }
+    CompiledApp app = compile(std::move(source), opt);
+    write_report(app, std::cout);
+
+    if (!a.dot_path.empty()) {
+      std::ofstream f(a.dot_path);
+      write_dot(app.graph, f);
+      std::printf("wrote %s\n", a.dot_path.c_str());
+    }
+
+    if (a.do_sim) {
+      Graph g = app.graph.clone();
+      SimOptions sopt;
+      sopt.machine = opt.machine;
+      sopt.trace_limit = a.trace;
+      const SimResult r = simulate(g, app.mapping, sopt);
+      std::string extra;
+      if (r.resource_exception_count > 0)
+        extra = " resource-exceptions=" + std::to_string(r.resource_exception_count);
+      std::printf(
+          "simulate: completed=%s real-time=%s max-lag=%.2fus "
+          "avg-util=%.1f%% firings=%ld%s\n",
+          r.completed ? "yes" : "no", r.realtime_met ? "MET" : "VIOLATED",
+          r.max_input_lag_seconds * 1e6,
+          100.0 * r.avg_utilization(opt.machine), r.total_firings,
+          extra.c_str());
+      if (a.show_kernels) {
+        std::vector<std::pair<double, KernelId>> busiest;
+        for (KernelId k = 0; k < g.kernel_count(); ++k)
+          busiest.emplace_back(-r.kernel_activity[static_cast<size_t>(k)].second,
+                               k);
+        std::sort(busiest.begin(), busiest.end());
+        std::printf("busiest kernels (cycles, firings):\n");
+        for (size_t i = 0; i < std::min<size_t>(10, busiest.size()); ++i) {
+          const KernelId k = busiest[i].second;
+          if (r.kernel_activity[static_cast<size_t>(k)].second <= 0) break;
+          std::printf("  %-28s %12.0f %10ld\n", g.kernel(k).name().c_str(),
+                      r.kernel_activity[static_cast<size_t>(k)].second,
+                      r.kernel_activity[static_cast<size_t>(k)].first);
+        }
+      }
+      for (const FiringRecord& f : r.trace)
+        std::printf("  t=%9.3fus core %2d  %-24s %s (%.2fus)\n",
+                    f.start_seconds * 1e6, f.core,
+                    g.kernel(f.kernel).name().c_str(),
+                    f.method >= 0
+                        ? g.kernel(f.kernel).methods()[static_cast<size_t>(f.method)].name.c_str()
+                        : "(forward)",
+                    f.duration_seconds * 1e6);
+    }
+
+    if (a.do_run) {
+      const RuntimeResult r = run_threaded(app.graph, app.mapping);
+      std::printf("run: completed=%s wall=%.1fms firings=%ld\n",
+                  r.completed ? "yes" : "no", r.wall_seconds * 1e3,
+                  r.total_firings);
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "bpc: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

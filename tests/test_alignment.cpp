@@ -1,0 +1,165 @@
+// Alignment pass (paper §III-C, Fig. 3/8): automatic trimming and padding
+// of differently-haloed streams, with functional equivalence checks.
+
+#include <gtest/gtest.h>
+
+#include "apps/pipelines.h"
+#include "compiler/alignment.h"
+#include "compiler/dataflow.h"
+#include "kernels/kernels.h"
+#include "ref/reference.h"
+#include "runtime/runtime.h"
+#include "compiler/pipeline.h"
+
+namespace bpp {
+namespace {
+
+TEST(Alignment, TrimInsertsFig3InsetKernel) {
+  Graph g = apps::figure1_app({64, 48}, 30.0, 1);
+  const auto edits = align(g, AlignPolicy::Trim);
+  ASSERT_EQ(edits.size(), 1u);
+  EXPECT_EQ(edits[0].at_kernel, "subtract");
+  EXPECT_FALSE(edits[0].padded);
+  // Fig. 3: "Inset (0,0)[1,1,1,1]" — one pixel per side off the median.
+  EXPECT_EQ(edits[0].border, (Border{1, 1, 1, 1}));
+  // The inset sits on the median branch.
+  const KernelId id = g.find(edits[0].inserted);
+  ASSERT_GE(id, 0);
+  const auto in = g.in_channel(id, 0);
+  ASSERT_TRUE(in.has_value());
+  EXPECT_EQ(g.kernel(g.channel(*in).src_kernel).name(), "median3x3");
+  // Afterwards the strict analysis succeeds.
+  EXPECT_NO_THROW((void)analyze(g));
+}
+
+TEST(Alignment, TrimIsIdempotent) {
+  Graph g = apps::figure1_app({64, 48}, 30.0, 1);
+  (void)align(g, AlignPolicy::Trim);
+  const auto again = align(g, AlignPolicy::Trim);
+  EXPECT_TRUE(again.empty());
+}
+
+TEST(Alignment, AlignedGraphNeedsNoEdits) {
+  Graph g = apps::histogram_app({32, 24}, 25.0, 1);
+  EXPECT_TRUE(align(g).empty());
+}
+
+TEST(Alignment, PadGrowsTheConvolutionInput) {
+  Graph g = apps::figure1_app({64, 48}, 30.0, 1);
+  const auto edits = align(g, AlignPolicy::Pad);
+  ASSERT_EQ(edits.size(), 1u);
+  EXPECT_TRUE(edits[0].padded);
+  EXPECT_EQ(edits[0].border, (Border{1, 1, 1, 1}));
+  // The paper pads "around the input to the convolution filter": the pad
+  // kernel feeds conv5x5's data input.
+  const KernelId id = g.find(edits[0].inserted);
+  const auto outs = g.out_channels(id);
+  ASSERT_EQ(outs.size(), 1u);
+  EXPECT_EQ(g.kernel(g.channel(outs[0]).dst_kernel).name(), "conv5x5");
+  EXPECT_NO_THROW((void)analyze(g));
+}
+
+TEST(Alignment, TrimFunctionalEquivalence) {
+  const Size2 frame{20, 16};
+  CompileOptions opt;
+  opt.machine = machines::roomy();
+  opt.align_policy = AlignPolicy::Trim;
+  CompiledApp app = compile(apps::figure1_app(frame, 25.0, 1, 16), opt);
+  ASSERT_TRUE(run_sequential(app.graph).completed);
+
+  const Tile img = ref::make_frame(frame, 0, default_pixel_fn());
+  const auto want =
+      ref::figure1_histogram(img, apps::blur_coeff5x5(), apps::diff_bins(16));
+  const auto& out = dynamic_cast<const OutputKernel&>(app.graph.by_name("result"));
+  ASSERT_EQ(out.tiles().size(), 1u);
+  for (int i = 0; i < 16; ++i)
+    EXPECT_EQ(static_cast<long>(out.tiles()[0].at(i, 0)), want[static_cast<size_t>(i)])
+        << "bin " << i;
+}
+
+TEST(Alignment, PadFunctionalEquivalence) {
+  const Size2 frame{20, 16};
+  CompileOptions opt;
+  opt.machine = machines::roomy();
+  opt.align_policy = AlignPolicy::Pad;
+  CompiledApp app = compile(apps::figure1_app(frame, 25.0, 1, 16), opt);
+  ASSERT_TRUE(run_sequential(app.graph).completed);
+
+  const Tile img = ref::make_frame(frame, 0, default_pixel_fn());
+  const auto want = ref::figure1_histogram_padded(img, apps::blur_coeff5x5(),
+                                                  apps::diff_bins(16));
+  const auto& out = dynamic_cast<const OutputKernel&>(app.graph.by_name("result"));
+  ASSERT_EQ(out.tiles().size(), 1u);
+  for (int i = 0; i < 16; ++i)
+    EXPECT_EQ(static_cast<long>(out.tiles()[0].at(i, 0)), want[static_cast<size_t>(i)])
+        << "bin " << i;
+}
+
+TEST(Alignment, PadAndTrimDisagreeOnPurpose) {
+  // §III-C: "The choice as to whether to pad or trim must be made by the
+  // programmer as it effects the final result."
+  const Size2 frame{20, 16};
+  const Tile img = ref::make_frame(frame, 0, default_pixel_fn());
+  const auto trimmed =
+      ref::figure1_histogram(img, apps::blur_coeff5x5(), apps::diff_bins(16));
+  const auto padded = ref::figure1_histogram_padded(img, apps::blur_coeff5x5(),
+                                                    apps::diff_bins(16));
+  EXPECT_NE(trimmed, padded);
+  // Padding keeps every median sample: two more pixels per dimension.
+  long nt = 0, np = 0;
+  for (long v : trimmed) nt += v;
+  for (long v : padded) np += v;
+  EXPECT_EQ(nt, (frame.w - 4L) * (frame.h - 4));
+  EXPECT_EQ(np, (frame.w - 2L) * (frame.h - 2));
+}
+
+TEST(Alignment, ThreeWayMisalignment) {
+  // Three differently-haloed branches into two chained subtracts.
+  Graph g;
+  auto& in = g.add<InputKernel>("input", Size2{32, 32}, 10.0, 1);
+  auto& c3 = g.add<ConvolutionKernel>("c3", 3, 3);
+  auto& s3 = g.add<ConstSource>("k3", apps::blur_coeff3x3());
+  auto& c5 = g.add<ConvolutionKernel>("c5", 5, 5);
+  auto& s5 = g.add<ConstSource>("k5", apps::blur_coeff5x5());
+  auto& c7 = g.add<ConvolutionKernel>("c7", 7, 7);
+  auto& s7 = g.add<ConstSource>("k7", Tile(Size2{7, 7}, 1.0 / 49));
+  Kernel& subA = g.add_kernel(make_subtract("subA"));
+  Kernel& subB = g.add_kernel(make_subtract("subB"));
+  auto& out = g.add<OutputKernel>("out");
+  g.connect(in, "out", c3, "in");
+  g.connect(s3, "out", c3, "coeff");
+  g.connect(in, "out", c5, "in");
+  g.connect(s5, "out", c5, "coeff");
+  g.connect(in, "out", c7, "in");
+  g.connect(s7, "out", c7, "coeff");
+  g.connect(c3, "out", subA, "in0");
+  g.connect(c5, "out", subA, "in1");
+  g.connect(subA, "out", subB, "in0");
+  g.connect(c7, "out", subB, "in1");
+  g.connect(subB, "out", out, "in");
+
+  const auto edits = align(g, AlignPolicy::Trim);
+  EXPECT_GE(edits.size(), 2u);
+  EXPECT_NO_THROW((void)analyze(g));
+  const DataflowResult df = analyze(g);
+  // Everything converges on the 7x7's 26x26 interior.
+  const KernelId sb = g.find("subB");
+  EXPECT_EQ(df.kernel[static_cast<size_t>(sb)].iterations, (Size2{26, 26}));
+}
+
+TEST(Alignment, IncompatibleScalesRejected) {
+  // A downsampled branch cannot be trimmed against a full-rate branch.
+  Graph g;
+  auto& in = g.add<InputKernel>("input", Size2{16, 16}, 10.0, 1);
+  auto& down = g.add<DownsampleKernel>("down", 2);
+  Kernel& sub = g.add_kernel(make_subtract("sub"));
+  auto& out = g.add<OutputKernel>("out");
+  g.connect(in, "out", down, "in");
+  g.connect(down, "out", sub, "in0");
+  g.connect(in, "out", sub, "in1");
+  g.connect(sub, "out", out, "in");
+  EXPECT_THROW((void)align(g, AlignPolicy::Trim), AnalysisError);
+}
+
+}  // namespace
+}  // namespace bpp

@@ -1,0 +1,224 @@
+// BufferKernel (paper §III-B): 2-D circular buffering from producer
+// granularity to consumer windows, token regeneration, sizing rule, and
+// the reshape used by column splitting.
+
+#include <gtest/gtest.h>
+
+#include "kernels/buffer.h"
+#include "runtime/runtime.h"
+#include "test_util.h"
+
+namespace bpp {
+namespace {
+
+using testutil::ItemSink;
+using testutil::ScriptedSource;
+using testutil::scanline_items;
+
+struct BufCase {
+  Size2 frame;
+  Size2 win;
+  Step2 step;
+};
+
+class BufferWindows : public ::testing::TestWithParam<BufCase> {};
+
+TEST_P(BufferWindows, EmitsEverySlidingWindowInScanOrder) {
+  const BufCase& c = GetParam();
+  auto value = [](int x, int y) { return x + 100.0 * y; };
+
+  Graph g;
+  auto& src = g.add<ScriptedSource>("src", scanline_items(c.frame, value), c.frame);
+  auto& buf = g.add<BufferKernel>("buf", Size2{1, 1}, c.win, c.step, c.frame);
+  auto& sink = g.add<ItemSink>("sink", c.win);
+  g.connect(src, "out", buf, "in");
+  g.connect(buf, "out", sink, "in");
+
+  const RuntimeResult r = run_sequential(g);
+  ASSERT_TRUE(r.completed) << r.diagnostics;
+
+  const Size2 it = iteration_count(c.frame, c.win, c.step);
+  EXPECT_EQ(sink.data_count(), it.area());
+  EXPECT_EQ(sink.token_count(tok::kEndOfLine), it.h);
+  EXPECT_EQ(sink.token_count(tok::kEndOfFrame), 1);
+  EXPECT_EQ(sink.token_count(tok::kEndOfStream), 1);
+
+  // First values of each window follow the scan-order window origins.
+  size_t n = 0;
+  for (int wy = 0; wy < it.h && n < sink.log.size(); ++wy) {
+    for (int wx = 0; wx < it.w; ++wx) {
+      while (n < sink.log.size() && sink.log[n] <= -1000.0) ++n;
+      ASSERT_LT(n, sink.log.size());
+      EXPECT_DOUBLE_EQ(sink.log[n], value(wx * c.step.x, wy * c.step.y))
+          << "window (" << wx << ',' << wy << ')';
+      ++n;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BufferWindows,
+    ::testing::Values(BufCase{{8, 6}, {3, 3}, {1, 1}},
+                      BufCase{{10, 8}, {5, 5}, {1, 1}},
+                      BufCase{{8, 6}, {2, 2}, {2, 2}},
+                      BufCase{{9, 7}, {3, 3}, {2, 2}},
+                      BufCase{{6, 6}, {1, 1}, {1, 1}},
+                      BufCase{{12, 4}, {4, 2}, {4, 2}},
+                      BufCase{{7, 7}, {7, 7}, {1, 1}},
+                      BufCase{{6, 9}, {1, 3}, {1, 3}}));
+
+TEST(BufferKernel, WindowContentsMatchCrops) {
+  const Size2 frame{7, 5};
+  auto value = [](int x, int y) { return 10.0 * x + y; };
+
+  // Full-window capture via a (3x3)-item sink storing only first values is
+  // insufficient; use a custom sink collecting whole tiles.
+  class TileSink final : public Kernel {
+   public:
+    TileSink() : Kernel("tiles") {}
+    void configure() override {
+      create_input("in", {3, 3}, {1, 1}, {0.0, 0.0});
+      auto& m = register_method("take", Resources{1, 0}, &TileSink::take);
+      method_input(m, "in");
+    }
+    [[nodiscard]] std::unique_ptr<Kernel> clone() const override {
+      return std::make_unique<TileSink>(*this);
+    }
+    std::vector<Tile> tiles;
+
+   private:
+    void take() { tiles.push_back(read_input("in")); }
+  };
+
+  Graph g;
+  auto& src = g.add<ScriptedSource>("src", scanline_items(frame, value), frame);
+  auto& buf = g.add<BufferKernel>("buf", Size2{1, 1}, Size2{3, 3}, Step2{1, 1},
+                                  frame);
+  auto& sink = g.add<TileSink>();
+  g.connect(src, "out", buf, "in");
+  g.connect(buf, "out", sink, "in");
+  ASSERT_TRUE(run_sequential(g).completed);
+
+  Tile full(frame);
+  for (int y = 0; y < frame.h; ++y)
+    for (int x = 0; x < frame.w; ++x) full.at(x, y) = value(x, y);
+
+  const Size2 it = iteration_count(frame, {3, 3}, {1, 1});
+  ASSERT_EQ(sink.tiles.size(), static_cast<size_t>(it.area()));
+  size_t n = 0;
+  for (int wy = 0; wy < it.h; ++wy)
+    for (int wx = 0; wx < it.w; ++wx)
+      EXPECT_EQ(sink.tiles[n++], full.crop(wx, wy, {3, 3}));
+}
+
+TEST(BufferKernel, MultiFrameResetsCorrectly) {
+  const Size2 frame{5, 4};
+  std::vector<Item> items;
+  for (int f = 0; f < 3; ++f) {
+    auto s = scanline_items(frame, [f](int x, int y) { return f * 1000 + x + 10 * y; },
+                            /*eos=*/false);
+    items.insert(items.end(), s.begin(), s.end());
+  }
+  items.push_back(testutil::token(tok::kEndOfStream));
+
+  Graph g;
+  auto& src = g.add<ScriptedSource>("src", items, frame);
+  auto& buf = g.add<BufferKernel>("buf", Size2{1, 1}, Size2{3, 3}, Step2{1, 1},
+                                  frame);
+  auto& sink = g.add<ItemSink>("sink", Size2{3, 3});
+  g.connect(src, "out", buf, "in");
+  g.connect(buf, "out", sink, "in");
+  ASSERT_TRUE(run_sequential(g).completed);
+
+  const Size2 it = iteration_count(frame, {3, 3}, {1, 1});
+  EXPECT_EQ(sink.data_count(), 3L * it.area());
+  EXPECT_EQ(sink.token_count(tok::kEndOfFrame), 3);
+  EXPECT_EQ(sink.token_count(tok::kEndOfLine), 3L * it.h);
+}
+
+TEST(BufferKernel, CoarseInputGranularity) {
+  // 2x2 granules in, 4x4 windows stepping 2 out.
+  const Size2 frame{8, 8};
+  std::vector<Item> items;
+  for (int gy = 0; gy < 4; ++gy) {
+    for (int gx = 0; gx < 4; ++gx) {
+      Tile t(2, 2);
+      for (int y = 0; y < 2; ++y)
+        for (int x = 0; x < 2; ++x) t.at(x, y) = (gx * 2 + x) + 10.0 * (gy * 2 + y);
+      items.emplace_back(std::move(t));
+    }
+    items.push_back(testutil::token(tok::kEndOfLine, gy));
+  }
+  items.push_back(testutil::token(tok::kEndOfFrame));
+  items.push_back(testutil::token(tok::kEndOfStream));
+
+  Graph g;
+  auto& src = g.add<ScriptedSource>("src", items, frame);
+  auto& buf = g.add<BufferKernel>("buf", Size2{2, 2}, Size2{4, 4}, Step2{2, 2},
+                                  frame);
+  auto& sink = g.add<ItemSink>("sink", Size2{4, 4});
+  g.connect(src, "out", buf, "in");
+  g.connect(buf, "out", sink, "in");
+  ASSERT_TRUE(run_sequential(g).completed);
+  EXPECT_EQ(sink.data_count(), iteration_count(frame, {4, 4}, {2, 2}).area());
+}
+
+TEST(BufferKernel, SizingRuleAndAnnotation) {
+  // §III-B/Fig. 3: double-buffer the larger of input or output.
+  BufferKernel b5("b5", {1, 1}, {5, 5}, {1, 1}, {20, 16});
+  EXPECT_EQ(b5.ring_rows(), 10);
+  EXPECT_EQ(b5.storage_words(), 200);
+  EXPECT_EQ(b5.size_annotation(), "[20x10]");
+
+  BufferKernel b3("b3", {1, 1}, {3, 3}, {1, 1}, {26, 16});
+  EXPECT_EQ(b3.size_annotation(), "[26x6]");
+
+  // Coarse input larger than the window: input side dominates.
+  BufferKernel bg("bg", {1, 4}, {1, 1}, {2, 2}, {8, 8});
+  EXPECT_EQ(bg.ring_rows(), 8);
+}
+
+TEST(BufferKernel, RejectsBadGeometry) {
+  EXPECT_THROW(BufferKernel("x", {3, 3}, {5, 5}, {1, 1}, {10, 10}),
+               GraphError);  // granularity does not tile frame
+  EXPECT_THROW(BufferKernel("x", {1, 1}, {12, 12}, {1, 1}, {10, 10}),
+               GraphError);  // window larger than frame
+  EXPECT_THROW(BufferKernel("x", {1, 1}, {0, 3}, {1, 1}, {10, 10}), GraphError);
+}
+
+TEST(BufferKernel, ReshapeRebuildsBookkeeping) {
+  BufferKernel b("b", {1, 1}, {3, 3}, {1, 1}, {20, 10});
+  b.ensure_configured();
+  const long before = b.storage_words();
+  b.reshape({11, 10});
+  EXPECT_EQ(b.frame(), (Size2{11, 10}));
+  EXPECT_EQ(b.storage_words(), 66);
+  EXPECT_NE(b.storage_words(), before);
+  EXPECT_THROW(b.reshape({2, 2}), GraphError);  // window no longer fits
+}
+
+TEST(BufferKernel, CustomOutputStream) {
+  BufferKernel b("b", {1, 1}, {5, 5}, {1, 1}, {100, 100});
+  StreamInfo in;
+  in.frame = {100, 100};
+  in.item = {1, 1};
+  in.items_per_frame = 10000;
+  in.grid = {100, 100};
+  in.rate_hz = 50.0;
+  const auto out = b.custom_output_stream(0, in);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->frame, (Size2{100, 100}));
+  EXPECT_EQ(out->item, (Size2{5, 5}));
+  EXPECT_EQ(out->items_per_frame, 96L * 96);
+  EXPECT_EQ(out->grid, (Size2{96, 96}));
+}
+
+TEST(BufferKernel, PendingCapacityIsTwoWindowRows) {
+  BufferKernel b("b", {1, 1}, {5, 5}, {1, 1}, {100, 100});
+  EXPECT_EQ(b.pending_capacity(), 2L * 96);
+  b.set_output_slack(3);
+  EXPECT_EQ(b.pending_capacity(), 3);
+}
+
+}  // namespace
+}  // namespace bpp

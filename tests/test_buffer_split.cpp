@@ -1,0 +1,138 @@
+// Buffer column-splitting (paper §IV-C, Fig. 10): slice geometry, halo
+// replication, scan-order restoration, and storage bounds.
+
+#include <gtest/gtest.h>
+
+#include "apps/pipelines.h"
+#include "compiler/buffer_split.h"
+#include "compiler/pipeline.h"
+#include "core/validation.h"
+#include "kernels/kernels.h"
+#include "ref/reference.h"
+#include "runtime/runtime.h"
+
+namespace bpp {
+namespace {
+
+TEST(SliceBoundaries, BalancedPartitions) {
+  EXPECT_EQ(slice_boundaries(10, 2), (std::vector<int>{0, 5, 10}));
+  EXPECT_EQ(slice_boundaries(10, 3), (std::vector<int>{0, 3, 6, 10}));
+  EXPECT_EQ(slice_boundaries(7, 7), (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+  EXPECT_EQ(slice_boundaries(5, 1), (std::vector<int>{0, 5}));
+}
+
+TEST(BufferSplit, PaperFigure4SliceArithmetic) {
+  // Fig. 4 big-input 3x3 buffers: a 49-wide stream has 47 window columns;
+  // with floor boundaries the slices are [0,23) and [23,47), needing input
+  // columns [0,25) and [23,49): annotations [25x6] and [26x6] with a
+  // 2-column replicated overlap (the paper's [26x6]/[25x6] pair, mirrored
+  // by its rounding direction).
+  Graph g;
+  auto& src = g.add<InputKernel>("input", Size2{49, 12}, 10.0, 1);
+  auto& buf = g.add<BufferKernel>("buf", Size2{1, 1}, Size2{3, 3}, Step2{1, 1},
+                                  Size2{49, 12});
+  auto& sink = g.add<OutputKernel>("sink", Size2{3, 3});
+  g.connect(src, "out", buf, "in");
+  g.connect(buf, "out", sink, "in");
+
+  DataflowResult df = analyze(g);
+  LoadMap loads(g, df);
+  const BufferSplitResult res = split_buffer(g, df, loads, g.find("buf"), 2);
+
+  EXPECT_EQ(res.slices, 2);
+  EXPECT_EQ(res.overlap_columns, 2);
+  ASSERT_EQ(res.slice_annotations.size(), 2u);
+  EXPECT_EQ(res.slice_annotations[0], "[25x6]");
+  EXPECT_EQ(res.slice_annotations[1], "[26x6]");
+  EXPECT_EQ(res.input_ranges[0], (std::pair<int, int>{0, 25}));
+  EXPECT_EQ(res.input_ranges[1], (std::pair<int, int>{23, 49}));
+  EXPECT_TRUE(validate(g).empty());
+}
+
+TEST(BufferSplit, FiveByFiveOverlapIsFourColumns) {
+  Graph g;
+  auto& src = g.add<InputKernel>("input", Size2{38, 12}, 10.0, 1);
+  auto& buf = g.add<BufferKernel>("buf", Size2{1, 1}, Size2{5, 5}, Step2{1, 1},
+                                  Size2{38, 12});
+  auto& sink = g.add<OutputKernel>("sink", Size2{5, 5});
+  g.connect(src, "out", buf, "in");
+  g.connect(buf, "out", sink, "in");
+  DataflowResult df = analyze(g);
+  LoadMap loads(g, df);
+  const BufferSplitResult res = split_buffer(g, df, loads, g.find("buf"), 2);
+  EXPECT_EQ(res.overlap_columns, 4);
+  // it_w = 34, slices [0,17) and [17,34): inputs [0,21) and [17,38).
+  EXPECT_EQ(res.slice_annotations[0], "[21x10]");
+  EXPECT_EQ(res.slice_annotations[1], "[21x10]");
+}
+
+TEST(BufferSplit, FunctionalEquivalenceAcrossSliceCounts) {
+  // The split buffer must emit exactly the same window stream.
+  const Size2 frame{25, 10};
+  for (int slices = 2; slices <= 4; ++slices) {
+    Graph g;
+    auto& src = g.add<InputKernel>("input", frame, 10.0, 2);
+    auto& buf = g.add<BufferKernel>("buf", Size2{1, 1}, Size2{3, 3},
+                                    Step2{1, 1}, frame);
+    auto& sink = g.add<OutputKernel>("sink", Size2{3, 3});
+    g.connect(src, "out", buf, "in");
+    g.connect(buf, "out", sink, "in");
+    DataflowResult df = analyze(g);
+    LoadMap loads(g, df);
+    (void)split_buffer(g, df, loads, g.find("buf"), slices);
+    ASSERT_TRUE(validate(g).empty());
+    ASSERT_TRUE(run_sequential(g).completed);
+
+    const Size2 it = iteration_count(frame, {3, 3}, {1, 1});
+    const auto& out = dynamic_cast<const OutputKernel&>(g.by_name("sink"));
+    ASSERT_EQ(out.tiles().size(), static_cast<size_t>(2 * it.area()))
+        << slices << " slices";
+    // Spot-check scan order: first values advance by window origin.
+    for (int wx = 0; wx < it.w; ++wx)
+      EXPECT_DOUBLE_EQ(out.tiles()[static_cast<size_t>(wx)].at(0, 0),
+                       default_pixel_fn()(0, wx, 0))
+          << slices << " slices, window " << wx;
+  }
+}
+
+TEST(BufferSplit, SliceStorageFitsMemoryBound) {
+  // Compile the parallel-buffer benchmark on the default machine: the 9x9
+  // buffer (W x 18 words) must be split until each slice fits mem_words.
+  CompileOptions opt;
+  CompiledApp app = compile(apps::parallel_buffer_app({64, 24}, 40.0, 1), opt);
+  ASSERT_FALSE(app.parallelization.buffer_splits.empty());
+  const BufferSplitResult& s = app.parallelization.buffer_splits.front();
+  EXPECT_GE(s.slices, 2);
+  for (const auto& [a, b] : s.input_ranges)
+    EXPECT_LE((b - a) * 18L, opt.machine.mem_words);
+  EXPECT_EQ(s.overlap_columns, 8);
+}
+
+TEST(BufferSplit, RejectsCoarseGranularity) {
+  Graph g;
+  auto& src = g.add<InputKernel>("input", Size2{8, 8}, 10.0, 1);
+  auto& buf = g.add<BufferKernel>("buf", Size2{2, 2}, Size2{4, 4}, Step2{2, 2},
+                                  Size2{8, 8});
+  auto& sink = g.add<OutputKernel>("sink", Size2{4, 4});
+  g.connect(src, "out", buf, "in");
+  g.connect(buf, "out", sink, "in");
+  DataflowResult df = analyze(g);
+  LoadMap loads(g, df);
+  EXPECT_THROW((void)split_buffer(g, df, loads, g.find("buf"), 2), AnalysisError);
+}
+
+TEST(BufferSplit, SingleSliceRejected) {
+  Graph g;
+  auto& src = g.add<InputKernel>("input", Size2{8, 8}, 10.0, 1);
+  auto& buf = g.add<BufferKernel>("buf", Size2{1, 1}, Size2{3, 3}, Step2{1, 1},
+                                  Size2{8, 8});
+  auto& sink = g.add<OutputKernel>("sink", Size2{3, 3});
+  g.connect(src, "out", buf, "in");
+  g.connect(buf, "out", sink, "in");
+  DataflowResult df = analyze(g);
+  LoadMap loads(g, df);
+  EXPECT_THROW((void)split_buffer(g, df, loads, g.find("buf"), 1), AnalysisError);
+}
+
+}  // namespace
+}  // namespace bpp

@@ -1,0 +1,104 @@
+// Automatic buffering pass (paper §III-B, Fig. 3): buffers exactly where
+// granularity mismatches, sized by the double-buffer rule.
+
+#include <gtest/gtest.h>
+
+#include "apps/pipelines.h"
+#include "compiler/alignment.h"
+#include "compiler/buffering.h"
+#include "compiler/dataflow.h"
+#include "kernels/buffer.h"
+#include "kernels/kernels.h"
+
+namespace bpp {
+namespace {
+
+TEST(Buffering, Figure3BuffersForBothFilters) {
+  Graph g = apps::figure1_app({100, 100}, 50.0, 1);
+  (void)align(g, AlignPolicy::Trim);
+  DataflowResult df = analyze(g);
+  const auto ins = insert_buffers(g, df);
+
+  ASSERT_EQ(ins.size(), 2u);
+  // Per the paper's sizing rule: width x 2*window_h.
+  for (const auto& b : ins) {
+    if (b.consumer == "median3x3") {
+      EXPECT_EQ(b.annotation, "[100x6]");
+      EXPECT_EQ(b.storage_words, 600);
+    } else {
+      EXPECT_EQ(b.consumer, "conv5x5");
+      EXPECT_EQ(b.annotation, "[100x10]");
+      EXPECT_EQ(b.storage_words, 1000);
+    }
+    EXPECT_EQ(b.producer, "input");
+  }
+  EXPECT_NO_THROW((void)analyze(g));
+}
+
+TEST(Buffering, MatchingGranularityNeedsNoBuffer) {
+  // histogram consumes 1x1 pixels straight from the input; bins and merge
+  // channels already match their windows.
+  Graph g = apps::histogram_app({32, 24}, 25.0, 1);
+  DataflowResult df = analyze(g);
+  EXPECT_TRUE(insert_buffers(g, df).empty());
+}
+
+TEST(Buffering, IsIdempotent) {
+  Graph g = apps::figure1_app({64, 48}, 30.0, 1);
+  (void)align(g);
+  DataflowResult df = analyze(g);
+  (void)insert_buffers(g, df);
+  df = analyze(g);
+  EXPECT_TRUE(insert_buffers(g, df).empty());
+}
+
+TEST(Buffering, ChainOfConvolutionsGetsBufferPerStage) {
+  Graph g = apps::multi_convolution_app({32, 24}, 10.0, 1);
+  DataflowResult df = analyze(g);
+  const auto ins = insert_buffers(g, df);
+  ASSERT_EQ(ins.size(), 3u);
+  // The second stage's buffer adapts the first stage's 1x1 output stream
+  // (30x22 frame) to 3x3 windows.
+  bool found = false;
+  for (const auto& b : ins)
+    if (b.consumer == "convB") {
+      EXPECT_EQ(b.annotation, "[30x6]");
+      found = true;
+    }
+  EXPECT_TRUE(found);
+}
+
+TEST(Buffering, BayerWindowedStep) {
+  Graph g = apps::bayer_app({16, 12}, 10.0, 1);
+  DataflowResult df = analyze(g);
+  const auto ins = insert_buffers(g, df);
+  ASSERT_EQ(ins.size(), 1u);
+  EXPECT_EQ(ins[0].annotation, "[16x8]");  // 2*4 rows for the (4x4)[2,2] window
+
+  // The output side (2x2 tiles into the 2x2 sink input) needs none.
+  df = analyze(g);
+  EXPECT_TRUE(insert_buffers(g, df).empty());
+}
+
+TEST(Buffering, BufferKernelParametersMatchConsumer) {
+  Graph g = apps::bayer_app({16, 12}, 10.0, 1);
+  DataflowResult df = analyze(g);
+  const auto ins = insert_buffers(g, df);
+  const auto* buf = dynamic_cast<const BufferKernel*>(
+      &g.kernel(g.find(ins[0].name)));
+  ASSERT_NE(buf, nullptr);
+  EXPECT_EQ(buf->in_granularity(), (Size2{1, 1}));
+  EXPECT_EQ(buf->out_window(), (Size2{4, 4}));
+  EXPECT_EQ(buf->out_step(), (Step2{2, 2}));
+  EXPECT_EQ(buf->frame(), (Size2{16, 12}));
+}
+
+TEST(Buffering, DownsampleThenConvBuffersBoth) {
+  Graph g = apps::downsample_app({16, 12}, 10.0, 1);
+  DataflowResult df = analyze(g);
+  const auto ins = insert_buffers(g, df);
+  ASSERT_EQ(ins.size(), 2u);  // input->down2 (2x2 blocks), down2->conv (3x3)
+}
+
+}  // namespace
+}  // namespace bpp

@@ -1,0 +1,213 @@
+// Data-flow analysis (paper §III-A): iteration sizes and rates, inset
+// propagation, token-paced streams, fractional scales, misalignment
+// detection, and feedback seeding (§III-D).
+
+#include <gtest/gtest.h>
+
+#include "apps/pipelines.h"
+#include "compiler/dataflow.h"
+#include "kernels/kernels.h"
+#include "test_util.h"
+
+namespace bpp {
+namespace {
+
+const StreamInfo& stream_into(const Graph& g, const DataflowResult& df,
+                              const std::string& kernel, const std::string& port) {
+  const KernelId k = g.find(kernel);
+  const int p = g.kernel(k).input_index(port);
+  return df.channel[static_cast<size_t>(*g.in_channel(k, p))];
+}
+
+TEST(Dataflow, PaperConvolutionExample) {
+  // §III-A verbatim: "if the input to a 5x5 convolution is a 100x100 image
+  // at 50Hz, the kernel will have an iteration size of 96x96 at 50Hz" and
+  // the output "will be 96x96, at the input rate of 50Hz".
+  Graph g;
+  auto& in = g.add<InputKernel>("input", Size2{100, 100}, 50.0, 1);
+  auto& conv = g.add<ConvolutionKernel>("conv", 5, 5);
+  auto& coeff = g.add<ConstSource>("coeff", apps::blur_coeff5x5());
+  auto& out = g.add<OutputKernel>("out");
+  g.connect(in, "out", conv, "in");
+  g.connect(coeff, "out", conv, "coeff");
+  g.connect(conv, "out", out, "in");
+
+  const DataflowResult df = analyze(g);
+  const KernelAnalysis& a = df.kernel[static_cast<size_t>(g.find("conv"))];
+  ASSERT_TRUE(a.resolved);
+  EXPECT_EQ(a.iterations, (Size2{96, 96}));
+  EXPECT_DOUBLE_EQ(a.rate_hz, 50.0);
+
+  const StreamInfo& s = stream_into(g, df, "out", "in");
+  EXPECT_EQ(s.frame, (Size2{96, 96}));
+  EXPECT_DOUBLE_EQ(s.rate_hz, 50.0);
+  EXPECT_EQ(s.inset, (Offset2{2.0, 2.0}));
+  EXPECT_EQ(s.items_per_frame, 96L * 96);
+}
+
+TEST(Dataflow, Figure8Insets) {
+  // The median output is inset (1,1) and the convolution output (2,2)
+  // from the shared input; their frames differ by the halo difference.
+  Graph g = apps::figure1_app({100, 100}, 50.0, 1);
+  const DataflowResult df = analyze(g, Strictness::Lenient);
+
+  const StreamInfo& med = stream_into(g, df, "subtract", "in0");
+  const StreamInfo& conv = stream_into(g, df, "subtract", "in1");
+  EXPECT_EQ(med.frame, (Size2{98, 98}));
+  EXPECT_EQ(med.inset, (Offset2{1.0, 1.0}));
+  EXPECT_EQ(conv.frame, (Size2{96, 96}));
+  EXPECT_EQ(conv.inset, (Offset2{2.0, 2.0}));
+
+  // And the subtract kernel is flagged as misaligned.
+  ASSERT_EQ(df.misaligned.size(), 1u);
+  EXPECT_EQ(df.misaligned[0].kernel, g.find("subtract"));
+  EXPECT_FALSE(df.complete());
+}
+
+TEST(Dataflow, StrictThrowsOnMisalignment) {
+  Graph g = apps::figure1_app({100, 100}, 50.0, 1);
+  EXPECT_THROW((void)analyze(g, Strictness::Strict), AnalysisError);
+}
+
+TEST(Dataflow, MisalignmentStopsPropagationDownstream) {
+  Graph g = apps::figure1_app({64, 64}, 50.0, 1);
+  const DataflowResult df = analyze(g, Strictness::Lenient);
+  // The histogram is downstream of the misaligned subtract: unresolved.
+  EXPECT_FALSE(df.kernel[static_cast<size_t>(g.find("histogram"))].resolved);
+}
+
+TEST(Dataflow, TokenPacedHistogramOutput) {
+  Graph g = apps::histogram_app({40, 30}, 25.0, 1, 32);
+  const DataflowResult df = analyze(g);
+  const StreamInfo& s = stream_into(g, df, "merge", "partial");
+  EXPECT_EQ(s.item, (Size2{32, 1}));
+  EXPECT_EQ(s.items_per_frame, 1);  // once per frame (EOF-paced)
+  EXPECT_FALSE(s.pixel_space);
+  EXPECT_DOUBLE_EQ(s.rate_hz, 25.0);
+}
+
+TEST(Dataflow, HistogramCycleAccounting) {
+  Graph g = apps::histogram_app({40, 30}, 25.0, 1, 32);
+  const DataflowResult df = analyze(g);
+  const KernelAnalysis& a = df.kernel[static_cast<size_t>(g.find("histogram"))];
+  // count: bins/2+5 = 21 cycles x 1200 pixels, finishCount: 3*32+3 once.
+  EXPECT_EQ(a.cycles_per_frame, 21L * 1200 + (3 * 32 + 3));
+  EXPECT_EQ(a.firings_per_frame, 1200 + 1);
+}
+
+TEST(Dataflow, DownsampleScaleAndFractionalInset) {
+  Graph g = apps::downsample_app({16, 12}, 10.0, 1);
+  const DataflowResult df = analyze(g);
+  const StreamInfo& s = stream_into(g, df, "conv3x3", "in");
+  EXPECT_EQ(s.frame, (Size2{8, 6}));
+  EXPECT_EQ(s.scale, (Offset2{2.0, 2.0}));       // 2 origin px per stream px
+  EXPECT_EQ(s.inset, (Offset2{0.5, 0.5}));       // §II-A footnote 2
+  // Downstream of the conv the inset grows by 1 stream pixel = 2 origin px.
+  const StreamInfo& o = stream_into(g, df, "result", "in");
+  EXPECT_EQ(o.frame, (Size2{6, 4}));
+  EXPECT_EQ(o.inset, (Offset2{2.5, 2.5}));
+}
+
+TEST(Dataflow, BayerHalvesNothingButKeepsScale) {
+  Graph g = apps::bayer_app({16, 12}, 10.0, 1);
+  const DataflowResult df = analyze(g);
+  const StreamInfo& s = stream_into(g, df, "result", "in");
+  // (4x4)[2,2] window emitting (2x2): 7x5 iterations -> 14x10 pixels.
+  EXPECT_EQ(s.frame, (Size2{14, 10}));
+  EXPECT_EQ(s.scale, (Offset2{1.0, 1.0}));
+  EXPECT_EQ(s.item, (Size2{2, 2}));
+}
+
+TEST(Dataflow, WindowLargerThanFrameFails) {
+  Graph g;
+  auto& in = g.add<InputKernel>("input", Size2{4, 4}, 10.0, 1);
+  auto& conv = g.add<ConvolutionKernel>("conv", 5, 5);
+  auto& coeff = g.add<ConstSource>("coeff", Tile(Size2{5, 5}, 1.0));
+  auto& out = g.add<OutputKernel>("out");
+  g.connect(in, "out", conv, "in");
+  g.connect(coeff, "out", conv, "coeff");
+  g.connect(conv, "out", out, "in");
+  EXPECT_THROW((void)analyze(g), AnalysisError);
+}
+
+TEST(Dataflow, MismatchedRatesFail) {
+  Graph g;
+  auto& a = g.add<InputKernel>("a", Size2{4, 4}, 10.0, 1);
+  auto& b = g.add<InputKernel>("b", Size2{4, 4}, 20.0, 1);
+  Kernel& sub = g.add_kernel(make_subtract("sub"));
+  auto& out = g.add<OutputKernel>("out");
+  g.connect(a, "out", sub, "in0");
+  g.connect(b, "out", sub, "in1");
+  g.connect(sub, "out", out, "in");
+  EXPECT_THROW((void)analyze(g), AnalysisError);
+}
+
+TEST(Dataflow, TwoEqualInputsAlign) {
+  Graph g;
+  auto& in = g.add<InputKernel>("in", Size2{8, 8}, 10.0, 1);
+  Kernel& sub = g.add_kernel(make_subtract("sub"));
+  auto& out = g.add<OutputKernel>("out");
+  g.connect(in, "out", sub, "in0");
+  g.connect(in, "out", sub, "in1");
+  g.connect(sub, "out", out, "in");
+  const DataflowResult df = analyze(g);
+  EXPECT_TRUE(df.complete());
+  EXPECT_EQ(df.kernel[static_cast<size_t>(g.find("sub"))].iterations,
+            (Size2{8, 8}));
+}
+
+TEST(Dataflow, FeedbackLoopSeedsFromSpec) {
+  Graph g = apps::feedback_app({8, 6}, 10.0, 2, 0.25);
+  const DataflowResult df = analyze(g);
+  EXPECT_TRUE(df.complete());
+  const StreamInfo& prev = stream_into(g, df, "mix", "prev");
+  EXPECT_EQ(prev.frame, (Size2{8, 6}));
+  EXPECT_DOUBLE_EQ(prev.rate_hz, 10.0);
+  const KernelAnalysis& mix = df.kernel[static_cast<size_t>(g.find("mix"))];
+  EXPECT_TRUE(mix.resolved);
+  EXPECT_EQ(mix.iterations, (Size2{8, 6}));
+}
+
+TEST(Dataflow, MemoryIncludesStateAndPortBuffers) {
+  Graph g;
+  auto& in = g.add<InputKernel>("input", Size2{10, 10}, 10.0, 1);
+  auto& conv = g.add<ConvolutionKernel>("conv", 3, 3);
+  auto& coeff = g.add<ConstSource>("coeff", Tile(Size2{3, 3}, 1.0));
+  auto& out = g.add<OutputKernel>("out");
+  g.connect(in, "out", conv, "in");
+  g.connect(coeff, "out", conv, "coeff");
+  g.connect(conv, "out", out, "in");
+  const DataflowResult df = analyze(g);
+  const KernelAnalysis& a = df.kernel[static_cast<size_t>(g.find("conv"))];
+  // state (10 + 9 from the two methods) + ports (9 in + 9 coeff + 1 out).
+  EXPECT_EQ(a.memory_words, 10 + 9 + 9 + 9 + 1);
+}
+
+TEST(Dataflow, ReadWriteVolumes) {
+  Graph g;
+  auto& in = g.add<InputKernel>("input", Size2{10, 10}, 10.0, 1);
+  auto& conv = g.add<ConvolutionKernel>("conv", 3, 3);
+  auto& coeff = g.add<ConstSource>("coeff", Tile(Size2{3, 3}, 1.0));
+  auto& out = g.add<OutputKernel>("out");
+  g.connect(in, "out", conv, "in");
+  g.connect(coeff, "out", conv, "coeff");
+  g.connect(conv, "out", out, "in");
+  const DataflowResult df = analyze(g);
+  const KernelAnalysis& a = df.kernel[static_cast<size_t>(g.find("conv"))];
+  // 8x8 iterations, 9 words read per iteration; coeff load is untimed.
+  EXPECT_EQ(a.read_words_per_frame, 64L * 9);
+  // 64 outputs + 8 EOL + 1 EOF words.
+  EXPECT_EQ(a.write_words_per_frame, 64 + 8 + 1);
+}
+
+TEST(Dataflow, UntimedParameterStreamsCostNothing) {
+  Graph g = apps::multi_convolution_app({16, 12}, 10.0, 1);
+  const DataflowResult df = analyze(g, Strictness::Lenient);
+  for (const std::string name : {"coeffA", "coeffB", "coeffC"}) {
+    const KernelAnalysis& a = df.kernel[static_cast<size_t>(g.find(name))];
+    EXPECT_DOUBLE_EQ(a.rate_hz, 0.0) << name;
+  }
+}
+
+}  // namespace
+}  // namespace bpp

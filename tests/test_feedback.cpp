@@ -1,0 +1,127 @@
+// Feedback extension (paper §III-D): loop-breaking feedback kernels,
+// initialization priming, data-flow convergence, and the temporal IIR
+// recurrence against a scalar reference.
+
+#include <gtest/gtest.h>
+
+#include "apps/pipelines.h"
+#include "compiler/dataflow.h"
+#include "compiler/pipeline.h"
+#include "kernels/feedback.h"
+#include "kernels/output.h"
+#include "ref/reference.h"
+#include "runtime/runtime.h"
+#include "sim/simulator.h"
+
+namespace bpp {
+namespace {
+
+TEST(Feedback, InitialEmissionsPrimeOneFrame) {
+  InitialValueKernel init("init", {4, 3}, 10.0, 2.5);
+  init.ensure_configured();
+  const auto prime = init.initial_emissions();
+  // 12 pixels + 3 EOLs + 1 EOF.
+  ASSERT_EQ(prime.size(), 16u);
+  EXPECT_TRUE(is_data(prime[0].item));
+  EXPECT_DOUBLE_EQ(as_tile(prime[0].item).at(0, 0), 2.5);
+  EXPECT_TRUE(is_token(prime[4].item));  // after 4 pixels: EOL
+  EXPECT_EQ(as_token(prime.back().item).cls, tok::kEndOfFrame);
+}
+
+TEST(Feedback, RecurrenceMatchesScalarReference) {
+  const Size2 frame{6, 5};
+  const int frames = 4;
+  const double alpha = 0.25;
+  Graph g = apps::feedback_app(frame, 20.0, frames, alpha);
+  ASSERT_TRUE(run_sequential(g).completed);
+
+  const auto& out = dynamic_cast<const OutputKernel&>(g.by_name("result"));
+  ASSERT_EQ(out.frames().size(), static_cast<size_t>(frames));
+
+  // y_t = alpha x_t + (1-alpha) y_{t-1}, y_{-1} = 0, per pixel.
+  Tile prev(frame);
+  for (int f = 0; f < frames; ++f) {
+    const Tile x = ref::make_frame(frame, f, default_pixel_fn());
+    Tile y(frame);
+    for (int j = 0; j < frame.h; ++j)
+      for (int i = 0; i < frame.w; ++i)
+        y.at(i, j) = alpha * x.at(i, j) + (1 - alpha) * prev.at(i, j);
+    for (int j = 0; j < frame.h; ++j)
+      for (int i = 0; i < frame.w; ++i)
+        EXPECT_NEAR(out.frames()[static_cast<size_t>(f)].at(i, j), y.at(i, j),
+                    1e-12)
+            << "frame " << f;
+    prev = y;
+  }
+}
+
+TEST(Feedback, NonZeroInitialValue) {
+  const Size2 frame{3, 3};
+  Graph g;
+  auto& input = g.add<InputKernel>("input", frame, 10.0, 1,
+                                   [](int, int, int) { return 0.0; });
+  auto& mix = g.add<TemporalMixKernel>("mix", 0.5);
+  auto& init = g.add<InitialValueKernel>("init", frame, 10.0, 100.0);
+  auto& out = g.add<OutputKernel>("result");
+  g.connect(input, "out", mix, "x");
+  g.connect(init, "out", mix, "prev");
+  g.connect(mix, "out", init, "in");
+  g.connect(mix, "out", out, "in");
+  ASSERT_TRUE(run_sequential(g).completed);
+  ASSERT_EQ(out.frames().size(), 1u);
+  // 0.5*0 + 0.5*100 everywhere.
+  EXPECT_DOUBLE_EQ(out.frames()[0].at(1, 1), 50.0);
+}
+
+TEST(Feedback, SimulatorHandlesTheLoop) {
+  Graph g = apps::feedback_app({8, 6}, 25.0, 2, 0.5);
+  const SimResult r = simulate(g, map_one_to_one(g), SimOptions{});
+  EXPECT_TRUE(r.completed);
+  const auto& out = dynamic_cast<const OutputKernel&>(g.by_name("result"));
+  EXPECT_EQ(out.frames().size(), 2u);
+  // The loop's final frame legitimately remains in flight (§III-D shutdown).
+}
+
+TEST(Feedback, CompilesThroughTheFullPipeline) {
+  CompileOptions opt;
+  CompiledApp app = compile(apps::feedback_app({8, 6}, 25.0, 2, 0.5), opt);
+  // Serial loop kernels are never replicated.
+  EXPECT_FALSE(app.parallelization.factors.count("mix"));
+  EXPECT_FALSE(app.parallelization.factors.count("loopInit"));
+  ASSERT_TRUE(run_sequential(app.graph).completed);
+}
+
+TEST(Feedback, MissingSpecRejected) {
+  class BadFeedback final : public Kernel {
+   public:
+    BadFeedback() : Kernel("badfb") {}
+    void configure() override {
+      create_input("in", {1, 1});
+      create_output("out", {1, 1});
+      auto& m = register_method("pass", Resources{1, 0}, &BadFeedback::pass);
+      method_input(m, "in");
+      method_output(m, "out");
+    }
+    [[nodiscard]] std::unique_ptr<Kernel> clone() const override {
+      return std::make_unique<BadFeedback>(*this);
+    }
+    [[nodiscard]] bool is_feedback() const override { return true; }
+
+   private:
+    void pass() { write_output("out", read_input("in")); }
+  };
+
+  Graph g;
+  auto& input = g.add<InputKernel>("input", Size2{4, 4}, 10.0, 1);
+  auto& mix = g.add<TemporalMixKernel>("mix", 0.5);
+  Kernel& fb = g.add_kernel(std::make_unique<BadFeedback>());
+  auto& out = g.add<OutputKernel>("result");
+  g.connect(input, "out", mix, "x");
+  g.connect(fb, "out", mix, "prev");
+  g.connect(mix, "out", fb, "in");
+  g.connect(mix, "out", out, "in");
+  EXPECT_THROW((void)analyze(g), AnalysisError);
+}
+
+}  // namespace
+}  // namespace bpp

@@ -1,0 +1,133 @@
+// Geometry primitives (paper §II-A): iteration counts, halos, extents,
+// and the rectangle algebra used by the alignment analysis.
+
+#include <gtest/gtest.h>
+
+#include "core/geometry.h"
+
+namespace bpp {
+namespace {
+
+TEST(Size2, BasicProperties) {
+  Size2 s{5, 3};
+  EXPECT_EQ(s.area(), 15);
+  EXPECT_TRUE(s.positive());
+  EXPECT_FALSE((Size2{0, 3}).positive());
+  EXPECT_FALSE((Size2{5, -1}).positive());
+  EXPECT_EQ((Size2{2, 2}), (Size2{2, 2}));
+  EXPECT_NE((Size2{2, 2}), (Size2{2, 3}));
+}
+
+TEST(Size2, AreaUsesLongArithmetic) {
+  Size2 s{100000, 100000};
+  EXPECT_EQ(s.area(), 10000000000L);
+}
+
+TEST(IterationCount, PaperConvolutionExample) {
+  // §III-A: a 100x100 image into a 5x5 window stepping (1,1) gives a
+  // 96x96 iteration space (4x4 halo).
+  EXPECT_EQ(iteration_count({100, 100}, {5, 5}, {1, 1}), (Size2{96, 96}));
+  EXPECT_EQ(halo({5, 5}, {1, 1}), (Size2{4, 4}));
+}
+
+TEST(IterationCount, WindowEqualsFrame) {
+  EXPECT_EQ(iteration_count({7, 7}, {7, 7}, {1, 1}), (Size2{1, 1}));
+}
+
+TEST(IterationCount, WindowLargerThanFrame) {
+  EXPECT_EQ(iteration_count({4, 4}, {5, 5}, {1, 1}), (Size2{0, 0}));
+  EXPECT_EQ(iteration_count({5, 4}, {5, 5}, {1, 1}), (Size2{0, 0}));
+}
+
+TEST(IterationCount, NonUnitStep) {
+  // 10 wide, window 4, step 2: positions 0,2,4,6 -> 4 iterations.
+  EXPECT_EQ(iteration_count({10, 10}, {4, 4}, {2, 2}), (Size2{4, 4}));
+  // Trailing partial window is discarded: 11 wide gives the same.
+  EXPECT_EQ(iteration_count({11, 10}, {4, 4}, {2, 2}).w, 4);
+}
+
+TEST(IterationCount, TilingStep) {
+  EXPECT_EQ(iteration_count({12, 8}, {2, 2}, {2, 2}), (Size2{6, 4}));
+}
+
+TEST(CoveredExtent, InvertsIterationCountForExactTilings) {
+  EXPECT_EQ(covered_extent({6, 4}, {2, 2}, {2, 2}), (Size2{12, 8}));
+  EXPECT_EQ(covered_extent({96, 96}, {5, 5}, {1, 1}), (Size2{100, 100}));
+  EXPECT_EQ(covered_extent({0, 0}, {3, 3}, {1, 1}), (Size2{0, 0}));
+}
+
+TEST(Halo, StepLargerThanWindowGivesNegativeReuse) {
+  // Decimation: window 1, step 2 skips data; halo is negative.
+  EXPECT_EQ(halo({1, 1}, {2, 2}), (Size2{-1, -1}));
+}
+
+struct GeomCase {
+  Size2 frame;
+  Size2 win;
+  Step2 step;
+};
+
+class IterationRoundTrip : public ::testing::TestWithParam<GeomCase> {};
+
+TEST_P(IterationRoundTrip, CoveredExtentIsWithinFrameAndMaximal) {
+  const auto& c = GetParam();
+  const Size2 it = iteration_count(c.frame, c.win, c.step);
+  ASSERT_TRUE(it.positive());
+  const Size2 cov = covered_extent(it, c.win, c.step);
+  // Covered extent fits in the frame...
+  EXPECT_LE(cov.w, c.frame.w);
+  EXPECT_LE(cov.h, c.frame.h);
+  // ...and one more step would not.
+  EXPECT_GT(cov.w + c.step.x, c.frame.w);
+  EXPECT_GT(cov.h + c.step.y, c.frame.h);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, IterationRoundTrip,
+    ::testing::Values(GeomCase{{100, 100}, {5, 5}, {1, 1}},
+                      GeomCase{{100, 100}, {3, 3}, {1, 1}},
+                      GeomCase{{64, 48}, {4, 4}, {2, 2}},
+                      GeomCase{{64, 48}, {4, 2}, {4, 2}},
+                      GeomCase{{17, 13}, {3, 5}, {2, 3}},
+                      GeomCase{{9, 9}, {9, 9}, {1, 1}},
+                      GeomCase{{33, 7}, {2, 2}, {3, 3}},
+                      GeomCase{{12, 12}, {1, 1}, {1, 1}}));
+
+TEST(Rect, IntersectAndBounds) {
+  // The Fig. 8 overlay: median output covers [1,99), convolution [2,98).
+  Rect med{1, 1, 99, 99};
+  Rect conv{2, 2, 98, 98};
+  EXPECT_EQ(Rect::intersect(med, conv), conv);
+  EXPECT_EQ(Rect::bounds(med, conv), med);
+  EXPECT_FALSE(Rect::intersect(med, conv).empty());
+  Rect disjoint{200, 200, 210, 210};
+  EXPECT_TRUE(Rect::intersect(med, disjoint).empty());
+}
+
+TEST(Rect, Dimensions) {
+  Rect r{1.5, 2.0, 4.0, 7.0};
+  EXPECT_DOUBLE_EQ(r.width(), 2.5);
+  EXPECT_DOUBLE_EQ(r.height(), 5.0);
+}
+
+TEST(Border, Any) {
+  EXPECT_FALSE((Border{}).any());
+  EXPECT_TRUE((Border{1, 0, 0, 0}).any());
+  EXPECT_TRUE((Border{0, 0, 0, 2}).any());
+}
+
+TEST(Offset2, Arithmetic) {
+  Offset2 a{1.5, 2.0};
+  Offset2 b{0.5, 0.25};
+  EXPECT_EQ(a + b, (Offset2{2.0, 2.25}));
+  EXPECT_EQ(a - b, (Offset2{1.0, 1.75}));
+}
+
+TEST(Printing, HumanReadableForms) {
+  EXPECT_EQ(to_string(Size2{5, 5}), "(5x5)");
+  EXPECT_EQ(to_string(Step2{1, 1}), "[1,1]");
+  EXPECT_EQ(to_string(Offset2{2.0, 2.0}), "[2,2]");
+}
+
+}  // namespace
+}  // namespace bpp

@@ -1,0 +1,195 @@
+// Application graph (paper §II): channels, dependency edges, topological
+// order, validation, cloning, and DOT export.
+
+#include <gtest/gtest.h>
+
+#include "apps/pipelines.h"
+#include "core/dot_export.h"
+#include "core/validation.h"
+#include "kernels/kernels.h"
+#include "test_util.h"
+
+namespace bpp {
+namespace {
+
+using testutil::ItemSink;
+using testutil::PassKernel;
+using testutil::ScriptedSource;
+
+TEST(Graph, ConnectByNameAndLookup) {
+  Graph g;
+  auto& src = g.add<ScriptedSource>("src", std::vector<Item>{});
+  auto& p = g.add<PassKernel>("p");
+  auto& sink = g.add<ItemSink>("sink");
+  const ChannelId c0 = g.connect(src, "out", p, "in");
+  const ChannelId c1 = g.connect(p, "out", sink, "in");
+
+  EXPECT_EQ(g.kernel_count(), 3);
+  EXPECT_EQ(g.find("p"), g.id_of(p));
+  EXPECT_EQ(g.find("nope"), -1);
+  EXPECT_EQ(&g.by_name("sink"), &sink);
+  EXPECT_THROW((void)g.by_name("nope"), GraphError);
+  EXPECT_EQ(g.channel(c0).dst_kernel, g.id_of(p));
+  EXPECT_EQ(*g.in_channel(g.id_of(p), 0), c0);
+  EXPECT_EQ(g.out_channels(g.id_of(p), 0), (std::vector<ChannelId>{c1}));
+}
+
+TEST(Graph, DuplicateNameRejected) {
+  Graph g;
+  g.add<PassKernel>("same");
+  EXPECT_THROW(g.add<PassKernel>("same"), GraphError);
+}
+
+TEST(Graph, InputAcceptsOnlyOneChannel) {
+  Graph g;
+  auto& a = g.add<ScriptedSource>("a", std::vector<Item>{});
+  auto& b = g.add<ScriptedSource>("b", std::vector<Item>{});
+  auto& p = g.add<PassKernel>("p");
+  g.connect(a, "out", p, "in");
+  EXPECT_THROW(g.connect(b, "out", p, "in"), GraphError);
+}
+
+TEST(Graph, OutputFanOutAllowed) {
+  Graph g;
+  auto& src = g.add<ScriptedSource>("src", std::vector<Item>{});
+  auto& p1 = g.add<PassKernel>("p1");
+  auto& p2 = g.add<PassKernel>("p2");
+  g.connect(src, "out", p1, "in");
+  g.connect(src, "out", p2, "in");
+  EXPECT_EQ(g.out_channels(g.id_of(src), 0).size(), 2u);
+}
+
+TEST(Graph, UnknownPortRejected) {
+  Graph g;
+  auto& src = g.add<ScriptedSource>("src", std::vector<Item>{});
+  auto& p = g.add<PassKernel>("p");
+  EXPECT_THROW(g.connect(src, "bogus", p, "in"), GraphError);
+  EXPECT_THROW(g.connect(src, "out", p, "bogus"), GraphError);
+}
+
+TEST(Graph, DisconnectTombstones) {
+  Graph g;
+  auto& src = g.add<ScriptedSource>("src", std::vector<Item>{});
+  auto& p = g.add<PassKernel>("p");
+  const ChannelId c = g.connect(src, "out", p, "in");
+  g.disconnect(c);
+  EXPECT_FALSE(g.channel(c).alive);
+  EXPECT_FALSE(g.in_channel(g.id_of(p), 0).has_value());
+  // The port is free again.
+  EXPECT_NO_THROW(g.connect(src, "out", p, "in"));
+}
+
+TEST(Graph, TopoOrderRespectsChannels) {
+  Graph g;
+  auto& src = g.add<ScriptedSource>("src", std::vector<Item>{});
+  auto& a = g.add<PassKernel>("a");
+  auto& b = g.add<PassKernel>("b");
+  auto& sink = g.add<ItemSink>("sink");
+  g.connect(src, "out", a, "in");
+  g.connect(a, "out", b, "in");
+  g.connect(b, "out", sink, "in");
+  const auto order = g.topo_order();
+  auto pos = [&](const Kernel& k) {
+    return std::find(order.begin(), order.end(), g.id_of(k)) - order.begin();
+  };
+  EXPECT_LT(pos(src), pos(a));
+  EXPECT_LT(pos(a), pos(b));
+  EXPECT_LT(pos(b), pos(sink));
+}
+
+TEST(Graph, PlainCycleRejected) {
+  Graph g;
+  auto& a = g.add<PassKernel>("a");
+  auto& b = g.add<PassKernel>("b");
+  g.connect(a, "out", b, "in");
+  g.connect(b, "out", a, "in");
+  EXPECT_THROW((void)g.topo_order(), GraphError);
+}
+
+TEST(Graph, FeedbackKernelBreaksCycle) {
+  Graph g = apps::feedback_app({4, 3}, 10.0, 1, 0.5);
+  EXPECT_NO_THROW((void)g.topo_order());
+  EXPECT_TRUE(validate(g).empty()) << validate(g).front();
+}
+
+TEST(Graph, DependencyEdges) {
+  Graph g;
+  auto& a = g.add<PassKernel>("a");
+  auto& b = g.add<PassKernel>("b");
+  g.add_dependency(a, b);
+  ASSERT_EQ(g.dependencies().size(), 1u);
+  EXPECT_EQ(g.dependencies()[0].src, g.id_of(a));
+  EXPECT_EQ(g.dependencies()[0].dst, g.id_of(b));
+}
+
+TEST(Graph, SourcesAndSinks) {
+  Graph g = apps::figure1_app({16, 12}, 10.0, 1, 8);
+  const auto sources = g.sources();
+  EXPECT_EQ(sources.size(), 3u);  // input, coeff, bins
+  const auto sinks = g.sinks();
+  ASSERT_EQ(sinks.size(), 1u);
+  EXPECT_EQ(g.kernel(sinks[0]).name(), "result");
+}
+
+TEST(Graph, UniqueName) {
+  Graph g;
+  g.add<PassKernel>("p");
+  EXPECT_EQ(g.unique_name("q"), "q");
+  EXPECT_EQ(g.unique_name("p"), "p_1");
+  g.add<PassKernel>("p_1");
+  EXPECT_EQ(g.unique_name("p"), "p_2");
+}
+
+TEST(Graph, CloneIsDeepAndEquivalent) {
+  Graph g = apps::figure1_app({16, 12}, 10.0, 1, 8);
+  Graph c = g.clone();
+  EXPECT_EQ(c.kernel_count(), g.kernel_count());
+  EXPECT_EQ(c.channel_count(), g.channel_count());
+  EXPECT_EQ(c.dependencies().size(), g.dependencies().size());
+  for (int k = 0; k < g.kernel_count(); ++k) {
+    EXPECT_EQ(c.kernel(k).name(), g.kernel(k).name());
+    EXPECT_NE(&c.kernel(k), &g.kernel(k));
+  }
+  EXPECT_TRUE(validate(c).empty());
+}
+
+TEST(Validation, ReportsUnconnectedPorts) {
+  Graph g;
+  g.add<PassKernel>("floating");
+  const auto issues = validate(g);
+  ASSERT_EQ(issues.size(), 2u);  // input and output unconnected
+  EXPECT_NE(issues[0].find("floating"), std::string::npos);
+  EXPECT_THROW(validate_or_throw(g), GraphError);
+}
+
+TEST(Validation, AcceptsAllBenchmarkApps) {
+  EXPECT_TRUE(validate(apps::figure1_app({16, 12}, 10, 1)).empty());
+  EXPECT_TRUE(validate(apps::bayer_app({16, 12}, 10, 1)).empty());
+  EXPECT_TRUE(validate(apps::histogram_app({16, 12}, 10, 1)).empty());
+  EXPECT_TRUE(validate(apps::parallel_buffer_app({32, 24}, 10, 1)).empty());
+  EXPECT_TRUE(validate(apps::multi_convolution_app({32, 24}, 10, 1)).empty());
+  EXPECT_TRUE(validate(apps::pipeline_app({16, 12}, 10, 1)).empty());
+  EXPECT_TRUE(validate(apps::sobel_app({16, 12}, 10, 1, 50.0)).empty());
+  EXPECT_TRUE(validate(apps::downsample_app({16, 12}, 10, 1)).empty());
+  EXPECT_TRUE(validate(apps::feedback_app({16, 12}, 10, 1, 0.5)).empty());
+}
+
+TEST(DotExport, ContainsShapesAndEdges) {
+  Graph g = apps::figure1_app({16, 12}, 10.0, 1, 8);
+  const std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("digraph application"), std::string::npos);
+  EXPECT_NE(dot.find("median3x3"), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);   // replicated coeff
+  EXPECT_NE(dot.find("style=dotted"), std::string::npos);   // dependency edge
+  EXPECT_NE(dot.find("shape=oval"), std::string::npos);     // sources
+}
+
+TEST(DotExport, BufferShapesAfterCompilation) {
+  Graph g = apps::figure1_app({16, 12}, 10.0, 1, 8);
+  // Buffers are only present after compilation; here just check raw export
+  // works on every app without buffers too.
+  EXPECT_FALSE(to_dot(g).empty());
+}
+
+}  // namespace
+}  // namespace bpp

@@ -1,0 +1,206 @@
+// Parallelization pass (paper §IV): replication sizing, split/join
+// insertion, dependency-edge caps, replicated inputs, lane-connected
+// pipelines, and functional equivalence of the transformed graphs.
+
+#include <gtest/gtest.h>
+
+#include "apps/pipelines.h"
+#include "compiler/pipeline.h"
+#include "core/validation.h"
+#include "kernels/kernels.h"
+#include "ref/reference.h"
+#include "runtime/runtime.h"
+
+namespace bpp {
+namespace {
+
+TEST(RequiredParallelism, FirstOrderFormula) {
+  MachineSpec m;
+  m.clock_hz = 10e6;
+  m.target_utilization = 0.9;
+  LoadModel l;
+  l.cycles_per_second = 4.5e6;  // util 0.45
+  EXPECT_EQ(required_parallelism(l, m), 1);
+  l.cycles_per_second = 9.1e6;  // util 0.91 > 0.9
+  EXPECT_EQ(required_parallelism(l, m), 2);
+  l.cycles_per_second = 36e6;  // util 3.6 -> exactly 4
+  EXPECT_EQ(required_parallelism(l, m), 4);
+  l.cycles_per_second = 0.0;
+  EXPECT_EQ(required_parallelism(l, m), 1);
+  // I/O access time counts too.
+  l.read_words_per_second = 50e6;  // x m.read_cost (0.2) = 10e6 cycles
+  EXPECT_EQ(required_parallelism(LoadModel{0, 50e6, 0, 0, 0}, m), 2);
+}
+
+CompiledApp compiled_fig1(const char* tag) {
+  for (const auto& c : apps::fig11_configs())
+    if (std::string(c.tag) == tag)
+      return compile(apps::figure1_app(c.frame, c.rate_hz, 1, 64));
+  throw std::runtime_error("unknown tag");
+}
+
+TEST(Parallelize, SmallSlowReplicatesFiltersTwice) {
+  const CompiledApp app = compiled_fig1("SS");
+  const auto& f = app.parallelization.factors;
+  ASSERT_TRUE(f.count("conv5x5"));
+  EXPECT_EQ(f.at("conv5x5"), 2);
+  ASSERT_TRUE(f.count("median3x3"));
+  EXPECT_EQ(f.at("median3x3"), 2);
+  EXPECT_FALSE(f.count("histogram"));  // one instance suffices when slow
+  EXPECT_FALSE(f.count("subtract"));
+}
+
+TEST(Parallelize, FastRatesAddHistogramParallelism) {
+  const CompiledApp app = compiled_fig1("SF");
+  const auto& f = app.parallelization.factors;
+  EXPECT_GE(f.at("conv5x5"), 4);
+  EXPECT_GE(f.at("median3x3"), 3);
+  ASSERT_TRUE(f.count("histogram"));
+  EXPECT_EQ(f.at("histogram"), 2);
+}
+
+TEST(Parallelize, DependencyEdgeKeepsMergeSerial) {
+  // Fig. 1(b): the dependency edge from the input bounds the merge kernel
+  // to one instance per frame no matter the rate.
+  const CompiledApp app = compiled_fig1("BF");
+  EXPECT_FALSE(app.parallelization.factors.count("merge"));
+  EXPECT_GE(app.parallelization.factors.at("histogram"), 2);
+  // The merge kernel was told how many partial histograms to expect.
+  const auto& merge = dynamic_cast<const HistogramMergeKernel&>(
+      app.graph.by_name("merge"));
+  EXPECT_EQ(merge.expected(), app.parallelization.factors.at("histogram"));
+}
+
+TEST(Parallelize, ReplicatedInputsGetReplicateKernels) {
+  const CompiledApp app = compiled_fig1("SF");
+  // The coefficient source must feed every conv replica through a
+  // replicate kernel, not a split (Fig. 4 "Replicate").
+  EXPECT_GE(app.parallelization.replicates_inserted, 2);  // coeff + bins
+  int found = 0;
+  for (int k = 0; k < app.graph.kernel_count(); ++k)
+    if (dynamic_cast<const ReplicateKernel*>(&app.graph.kernel(k))) ++found;
+  EXPECT_EQ(found, app.parallelization.replicates_inserted);
+}
+
+TEST(Parallelize, ReplicaNamingFollowsPaper) {
+  const CompiledApp app = compiled_fig1("SS");
+  // Fig. 4: "5x5 Conv_0", "5x5 Conv_1", ...
+  EXPECT_GE(app.graph.find("conv5x5_0"), 0);
+  EXPECT_GE(app.graph.find("conv5x5_1"), 0);
+  EXPECT_EQ(app.graph.find("conv5x5"), -1);
+  EXPECT_GE(app.graph.find("median3x3_0"), 0);
+}
+
+TEST(Parallelize, TransformedGraphValidates) {
+  for (const char* tag : {"SS", "BS", "SF", "BF"}) {
+    const CompiledApp app = compiled_fig1(tag);
+    EXPECT_TRUE(validate(app.graph).empty()) << tag;
+  }
+}
+
+TEST(Parallelize, PipelineLaneConnections) {
+  // §IV-B: a dependency-edged pipeline of equal-cost stages replicates as
+  // whole pipelines — stage1_j connects straight to stage2_j.
+  MachineSpec m;  // defaults; stage cycles chosen to demand ~3x
+  const Size2 frame{48, 36};
+  const double rate = 150.0;
+  CompileOptions opt;
+  opt.machine = m;
+  CompiledApp app =
+      compile(apps::pipeline_app(frame, rate, 1, /*stage_cycles=*/300), opt);
+
+  ASSERT_TRUE(app.parallelization.factors.count("stage1"));
+  const int p = app.parallelization.factors.at("stage1");
+  EXPECT_GT(p, 1);
+  EXPECT_EQ(app.parallelization.factors.at("stage2"), p);
+  EXPECT_EQ(app.parallelization.lane_connections, 1);
+
+  // Lane check: stage1_j's only consumer is stage2_j.
+  for (int j = 0; j < p; ++j) {
+    const KernelId s1 = app.graph.find("stage1_" + std::to_string(j));
+    ASSERT_GE(s1, 0);
+    const auto outs = app.graph.out_channels(s1);
+    ASSERT_EQ(outs.size(), 1u);
+    EXPECT_EQ(app.graph.kernel(app.graph.channel(outs[0]).dst_kernel).name(),
+              "stage2_" + std::to_string(j));
+  }
+}
+
+TEST(Parallelize, PipelineLanesComputeCorrectly) {
+  CompileOptions opt;
+  CompiledApp app = compile(apps::pipeline_app({24, 18}, 150.0, 2, 300), opt);
+  ASSERT_TRUE(run_sequential(app.graph).completed);
+  const auto& out = dynamic_cast<const OutputKernel&>(app.graph.by_name("result"));
+  ASSERT_EQ(out.frames().size(), 2u);
+  for (size_t f = 0; f < 2; ++f) {
+    const Tile img = ref::make_frame({24, 18}, static_cast<int>(f),
+                                     default_pixel_fn());
+    for (int y = 0; y < 18; ++y)
+      for (int x = 0; x < 24; ++x) {
+        const double s1 = 0.5 * img.at(x, y) + 1.0;
+        const double want = s1 > 64.0 ? s1 : 0.0;
+        EXPECT_DOUBLE_EQ(out.frames()[f].at(x, y), want);
+      }
+  }
+}
+
+TEST(Parallelize, SerialKernelsNeverReplicate) {
+  // Even at absurd rates, Serial kernels stay single.
+  MachineSpec slow;
+  slow.clock_hz = 1e5;  // drastically underpowered
+  CompileOptions opt;
+  opt.machine = slow;
+  Graph g = apps::histogram_app({16, 12}, 100.0, 1);
+  CompiledApp app = compile(std::move(g), opt);
+  EXPECT_FALSE(app.parallelization.factors.count("merge"));
+  EXPECT_EQ(app.graph.find("merge"), app.graph.find("merge"));  // still one
+}
+
+TEST(Parallelize, DisabledLeavesGraphUntouched) {
+  CompileOptions opt;
+  opt.parallelize = false;
+  CompiledApp app = compile(apps::figure1_app({48, 36}, 420.0, 1, 64), opt);
+  EXPECT_TRUE(app.parallelization.factors.empty());
+  EXPECT_EQ(app.parallelization.splits_inserted, 0);
+  EXPECT_GE(app.graph.find("conv5x5"), 0);  // not renamed
+}
+
+TEST(Parallelize, RoomyMachineNeedsNoParallelism) {
+  CompileOptions opt;
+  opt.machine = machines::roomy();
+  CompiledApp app = compile(apps::figure1_app({48, 36}, 420.0, 1, 64), opt);
+  EXPECT_TRUE(app.parallelization.factors.empty());
+}
+
+TEST(Parallelize, SplitJoinCountsAreConsistent) {
+  const CompiledApp app = compiled_fig1("SF");
+  int splits = 0, joins = 0;
+  for (int k = 0; k < app.graph.kernel_count(); ++k) {
+    if (dynamic_cast<const SplitKernel*>(&app.graph.kernel(k))) ++splits;
+    if (dynamic_cast<const JoinKernel*>(&app.graph.kernel(k))) ++joins;
+  }
+  // Buffer splits add one split+join pair each beyond the recorded RR ones.
+  const int buffer_pairs =
+      static_cast<int>(app.parallelization.buffer_splits.size());
+  EXPECT_EQ(splits, app.parallelization.splits_inserted + buffer_pairs);
+  EXPECT_EQ(joins, app.parallelization.joins_inserted + buffer_pairs);
+}
+
+
+TEST(Parallelize, SplitBufferBehindReplicatedProducer) {
+  // Regression: a storage-split buffer whose producer was itself
+  // replicated must route through the producer's join (found by the
+  // analytics app at 96x72 @ 150 Hz: blurH x2 feeding a 920-word buffer).
+  CompiledApp app = compile(apps::analytics_app({96, 72}, 150.0, 1));
+  EXPECT_TRUE(validate(app.graph).empty());
+  ASSERT_TRUE(app.parallelization.factors.count("blurH"));
+  ASSERT_FALSE(app.parallelization.buffer_splits.empty());
+  ASSERT_TRUE(run_sequential(app.graph).completed);
+  // Functional spot check: edge frames exist and are the right size.
+  const auto& edges = dynamic_cast<const OutputKernel&>(app.graph.by_name("edges"));
+  ASSERT_EQ(edges.frames().size(), 1u);
+  EXPECT_EQ(edges.frames()[0].size(), (Size2{88, 64}));
+}
+
+}  // namespace
+}  // namespace bpp

@@ -1,0 +1,115 @@
+// Simulated-annealing placement (paper §IV-D extension): mesh sizing,
+// cost model, improvement over row-major, and determinism.
+
+#include <gtest/gtest.h>
+
+#include "apps/pipelines.h"
+#include "compiler/pipeline.h"
+#include "placement/placement.h"
+
+namespace bpp {
+namespace {
+
+TEST(Placement, MeshForCoreCounts) {
+  EXPECT_EQ(mesh_for(1).tiles(), 1);
+  EXPECT_EQ(mesh_for(4), (MeshSpec{2, 2}));
+  EXPECT_EQ(mesh_for(5), (MeshSpec{3, 2}));
+  EXPECT_EQ(mesh_for(9), (MeshSpec{3, 3}));
+  EXPECT_EQ(mesh_for(10), (MeshSpec{4, 3}));
+  EXPECT_GE(mesh_for(17).tiles(), 17);
+}
+
+CompiledApp compiled_example() {
+  return compile(apps::figure1_app({48, 36}, 180.0, 1, 64));
+}
+
+TEST(Placement, RowMajorCostIsFinitePositive) {
+  const CompiledApp app = compiled_example();
+  const MeshSpec mesh = mesh_for(app.mapping.cores);
+  const Placement p = place_row_major(app.graph, app.mapping, app.loads, mesh);
+  EXPECT_GT(p.cost, 0.0);
+  EXPECT_EQ(p.tile_of_core.size(), static_cast<size_t>(app.mapping.cores));
+}
+
+TEST(Placement, IntraCoreChannelsAreFree) {
+  // With every kernel on one core the communication cost is zero.
+  const CompiledApp app = compiled_example();
+  Mapping one;
+  one.cores = 1;
+  one.core_of.assign(static_cast<size_t>(app.graph.kernel_count()), 0);
+  const Placement p = place_row_major(app.graph, one, app.loads, mesh_for(1));
+  EXPECT_DOUBLE_EQ(p.cost, 0.0);
+}
+
+TEST(Placement, AnnealingImprovesOrMatchesRowMajor) {
+  const CompiledApp app = compiled_example();
+  const MeshSpec mesh = mesh_for(app.mapping.cores);
+  const Placement base = place_row_major(app.graph, app.mapping, app.loads, mesh);
+  const Placement sa =
+      place_annealed(app.graph, app.mapping, app.loads, mesh, 7, 8000);
+  EXPECT_LE(sa.cost, base.cost);
+  // And it should actually find something better on this irregular graph.
+  EXPECT_LT(sa.cost, 0.95 * base.cost);
+}
+
+TEST(Placement, DeterministicInSeed) {
+  const CompiledApp app = compiled_example();
+  const MeshSpec mesh = mesh_for(app.mapping.cores);
+  const Placement a =
+      place_annealed(app.graph, app.mapping, app.loads, mesh, 42, 3000);
+  const Placement b =
+      place_annealed(app.graph, app.mapping, app.loads, mesh, 42, 3000);
+  EXPECT_EQ(a.tile_of_core, b.tile_of_core);
+  EXPECT_DOUBLE_EQ(a.cost, b.cost);
+}
+
+TEST(Placement, PlacementIsAPermutation) {
+  const CompiledApp app = compiled_example();
+  const MeshSpec mesh = mesh_for(app.mapping.cores);
+  const Placement sa =
+      place_annealed(app.graph, app.mapping, app.loads, mesh, 3, 5000);
+  std::set<int> tiles(sa.tile_of_core.begin(), sa.tile_of_core.end());
+  EXPECT_EQ(tiles.size(), sa.tile_of_core.size());  // no double occupancy
+  for (int t : sa.tile_of_core) {
+    EXPECT_GE(t, 0);
+    EXPECT_LT(t, mesh.tiles());
+  }
+}
+
+TEST(Placement, CostMatchesManualComputation) {
+  // Two cores on a 2x1 mesh, one channel between them: cost = traffic * 1.
+  Graph g = apps::histogram_app({8, 6}, 10.0, 1);
+  CompileOptions opt;
+  opt.machine = machines::roomy();
+  CompiledApp app = compile(std::move(g), opt);
+  Mapping two;
+  two.cores = 2;
+  two.core_of.assign(static_cast<size_t>(app.graph.kernel_count()), 0);
+  // Move only the merge kernel to core 1.
+  two.core_of[static_cast<size_t>(app.graph.find("merge"))] = 1;
+
+  const auto traffic = channel_traffic(app.graph, app.loads);
+  const Placement p =
+      place_row_major(app.graph, two, app.loads, MeshSpec{2, 1});
+  double want = 0.0;
+  for (int c = 0; c < app.graph.channel_count(); ++c) {
+    const Channel& ch = app.graph.channel(c);
+    if (!ch.alive) continue;
+    const bool cross =
+        two.core_of[static_cast<size_t>(ch.src_kernel)] !=
+        two.core_of[static_cast<size_t>(ch.dst_kernel)];
+    if (cross) want += traffic[static_cast<size_t>(c)];
+  }
+  EXPECT_DOUBLE_EQ(p.cost, want);
+  EXPECT_GT(p.cost, 0.0);
+}
+
+TEST(Placement, TooSmallMeshRejected) {
+  const CompiledApp app = compiled_example();
+  EXPECT_THROW((void)place_row_major(app.graph, app.mapping, app.loads,
+                                     MeshSpec{2, 2}),
+               AnalysisError);
+}
+
+}  // namespace
+}  // namespace bpp

@@ -1,0 +1,251 @@
+// Randomized end-to-end property tests: seeded random kernel chains (and
+// two-branch difference graphs) are compiled — buffering, alignment,
+// parallelization, multiplexing — executed, and compared bit-exactly
+// against the composed scalar reference. This is the broadest invariant
+// in the system: every transformation is semantics-preserving.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "apps/pipelines.h"
+#include "compiler/pipeline.h"
+#include "kernels/kernels.h"
+#include "ref/reference.h"
+#include "runtime/runtime.h"
+
+namespace bpp {
+namespace {
+
+std::uint64_t splitmix(std::uint64_t& s) {
+  s += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = s;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// One randomly chosen stage: how it extends the graph and how it
+/// transforms the reference frame.
+struct Stage {
+  enum Kind { Conv3, Conv5, Median3, Sobel, Scale, Threshold, Down2 } kind;
+
+  /// Pixels consumed from each side (to keep the frame large enough).
+  [[nodiscard]] int shrink() const {
+    switch (kind) {
+      case Conv3:
+      case Median3:
+      case Sobel:
+        return 2;
+      case Conv5:
+        return 4;
+      default:
+        return 0;
+    }
+  }
+
+  Kernel* append(Graph& g, int idx) const {
+    const std::string n = "stage" + std::to_string(idx);
+    switch (kind) {
+      case Conv3: {
+        auto& k = g.add<ConvolutionKernel>(n, 3, 3);
+        g.connect(g.add<ConstSource>(n + "_c", apps::blur_coeff3x3()), "out", k,
+                  "coeff");
+        return &k;
+      }
+      case Conv5: {
+        auto& k = g.add<ConvolutionKernel>(n, 5, 5);
+        g.connect(g.add<ConstSource>(n + "_c", apps::blur_coeff5x5()), "out", k,
+                  "coeff");
+        return &k;
+      }
+      case Median3:
+        return &g.add<MedianKernel>(n, 3, 3);
+      case Sobel:
+        return &g.add<SobelKernel>(n);
+      case Scale:
+        return &g.add_kernel(make_scale(n, 0.5, 8.0));
+      case Threshold:
+        return &g.add_kernel(make_threshold(n, 96.0));
+      case Down2:
+        return &g.add<DownsampleKernel>(n, 2);
+    }
+    return nullptr;
+  }
+
+  [[nodiscard]] Tile reference(const Tile& in) const {
+    switch (kind) {
+      case Conv3:
+        return ref::convolve(in, apps::blur_coeff3x3());
+      case Conv5:
+        return ref::convolve(in, apps::blur_coeff5x5());
+      case Median3:
+        return ref::median(in, 3, 3);
+      case Sobel:
+        return ref::sobel(in);
+      case Scale: {
+        Tile out(in.size());
+        for (int y = 0; y < in.height(); ++y)
+          for (int x = 0; x < in.width(); ++x)
+            out.at(x, y) = 0.5 * in.at(x, y) + 8.0;
+        return out;
+      }
+      case Threshold: {
+        Tile out(in.size());
+        for (int y = 0; y < in.height(); ++y)
+          for (int x = 0; x < in.width(); ++x)
+            out.at(x, y) = in.at(x, y) > 96.0 ? 1.0 : 0.0;
+        return out;
+      }
+      case Down2:
+        return ref::downsample(in, 2);
+    }
+    return in;
+  }
+};
+
+std::vector<Stage> random_stages(std::uint64_t& rng, int max_stages,
+                                 Size2& frame_left) {
+  std::vector<Stage> stages;
+  const int n = 1 + static_cast<int>(splitmix(rng) % max_stages);
+  for (int i = 0; i < n; ++i) {
+    const auto kind = static_cast<Stage::Kind>(splitmix(rng) % 7);
+    Stage s{kind};
+    Size2 next = {frame_left.w - s.shrink(), frame_left.h - s.shrink()};
+    if (kind == Stage::Down2) next = {frame_left.w / 2, frame_left.h / 2};
+    if (next.w < 8 || next.h < 8) break;  // keep enough room downstream
+    if (kind == Stage::Down2 && (frame_left.w % 2 || frame_left.h % 2))
+      continue;  // exact tilings only
+    stages.push_back(s);
+    frame_left = next;
+  }
+  if (stages.empty()) stages.push_back(Stage{Stage::Scale});
+  return stages;
+}
+
+class RandomChain : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomChain, CompiledChainMatchesComposedReference) {
+  std::uint64_t rng = 0xC0FFEE ^ (static_cast<std::uint64_t>(GetParam()) << 20);
+  const Size2 frame{static_cast<int>(20 + splitmix(rng) % 16),
+                    static_cast<int>(18 + splitmix(rng) % 10)};
+  const double rate = 50.0 + static_cast<double>(splitmix(rng) % 300);
+  Size2 left = frame;
+  const std::vector<Stage> stages = random_stages(rng, 4, left);
+
+  Graph g;
+  Kernel* prev = &g.add<InputKernel>("input", frame, rate, 1);
+  for (size_t i = 0; i < stages.size(); ++i) {
+    Kernel* k = stages[i].append(g, static_cast<int>(i));
+    g.connect(*prev, "out", *k, "in");
+    prev = k;
+  }
+  auto& out = g.add<OutputKernel>("result");
+  g.connect(*prev, "out", out, "in");
+
+  CompileOptions opt;
+  if (splitmix(rng) & 1) opt.machine.clock_hz /= 2;  // vary the pressure
+  opt.reuse_opt = (splitmix(rng) & 2) != 0;
+  CompiledApp app = compile(std::move(g), opt);
+  ASSERT_TRUE(run_sequential(app.graph).completed)
+      << stages.size() << " stages, frame " << to_string(frame);
+
+  Tile want = ref::make_frame(frame, 0, default_pixel_fn());
+  for (const Stage& s : stages) want = s.reference(want);
+
+  const auto& res = dynamic_cast<const OutputKernel&>(app.graph.by_name("result"));
+  ASSERT_EQ(res.frames().size(), 1u) << "stages=" << stages.size();
+  ASSERT_EQ(res.frames()[0].size(), want.size());
+  for (int y = 0; y < want.height(); ++y)
+    for (int x = 0; x < want.width(); ++x)
+      ASSERT_NEAR(res.frames()[0].at(x, y), want.at(x, y), 1e-9)
+          << "seed " << GetParam() << " at (" << x << ',' << y << ')';
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomChain, ::testing::Range(0, 24));
+
+class RandomDiff : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomDiff, TwoBranchDifferenceAlignsAndMatches) {
+  // input -> (windowed A, windowed B) -> subtract -> histogram-less sink.
+  // The branches have random halos, so the alignment pass must trim.
+  std::uint64_t rng = 0xBEEF ^ (static_cast<std::uint64_t>(GetParam()) << 18);
+  const Size2 frame{static_cast<int>(22 + splitmix(rng) % 12),
+                    static_cast<int>(20 + splitmix(rng) % 8)};
+
+  auto windowed = [&](Graph& g, const std::string& name,
+                      std::uint64_t pick) -> Kernel* {
+    switch (pick % 4) {
+      case 0: {
+        auto& k = g.add<ConvolutionKernel>(name, 3, 3);
+        g.connect(g.add<ConstSource>(name + "_c", apps::blur_coeff3x3()), "out",
+                  k, "coeff");
+        return &k;
+      }
+      case 1: {
+        auto& k = g.add<ConvolutionKernel>(name, 5, 5);
+        g.connect(g.add<ConstSource>(name + "_c", apps::blur_coeff5x5()), "out",
+                  k, "coeff");
+        return &k;
+      }
+      case 2:
+        return &g.add<MedianKernel>(name, 3, 3);
+      default:
+        return &g.add<SobelKernel>(name);
+    }
+  };
+  auto reference = [&](const Tile& in, std::uint64_t pick) {
+    switch (pick % 4) {
+      case 0:
+        return ref::convolve(in, apps::blur_coeff3x3());
+      case 1:
+        return ref::convolve(in, apps::blur_coeff5x5());
+      case 2:
+        return ref::median(in, 3, 3);
+      default:
+        return ref::sobel(in);
+    }
+  };
+  auto inset_of = [](std::uint64_t pick) { return pick % 4 == 1 ? 2 : 1; };
+
+  const std::uint64_t pa = splitmix(rng);
+  const std::uint64_t pb = splitmix(rng);
+
+  Graph g;
+  auto& in = g.add<InputKernel>("input", frame, 60.0, 1);
+  Kernel* a = windowed(g, "branchA", pa);
+  Kernel* b = windowed(g, "branchB", pb);
+  Kernel& sub = g.add_kernel(make_subtract("diff"));
+  auto& out = g.add<OutputKernel>("result");
+  g.connect(in, "out", *a, "in");
+  g.connect(in, "out", *b, "in");
+  g.connect(*a, "out", sub, "in0");
+  g.connect(*b, "out", sub, "in1");
+  g.connect(sub, "out", out, "in");
+
+  CompiledApp app = compile(std::move(g));
+  ASSERT_TRUE(run_sequential(app.graph).completed);
+
+  // Composed reference with trim alignment.
+  const Tile img = ref::make_frame(frame, 0, default_pixel_fn());
+  Tile ra = reference(img, pa);
+  Tile rb = reference(img, pb);
+  const int ia = inset_of(pa), ib = inset_of(pb);
+  const int common = std::max(ia, ib);
+  ra = ref::crop(ra, {common - ia, common - ia, common - ia, common - ia});
+  rb = ref::crop(rb, {common - ib, common - ib, common - ib, common - ib});
+  const Tile want = ref::subtract(ra, rb);
+
+  const auto& res = dynamic_cast<const OutputKernel&>(app.graph.by_name("result"));
+  ASSERT_EQ(res.frames().size(), 1u);
+  ASSERT_EQ(res.frames()[0].size(), want.size());
+  for (int y = 0; y < want.height(); ++y)
+    for (int x = 0; x < want.width(); ++x)
+      ASSERT_NEAR(res.frames()[0].at(x, y), want.at(x, y), 1e-9)
+          << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDiff, ::testing::Range(0, 16));
+
+}  // namespace
+}  // namespace bpp

@@ -1,0 +1,204 @@
+// Threaded host runtime: functional equivalence across mappings and
+// thread counts, watchdog behavior, and termination.
+
+#include <gtest/gtest.h>
+
+#include "apps/pipelines.h"
+#include "compiler/pipeline.h"
+#include "kernels/kernels.h"
+#include "ref/reference.h"
+#include "runtime/runtime.h"
+#include "test_util.h"
+
+namespace bpp {
+namespace {
+
+std::vector<long> result_bins(const Graph& g, int bins) {
+  const auto& out = dynamic_cast<const OutputKernel&>(g.by_name("result"));
+  std::vector<long> total(static_cast<size_t>(bins), 0);
+  for (const Tile& t : out.tiles())
+    for (int i = 0; i < bins; ++i)
+      total[static_cast<size_t>(i)] += static_cast<long>(t.at(i, 0));
+  return total;
+}
+
+TEST(Runtime, SequentialEqualsThreadedOnFig1) {
+  const Size2 frame{32, 24};
+  const int frames = 2, bins = 16;
+  CompiledApp app = compile(apps::figure1_app(frame, 200.0, frames, bins));
+
+  Graph seq = app.graph.clone();
+  ASSERT_TRUE(run_sequential(seq).completed);
+  Graph par = app.graph.clone();
+  ASSERT_TRUE(run_threaded(par, app.mapping).completed);
+
+  EXPECT_EQ(result_bins(seq, bins), result_bins(par, bins));
+}
+
+TEST(Runtime, ArbitraryMappingsAreEquivalent) {
+  // Any partition of kernels onto threads computes the same result.
+  const Size2 frame{24, 18};
+  CompiledApp app = compile(apps::histogram_app(frame, 100.0, 2, 8));
+  std::vector<long> want;
+  for (int threads : {1, 2, 3, 5}) {
+    Graph g = app.graph.clone();
+    Mapping m;
+    m.cores = threads;
+    m.core_of.resize(static_cast<size_t>(g.kernel_count()));
+    for (int k = 0; k < g.kernel_count(); ++k)
+      m.core_of[static_cast<size_t>(k)] = k % threads;
+    ASSERT_TRUE(run_threaded(g, m).completed) << threads << " threads";
+    const auto got = result_bins(g, 8);
+    if (want.empty())
+      want = got;
+    else
+      EXPECT_EQ(got, want) << threads << " threads";
+  }
+}
+
+TEST(Runtime, WatchdogFiresOnStalledGraph) {
+  // A subtract fed by one silent branch never fires and never terminates.
+  Graph g;
+  auto& a = g.add<testutil::ScriptedSource>(
+      "a", std::vector<Item>{testutil::px(1)});
+  auto& b = g.add<testutil::ScriptedSource>("b", std::vector<Item>{});
+  Kernel& sub = g.add_kernel(make_subtract("sub"));
+  auto& sink = g.add<testutil::ItemSink>("sink");
+  g.connect(a, "out", sub, "in0");
+  g.connect(b, "out", sub, "in1");
+  g.connect(sub, "out", sink, "in");
+
+  RuntimeOptions opt;
+  opt.watchdog_seconds = 0.2;
+  const RuntimeResult r = run_sequential(g, opt);
+  EXPECT_FALSE(r.completed);
+  EXPECT_TRUE(r.watchdog_fired);
+  EXPECT_FALSE(r.diagnostics.empty());
+}
+
+TEST(Runtime, CountsFirings) {
+  Graph g = apps::histogram_app({8, 6}, 50.0, 1, 4);
+  const RuntimeResult r = run_sequential(g);
+  ASSERT_TRUE(r.completed);
+  // At least one firing per pixel at the histogram plus merge and sink work.
+  EXPECT_GT(r.total_firings, 8 * 6);
+}
+
+TEST(Runtime, MultiFrameFeedbackTerminates) {
+  Graph g = apps::feedback_app({8, 6}, 50.0, 3, 0.5);
+  const RuntimeResult r = run_sequential(g);
+  EXPECT_TRUE(r.completed) << r.diagnostics;
+  const auto& out = dynamic_cast<const OutputKernel&>(g.by_name("result"));
+  EXPECT_EQ(out.frames().size(), 3u);
+}
+
+TEST(Runtime, MappingMustCoverGraph) {
+  Graph g = apps::histogram_app({8, 6}, 25.0, 1);
+  Mapping bad;
+  bad.cores = 1;
+  bad.core_of = {0};
+  EXPECT_THROW((void)run_threaded(g, bad), ExecutionError);
+}
+
+TEST(Runtime, BenchmarkAppsAllRunToCompletion) {
+  struct Case {
+    const char* name;
+    Graph g;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"bayer", apps::bayer_app({16, 12}, 50.0, 2)});
+  cases.push_back({"hist", apps::histogram_app({16, 12}, 50.0, 2)});
+  cases.push_back({"pbuf", apps::parallel_buffer_app({32, 24}, 50.0, 1)});
+  cases.push_back({"mconv", apps::multi_convolution_app({24, 20}, 50.0, 1)});
+  cases.push_back({"pipe", apps::pipeline_app({16, 12}, 50.0, 2)});
+  cases.push_back({"sobel", apps::sobel_app({16, 12}, 50.0, 1, 60.0)});
+  cases.push_back({"down", apps::downsample_app({16, 12}, 50.0, 1)});
+  for (auto& c : cases) {
+    CompileOptions opt;
+    opt.machine = machines::roomy();
+    CompiledApp app = compile(std::move(c.g), opt);
+    EXPECT_TRUE(run_sequential(app.graph).completed) << c.name;
+  }
+}
+
+
+TEST(Runtime, PacedInputsMeetWallClockSchedule) {
+  // With pace_inputs the host runtime releases pixels on the real-time
+  // schedule; on an idle machine a modest rate runs without deadline
+  // misses and the wall time tracks the input span.
+  const double rate = 50.0;
+  const int frames = 3;
+  CompiledApp app = compile(apps::histogram_app({16, 12}, rate, frames, 8));
+  RuntimeOptions opt;
+  opt.pace_inputs = true;
+  const RuntimeResult r = run_threaded(app.graph, app.mapping, opt);
+  ASSERT_TRUE(r.completed) << r.diagnostics;
+  const double span = frames / rate;
+  EXPECT_GE(r.wall_seconds, 0.8 * span);
+  EXPECT_LT(r.wall_seconds, 3.0 * span);
+  // Host scheduler quanta (this may be a single-CPU box) can delay
+  // individual releases; the lag must stay bounded, not zero.
+  EXPECT_LT(r.max_release_lag_seconds, 0.1)
+      << r.delayed_releases << " delayed releases";
+}
+
+TEST(Runtime, PacedSlowdownStretchesTheRun) {
+  const double rate = 100.0;
+  CompiledApp app = compile(apps::histogram_app({12, 8}, rate, 2, 8));
+  RuntimeOptions opt;
+  opt.pace_inputs = true;
+  opt.pace_slowdown = 4.0;
+  Graph g = app.graph.clone();
+  const RuntimeResult r = run_threaded(g, app.mapping, opt);
+  ASSERT_TRUE(r.completed);
+  EXPECT_GE(r.wall_seconds, 0.8 * 4.0 * 2 / rate);
+}
+
+TEST(Compile, WarnsWhenSerialKernelExceedsOnePE) {
+  // The event detector is a serial scan-order FSM; at a pixel rate beyond
+  // one slow PE, compile() surfaces the infeasibility instead of letting
+  // the simulation quietly miss real time.
+  Graph g;
+  auto& in = g.add<InputKernel>("input", Size2{32, 24}, 400.0, 1);
+  auto& det = g.add<EventDetectKernel>("detect", 150.0, 4.0);
+  auto& hand = g.add<EventHandlerKernel>("handler");
+  auto& out = g.add<OutputKernel>("result");
+  g.connect(in, "out", det, "in");
+  g.connect(det, "out", hand, "in");
+  g.connect(hand, "out", out, "in");
+
+  CompileOptions opt;
+  opt.machine.clock_hz = 1e6;
+  CompiledApp app = compile(std::move(g), opt);
+  bool warned = false;
+  for (const std::string& w : app.parallelization.warnings)
+    warned = warned || (w.find("infeasible") != std::string::npos &&
+                        w.find("detect") != std::string::npos);
+  EXPECT_TRUE(warned);
+}
+
+TEST(Compile, WarnsWhenDependencyEdgeCapsNeededParallelism) {
+  // A dependency edge from a serial stage onto a hungry stage caps it
+  // below its demand.
+  Graph g;
+  auto& in = g.add<InputKernel>("input", Size2{32, 24}, 400.0, 1);
+  Kernel& cheap = g.add_kernel(std::make_unique<UnaryOpKernel>(
+      "cheap", [](double v) { return v; }, 4));
+  Kernel& hungry = g.add_kernel(std::make_unique<UnaryOpKernel>(
+      "hungry", [](double v) { return v * 2; }, 400));
+  auto& out = g.add<OutputKernel>("result");
+  g.connect(in, "out", cheap, "in");
+  g.connect(cheap, "out", hungry, "in");
+  g.connect(hungry, "out", out, "in");
+  g.add_dependency(cheap, hungry);
+
+  CompiledApp app = compile(std::move(g));
+  bool warned = false;
+  for (const std::string& w : app.parallelization.warnings)
+    warned = warned || w.find("caps parallelism") != std::string::npos;
+  EXPECT_TRUE(warned);
+  EXPECT_FALSE(app.parallelization.factors.count("hungry"));
+}
+
+}  // namespace
+}  // namespace bpp

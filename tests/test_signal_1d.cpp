@@ -1,0 +1,167 @@
+// One-dimensional signal handling (paper §II-A): FIR filtering with
+// decimation as (taps x 1) windows over height-1 frames, through the full
+// compiler and engines.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/pipelines.h"
+#include "compiler/pipeline.h"
+#include "kernels/kernels.h"
+#include "ref/reference.h"
+#include "runtime/runtime.h"
+#include "sim/simulator.h"
+
+namespace bpp {
+namespace {
+
+/// Scalar FIR with decimation (newest-last tap order, valid mode).
+std::vector<double> ref_fir(const std::vector<double>& x,
+                            const std::vector<double>& taps, int decimate) {
+  const int t = static_cast<int>(taps.size());
+  std::vector<double> y;
+  for (int o = 0; o + t <= static_cast<int>(x.size()); o += decimate) {
+    double acc = 0.0;
+    for (int i = 0; i < t; ++i)
+      acc += x[static_cast<size_t>(o + i)] * taps[static_cast<size_t>(t - 1 - i)];
+    y.push_back(acc);
+  }
+  return y;
+}
+
+std::vector<double> block_signal(int samples, int block) {
+  std::vector<double> x(static_cast<size_t>(samples));
+  for (int i = 0; i < samples; ++i)
+    x[static_cast<size_t>(i)] = default_pixel_fn()(block, i, 0);
+  return x;
+}
+
+struct FirCase {
+  int samples;
+  int taps;
+  int decimate;
+};
+
+class FirSweep : public ::testing::TestWithParam<FirCase> {};
+
+TEST_P(FirSweep, MatchesScalarReference) {
+  const auto& c = GetParam();
+  Graph g;
+  auto& in = g.add<InputKernel>("input", Size2{c.samples, 1}, 100.0, 2);
+  auto& fir = g.add<FirDecimateKernel>("fir", moving_average_taps(c.taps),
+                                       c.decimate);
+  auto& out = g.add<OutputKernel>("result");
+  g.connect(in, "out", fir, "in");
+  g.connect(fir, "out", out, "in");
+
+  CompileOptions opt;
+  opt.machine = machines::roomy();
+  CompiledApp app = compile(std::move(g), opt);
+  ASSERT_TRUE(run_sequential(app.graph).completed);
+
+  const auto& res = dynamic_cast<const OutputKernel&>(app.graph.by_name("result"));
+  ASSERT_EQ(res.frames().size(), 2u);
+  for (int b = 0; b < 2; ++b) {
+    const auto want =
+        ref_fir(block_signal(c.samples, b), moving_average_taps(c.taps), c.decimate);
+    const Tile& got = res.frames()[static_cast<size_t>(b)];
+    ASSERT_EQ(got.size(), (Size2{static_cast<int>(want.size()), 1}));
+    for (size_t i = 0; i < want.size(); ++i)
+      EXPECT_NEAR(got.at(static_cast<int>(i), 0), want[i], 1e-9) << "block " << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FirSweep,
+                         ::testing::Values(FirCase{64, 8, 1}, FirCase{64, 8, 4},
+                                           FirCase{128, 16, 4},
+                                           FirCase{96, 5, 3},
+                                           FirCase{40, 40, 1},
+                                           FirCase{64, 1, 2}));
+
+TEST(Signal1D, BufferIsOneDimensional) {
+  // A 1-D FIR needs a [Nx2] buffer: two double-buffered rows of height 1.
+  Graph g;
+  auto& in = g.add<InputKernel>("input", Size2{64, 1}, 100.0, 1);
+  auto& fir = g.add<FirDecimateKernel>("fir", moving_average_taps(8), 1);
+  auto& out = g.add<OutputKernel>("result");
+  g.connect(in, "out", fir, "in");
+  g.connect(fir, "out", out, "in");
+  CompiledApp app = compile(std::move(g));
+  ASSERT_EQ(app.buffers.size(), 1u);
+  EXPECT_EQ(app.buffers[0].annotation, "[64x2]");
+}
+
+TEST(Signal1D, DecimationScaleAndFractionalInset) {
+  Graph g;
+  auto& in = g.add<InputKernel>("input", Size2{64, 1}, 100.0, 1);
+  auto& fir = g.add<FirDecimateKernel>("fir", moving_average_taps(16), 4);
+  auto& out = g.add<OutputKernel>("result");
+  g.connect(in, "out", fir, "in");
+  g.connect(fir, "out", out, "in");
+  const DataflowResult df = analyze(g);
+  const StreamInfo& s =
+      df.channel[static_cast<size_t>(*g.in_channel(g.find("result"), 0))];
+  EXPECT_EQ(s.frame, (Size2{13, 1}));  // (64-16)/4 + 1
+  EXPECT_EQ(s.scale, (Offset2{4.0, 1.0}));
+  EXPECT_DOUBLE_EQ(s.inset.x, 7.5);  // (16-1)/2 in input samples
+}
+
+TEST(Signal1D, RadioChainRunsAndLowpasses) {
+  const int samples = 256;
+  CompiledApp app = compile(apps::radio_app(samples, 200.0, 2));
+  ASSERT_TRUE(run_sequential(app.graph).completed);
+  const auto& res = dynamic_cast<const OutputKernel&>(app.graph.by_name("result"));
+  ASSERT_EQ(res.frames().size(), 2u);
+
+  // Scalar reference of the whole chain.
+  for (int b = 0; b < 2; ++b) {
+    auto x = block_signal(samples, b);
+    auto y = ref_fir(x, lowpass_taps(16, 0.1), 4);
+    for (double& v : y) v = std::abs(v);
+    const auto want = ref_fir(y, moving_average_taps(8), 1);
+    const Tile& got = res.frames()[static_cast<size_t>(b)];
+    ASSERT_EQ(got.size(), (Size2{static_cast<int>(want.size()), 1}));
+    for (size_t i = 0; i < want.size(); ++i)
+      EXPECT_NEAR(got.at(static_cast<int>(i), 0), want[i], 1e-9);
+  }
+}
+
+TEST(Signal1D, RadioChainParallelizesUnderLoad) {
+  // Push the rate until the lowpass FIR replicates; the result must not
+  // change and the simulator must still meet real time.
+  CompiledApp app = compile(apps::radio_app(256, 7000.0, 2));
+  ASSERT_TRUE(app.parallelization.factors.count("lowpass"))
+      << "expected the FIR to replicate at this rate";
+  Graph run = app.graph.clone();
+  SimOptions opt;
+  opt.machine = app.options.machine;
+  const SimResult r = simulate(run, app.mapping, opt);
+  EXPECT_TRUE(r.completed) << r.diagnostics;
+  EXPECT_TRUE(r.realtime_met) << r.max_input_lag_seconds;
+
+  ASSERT_TRUE(run_sequential(app.graph).completed);
+  const auto& res = dynamic_cast<const OutputKernel&>(app.graph.by_name("result"));
+  auto x = block_signal(256, 0);
+  auto y = ref_fir(x, lowpass_taps(16, 0.1), 4);
+  for (double& v : y) v = std::abs(v);
+  const auto want = ref_fir(y, moving_average_taps(8), 1);
+  for (size_t i = 0; i < want.size(); ++i)
+    EXPECT_NEAR(res.frames()[0].at(static_cast<int>(i), 0), want[i], 1e-9);
+}
+
+TEST(Signal1D, LowpassTapsHaveUnityDCGain) {
+  for (int n : {8, 16, 31}) {
+    double sum = 0.0;
+    for (double t : lowpass_taps(n, 0.15)) sum += t;
+    EXPECT_NEAR(sum, 1.0, 1e-12) << n;
+  }
+}
+
+TEST(Signal1D, FirValidation) {
+  EXPECT_THROW(FirDecimateKernel("f", {}, 1), GraphError);
+  EXPECT_THROW(FirDecimateKernel("f", {1.0}, 0), GraphError);
+}
+
+}  // namespace
+}  // namespace bpp

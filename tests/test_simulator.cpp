@@ -1,0 +1,273 @@
+// Timing-accurate simulator (paper §IV-D/§V): exact cycle accounting,
+// run/read/write breakdown, real-time verification, back-pressure stalls,
+// and deadlock diagnosis.
+
+#include <gtest/gtest.h>
+
+#include "apps/pipelines.h"
+#include "compiler/pipeline.h"
+#include "kernels/kernels.h"
+#include "sim/simulator.h"
+#include "test_util.h"
+
+namespace bpp {
+namespace {
+
+using testutil::ItemSink;
+using testutil::PassKernel;
+using testutil::ScriptedSource;
+
+TEST(Simulator, ExactCycleAccountingForOnePass) {
+  // One data item through a PassKernel with known costs.
+  Graph g;
+  auto& src = g.add<ScriptedSource>(
+      "src", std::vector<Item>{testutil::px(1.0),
+                               testutil::token(tok::kEndOfStream)});
+  auto& p = g.add<PassKernel>("p", /*cycles=*/50);
+  auto& sink = g.add<ItemSink>("sink");
+  g.connect(src, "out", p, "in");
+  g.connect(p, "out", sink, "in");
+
+  SimOptions opt;
+  opt.machine.clock_hz = 1e6;
+  opt.machine.read_cost = 1.0;
+  opt.machine.write_cost = 1.0;
+  opt.machine.context_switch = 5.0;
+  const Mapping m = map_one_to_one(g);
+  Graph g2 = g.clone();
+  const SimResult r = simulate(g2, m, opt);
+  ASSERT_TRUE(r.completed) << r.diagnostics;
+
+  // PassKernel core: data firing (cs 5 + read 1 + run 50 + write 1 = 57)
+  // plus the EOS forward (cs 5 + read 1 + run 2 + write 1 = 9).
+  const CoreStats& pc = r.cores[static_cast<size_t>(
+      m.core_of[static_cast<size_t>(g2.find("p"))])];
+  EXPECT_DOUBLE_EQ(pc.run_cycles, 52.0);
+  EXPECT_DOUBLE_EQ(pc.read_cycles, 2.0);
+  EXPECT_DOUBLE_EQ(pc.write_cycles, 2.0);
+  EXPECT_DOUBLE_EQ(pc.switch_cycles, 10.0);
+  EXPECT_EQ(pc.firings, 2);
+}
+
+TEST(Simulator, UtilizationBreakdownSumsToBusy) {
+  Graph g = apps::histogram_app({24, 18}, 50.0, 2);
+  const CompiledApp app = compile(g.clone());
+  Graph run = app.graph.clone();
+  SimOptions opt;
+  opt.machine = app.options.machine;
+  const SimResult r = simulate(run, app.mapping, opt);
+  ASSERT_TRUE(r.completed);
+  const CoreStats t = r.totals();
+  EXPECT_GT(t.run_cycles, 0.0);
+  EXPECT_GT(t.read_cycles, 0.0);
+  EXPECT_GT(t.write_cycles, 0.0);
+  EXPECT_NEAR(t.busy_cycles(),
+              t.run_cycles + t.read_cycles + t.write_cycles + t.switch_cycles,
+              1e-6);
+  EXPECT_GT(r.avg_utilization(opt.machine), 0.0);
+  EXPECT_LT(r.avg_utilization(opt.machine), 1.0);
+}
+
+TEST(Simulator, MeetsRealTimeWhenProvisioned) {
+  for (const auto& cfg : apps::fig11_configs()) {
+    CompiledApp app = compile(apps::figure1_app(cfg.frame, cfg.rate_hz, 2, 64));
+    SimOptions opt;
+    opt.machine = app.options.machine;
+    const SimResult r = simulate(app.graph, app.mapping, opt);
+    EXPECT_TRUE(r.completed) << cfg.tag << ": " << r.diagnostics;
+    EXPECT_TRUE(r.realtime_met)
+        << cfg.tag << ": lag " << r.max_input_lag_seconds << "s";
+  }
+}
+
+TEST(Simulator, DetectsRealTimeViolationWhenUnderprovisioned) {
+  // Compile for the normal machine but simulate on one 50x slower: the
+  // input cannot be serviced and the lag explodes.
+  CompiledApp app = compile(apps::figure1_app({48, 36}, 180.0, 2, 64));
+  SimOptions opt;
+  opt.machine = app.options.machine;
+  opt.machine.clock_hz /= 50.0;
+  const SimResult r = simulate(app.graph, app.mapping, opt);
+  EXPECT_FALSE(r.realtime_met);
+  EXPECT_GT(r.delayed_releases, 0);
+}
+
+TEST(Simulator, SequentialMappingIsSlowerButCorrect) {
+  // All kernels on one core still completes (no real-time guarantee).
+  Graph g = apps::histogram_app({16, 12}, 100.0, 1);
+  Mapping m;
+  m.core_of.assign(static_cast<size_t>(g.kernel_count()), 0);
+  m.cores = 1;
+  const SimResult r = simulate(g, m, SimOptions{});
+  EXPECT_TRUE(r.completed);
+  const auto& out = dynamic_cast<const OutputKernel&>(g.by_name("result"));
+  EXPECT_EQ(out.tiles().size(), 1u);
+}
+
+// Heavy per-window stage used by the Fig. 9 experiments.
+class HeavyStage final : public Kernel {
+ public:
+  HeavyStage(std::string name, long cycles)
+      : Kernel(std::move(name)), cycles_(cycles) {}
+  void configure() override {
+    create_input("in", {5, 5}, {1, 1}, {0.0, 0.0});
+    create_output("out", {5, 5}, {1, 1});
+    auto& m = register_method("work", Resources{cycles_, 8}, &HeavyStage::work);
+    method_input(m, "in");
+    method_output(m, "out");
+  }
+  [[nodiscard]] std::unique_ptr<Kernel> clone() const override {
+    return std::make_unique<HeavyStage>(*this);
+  }
+
+ private:
+  void work() { write_output("out", read_input("in")); }
+  long cycles_;
+};
+
+TEST(Simulator, BufferSlackRidesOutDownstreamOutages) {
+  // Fig. 9's buffering lesson in this model: the windowed consumer shares
+  // its core with a periodically-firing expensive kernel. During each
+  // outage windows back up; a buffer with real output slack absorbs them
+  // and the input never blocks, while a slack-1 buffer pushes the backlog
+  // all the way to the (unstoppable) input.
+  auto run = [](long slack) {
+    Graph g;
+    auto& in = g.add<InputKernel>("input", Size2{20, 12}, 100.0, 2);
+    auto& buf = g.add<BufferKernel>("buf", Size2{1, 1}, Size2{5, 5},
+                                    Step2{1, 1}, Size2{20, 12});
+    buf.set_output_slack(slack);
+    Kernel& heavy = g.add_kernel(std::make_unique<HeavyStage>("heavy", 600));
+    auto& sink = g.add<ItemSink>("sink", Size2{5, 5});
+    // The disturbance: a 200 Hz tick whose handler hogs the shared core.
+    auto& tick = g.add<InputKernel>("tick", Size2{1, 1}, 200.0, 4);
+    Kernel& hog = g.add_kernel(std::make_unique<PassKernel>("hog", 40000));
+    auto& hsink = g.add<ItemSink>("hsink");
+    g.connect(in, "out", buf, "in");
+    g.connect(buf, "out", heavy, "in");
+    g.connect(heavy, "out", sink, "in");
+    g.connect(tick, "out", hog, "in");
+    g.connect(hog, "out", hsink, "in");
+
+    Mapping m = map_one_to_one(g);
+    // Time-multiplex the hog onto the heavy stage's core.
+    m.core_of[static_cast<size_t>(g.find("hog"))] =
+        m.core_of[static_cast<size_t>(g.find("heavy"))];
+    SimOptions opt;  // default 20 MHz machine
+    return simulate(g, m, opt);
+  };
+
+  const SimResult generous = run(64);
+  ASSERT_TRUE(generous.completed) << generous.diagnostics;
+  const SimResult strangled = run(1);
+  ASSERT_TRUE(strangled.completed) << strangled.diagnostics;
+
+  EXPECT_EQ(generous.delayed_releases, 0) << "slack should absorb outages";
+  EXPECT_GT(strangled.delayed_releases, 0);
+  EXPECT_GT(strangled.max_input_lag_seconds, generous.max_input_lag_seconds);
+}
+
+TEST(Simulator, DeadlockDiagnosedOnMisalignedGraph) {
+  // Feeding differently-sized streams into a subtract without alignment
+  // stalls: EOL tokens never pair. The simulator reports items in flight.
+  Graph g;
+  auto& in = g.add<InputKernel>("input", Size2{12, 10}, 100.0, 1);
+  auto& med = g.add<MedianKernel>("med", 3, 3);
+  auto& conv = g.add<ConvolutionKernel>("conv", 5, 5);
+  auto& coeff = g.add<ConstSource>("coeff", apps::blur_coeff5x5());
+  Kernel& sub = g.add_kernel(make_subtract("sub"));
+  auto& sink = g.add<ItemSink>("sink");
+  auto& bm = g.add<BufferKernel>("bm", Size2{1, 1}, Size2{3, 3}, Step2{1, 1},
+                                 Size2{12, 10});
+  auto& bc = g.add<BufferKernel>("bc", Size2{1, 1}, Size2{5, 5}, Step2{1, 1},
+                                 Size2{12, 10});
+  g.connect(in, "out", bm, "in");
+  g.connect(in, "out", bc, "in");
+  g.connect(bm, "out", med, "in");
+  g.connect(bc, "out", conv, "in");
+  g.connect(coeff, "out", conv, "coeff");
+  g.connect(med, "out", sub, "in0");
+  g.connect(conv, "out", sub, "in1");
+  g.connect(sub, "out", sink, "in");
+
+  const SimResult r = simulate(g, map_one_to_one(g), SimOptions{});
+  EXPECT_FALSE(r.diagnostics.empty());  // items left in flight
+}
+
+TEST(Simulator, InputSpanMatchesSchedule) {
+  Graph g = apps::histogram_app({16, 12}, 25.0, 3);
+  const SimResult r = simulate(g, map_one_to_one(g), SimOptions{});
+  EXPECT_DOUBLE_EQ(r.input_span_seconds, 3.0 / 25.0);
+  EXPECT_GE(r.sim_seconds, r.input_span_seconds * 0.99);
+}
+
+TEST(Simulator, MappingMustCoverGraph) {
+  Graph g = apps::histogram_app({8, 6}, 25.0, 1);
+  Mapping bad;
+  bad.cores = 1;
+  bad.core_of = {0};  // too short
+  EXPECT_THROW((void)simulate(g, bad, SimOptions{}), ExecutionError);
+}
+
+
+TEST(Simulator, TraceRecordsFiringTimeline) {
+  Graph g = apps::histogram_app({8, 6}, 50.0, 1);
+  SimOptions opt;
+  opt.trace_limit = 10;
+  const SimResult r = simulate(g, map_one_to_one(g), opt);
+  ASSERT_TRUE(r.completed);
+  ASSERT_EQ(r.trace.size(), 10u);
+  double prev = 0.0;
+  for (const FiringRecord& f : r.trace) {
+    EXPECT_GE(f.start_seconds, prev - 1e-12);  // chronological
+    prev = f.start_seconds;
+    EXPECT_GT(f.duration_seconds, 0.0);
+    EXPECT_GE(f.core, 0);
+    EXPECT_GE(f.kernel, 0);
+    EXPECT_LT(f.kernel, g.kernel_count());
+  }
+  // Tracing off by default.
+  Graph h = apps::histogram_app({8, 6}, 50.0, 1);
+  EXPECT_TRUE(simulate(h, map_one_to_one(h), SimOptions{}).trace.empty());
+}
+
+
+TEST(Simulator, SinkFrameTimesTrackThroughput) {
+  // §IV-D: "communication delays will only increase the latency for the
+  // first output, but will not impact the throughput". The steady-state
+  // frame period at the sink must equal the input frame period.
+  const double rate = 100.0;
+  const int frames = 5;
+  CompiledApp app = compile(apps::figure1_app({32, 24}, rate, frames, 16));
+  SimOptions opt;
+  opt.machine = app.options.machine;
+  const SimResult r = simulate(app.graph, app.mapping, opt);
+  ASSERT_TRUE(r.completed);
+  const auto* times = r.frame_times();
+  ASSERT_NE(times, nullptr);
+  ASSERT_EQ(times->size(), static_cast<size_t>(frames));
+  // Steady-state period == 1/rate (within one pixel period of jitter).
+  const double period = r.steady_frame_period();
+  EXPECT_NEAR(period, 1.0 / rate, 1.0 / (rate * 32 * 24) + 1e-9);
+  // First-output latency exceeds one frame (the frame must arrive first)
+  // but not by much more than the pipeline depth allows.
+  EXPECT_GT(r.first_frame_latency(), 1.0 / rate * 0.9);
+  EXPECT_LT(r.first_frame_latency(), 2.5 / rate);
+}
+
+TEST(Simulator, KernelActivityAccounts) {
+  Graph g = apps::histogram_app({16, 12}, 50.0, 2);
+  const SimResult r = simulate(g, map_one_to_one(g), SimOptions{});
+  ASSERT_TRUE(r.completed);
+  ASSERT_EQ(r.kernel_activity.size(), static_cast<size_t>(g.kernel_count()));
+  const auto& hist = r.kernel_activity[static_cast<size_t>(g.find("histogram"))];
+  // 192 pixels + EOF + bins config + EOL drops per frame, two frames.
+  EXPECT_GT(hist.first, 2 * 192);
+  EXPECT_GT(hist.second, 0.0);
+  // Sources never fire.
+  const auto& in = r.kernel_activity[static_cast<size_t>(g.find("input"))];
+  EXPECT_EQ(in.first, 0);
+}
+
+}  // namespace
+}  // namespace bpp

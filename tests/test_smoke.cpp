@@ -1,0 +1,87 @@
+// End-to-end smoke tests: the Fig. 1(b) application through the full
+// compiler and both execution engines, checked against the golden
+// reference.
+
+#include <gtest/gtest.h>
+
+#include "apps/pipelines.h"
+#include "compiler/pipeline.h"
+#include "compiler/report.h"
+#include "kernels/kernels.h"
+#include "ref/reference.h"
+#include "runtime/runtime.h"
+#include "sim/simulator.h"
+
+namespace bpp {
+namespace {
+
+std::vector<long> expected_histogram(Size2 frame, int frames, int bins) {
+  std::vector<long> total;
+  const Tile coeff = apps::blur_coeff5x5();
+  const std::vector<double> uppers = apps::diff_bins(bins);
+  for (int f = 0; f < frames; ++f) {
+    const Tile img = ref::make_frame(frame, f, default_pixel_fn());
+    const std::vector<long> h = ref::figure1_histogram(img, coeff, uppers);
+    if (total.empty())
+      total = h;
+    else
+      for (size_t i = 0; i < h.size(); ++i) total[i] += h[i];
+  }
+  return total;
+}
+
+std::vector<long> summed_outputs(const OutputKernel& out, int bins) {
+  std::vector<long> total(static_cast<size_t>(bins), 0);
+  for (const Tile& t : out.tiles())
+    for (int i = 0; i < bins; ++i)
+      total[static_cast<size_t>(i)] += static_cast<long>(t.at(i, 0));
+  return total;
+}
+
+TEST(Smoke, Figure1CompilesAndRunsSequentially) {
+  const Size2 frame{24, 18};
+  const int frames = 2, bins = 16;
+  CompileOptions opt;
+  opt.machine = machines::roomy();  // no parallelization needed
+  CompiledApp app = compile(apps::figure1_app(frame, 50.0, frames, bins), opt);
+
+  RuntimeResult rr = run_sequential(app.graph);
+  ASSERT_TRUE(rr.completed) << rr.diagnostics;
+
+  const auto& out = dynamic_cast<const OutputKernel&>(app.graph.by_name("result"));
+  EXPECT_EQ(out.tiles().size(), static_cast<size_t>(frames));
+  EXPECT_EQ(summed_outputs(out, bins), expected_histogram(frame, frames, bins));
+}
+
+TEST(Smoke, Figure1ParallelizedMatchesReferenceInSimulator) {
+  const Size2 frame{32, 24};
+  const int frames = 2, bins = 16;
+  CompiledApp app = compile(apps::figure1_app(frame, 200.0, frames, bins));
+  SCOPED_TRACE(report_string(app));
+
+  SimOptions sopt;
+  sopt.machine = app.options.machine;
+  SimResult sr = simulate(app.graph, app.mapping, sopt);
+  EXPECT_TRUE(sr.completed) << sr.diagnostics;
+  EXPECT_TRUE(sr.realtime_met)
+      << "max lag " << sr.max_input_lag_seconds << "s, delayed "
+      << sr.delayed_releases;
+
+  const auto& out = dynamic_cast<const OutputKernel&>(app.graph.by_name("result"));
+  EXPECT_EQ(summed_outputs(out, bins), expected_histogram(frame, frames, bins));
+}
+
+TEST(Smoke, Figure1ParallelizedMatchesReferenceInThreadedRuntime) {
+  const Size2 frame{32, 24};
+  const int frames = 3, bins = 16;
+  CompiledApp app = compile(apps::figure1_app(frame, 200.0, frames, bins));
+
+  RuntimeResult rr = run_threaded(app.graph, app.mapping);
+  ASSERT_TRUE(rr.completed) << rr.diagnostics;
+
+  const auto& out = dynamic_cast<const OutputKernel&>(app.graph.by_name("result"));
+  EXPECT_EQ(summed_outputs(out, bins), expected_histogram(frame, frames, bins));
+}
+
+}  // namespace
+}  // namespace bpp

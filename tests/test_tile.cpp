@@ -1,0 +1,117 @@
+// Tile: the dense 2-D data unit moved over channels.
+
+#include <gtest/gtest.h>
+
+#include "core/tile.h"
+
+namespace bpp {
+namespace {
+
+TEST(Tile, ConstructionAndAccess) {
+  Tile t(4, 3);
+  EXPECT_EQ(t.size(), (Size2{4, 3}));
+  EXPECT_EQ(t.words(), 12);
+  EXPECT_FALSE(t.empty());
+  for (int y = 0; y < 3; ++y)
+    for (int x = 0; x < 4; ++x) EXPECT_EQ(t.at(x, y), 0.0);
+  t.at(2, 1) = 7.5;
+  EXPECT_EQ(t.at(2, 1), 7.5);
+  EXPECT_EQ(std::as_const(t).at(2, 1), 7.5);
+}
+
+TEST(Tile, FillConstructor) {
+  Tile t(Size2{2, 2}, 3.25);
+  for (int y = 0; y < 2; ++y)
+    for (int x = 0; x < 2; ++x) EXPECT_EQ(t.at(x, y), 3.25);
+}
+
+TEST(Tile, DefaultIsEmpty) {
+  Tile t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.words(), 0);
+}
+
+TEST(Tile, RowMajorLayout) {
+  Tile t(3, 2);
+  t.at(0, 0) = 1;
+  t.at(1, 0) = 2;
+  t.at(2, 0) = 3;
+  t.at(0, 1) = 4;
+  EXPECT_EQ(t.raw(), (std::vector<double>{1, 2, 3, 4, 0, 0}));
+}
+
+TEST(Tile, Equality) {
+  Tile a(2, 2), b(2, 2);
+  EXPECT_EQ(a, b);
+  b.at(1, 1) = 1.0;
+  EXPECT_FALSE(a == b);
+  Tile c(2, 3);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(Tile, Crop) {
+  Tile t(5, 4);
+  for (int y = 0; y < 4; ++y)
+    for (int x = 0; x < 5; ++x) t.at(x, y) = x + 10 * y;
+  const Tile c = t.crop(1, 2, {3, 2});
+  ASSERT_EQ(c.size(), (Size2{3, 2}));
+  EXPECT_EQ(c.at(0, 0), 21.0);
+  EXPECT_EQ(c.at(2, 1), 33.0);
+}
+
+TEST(Tile, CropFull) {
+  Tile t(3, 3);
+  t.at(1, 1) = 5;
+  EXPECT_EQ(t.crop(0, 0, {3, 3}), t);
+}
+
+TEST(Tile, ZeroPadding) {
+  Tile t(2, 2);
+  t.at(0, 0) = 1;
+  t.at(1, 0) = 2;
+  t.at(0, 1) = 3;
+  t.at(1, 1) = 4;
+  const Tile p = t.padded({1, 1, 1, 1});
+  ASSERT_EQ(p.size(), (Size2{4, 4}));
+  EXPECT_EQ(p.at(0, 0), 0.0);
+  EXPECT_EQ(p.at(3, 3), 0.0);
+  EXPECT_EQ(p.at(1, 1), 1.0);
+  EXPECT_EQ(p.at(2, 2), 4.0);
+}
+
+TEST(Tile, AsymmetricPadding) {
+  Tile t(2, 1);
+  t.at(0, 0) = 9;
+  const Tile p = t.padded({2, 0, 1, 3});
+  ASSERT_EQ(p.size(), (Size2{5, 4}));
+  EXPECT_EQ(p.at(2, 0), 9.0);
+  EXPECT_EQ(p.at(0, 0), 0.0);
+  EXPECT_EQ(p.at(4, 3), 0.0);
+}
+
+TEST(Tile, MirrorPadding) {
+  Tile t(3, 1);
+  t.at(0, 0) = 1;
+  t.at(1, 0) = 2;
+  t.at(2, 0) = 3;
+  const Tile p = t.padded({2, 0, 2, 0}, /*mirror=*/true);
+  ASSERT_EQ(p.size(), (Size2{7, 1}));
+  // Reflection about the edges: 3 2 | 1 2 3 | 2 1
+  EXPECT_EQ(p.at(0, 0), 3.0);
+  EXPECT_EQ(p.at(1, 0), 2.0);
+  EXPECT_EQ(p.at(2, 0), 1.0);
+  EXPECT_EQ(p.at(4, 0), 3.0);
+  EXPECT_EQ(p.at(5, 0), 2.0);
+  EXPECT_EQ(p.at(6, 0), 1.0);
+}
+
+TEST(Tile, MirrorPaddingSinglePixel) {
+  Tile t(1, 1);
+  t.at(0, 0) = 6;
+  const Tile p = t.padded({1, 1, 1, 1}, /*mirror=*/true);
+  for (int y = 0; y < 3; ++y)
+    for (int x = 0; x < 3; ++x) EXPECT_EQ(p.at(x, y), 6.0);
+}
+
+}  // namespace
+}  // namespace bpp
