@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_cores_vs_rate.
+# This may be replaced when dependencies are built.

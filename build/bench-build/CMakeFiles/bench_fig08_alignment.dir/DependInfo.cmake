@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig08_alignment.cpp" "bench-build/CMakeFiles/bench_fig08_alignment.dir/bench_fig08_alignment.cpp.o" "gcc" "bench-build/CMakeFiles/bench_fig08_alignment.dir/bench_fig08_alignment.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bpp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/bpp_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/bpp_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bpp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/bpp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/ref/CMakeFiles/bpp_ref.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/bpp_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/placement/CMakeFiles/bpp_placement.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

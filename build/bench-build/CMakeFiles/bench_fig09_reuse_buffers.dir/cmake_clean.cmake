@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig09_reuse_buffers"
+  "../bench/bench_fig09_reuse_buffers.pdb"
+  "CMakeFiles/bench_fig09_reuse_buffers.dir/bench_fig09_reuse_buffers.cpp.o"
+  "CMakeFiles/bench_fig09_reuse_buffers.dir/bench_fig09_reuse_buffers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_reuse_buffers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

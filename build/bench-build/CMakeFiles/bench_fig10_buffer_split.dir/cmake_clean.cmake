@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_buffer_split"
+  "../bench/bench_fig10_buffer_split.pdb"
+  "CMakeFiles/bench_fig10_buffer_split.dir/bench_fig10_buffer_split.cpp.o"
+  "CMakeFiles/bench_fig10_buffer_split.dir/bench_fig10_buffer_split.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_buffer_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

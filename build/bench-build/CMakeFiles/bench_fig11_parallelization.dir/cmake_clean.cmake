@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_parallelization"
+  "../bench/bench_fig11_parallelization.pdb"
+  "CMakeFiles/bench_fig11_parallelization.dir/bench_fig11_parallelization.cpp.o"
+  "CMakeFiles/bench_fig11_parallelization.dir/bench_fig11_parallelization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_parallelization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

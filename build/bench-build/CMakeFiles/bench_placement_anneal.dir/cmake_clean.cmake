@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_placement_anneal"
+  "../bench/bench_placement_anneal.pdb"
+  "CMakeFiles/bench_placement_anneal.dir/bench_placement_anneal.cpp.o"
+  "CMakeFiles/bench_placement_anneal.dir/bench_placement_anneal.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_placement_anneal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motion_tracking.dir/motion_tracking.cpp.o"
+  "CMakeFiles/motion_tracking.dir/motion_tracking.cpp.o.d"
+  "motion_tracking"
+  "motion_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motion_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

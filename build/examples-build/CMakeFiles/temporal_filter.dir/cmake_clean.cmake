@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temporal_filter.dir/temporal_filter.cpp.o"
+  "CMakeFiles/temporal_filter.dir/temporal_filter.cpp.o.d"
+  "temporal_filter"
+  "temporal_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temporal_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

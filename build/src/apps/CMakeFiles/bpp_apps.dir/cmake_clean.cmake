@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpp_apps.dir/pipelines.cpp.o"
+  "CMakeFiles/bpp_apps.dir/pipelines.cpp.o.d"
+  "libbpp_apps.a"
+  "libbpp_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpp_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/alignment.cpp" "src/compiler/CMakeFiles/bpp_compiler.dir/alignment.cpp.o" "gcc" "src/compiler/CMakeFiles/bpp_compiler.dir/alignment.cpp.o.d"
+  "/root/repo/src/compiler/buffer_split.cpp" "src/compiler/CMakeFiles/bpp_compiler.dir/buffer_split.cpp.o" "gcc" "src/compiler/CMakeFiles/bpp_compiler.dir/buffer_split.cpp.o.d"
+  "/root/repo/src/compiler/buffering.cpp" "src/compiler/CMakeFiles/bpp_compiler.dir/buffering.cpp.o" "gcc" "src/compiler/CMakeFiles/bpp_compiler.dir/buffering.cpp.o.d"
+  "/root/repo/src/compiler/dataflow.cpp" "src/compiler/CMakeFiles/bpp_compiler.dir/dataflow.cpp.o" "gcc" "src/compiler/CMakeFiles/bpp_compiler.dir/dataflow.cpp.o.d"
+  "/root/repo/src/compiler/multiplex.cpp" "src/compiler/CMakeFiles/bpp_compiler.dir/multiplex.cpp.o" "gcc" "src/compiler/CMakeFiles/bpp_compiler.dir/multiplex.cpp.o.d"
+  "/root/repo/src/compiler/parallelize.cpp" "src/compiler/CMakeFiles/bpp_compiler.dir/parallelize.cpp.o" "gcc" "src/compiler/CMakeFiles/bpp_compiler.dir/parallelize.cpp.o.d"
+  "/root/repo/src/compiler/pipeline.cpp" "src/compiler/CMakeFiles/bpp_compiler.dir/pipeline.cpp.o" "gcc" "src/compiler/CMakeFiles/bpp_compiler.dir/pipeline.cpp.o.d"
+  "/root/repo/src/compiler/report.cpp" "src/compiler/CMakeFiles/bpp_compiler.dir/report.cpp.o" "gcc" "src/compiler/CMakeFiles/bpp_compiler.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bpp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/bpp_kernels.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

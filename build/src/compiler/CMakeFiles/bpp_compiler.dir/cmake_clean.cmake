@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpp_compiler.dir/alignment.cpp.o"
+  "CMakeFiles/bpp_compiler.dir/alignment.cpp.o.d"
+  "CMakeFiles/bpp_compiler.dir/buffer_split.cpp.o"
+  "CMakeFiles/bpp_compiler.dir/buffer_split.cpp.o.d"
+  "CMakeFiles/bpp_compiler.dir/buffering.cpp.o"
+  "CMakeFiles/bpp_compiler.dir/buffering.cpp.o.d"
+  "CMakeFiles/bpp_compiler.dir/dataflow.cpp.o"
+  "CMakeFiles/bpp_compiler.dir/dataflow.cpp.o.d"
+  "CMakeFiles/bpp_compiler.dir/multiplex.cpp.o"
+  "CMakeFiles/bpp_compiler.dir/multiplex.cpp.o.d"
+  "CMakeFiles/bpp_compiler.dir/parallelize.cpp.o"
+  "CMakeFiles/bpp_compiler.dir/parallelize.cpp.o.d"
+  "CMakeFiles/bpp_compiler.dir/pipeline.cpp.o"
+  "CMakeFiles/bpp_compiler.dir/pipeline.cpp.o.d"
+  "CMakeFiles/bpp_compiler.dir/report.cpp.o"
+  "CMakeFiles/bpp_compiler.dir/report.cpp.o.d"
+  "libbpp_compiler.a"
+  "libbpp_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpp_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

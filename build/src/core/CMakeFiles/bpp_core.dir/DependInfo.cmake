@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dot_export.cpp" "src/core/CMakeFiles/bpp_core.dir/dot_export.cpp.o" "gcc" "src/core/CMakeFiles/bpp_core.dir/dot_export.cpp.o.d"
+  "/root/repo/src/core/firing.cpp" "src/core/CMakeFiles/bpp_core.dir/firing.cpp.o" "gcc" "src/core/CMakeFiles/bpp_core.dir/firing.cpp.o.d"
+  "/root/repo/src/core/geometry.cpp" "src/core/CMakeFiles/bpp_core.dir/geometry.cpp.o" "gcc" "src/core/CMakeFiles/bpp_core.dir/geometry.cpp.o.d"
+  "/root/repo/src/core/graph.cpp" "src/core/CMakeFiles/bpp_core.dir/graph.cpp.o" "gcc" "src/core/CMakeFiles/bpp_core.dir/graph.cpp.o.d"
+  "/root/repo/src/core/kernel.cpp" "src/core/CMakeFiles/bpp_core.dir/kernel.cpp.o" "gcc" "src/core/CMakeFiles/bpp_core.dir/kernel.cpp.o.d"
+  "/root/repo/src/core/token.cpp" "src/core/CMakeFiles/bpp_core.dir/token.cpp.o" "gcc" "src/core/CMakeFiles/bpp_core.dir/token.cpp.o.d"
+  "/root/repo/src/core/validation.cpp" "src/core/CMakeFiles/bpp_core.dir/validation.cpp.o" "gcc" "src/core/CMakeFiles/bpp_core.dir/validation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpp_core.dir/dot_export.cpp.o"
+  "CMakeFiles/bpp_core.dir/dot_export.cpp.o.d"
+  "CMakeFiles/bpp_core.dir/firing.cpp.o"
+  "CMakeFiles/bpp_core.dir/firing.cpp.o.d"
+  "CMakeFiles/bpp_core.dir/geometry.cpp.o"
+  "CMakeFiles/bpp_core.dir/geometry.cpp.o.d"
+  "CMakeFiles/bpp_core.dir/graph.cpp.o"
+  "CMakeFiles/bpp_core.dir/graph.cpp.o.d"
+  "CMakeFiles/bpp_core.dir/kernel.cpp.o"
+  "CMakeFiles/bpp_core.dir/kernel.cpp.o.d"
+  "CMakeFiles/bpp_core.dir/token.cpp.o"
+  "CMakeFiles/bpp_core.dir/token.cpp.o.d"
+  "CMakeFiles/bpp_core.dir/validation.cpp.o"
+  "CMakeFiles/bpp_core.dir/validation.cpp.o.d"
+  "libbpp_core.a"
+  "libbpp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/bayer.cpp" "src/kernels/CMakeFiles/bpp_kernels.dir/bayer.cpp.o" "gcc" "src/kernels/CMakeFiles/bpp_kernels.dir/bayer.cpp.o.d"
+  "/root/repo/src/kernels/buffer.cpp" "src/kernels/CMakeFiles/bpp_kernels.dir/buffer.cpp.o" "gcc" "src/kernels/CMakeFiles/bpp_kernels.dir/buffer.cpp.o.d"
+  "/root/repo/src/kernels/const_source.cpp" "src/kernels/CMakeFiles/bpp_kernels.dir/const_source.cpp.o" "gcc" "src/kernels/CMakeFiles/bpp_kernels.dir/const_source.cpp.o.d"
+  "/root/repo/src/kernels/convolution.cpp" "src/kernels/CMakeFiles/bpp_kernels.dir/convolution.cpp.o" "gcc" "src/kernels/CMakeFiles/bpp_kernels.dir/convolution.cpp.o.d"
+  "/root/repo/src/kernels/elementwise.cpp" "src/kernels/CMakeFiles/bpp_kernels.dir/elementwise.cpp.o" "gcc" "src/kernels/CMakeFiles/bpp_kernels.dir/elementwise.cpp.o.d"
+  "/root/repo/src/kernels/events.cpp" "src/kernels/CMakeFiles/bpp_kernels.dir/events.cpp.o" "gcc" "src/kernels/CMakeFiles/bpp_kernels.dir/events.cpp.o.d"
+  "/root/repo/src/kernels/feedback.cpp" "src/kernels/CMakeFiles/bpp_kernels.dir/feedback.cpp.o" "gcc" "src/kernels/CMakeFiles/bpp_kernels.dir/feedback.cpp.o.d"
+  "/root/repo/src/kernels/fir.cpp" "src/kernels/CMakeFiles/bpp_kernels.dir/fir.cpp.o" "gcc" "src/kernels/CMakeFiles/bpp_kernels.dir/fir.cpp.o.d"
+  "/root/repo/src/kernels/histogram.cpp" "src/kernels/CMakeFiles/bpp_kernels.dir/histogram.cpp.o" "gcc" "src/kernels/CMakeFiles/bpp_kernels.dir/histogram.cpp.o.d"
+  "/root/repo/src/kernels/input.cpp" "src/kernels/CMakeFiles/bpp_kernels.dir/input.cpp.o" "gcc" "src/kernels/CMakeFiles/bpp_kernels.dir/input.cpp.o.d"
+  "/root/repo/src/kernels/inset.cpp" "src/kernels/CMakeFiles/bpp_kernels.dir/inset.cpp.o" "gcc" "src/kernels/CMakeFiles/bpp_kernels.dir/inset.cpp.o.d"
+  "/root/repo/src/kernels/median.cpp" "src/kernels/CMakeFiles/bpp_kernels.dir/median.cpp.o" "gcc" "src/kernels/CMakeFiles/bpp_kernels.dir/median.cpp.o.d"
+  "/root/repo/src/kernels/mirror_pad.cpp" "src/kernels/CMakeFiles/bpp_kernels.dir/mirror_pad.cpp.o" "gcc" "src/kernels/CMakeFiles/bpp_kernels.dir/mirror_pad.cpp.o.d"
+  "/root/repo/src/kernels/morphology.cpp" "src/kernels/CMakeFiles/bpp_kernels.dir/morphology.cpp.o" "gcc" "src/kernels/CMakeFiles/bpp_kernels.dir/morphology.cpp.o.d"
+  "/root/repo/src/kernels/motion.cpp" "src/kernels/CMakeFiles/bpp_kernels.dir/motion.cpp.o" "gcc" "src/kernels/CMakeFiles/bpp_kernels.dir/motion.cpp.o.d"
+  "/root/repo/src/kernels/output.cpp" "src/kernels/CMakeFiles/bpp_kernels.dir/output.cpp.o" "gcc" "src/kernels/CMakeFiles/bpp_kernels.dir/output.cpp.o.d"
+  "/root/repo/src/kernels/sampling.cpp" "src/kernels/CMakeFiles/bpp_kernels.dir/sampling.cpp.o" "gcc" "src/kernels/CMakeFiles/bpp_kernels.dir/sampling.cpp.o.d"
+  "/root/repo/src/kernels/sobel.cpp" "src/kernels/CMakeFiles/bpp_kernels.dir/sobel.cpp.o" "gcc" "src/kernels/CMakeFiles/bpp_kernels.dir/sobel.cpp.o.d"
+  "/root/repo/src/kernels/split_join.cpp" "src/kernels/CMakeFiles/bpp_kernels.dir/split_join.cpp.o" "gcc" "src/kernels/CMakeFiles/bpp_kernels.dir/split_join.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bpp_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbpp_kernels.a"
+)

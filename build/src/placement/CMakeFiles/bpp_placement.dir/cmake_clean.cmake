@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpp_placement.dir/placement.cpp.o"
+  "CMakeFiles/bpp_placement.dir/placement.cpp.o.d"
+  "libbpp_placement.a"
+  "libbpp_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpp_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

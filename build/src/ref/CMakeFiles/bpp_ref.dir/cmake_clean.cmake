@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpp_ref.dir/reference.cpp.o"
+  "CMakeFiles/bpp_ref.dir/reference.cpp.o.d"
+  "libbpp_ref.a"
+  "libbpp_ref.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpp_ref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

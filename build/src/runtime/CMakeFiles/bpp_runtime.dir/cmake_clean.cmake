@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpp_runtime.dir/runtime.cpp.o"
+  "CMakeFiles/bpp_runtime.dir/runtime.cpp.o.d"
+  "libbpp_runtime.a"
+  "libbpp_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpp_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpp_serialize.dir/serialize.cpp.o"
+  "CMakeFiles/bpp_serialize.dir/serialize.cpp.o.d"
+  "libbpp_serialize.a"
+  "libbpp_serialize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpp_serialize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbpp_serialize.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpp_sim.dir/simulator.cpp.o"
+  "CMakeFiles/bpp_sim.dir/simulator.cpp.o.d"
+  "libbpp_sim.a"
+  "libbpp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

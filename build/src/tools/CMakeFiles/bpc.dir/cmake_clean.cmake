@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpc.dir/bpc_main.cpp.o"
+  "CMakeFiles/bpc.dir/bpc_main.cpp.o.d"
+  "bpc"
+  "bpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_buffer_kernel.dir/test_buffer_kernel.cpp.o"
+  "CMakeFiles/test_buffer_kernel.dir/test_buffer_kernel.cpp.o.d"
+  "test_buffer_kernel"
+  "test_buffer_kernel.pdb"
+  "test_buffer_kernel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_buffer_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

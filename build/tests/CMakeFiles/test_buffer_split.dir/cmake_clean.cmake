@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_buffer_split.dir/test_buffer_split.cpp.o"
+  "CMakeFiles/test_buffer_split.dir/test_buffer_split.cpp.o.d"
+  "test_buffer_split"
+  "test_buffer_split.pdb"
+  "test_buffer_split[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_buffer_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_firing.dir/test_firing.cpp.o"
+  "CMakeFiles/test_firing.dir/test_firing.cpp.o.d"
+  "test_firing"
+  "test_firing.pdb"
+  "test_firing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_firing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_inset_pad.dir/test_inset_pad.cpp.o"
+  "CMakeFiles/test_inset_pad.dir/test_inset_pad.cpp.o.d"
+  "test_inset_pad"
+  "test_inset_pad.pdb"
+  "test_inset_pad[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_inset_pad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernels_compute.dir/test_kernels_compute.cpp.o"
+  "CMakeFiles/test_kernels_compute.dir/test_kernels_compute.cpp.o.d"
+  "test_kernels_compute"
+  "test_kernels_compute.pdb"
+  "test_kernels_compute[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernels_compute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallelize.dir/test_parallelize.cpp.o"
+  "CMakeFiles/test_parallelize.dir/test_parallelize.cpp.o.d"
+  "test_parallelize"
+  "test_parallelize.pdb"
+  "test_parallelize[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallelize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

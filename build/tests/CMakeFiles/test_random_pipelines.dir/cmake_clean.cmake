@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_random_pipelines.dir/test_random_pipelines.cpp.o"
+  "CMakeFiles/test_random_pipelines.dir/test_random_pipelines.cpp.o.d"
+  "test_random_pipelines"
+  "test_random_pipelines.pdb"
+  "test_random_pipelines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_random_pipelines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_report_misc.dir/test_report_misc.cpp.o"
+  "CMakeFiles/test_report_misc.dir/test_report_misc.cpp.o.d"
+  "test_report_misc"
+  "test_report_misc.pdb"
+  "test_report_misc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_report_misc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

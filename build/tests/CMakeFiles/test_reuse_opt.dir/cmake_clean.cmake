@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reuse_opt.dir/test_reuse_opt.cpp.o"
+  "CMakeFiles/test_reuse_opt.dir/test_reuse_opt.cpp.o.d"
+  "test_reuse_opt"
+  "test_reuse_opt.pdb"
+  "test_reuse_opt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reuse_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

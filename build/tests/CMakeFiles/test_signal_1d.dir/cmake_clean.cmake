@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_signal_1d.dir/test_signal_1d.cpp.o"
+  "CMakeFiles/test_signal_1d.dir/test_signal_1d.cpp.o.d"
+  "test_signal_1d"
+  "test_signal_1d.pdb"
+  "test_signal_1d[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_signal_1d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

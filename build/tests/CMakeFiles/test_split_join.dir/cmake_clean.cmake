@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_split_join.dir/test_split_join.cpp.o"
+  "CMakeFiles/test_split_join.dir/test_split_join.cpp.o.d"
+  "test_split_join"
+  "test_split_join.pdb"
+  "test_split_join[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_split_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_smoke[1]_include.cmake")
+include("/root/repo/build/tests/test_geometry[1]_include.cmake")
+include("/root/repo/build/tests/test_tile[1]_include.cmake")
+include("/root/repo/build/tests/test_kernel_model[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_firing[1]_include.cmake")
+include("/root/repo/build/tests/test_buffer_kernel[1]_include.cmake")
+include("/root/repo/build/tests/test_inset_pad[1]_include.cmake")
+include("/root/repo/build/tests/test_split_join[1]_include.cmake")
+include("/root/repo/build/tests/test_kernels_compute[1]_include.cmake")
+include("/root/repo/build/tests/test_dataflow[1]_include.cmake")
+include("/root/repo/build/tests/test_alignment[1]_include.cmake")
+include("/root/repo/build/tests/test_buffering[1]_include.cmake")
+include("/root/repo/build/tests/test_parallelize[1]_include.cmake")
+include("/root/repo/build/tests/test_buffer_split[1]_include.cmake")
+include("/root/repo/build/tests/test_multiplex[1]_include.cmake")
+include("/root/repo/build/tests/test_simulator[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_feedback[1]_include.cmake")
+include("/root/repo/build/tests/test_placement[1]_include.cmake")
+include("/root/repo/build/tests/test_reuse_opt[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_random_pipelines[1]_include.cmake")
+include("/root/repo/build/tests/test_signal_1d[1]_include.cmake")
+include("/root/repo/build/tests/test_serialize[1]_include.cmake")
+include("/root/repo/build/tests/test_report_misc[1]_include.cmake")
