@@ -145,6 +145,9 @@ class Analyzer {
     bool misaligned = false;
     std::vector<int> pixel_ports;
     std::vector<StreamInfo> pixel_infos;
+    // pixel_ref points into pixel_infos; reserve up front so later
+    // push_backs cannot reallocate underneath it.
+    pixel_infos.reserve(m.inputs.size());
 
     for (int i : m.inputs) {
       const StreamInfo* s = input_stream(k, i);

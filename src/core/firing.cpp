@@ -25,9 +25,19 @@ bool all_heads(const std::vector<int>& ports, const std::vector<int>& connected,
 
 }  // namespace
 
-FireDecision decide_fire(const Kernel& k, const std::vector<int>& connected,
-                         const HeadFn& head) {
-  if (auto custom = k.decide_custom(connected, head)) return *custom;
+void decide_fire_into(const Kernel& k, const std::vector<int>& connected,
+                      const HeadFn& head, FireDecision& out) {
+  out.kind = FireDecision::Kind::None;
+  out.method = -1;
+  out.token = -1;
+  out.payload = 0;
+  out.pop_inputs.clear();
+  out.forward_outputs.clear();
+
+  if (auto custom = k.decide_custom(connected, head)) {
+    out = *custom;
+    return;
+  }
 
   // 1. Method triggers, in registration order.
   const auto& methods = k.methods();
@@ -44,65 +54,65 @@ FireDecision decide_fire(const Kernel& k, const std::vector<int>& connected,
                         [](const Item& it) { return is_data(it); });
     }
     if (ready) {
-      FireDecision d;
-      d.kind = FireDecision::Kind::Method;
-      d.method = static_cast<int>(m);
-      d.pop_inputs = def.inputs;
+      out.kind = FireDecision::Kind::Method;
+      out.method = static_cast<int>(m);
+      out.pop_inputs = def.inputs;
       if (def.token_triggered()) {
-        d.token = *def.trigger_token;
-        d.payload = as_token(*head(def.inputs.front())).payload;
+        out.token = *def.trigger_token;
+        out.payload = as_token(*head(def.inputs.front())).payload;
       }
-      return d;
+      return;
     }
   }
 
   // 2. Automatic forwarding of unhandled tokens, grouped by the data method
   //    each input feeds (§II-C). Inputs feeding no data method form
   //    singleton groups whose tokens are dropped.
-  std::vector<char> grouped(k.inputs().size(), 0);
   auto try_group = [&](const std::vector<int>& group,
-                       const std::vector<int>& outs) -> FireDecision {
-    FireDecision none;
+                       const std::vector<int>& outs) -> bool {
     const Item* first = nullptr;
     for (int p : group) {
       if (std::find(connected.begin(), connected.end(), p) == connected.end())
-        return none;
+        return false;
       const Item* it = head(p);
-      if (!it || !is_token(*it)) return none;
+      if (!it || !is_token(*it)) return false;
       if (!first) {
         first = it;
       } else if (as_token(*it).cls != as_token(*first).cls) {
-        return none;
+        return false;
       }
     }
-    if (!first) return none;
-    TokenClass cls = as_token(*first).cls;
+    if (!first) return false;
+    const TokenClass cls = as_token(*first).cls;
     // A registered handler takes precedence; it simply was not ready yet
     // (e.g. waits on further inputs), so do not forward past it.
     for (int p : group)
-      if (k.token_method_of_input(p, cls) >= 0) return none;
-    FireDecision d;
-    d.kind = FireDecision::Kind::Forward;
-    d.token = cls;
-    d.payload = as_token(*first).payload;
-    d.pop_inputs = group;
-    d.forward_outputs = outs;
-    return d;
+      if (k.token_method_of_input(p, cls) >= 0) return false;
+    out.kind = FireDecision::Kind::Forward;
+    out.token = cls;
+    out.payload = as_token(*first).payload;
+    out.pop_inputs = group;
+    out.forward_outputs = outs;
+    return true;
   };
 
+  std::vector<char> grouped(k.inputs().size(), 0);
   for (const MethodDef& def : methods) {
     if (def.token_triggered() || def.inputs.empty()) continue;
     for (int p : def.inputs) grouped[static_cast<size_t>(p)] = 1;
-    FireDecision d = try_group(def.inputs, def.outputs);
-    if (d.fires()) return d;
+    if (try_group(def.inputs, def.outputs)) return;
   }
   for (size_t p = 0; p < k.inputs().size(); ++p) {
     if (grouped[p]) continue;
-    FireDecision d = try_group({static_cast<int>(p)}, {});
-    if (d.fires()) return d;
+    if (try_group({static_cast<int>(p)}, {})) return;
   }
+}
 
-  return {};
+FireDecision decide_fire(const Kernel& k, const std::vector<int>& connected,
+                         const HeadFn& head) {
+  FireDecision d;
+  decide_fire_into(k, connected, head, d);
+  return d;
 }
 
 }  // namespace bpp

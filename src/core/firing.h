@@ -16,7 +16,7 @@
 // Kernel::decide_custom instead.
 
 #include <cstdint>
-#include <functional>
+#include <type_traits>
 #include <vector>
 
 #include "core/token.h"
@@ -25,8 +25,34 @@ namespace bpp {
 
 class Kernel;
 
-/// View of the head item of input port `port`; nullptr when empty.
-using HeadFn = std::function<const Item*(int port)>;
+/// Non-owning view of the head items of a kernel's input channels:
+/// `head(port)` returns the item at the head of input `port`'s FIFO, or
+/// nullptr when it is empty (or the port is unconnected).
+///
+/// This is a function_ref, not a std::function: decide_fire runs on every
+/// scheduling step of both engines, and the erased callable it receives is
+/// always a short-lived lambda over the engine's channel state (a lock-free
+/// ring peek in the host runtime, a deque front in the simulator), so the
+/// view must not allocate or own. The referenced callable only needs to
+/// outlive the decide_fire/decide_custom call it is passed to.
+class HeadFn {
+ public:
+  template <class F,
+            class = std::enable_if_t<
+                !std::is_same_v<std::remove_cv_t<std::remove_reference_t<F>>,
+                                HeadFn> &&
+                std::is_invocable_r_v<const Item*, const F&, int>>>
+  HeadFn(const F& f) noexcept  // NOLINT(google-explicit-constructor)
+      : obj_(&f), call_([](const void* o, int port) -> const Item* {
+          return (*static_cast<const F*>(o))(port);
+        }) {}
+
+  const Item* operator()(int port) const { return call_(obj_, port); }
+
+ private:
+  const void* obj_;
+  const Item* (*call_)(const void*, int);
+};
 
 struct FireDecision {
   enum class Kind {
@@ -51,5 +77,11 @@ struct FireDecision {
 [[nodiscard]] FireDecision decide_fire(const Kernel& k,
                                        const std::vector<int>& connected,
                                        const HeadFn& head);
+
+/// Allocation-free variant for engine hot loops: overwrites `out`
+/// (clearing, not shrinking, its vectors), so a decision object reused
+/// across firings stops heap-allocating once its capacity warms up.
+void decide_fire_into(const Kernel& k, const std::vector<int>& connected,
+                      const HeadFn& head, FireDecision& out);
 
 }  // namespace bpp

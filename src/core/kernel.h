@@ -139,7 +139,9 @@ class Kernel {
 
   /// Kernels whose consumption pattern depends on internal state (the
   /// round-robin and run-length join FSMs, §IV-A) override this to decide
-  /// firing themselves. Return nullopt to use the standard rules.
+  /// firing themselves. Return nullopt to use the standard rules. `head`
+  /// is a borrowed view of the engine's channel heads — valid only for the
+  /// duration of this call, so it must not be stored.
   [[nodiscard]] virtual std::optional<FireDecision> decide_custom(
       const std::vector<int>& connected, const HeadFn& head) const {
     (void)connected;

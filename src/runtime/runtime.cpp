@@ -1,30 +1,120 @@
 #include "runtime/runtime.h"
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <mutex>
-#include <numeric>
+#include <optional>
 #include <thread>
 #include <vector>
 
 #include "core/error.h"
 #include "core/firing.h"
+#include "runtime/spsc_ring.h"
 
 namespace bpp {
 
 namespace {
 
+// The scheduling layer (see DESIGN.md "Host runtime architecture"):
+//
+//  * Channels are lock-free SPSC rings — each has exactly one producer
+//    kernel and one consumer kernel, each kernel owned by one worker.
+//  * Workers run a ready set, not a scan: a kernel is processed only when
+//    something changed for it. A push marks the consumer kernel ready; a
+//    pop from a full ring re-arms a producer that declared itself blocked.
+//  * The ready set is a per-core Vyukov MPSC queue of intrusive nodes
+//    (one per kernel) guarded by a per-kernel ready bit, so a kernel is
+//    enqueued at most once however many channels feed it.
+//  * Workers park on a per-core eventcount (epoch + mutex/condvar used
+//    only for sleeping); producers bump the epoch after publishing work,
+//    which closes the check-then-sleep race without periodic timeouts.
+//
+// All flag protocols here are the same store/fence/load pattern: the
+// announcing side writes its state (ring slot + index, or blocked bit),
+// issues a seq_cst fence, then reads the other side's state; the reacting
+// side writes its state, issues a seq_cst fence, then reads the announcing
+// side's. The two fences totally order the exchanges, so at least one side
+// always observes the other — a lost-wakeup needs both to read stale data.
+
 struct RtChannel {
-  std::mutex mu;
-  std::deque<Item> q;
-  int consumer_core = -1;
-  int producer_core = -1;
+  explicit RtChannel(std::size_t capacity) : ring(capacity) {}
+
+  SpscRing<Item> ring;
+  KernelId producer_kernel = -1;
+  KernelId consumer_kernel = -1;
+  /// Producer saw the ring full and parked; the consumer's next pop must
+  /// re-arm (mark ready) the producer kernel. Padded: written by both
+  /// sides, and must not share a line with the ring indices.
+  alignas(kCacheLineSize) std::atomic<bool> producer_blocked{false};
 };
 
+/// Intrusive node of the per-core ready queue; one per kernel. A kernel is
+/// in at most one queue at a time (its ready bit gates enqueueing), so the
+/// node is safe to reuse as soon as pop() returns it.
+struct ReadyNode {
+  std::atomic<ReadyNode*> next{nullptr};
+  KernelId kernel = -1;
+};
+
+/// Vyukov intrusive MPSC queue: any worker pushes ready kernels for a
+/// core; only that core's worker pops. pop() may transiently report empty
+/// while a push is mid-flight — the pusher always bumps the core's
+/// eventcount afterwards, so the consumer re-checks after parking.
+class ReadyQueue {
+ public:
+  ReadyQueue() : push_end_(&stub_), pop_end_(&stub_) {}
+
+  void push(ReadyNode* n) {
+    n->next.store(nullptr, std::memory_order_relaxed);
+    ReadyNode* prev = push_end_.exchange(n, std::memory_order_acq_rel);
+    prev->next.store(n, std::memory_order_release);
+  }
+
+  ReadyNode* pop() {
+    ReadyNode* tail = pop_end_;
+    ReadyNode* next = tail->next.load(std::memory_order_acquire);
+    if (tail == &stub_) {
+      if (!next) return nullptr;
+      pop_end_ = next;
+      tail = next;
+      next = next->next.load(std::memory_order_acquire);
+    }
+    if (next) {
+      pop_end_ = next;
+      return tail;
+    }
+    if (tail != push_end_.load(std::memory_order_acquire))
+      return nullptr;  // push in flight; the pusher's wake will retry us
+    push(&stub_);
+    next = tail->next.load(std::memory_order_acquire);
+    if (next) {
+      pop_end_ = next;
+      return tail;
+    }
+    return nullptr;  // competing push in flight; same recovery
+  }
+
+ private:
+  alignas(kCacheLineSize) std::atomic<ReadyNode*> push_end_;
+  alignas(kCacheLineSize) ReadyNode* pop_end_;  // worker-private
+  ReadyNode stub_;
+};
+
+/// Per-core parking lot: an eventcount. The mutex/condvar exist only to
+/// sleep and wake workers — no data is protected by them.
 struct CoreSync {
+  ReadyQueue queue;
+  alignas(kCacheLineSize) std::atomic<unsigned> epoch{0};
+  std::atomic<int> sleepers{0};
   std::mutex mu;
   std::condition_variable cv;
+};
+
+struct alignas(kCacheLineSize) ReadyFlag {
+  std::atomic<bool> ready{false};
 };
 
 class ThreadedRun {
@@ -33,14 +123,14 @@ class ThreadedRun {
       : g_(g), opt_(opt), mapping_(mapping) {
     const int n = g.kernel_count();
     channels_.resize(static_cast<size_t>(g.channel_count()));
-    for (auto& c : channels_) c = std::make_unique<RtChannel>();
     for (int c = 0; c < g.channel_count(); ++c) {
       const Channel& ch = g.channel(c);
-      if (!ch.alive) continue;
-      channels_[static_cast<size_t>(c)]->producer_core =
-          mapping.core_of[static_cast<size_t>(ch.src_kernel)];
-      channels_[static_cast<size_t>(c)]->consumer_core =
-          mapping.core_of[static_cast<size_t>(ch.dst_kernel)];
+      if (!ch.alive) continue;  // dead channels get no runtime state
+      auto rt = std::make_unique<RtChannel>(
+          static_cast<std::size_t>(opt.channel_capacity));
+      rt->producer_kernel = ch.src_kernel;
+      rt->consumer_kernel = ch.dst_kernel;
+      channels_[static_cast<size_t>(c)] = std::move(rt);
     }
 
     in_of_.resize(static_cast<size_t>(n));
@@ -52,7 +142,12 @@ class ThreadedRun {
     is_sink_.assign(static_cast<size_t>(n), 0);
     src_next_.resize(static_cast<size_t>(n));
     sink_done_ = std::make_unique<std::atomic<bool>[]>(static_cast<size_t>(n));
-    for (int i = 0; i < n; ++i) sink_done_[static_cast<size_t>(i)] = false;
+    ready_ = std::make_unique<ReadyFlag[]>(static_cast<size_t>(n));
+    nodes_ = std::make_unique<ReadyNode[]>(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      sink_done_[static_cast<size_t>(i)] = false;
+      nodes_[static_cast<size_t>(i)].kernel = i;
+    }
     core_kernels_.resize(static_cast<size_t>(mapping.cores));
     sync_.resize(static_cast<size_t>(mapping.cores));
     for (auto& s : sync_) s = std::make_unique<CoreSync>();
@@ -81,6 +176,16 @@ class ThreadedRun {
         ++total_sinks_;
       }
     }
+
+    // Everything starts ready: sources to emit, the rest to drain initial
+    // emissions or discover they have nothing to do. Runs before workers
+    // exist, so plain pushes are fine.
+    for (KernelId k = 0; k < n; ++k) {
+      ready_[static_cast<size_t>(k)].ready.store(true, std::memory_order_relaxed);
+      sync_[static_cast<size_t>(
+               mapping_.core_of[static_cast<size_t>(k)])]
+          ->queue.push(&nodes_[static_cast<size_t>(k)]);
+    }
   }
 
   [[nodiscard]] double elapsed() const {
@@ -104,32 +209,43 @@ class ThreadedRun {
       if (!core_kernels_[static_cast<size_t>(c)].empty())
         workers.emplace_back([this, c] { worker(c); });
 
-    // Watchdog / completion monitor.
-    long last_firings = -1;
-    auto last_change = std::chrono::steady_clock::now();
+    // Completion latch + watchdog. The worker finishing the last sink
+    // signals done_cv_; otherwise we only wake once per watchdog window to
+    // compare the firing counter — no polling loop.
     RuntimeResult res;
-    while (true) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(1));
-      if (finished_sinks_.load(std::memory_order_relaxed) >= total_sinks_ &&
-          total_sinks_ > 0) {
-        res.completed = true;
-        break;
+    {
+      long last_firings = firings_.load(std::memory_order_relaxed);
+      auto last_change = std::chrono::steady_clock::now();
+      const auto window = std::chrono::duration_cast<
+          std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(opt_.watchdog_seconds));
+      std::unique_lock<std::mutex> lk(done_mu_);
+      while (!done_) {
+        if (done_cv_.wait_until(lk, last_change + window,
+                                [&] { return done_; }))
+          break;
+        const long f = firings_.load(std::memory_order_relaxed);
+        if (f != last_firings) {
+          last_firings = f;
+          last_change = std::chrono::steady_clock::now();
+        } else {
+          res.watchdog_fired = true;
+          res.diagnostics = "watchdog: no progress for " +
+                            std::to_string(opt_.watchdog_seconds) + "s";
+          break;
+        }
       }
-      const long f = firings_.load(std::memory_order_relaxed);
-      if (f != last_firings) {
-        last_firings = f;
-        last_change = std::chrono::steady_clock::now();
-      } else if (std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                               last_change)
-                     .count() > opt_.watchdog_seconds) {
-        res.watchdog_fired = true;
-        res.diagnostics = "watchdog: no progress for " +
-                          std::to_string(opt_.watchdog_seconds) + "s";
-        break;
-      }
+      res.completed = done_;
     }
-    stop_.store(true, std::memory_order_relaxed);
-    for (auto& s : sync_) s->cv.notify_all();
+
+    stop_.store(true, std::memory_order_seq_cst);
+    for (auto& s : sync_) {
+      s->epoch.fetch_add(1, std::memory_order_seq_cst);
+      {
+        std::lock_guard<std::mutex> lk(s->mu);
+      }
+      s->cv.notify_all();
+    }
     for (std::thread& w : workers) w.join();
 
     res.wall_seconds =
@@ -141,160 +257,283 @@ class ThreadedRun {
   }
 
  private:
-  [[nodiscard]] bool has_space(const std::vector<ChannelId>& outs) {
+  /// Per-worker scratch, reused across process() calls so the hot loop
+  /// stops heap-allocating once vector capacities warm up.
+  struct Worker {
+    int core = -1;
+    ExecContext ctx;
+    FireDecision decision;
+    std::vector<Item> popped;
+    /// timed[k] >= 0: release time (seconds since t0) paced source k waits
+    /// for; entries only for this worker's kernels.
+    std::vector<double> timed;
+    int timed_armed = 0;
+  };
+
+  RtChannel& chan(ChannelId c) { return *channels_[static_cast<size_t>(c)]; }
+
+  /// Mark kernel `k` ready and wake its core. Callers must have issued a
+  /// seq_cst fence after the channel writes this readiness reports.
+  /// `self_core` is the calling worker's core: a push onto one's own queue
+  /// needs no eventcount bump — the worker is awake and re-polls its queue
+  /// before it can park.
+  void mark_ready(KernelId k, int self_core) {
+    if (ready_[static_cast<size_t>(k)].ready.exchange(
+            true, std::memory_order_seq_cst))
+      return;  // already queued (or about to re-run)
+    const int core = mapping_.core_of[static_cast<size_t>(k)];
+    CoreSync& s = *sync_[static_cast<size_t>(core)];
+    s.queue.push(&nodes_[static_cast<size_t>(k)]);
+    if (core == self_core) return;
+    s.epoch.fetch_add(1, std::memory_order_seq_cst);
+    if (s.sleepers.load(std::memory_order_seq_cst) > 0) {
+      {
+        std::lock_guard<std::mutex> lk(s.mu);
+      }
+      s.cv.notify_all();
+    }
+  }
+
+  /// True when every channel in `outs` has space. On the first full one,
+  /// arms its producer_blocked flag so the consumer's next pop re-arms us,
+  /// re-checking afterwards to close the race against a concurrent pop.
+  bool has_space_or_arm(const std::vector<ChannelId>& outs) {
     for (ChannelId c : outs) {
-      RtChannel& ch = *channels_[static_cast<size_t>(c)];
-      std::lock_guard<std::mutex> lk(ch.mu);
-      if (static_cast<int>(ch.q.size()) >= opt_.channel_capacity) return false;
+      RtChannel& ch = chan(c);
+      if (!ch.ring.full()) continue;
+      ch.producer_blocked.store(true, std::memory_order_seq_cst);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      if (!ch.ring.full()) continue;  // freed meanwhile; stale flag only
+                                      // costs one spurious re-arm
+      return false;
     }
     return true;
   }
 
-  void push_all(const std::vector<ChannelId>& outs, const Item& item) {
-    for (ChannelId c : outs) {
-      RtChannel& ch = *channels_[static_cast<size_t>(c)];
-      {
-        std::lock_guard<std::mutex> lk(ch.mu);
-        ch.q.push_back(item);
-      }
-      if (ch.consumer_core >= 0)
-        sync_[static_cast<size_t>(ch.consumer_core)]->cv.notify_all();
+  /// Push one item to every channel of a fan-out and mark the consumers
+  /// ready. Callers guarantee space (has_space_or_arm) — only the owning
+  /// worker pushes, so space cannot shrink in between.
+  void push_all(const std::vector<ChannelId>& outs, Item item, int self_core) {
+    const size_t n = outs.size();
+    for (size_t i = 0; i < n; ++i) {
+      RtChannel& ch = chan(outs[i]);
+      const bool ok = i + 1 == n ? ch.ring.try_push(std::move(item))
+                                 : ch.ring.try_push(item);
+      if (!ok)
+        throw ExecutionError("runtime: push on full channel (scheduler bug)");
     }
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    for (ChannelId c : outs) mark_ready(chan(c).consumer_kernel, self_core);
   }
 
   /// Drain pending emissions of kernel k. Returns true if all were moved.
-  bool drain(KernelId k, bool& progressed) {
+  bool drain(KernelId k, int self_core) {
     auto& pending = pending_[static_cast<size_t>(k)];
     while (!pending.empty()) {
-      const Emission& e = pending.front();
+      Emission& e = pending.front();
       const auto& outs = outs_of_[static_cast<size_t>(k)][static_cast<size_t>(e.port)];
-      if (!has_space(outs)) return false;
-      push_all(outs, e.item);
+      if (!has_space_or_arm(outs)) return false;
+      push_all(outs, std::move(e.item), self_core);
       pending.pop_front();
-      progressed = true;
     }
     return true;
   }
 
+  /// After popping (and fencing), re-arm producers that parked on
+  /// back-pressure of channel `ch`.
+  void rearm_blocked_producer(RtChannel& ch, int self_core) {
+    if (ch.producer_blocked.load(std::memory_order_seq_cst) &&
+        ch.producer_blocked.exchange(false, std::memory_order_seq_cst))
+      mark_ready(ch.producer_kernel, self_core);
+  }
+
+  void signal_done() {
+    {
+      std::lock_guard<std::mutex> lk(done_mu_);
+      done_ = true;
+    }
+    done_cv_.notify_all();
+  }
+
+  /// Source loop: drain the staged emission then poll for more. Exits when
+  /// exhausted (never re-armed), back-pressured (producer_blocked armed),
+  /// or — paced — not due yet (timed re-arm via `timed`).
+  void run_source(KernelId k, Kernel& kn, int self_core,
+                  std::vector<double>& timed, int& timed_armed) {
+    auto& next = src_next_[static_cast<size_t>(k)];
+    while (true) {
+      if (next.has_value()) {
+        const auto& outs =
+            outs_of_[static_cast<size_t>(k)][static_cast<size_t>(next->port)];
+        if (opt_.pace_inputs) {
+          const double release = next->release_seconds * opt_.pace_slowdown;
+          if (elapsed() + 1e-9 < release) {
+            if (timed[static_cast<size_t>(k)] < 0.0) ++timed_armed;
+            timed[static_cast<size_t>(k)] = release;  // due later
+            return;
+          }
+          if (!has_space_or_arm(outs)) return;
+          const double lag = elapsed() - release;
+          if (lag > opt_.lag_tolerance_seconds) {
+            delayed_.fetch_add(1, std::memory_order_relaxed);
+            update_max_lag(lag);
+          }
+        } else if (!has_space_or_arm(outs)) {
+          return;
+        }
+        push_all(outs, std::move(next->item), self_core);
+        next.reset();
+      }
+      SourceEmission e;
+      if (!kn.source_poll(e)) return;  // exhausted for good
+      next = std::move(e);
+    }
+  }
+
+  /// Run kernel `k` until it can make no more progress. Clears the ready
+  /// bit first (fenced), so any push/pop arriving after our channel reads
+  /// re-queues the kernel instead of being lost.
+  void process(KernelId k, Worker& w) {
+    ready_[static_cast<size_t>(k)].ready.store(false, std::memory_order_seq_cst);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+
+    Kernel& kn = g_.kernel(k);
+    if (kn.is_source()) {
+      if (!drain(k, w.core) &&
+          static_cast<long>(pending_[static_cast<size_t>(k)].size()) >=
+              kn.pending_capacity())
+        return;
+      run_source(k, kn, w.core, w.timed, w.timed_armed);
+      return;
+    }
+
+    const auto& in_of = in_of_[static_cast<size_t>(k)];
+    while (true) {
+      if (!drain(k, w.core) &&
+          static_cast<long>(pending_[static_cast<size_t>(k)].size()) >=
+              kn.pending_capacity())
+        return;  // back-pressured; the consumer's pop re-arms us
+
+      decide_fire_into(
+          kn, connected_[static_cast<size_t>(k)],
+          [&](int port) -> const Item* {
+            const ChannelId c = in_of[static_cast<size_t>(port)];
+            if (c < 0) return nullptr;
+            return chan(c).ring.front();  // lock-free consumer-side peek
+          },
+          w.decision);
+      const FireDecision& d = w.decision;
+      if (!d.fires()) return;  // idle; the next push re-arms us
+
+      ExecContext& ctx = w.ctx;
+      ctx.reset();
+      w.popped.clear();
+      w.popped.reserve(d.pop_inputs.size());
+      for (int p : d.pop_inputs) {
+        RtChannel& ch = chan(in_of[static_cast<size_t>(p)]);
+        w.popped.push_back(std::move(*ch.ring.front_mut()));
+        ch.ring.pop();
+        if (is_token(w.popped.back()) &&
+            as_token(w.popped.back()).cls == tok::kEndOfStream)
+          ++eos_seen_[static_cast<size_t>(k)];
+      }
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      for (int p : d.pop_inputs)
+        rearm_blocked_producer(chan(in_of[static_cast<size_t>(p)]), w.core);
+      for (size_t i = 0; i < d.pop_inputs.size(); ++i)
+        ctx.bind_input(d.pop_inputs[i], &w.popped[i]);
+
+      if (d.kind == FireDecision::Kind::Method) {
+        if (d.token >= 0) ctx.set_trigger_token(d.token, d.payload);
+        kn.invoke(d.method, ctx);
+      } else {
+        for (int o : d.forward_outputs)
+          ctx.emit(o, ControlToken{d.token, d.payload});
+      }
+      for (Emission& e : ctx.emissions())
+        pending_[static_cast<size_t>(k)].push_back(std::move(e));
+      firings_.fetch_add(1, std::memory_order_relaxed);
+
+      // Sink completion: all connected inputs delivered end-of-stream.
+      if (is_sink_[static_cast<size_t>(k)] &&
+          eos_seen_[static_cast<size_t>(k)] >= eos_needed_[static_cast<size_t>(k)] &&
+          !sink_done_[static_cast<size_t>(k)].exchange(true)) {
+        if (finished_sinks_.fetch_add(1, std::memory_order_acq_rel) + 1 >=
+                total_sinks_ &&
+            total_sinks_ > 0)
+          signal_done();
+      }
+    }
+  }
+
   void worker(int core) {
-    const auto& kernels = core_kernels_[static_cast<size_t>(core)];
     CoreSync& sync = *sync_[static_cast<size_t>(core)];
-    ExecContext ctx;
+    const auto& kernels = core_kernels_[static_cast<size_t>(core)];
+    Worker w;
+    w.core = core;
+    // Paced sources blocked on wall-clock time, worker-private:
+    // timed[k] >= 0 is the release (seconds since t0) kernel k waits for.
+    w.timed.assign(static_cast<size_t>(g_.kernel_count()), -1.0);
 
-    while (!stop_.load(std::memory_order_relaxed)) {
-      bool progressed = false;
+    auto fire_due_sources = [&] {
+      if (w.timed_armed == 0) return;
+      const double now = elapsed();
       for (KernelId k : kernels) {
-        Kernel& kn = g_.kernel(k);
-        if (!drain(k, progressed) &&
-            static_cast<long>(pending_[static_cast<size_t>(k)].size()) >=
-                kn.pending_capacity())
-          continue;
-
-        if (kn.is_source()) {
-          // Default: flood-fill, channel back-pressure throttles the
-          // source. With pace_inputs, each emission waits for its
-          // wall-clock release time and late releases are recorded.
-          SourceEmission e;
-          auto& next = src_next_[static_cast<size_t>(k)];
-          while (true) {
-            if (next.has_value()) {
-              if (opt_.pace_inputs) {
-                const double release =
-                    next->release_seconds * opt_.pace_slowdown;
-                const double now = elapsed();
-                if (now + 1e-9 < release) break;  // not due yet
-                const auto& outs = outs_of_[static_cast<size_t>(k)]
-                                           [static_cast<size_t>(next->port)];
-                if (!has_space(outs)) break;
-                const double lag = elapsed() - release;
-                // Host schedulers wake in ~ms quanta; only count lag that
-                // a real deadline monitor would (beyond 2 ms).
-                if (lag > 2e-3) {
-                  delayed_.fetch_add(1, std::memory_order_relaxed);
-                  update_max_lag(lag);
-                }
-                push_all(outs, next->item);
-                next.reset();
-                progressed = true;
-              } else {
-                const auto& outs = outs_of_[static_cast<size_t>(k)]
-                                           [static_cast<size_t>(next->port)];
-                if (!has_space(outs)) break;
-                push_all(outs, next->item);
-                next.reset();
-                progressed = true;
-              }
-            }
-            if (!kn.source_poll(e)) break;
-            next = std::move(e);
-          }
-          continue;
+        double& rel = w.timed[static_cast<size_t>(k)];
+        if (rel >= 0.0 && now + 1e-9 >= rel) {
+          rel = -1.0;
+          --w.timed_armed;
+          mark_ready(k, core);  // our own queue; runs on the next pop
         }
-
-        const FireDecision d = decide_fire(
-            kn, connected_[static_cast<size_t>(k)], [&](int port) -> const Item* {
-              const ChannelId c = in_of_[static_cast<size_t>(k)][static_cast<size_t>(port)];
-              if (c < 0) return nullptr;
-              RtChannel& ch = *channels_[static_cast<size_t>(c)];
-              std::lock_guard<std::mutex> lk(ch.mu);
-              // deque references stay valid across the producer's
-              // push_back; only this thread pops.
-              return ch.q.empty() ? nullptr : &ch.q.front();
-            });
-        if (!d.fires()) continue;
-
-        ctx.reset();
-        std::vector<Item> popped;
-        popped.reserve(d.pop_inputs.size());
-        for (int p : d.pop_inputs) {
-          const ChannelId c = in_of_[static_cast<size_t>(k)][static_cast<size_t>(p)];
-          RtChannel& ch = *channels_[static_cast<size_t>(c)];
-          {
-            std::lock_guard<std::mutex> lk(ch.mu);
-            popped.push_back(std::move(ch.q.front()));
-            ch.q.pop_front();
-          }
-          if (ch.producer_core >= 0)
-            sync_[static_cast<size_t>(ch.producer_core)]->cv.notify_all();
-          if (is_token(popped.back()) &&
-              as_token(popped.back()).cls == tok::kEndOfStream)
-            ++eos_seen_[static_cast<size_t>(k)];
-        }
-        for (size_t i = 0; i < d.pop_inputs.size(); ++i)
-          ctx.bind_input(d.pop_inputs[i], &popped[i]);
-
-        if (d.kind == FireDecision::Kind::Method) {
-          if (d.token >= 0) ctx.set_trigger_token(d.token, d.payload);
-          kn.invoke(d.method, ctx);
-        } else {
-          for (int o : d.forward_outputs)
-            ctx.emit(o, ControlToken{d.token, d.payload});
-        }
-        for (Emission& e : ctx.emissions())
-          pending_[static_cast<size_t>(k)].push_back(std::move(e));
-        drain(k, progressed);
-        progressed = true;
-        firings_.fetch_add(1, std::memory_order_relaxed);
-
-        // Sink completion: all connected inputs delivered end-of-stream.
-        if (is_sink_[static_cast<size_t>(k)] &&
-            eos_seen_[static_cast<size_t>(k)] >= eos_needed_[static_cast<size_t>(k)] &&
-            !sink_done_[static_cast<size_t>(k)].exchange(true))
-          finished_sinks_.fetch_add(1);
       }
-      if (!progressed) {
-        std::unique_lock<std::mutex> lk(sync.mu);
-        // Paced sources need finer wakeups than the default tick.
-        sync.cv.wait_for(lk, opt_.pace_inputs ? std::chrono::microseconds(200)
-                                              : std::chrono::microseconds(1000));
+    };
+
+    while (!stop_.load(std::memory_order_acquire)) {
+      fire_due_sources();
+      if (ReadyNode* n = sync.queue.pop()) {
+        process(n->kernel, w);
+        continue;
       }
+
+      // Park: eventcount protocol. Load the epoch, re-check for work, then
+      // sleep until a producer bumps the epoch (or a paced deadline).
+      const unsigned e = sync.epoch.load(std::memory_order_seq_cst);
+      if (ReadyNode* n = sync.queue.pop()) {
+        process(n->kernel, w);
+        continue;
+      }
+      if (stop_.load(std::memory_order_acquire)) break;
+
+      double next_release = -1.0;
+      for (KernelId k : kernels) {
+        const double rel = w.timed[static_cast<size_t>(k)];
+        if (rel >= 0.0 && (next_release < 0.0 || rel < next_release))
+          next_release = rel;
+      }
+
+      std::unique_lock<std::mutex> lk(sync.mu);
+      sync.sleepers.fetch_add(1, std::memory_order_seq_cst);
+      const auto pred = [&] {
+        return sync.epoch.load(std::memory_order_seq_cst) != e ||
+               stop_.load(std::memory_order_acquire);
+      };
+      if (next_release >= 0.0) {
+        const auto deadline =
+            t0_ + std::chrono::duration_cast<
+                      std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(next_release));
+        sync.cv.wait_until(lk, deadline, pred);
+      } else {
+        sync.cv.wait(lk, pred);
+      }
+      sync.sleepers.fetch_sub(1, std::memory_order_seq_cst);
     }
   }
 
   Graph& g_;
   RuntimeOptions opt_;
   Mapping mapping_;
-  std::vector<std::unique_ptr<RtChannel>> channels_;
+  std::vector<std::unique_ptr<RtChannel>> channels_;  // null for dead channels
   std::vector<std::unique_ptr<CoreSync>> sync_;
   std::vector<std::vector<ChannelId>> in_of_;
   std::vector<std::vector<std::vector<ChannelId>>> outs_of_;
@@ -306,13 +545,21 @@ class ThreadedRun {
   std::vector<char> is_sink_;
   std::vector<std::optional<SourceEmission>> src_next_;
   std::unique_ptr<std::atomic<bool>[]> sink_done_;
-  std::atomic<bool> stop_{false};
-  std::atomic<long> firings_{0};
-  std::atomic<long> delayed_{0};
-  std::atomic<double> max_lag_{0.0};
+  std::unique_ptr<ReadyFlag[]> ready_;  // per-kernel, cache-line padded
+  std::unique_ptr<ReadyNode[]> nodes_;  // per-kernel ready-queue nodes
   std::chrono::steady_clock::time_point t0_{};
-  std::atomic<int> finished_sinks_{0};
   int total_sinks_ = 0;
+
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;
+  bool done_ = false;  // guarded by done_mu_
+
+  // Hot counters, each on its own line so workers do not false-share.
+  alignas(kCacheLineSize) std::atomic<bool> stop_{false};
+  alignas(kCacheLineSize) std::atomic<long> firings_{0};
+  alignas(kCacheLineSize) std::atomic<int> finished_sinks_{0};
+  alignas(kCacheLineSize) std::atomic<long> delayed_{0};
+  alignas(kCacheLineSize) std::atomic<double> max_lag_{0.0};
 };
 
 }  // namespace
@@ -326,8 +573,8 @@ RuntimeResult run_threaded(Graph& g, const Mapping& mapping,
 
 RuntimeResult run_sequential(Graph& g, const RuntimeOptions& options) {
   Mapping m;
-  m.core_of.assign(static_cast<size_t>(g.kernel_count()), 0);
   m.cores = 1;
+  m.core_of.assign(static_cast<size_t>(g.kernel_count()), 0);
   return run_threaded(g, m, options);
 }
 

@@ -36,6 +36,11 @@ struct RuntimeOptions {
   bool pace_inputs = false;
   /// With pace_inputs: scale factor on the schedule (2.0 = half speed).
   double pace_slowdown = 1.0;
+  /// With pace_inputs: a release this much later than its deadline counts
+  /// as delayed (and feeds max_release_lag_seconds). The default absorbs
+  /// ordinary host-scheduler wakeup quanta; tests pin it to 0 to count
+  /// every late release.
+  double lag_tolerance_seconds = 2e-3;
 };
 
 struct RuntimeResult {

@@ -257,14 +257,17 @@ class Sim {
           continue;  // stalled on insufficient output buffering (Fig. 9(b))
       }
 
-      const FireDecision d = decide_fire(
-          kn, st.connected_inputs, [&](int port) -> const Item* {
+      FireDecision& d = fire_scratch_;
+      decide_fire_into(
+          kn, st.connected_inputs,
+          [&](int port) -> const Item* {
             const ChannelId ch = st.in_channel_of_port[static_cast<size_t>(port)];
             if (ch < 0) return nullptr;
             const auto& q = channels_[static_cast<size_t>(ch)].q;
             if (q.empty() || q.front().avail > now + 1e-15) return nullptr;
             return &q.front().item;
-          });
+          },
+          d);
       if (!d.fires()) continue;
 
       // Pop the consumed items.
@@ -383,6 +386,7 @@ class Sim {
   std::vector<int> core_of_;
   double pixel_period_ = 1.0;
   double last_action_ = 0.0;
+  FireDecision fire_scratch_;  // reused across steps; see decide_fire_into
 };
 
 }  // namespace

@@ -15,14 +15,14 @@ namespace {
 using testutil::px;
 using testutil::token;
 
-/// Fixed head items per port for driving decide_fire directly.
+/// Fixed head items per port for driving decide_fire directly. Passed to
+/// decide_fire as-is: HeadFn is a non-owning view, so the callable must
+/// outlive the call (a lambda returned from a helper would dangle).
 struct Heads {
   std::vector<const Item*> items;
-  [[nodiscard]] HeadFn fn() const {
-    return [this](int p) -> const Item* {
-      return p < static_cast<int>(items.size()) ? items[static_cast<size_t>(p)]
-                                                : nullptr;
-    };
+  const Item* operator()(int p) const {
+    return p < static_cast<int>(items.size()) ? items[static_cast<size_t>(p)]
+                                              : nullptr;
   }
 };
 
@@ -31,7 +31,7 @@ TEST(Firing, DataMethodFiresWhenAllInputsHaveData) {
   sub->ensure_configured();
   Item a = px(1), b = px(2);
   Heads h{{&a, &b}};
-  const FireDecision d = decide_fire(*sub, {0, 1}, h.fn());
+  const FireDecision d = decide_fire(*sub, {0, 1}, h);
   ASSERT_EQ(d.kind, FireDecision::Kind::Method);
   EXPECT_EQ(sub->methods()[static_cast<size_t>(d.method)].name, "run");
   EXPECT_EQ(d.pop_inputs, (std::vector<int>{0, 1}));
@@ -42,7 +42,7 @@ TEST(Firing, DataMethodWaitsForSecondInput) {
   sub->ensure_configured();
   Item a = px(1);
   Heads h{{&a, nullptr}};
-  EXPECT_FALSE(decide_fire(*sub, {0, 1}, h.fn()).fires());
+  EXPECT_FALSE(decide_fire(*sub, {0, 1}, h).fires());
 }
 
 TEST(Firing, TokenForwardRequiresSameClassOnBothInputs) {
@@ -53,16 +53,16 @@ TEST(Firing, TokenForwardRequiresSameClassOnBothInputs) {
 
   {  // EOL on in0 only: wait.
     Heads h{{&eol, nullptr}};
-    EXPECT_FALSE(decide_fire(*sub, {0, 1}, h.fn()).fires());
+    EXPECT_FALSE(decide_fire(*sub, {0, 1}, h).fires());
   }
   {  // EOL vs EOF: wait (mismatched classes never merge).
     Heads h{{&eol, &eof}};
-    EXPECT_FALSE(decide_fire(*sub, {0, 1}, h.fn()).fires());
+    EXPECT_FALSE(decide_fire(*sub, {0, 1}, h).fires());
   }
   {  // EOL on both: forward one copy to the method's outputs.
     Item eol2 = token(tok::kEndOfLine);
     Heads h{{&eol, &eol2}};
-    const FireDecision d = decide_fire(*sub, {0, 1}, h.fn());
+    const FireDecision d = decide_fire(*sub, {0, 1}, h);
     ASSERT_EQ(d.kind, FireDecision::Kind::Forward);
     EXPECT_EQ(d.token, tok::kEndOfLine);
     EXPECT_EQ(d.pop_inputs, (std::vector<int>{0, 1}));
@@ -78,7 +78,7 @@ TEST(Firing, TokenAndDataMixWaitsForPair) {
   Item eol = token(tok::kEndOfLine);
   Item d0 = px(3);
   Heads h{{&eol, &d0}};
-  EXPECT_FALSE(decide_fire(*sub, {0, 1}, h.fn()).fires());
+  EXPECT_FALSE(decide_fire(*sub, {0, 1}, h).fires());
 }
 
 TEST(Firing, RegisteredTokenMethodFiresInsteadOfForwarding) {
@@ -87,7 +87,7 @@ TEST(Firing, RegisteredTokenMethodFiresInsteadOfForwarding) {
   Item eof = token(tok::kEndOfFrame, 4);
   Heads h{{&eof, nullptr}};
   // bins unconnected: default ranges, tokens are processed immediately.
-  const FireDecision d = decide_fire(hist, {0}, h.fn());
+  const FireDecision d = decide_fire(hist, {0}, h);
   ASSERT_EQ(d.kind, FireDecision::Kind::Method);
   EXPECT_EQ(hist.methods()[static_cast<size_t>(d.method)].name, "finishCount");
   EXPECT_EQ(d.token, tok::kEndOfFrame);
@@ -100,7 +100,7 @@ TEST(Firing, UnhandledTokenOnOutputlessMethodIsDropped) {
   hist.ensure_configured();
   Item eol = token(tok::kEndOfLine);
   Heads h{{&eol, nullptr}};
-  const FireDecision d = decide_fire(hist, {0}, h.fn());
+  const FireDecision d = decide_fire(hist, {0}, h);
   ASSERT_EQ(d.kind, FireDecision::Kind::Forward);
   EXPECT_TRUE(d.forward_outputs.empty());
   EXPECT_EQ(d.pop_inputs, (std::vector<int>{0}));
@@ -113,7 +113,7 @@ TEST(Firing, TokensHeldWhileBinRangesPending) {
   hist.ensure_configured();
   Item eof = token(tok::kEndOfFrame);
   Heads h{{&eof, nullptr}};
-  EXPECT_FALSE(decide_fire(hist, {0, 1}, h.fn()).fires());
+  EXPECT_FALSE(decide_fire(hist, {0, 1}, h).fires());
 }
 
 TEST(Firing, HistogramHoldsDataUntilBinsConfigured) {
@@ -122,19 +122,19 @@ TEST(Firing, HistogramHoldsDataUntilBinsConfigured) {
   Item d0 = px(10);
   {  // data present, bins pending: wait.
     Heads h{{&d0, nullptr}};
-    EXPECT_FALSE(decide_fire(hist, {0, 1}, h.fn()).fires());
+    EXPECT_FALSE(decide_fire(hist, {0, 1}, h).fires());
   }
   {  // bins present: configureBins wins.
     Item bins = Tile(Size2{8, 1}, 1.0);
     Heads h{{&d0, &bins}};
-    const FireDecision d = decide_fire(hist, {0, 1}, h.fn());
+    const FireDecision d = decide_fire(hist, {0, 1}, h);
     ASSERT_EQ(d.kind, FireDecision::Kind::Method);
     EXPECT_EQ(hist.methods()[static_cast<size_t>(d.method)].name,
               "configureBins");
   }
   {  // without a connected bins input the default ranges apply immediately.
     Heads h{{&d0, nullptr}};
-    const FireDecision d = decide_fire(hist, {0}, h.fn());
+    const FireDecision d = decide_fire(hist, {0}, h);
     ASSERT_EQ(d.kind, FireDecision::Kind::Method);
     EXPECT_EQ(hist.methods()[static_cast<size_t>(d.method)].name, "count");
   }
@@ -148,7 +148,7 @@ TEST(Firing, MethodPriorityFollowsRegistrationOrder) {
   Item d0 = px(1);
   Item bins = Tile(Size2{8, 1}, 2.0);
   Heads h{{&d0, &bins}};
-  const FireDecision d = decide_fire(hist, {0, 1}, h.fn());
+  const FireDecision d = decide_fire(hist, {0, 1}, h);
   ASSERT_EQ(d.kind, FireDecision::Kind::Method);
   EXPECT_EQ(hist.methods()[static_cast<size_t>(d.method)].name, "configureBins");
 }
@@ -157,7 +157,7 @@ TEST(Firing, EmptyHeadsNoDecision) {
   auto sub = make_subtract("sub");
   sub->ensure_configured();
   Heads h{{nullptr, nullptr}};
-  EXPECT_FALSE(decide_fire(*sub, {0, 1}, h.fn()).fires());
+  EXPECT_FALSE(decide_fire(*sub, {0, 1}, h).fires());
 }
 
 TEST(Firing, ForwardPayloadPreserved) {
@@ -165,7 +165,7 @@ TEST(Firing, ForwardPayloadPreserved) {
   sc->ensure_configured();
   Item eof = token(tok::kEndOfFrame, 17);
   Heads h{{&eof}};
-  const FireDecision d = decide_fire(*sc, {0}, h.fn());
+  const FireDecision d = decide_fire(*sc, {0}, h);
   ASSERT_EQ(d.kind, FireDecision::Kind::Forward);
   EXPECT_EQ(d.payload, 17);
 }

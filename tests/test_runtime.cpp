@@ -142,6 +142,21 @@ TEST(Runtime, PacedInputsMeetWallClockSchedule) {
       << r.delayed_releases << " delayed releases";
 }
 
+TEST(Runtime, LagToleranceZeroCountsEveryLateRelease) {
+  // The default tolerance absorbs host-scheduler wakeup quanta; pinning it
+  // to zero makes every release count as late (wall time is measured after
+  // the deadline by construction, so lag is strictly positive). Guards the
+  // option actually reaching the release-lag accounting.
+  CompiledApp app = compile(apps::histogram_app({12, 8}, 100.0, 2, 8));
+  RuntimeOptions opt;
+  opt.pace_inputs = true;
+  opt.lag_tolerance_seconds = 0.0;
+  const RuntimeResult r = run_threaded(app.graph, app.mapping, opt);
+  ASSERT_TRUE(r.completed) << r.diagnostics;
+  EXPECT_GT(r.delayed_releases, 0);
+  EXPECT_GT(r.max_release_lag_seconds, 0.0);
+}
+
 TEST(Runtime, PacedSlowdownStretchesTheRun) {
   const double rate = 100.0;
   CompiledApp app = compile(apps::histogram_app({12, 8}, rate, 2, 8));
