@@ -6,6 +6,7 @@
 
 #include "apps/pipelines.h"
 #include "compiler/pipeline.h"
+#include "obs/recorder.h"
 #include "runtime/runtime.h"
 #include "sim/simulator.h"
 
@@ -36,6 +37,40 @@ void BM_RuntimeThreads(benchmark::State& state) {
 // UseRealTime: workers run on their own threads, so the benchmark thread's
 // CPU clock misses nearly all the work — wall time is the honest metric.
 BENCHMARK(BM_RuntimeThreads)
+    ->DenseRange(1, 4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Same workload with the observability recorder attached: the delta
+// against BM_RuntimeThreads is the cost of enabled tracing (per-core
+// event rings + wall-clock span timestamps on every firing).
+void BM_RuntimeThreadsTraced(benchmark::State& state) {
+  const Size2 frame{48, 36};
+  const int frames = 4;
+  CompiledApp app = compile(apps::figure1_app(frame, 180.0, frames, 32));
+  const int threads = static_cast<int>(state.range(0));
+
+  long events = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Graph g = app.graph.clone();
+    Mapping m;
+    m.cores = threads;
+    m.core_of.resize(static_cast<size_t>(g.kernel_count()));
+    for (int k = 0; k < g.kernel_count(); ++k)
+      m.core_of[static_cast<size_t>(k)] = k % threads;
+    obs::Recorder rec;
+    RuntimeOptions opt;
+    opt.recorder = &rec;
+    state.ResumeTiming();
+    const RuntimeResult r = run_threaded(g, m, opt);
+    if (!r.completed) state.SkipWithError("runtime did not complete");
+    events = static_cast<long>(rec.trace().events.size());
+  }
+  state.SetItemsProcessed(state.iterations() * frame.area() * frames);
+  state.SetLabel("events/run: " + std::to_string(events));
+}
+BENCHMARK(BM_RuntimeThreadsTraced)
     ->DenseRange(1, 4)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);

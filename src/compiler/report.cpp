@@ -28,6 +28,8 @@ GraphCensus census(const Graph& g) {
 }
 
 void write_report(const CompiledApp& app, std::ostream& os) {
+  const auto fmt = os.flags();
+  const auto prec = os.precision();
   const GraphCensus c = census(app.graph);
   os << "compiled application: " << c.total << " kernels ("
      << c.computation << " computation, " << c.buffers << " buffer, "
@@ -68,11 +70,46 @@ void write_report(const CompiledApp& app, std::ostream& os) {
   os << "mapping: " << app.one_to_one.cores << " cores 1:1 (est. util "
      << 100 * u1 << "%) -> " << app.mapping.cores << " cores mapped (est. util "
      << 100 * ug << "%)\n";
+  os.flags(fmt);
+  os.precision(prec);
 }
 
 std::string report_string(const CompiledApp& app) {
   std::ostringstream os;
   write_report(app, os);
+  return os.str();
+}
+
+void write_utilization(const obs::UtilizationReport& u, std::ostream& os) {
+  const auto fmt = os.flags();
+  const auto prec = os.precision();
+  os << std::fixed << std::setprecision(1);
+  os << "per-core utilization ("
+     << (u.clock == obs::TraceClock::kModeled ? "modeled" : "wall clock")
+     << ", " << u.duration_seconds * 1e3 << " ms):\n";
+  const double d = u.duration_seconds;
+  auto pct = [&](double s) { return d > 0.0 ? 100.0 * s / d : 0.0; };
+  for (std::size_t c = 0; c < u.cores.size(); ++c) {
+    const obs::CoreBreakdown& b = u.cores[c];
+    os << "  core " << c << ": " << pct(b.busy_seconds()) << "% busy"
+       << " (run " << pct(b.run_seconds) << "% read " << pct(b.read_seconds)
+       << "% write " << pct(b.write_seconds) << "% other "
+       << pct(b.other_seconds) << "% idle " << pct(b.idle_seconds)
+       << "%), " << b.firings << " firings\n";
+  }
+  os << "  avg utilization " << 100.0 * u.avg_utilization()
+     << "% over firing cores";
+  if (u.releases > 0)
+    os << "; releases " << u.releases << " (" << u.delayed_releases
+       << " delayed, max lag " << u.max_release_lag_seconds * 1e6 << " us)";
+  os << '\n';
+  os.flags(fmt);
+  os.precision(prec);
+}
+
+std::string utilization_string(const obs::UtilizationReport& u) {
+  std::ostringstream os;
+  write_utilization(u, os);
   return os.str();
 }
 

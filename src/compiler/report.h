@@ -7,6 +7,7 @@
 #include <string>
 
 #include "compiler/pipeline.h"
+#include "obs/analysis.h"
 
 namespace bpp {
 
@@ -24,5 +25,13 @@ struct GraphCensus {
 
 void write_report(const CompiledApp& app, std::ostream& os);
 [[nodiscard]] std::string report_string(const CompiledApp& app);
+
+/// Measured per-core utilization section (the paper's Fig. 13 breakdown):
+/// one line per core with the run / read / write / other / idle split as a
+/// percentage of the run, plus the real-time release summary. Works for
+/// both clock domains — modeled time from the simulator, wall-clock time
+/// from the host runtime (see obs::analyze_utilization).
+void write_utilization(const obs::UtilizationReport& u, std::ostream& os);
+[[nodiscard]] std::string utilization_string(const obs::UtilizationReport& u);
 
 }  // namespace bpp

@@ -1,0 +1,67 @@
+#include "obs/analysis.h"
+
+#include <algorithm>
+
+namespace bpp::obs {
+
+double UtilizationReport::avg_utilization() const {
+  if (duration_seconds <= 0.0) return 0.0;
+  double sum = 0.0;
+  int n = 0;
+  for (const CoreBreakdown& c : cores) {
+    if (c.firings == 0) continue;
+    sum += c.busy_seconds() / duration_seconds;
+    ++n;
+  }
+  return n > 0 ? sum / n : 0.0;
+}
+
+UtilizationReport analyze_utilization(const Trace& t) {
+  UtilizationReport r;
+  r.clock = t.clock;
+  r.duration_seconds = t.duration_seconds;
+  r.cores.resize(static_cast<std::size_t>(std::max(t.cores, 0)));
+
+  // On the modeled clock aux fields are cycles; convert via the machine
+  // clock. Wall-clock aux fields are already seconds.
+  const double to_seconds = t.clock == TraceClock::kModeled &&
+                                    t.cycles_per_second > 0.0
+                                ? 1.0 / t.cycles_per_second
+                                : 1.0;
+
+  for (const TraceEvent& e : t.events) {
+    switch (e.kind) {
+      case EventKind::kFiring:
+      case EventKind::kWrite: {
+        if (e.core < 0 ||
+            static_cast<std::size_t>(e.core) >= r.cores.size())
+          break;
+        CoreBreakdown& c = r.cores[static_cast<std::size_t>(e.core)];
+        const double span = e.t1 - e.t0;
+        const double run = e.aux0 * to_seconds;
+        const double read = e.aux1 * to_seconds;
+        const double write = e.aux2 * to_seconds;
+        c.run_seconds += run;
+        c.read_seconds += read;
+        c.write_seconds += write;
+        c.other_seconds += std::max(0.0, span - run - read - write);
+        if (e.kind == EventKind::kFiring) ++c.firings;
+        break;
+      }
+      case EventKind::kSourceRelease:
+        ++r.releases;
+        if (e.aux1 > 0.0f) ++r.delayed_releases;
+        r.max_release_lag_seconds =
+            std::max(r.max_release_lag_seconds,
+                     static_cast<double>(e.aux0));
+        break;
+      default:
+        break;  // park and channel events do not contribute busy time
+    }
+  }
+  for (CoreBreakdown& c : r.cores)
+    c.idle_seconds = std::max(0.0, r.duration_seconds - c.busy_seconds());
+  return r;
+}
+
+}  // namespace bpp::obs

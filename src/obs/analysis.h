@@ -1,0 +1,48 @@
+#pragma once
+// Analysis passes over a Trace.
+//
+// The headline pass reproduces the paper's Fig. 13 measurement: per-core
+// utilization decomposed into run / read / write / other / idle. On the
+// modeled clock (simulator traces) the components come from the cycle
+// counts each firing span carries; on the wall clock (host-runtime traces)
+// they come from the phase timings measured inside each firing. "Other" is
+// span time not attributed to a component (context switches in the model,
+// scheduling overhead on the host); "idle" is the remainder of the run.
+
+#include <iosfwd>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace bpp::obs {
+
+struct CoreBreakdown {
+  double run_seconds = 0.0;
+  double read_seconds = 0.0;
+  double write_seconds = 0.0;
+  double other_seconds = 0.0;
+  double idle_seconds = 0.0;
+  long firings = 0;
+
+  [[nodiscard]] double busy_seconds() const {
+    return run_seconds + read_seconds + write_seconds + other_seconds;
+  }
+};
+
+struct UtilizationReport {
+  TraceClock clock = TraceClock::kWall;
+  double duration_seconds = 0.0;
+  std::vector<CoreBreakdown> cores;  ///< indexed by core id
+  /// Real-time health, from source-release events.
+  long releases = 0;
+  long delayed_releases = 0;  ///< lag beyond the engine's tolerance
+  double max_release_lag_seconds = 0.0;
+
+  /// Mean busy fraction over cores that fired at least once.
+  [[nodiscard]] double avg_utilization() const;
+};
+
+/// Fold a trace's spans into the per-core breakdown.
+[[nodiscard]] UtilizationReport analyze_utilization(const Trace& t);
+
+}  // namespace bpp::obs

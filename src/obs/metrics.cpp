@@ -1,0 +1,171 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+
+namespace bpp::obs {
+
+void Histogram::observe(double v) {
+  if (v < 0.0) v = 0.0;
+  int idx = 0;
+  if (v >= kBase) {
+    idx = static_cast<int>(std::floor(std::log2(v / kBase))) + 1;
+    if (idx < 0) idx = 0;
+    if (idx >= kBuckets) idx = kBuckets - 1;
+  }
+  buckets_[static_cast<std::size_t>(idx)].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double s = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(s, s + v, std::memory_order_relaxed)) {
+  }
+  double m = max_.load(std::memory_order_relaxed);
+  while (v > m &&
+         !max_.compare_exchange_weak(m, v, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::bucket_upper(int i) {
+  return i <= 0 ? kBase : kBase * std::ldexp(1.0, i);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& p = counters_[name];
+  if (!p) p = std::make_unique<Counter>();
+  return *p;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& p = gauges_[name];
+  if (!p) p = std::make_unique<Gauge>();
+  return *p;
+}
+
+HighWater& MetricsRegistry::high_water(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& p = high_water_[name];
+  if (!p) p = std::make_unique<HighWater>();
+  return *p;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& p = histograms_[name];
+  if (!p) p = std::make_unique<Histogram>();
+  return *p;
+}
+
+namespace {
+
+void write_json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+
+void write_histogram_buckets(std::ostream& os, const Histogram& h,
+                             bool json) {
+  bool first = true;
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    const std::int64_t n = h.bucket(i);
+    if (n == 0) continue;
+    if (json) {
+      if (!first) os << ',';
+      os << "{\"le\":" << Histogram::bucket_upper(i) << ",\"count\":" << n
+         << '}';
+    } else {
+      os << " le " << Histogram::bucket_upper(i) << ": " << n << ';';
+    }
+    first = false;
+  }
+}
+
+// Dumps must not inherit the caller's stream formatting (a report may have
+// left the stream in fixed/low-precision mode); pin round-trippable float
+// output for the duration of the write.
+class ScopedFloatFormat {
+ public:
+  explicit ScopedFloatFormat(std::ostream& os)
+      : os_(os), flags_(os.flags()), precision_(os.precision()) {
+    os_.unsetf(std::ios::floatfield);
+    os_ << std::setprecision(12);
+  }
+  ~ScopedFloatFormat() {
+    os_.flags(flags_);
+    os_.precision(precision_);
+  }
+
+ private:
+  std::ostream& os_;
+  std::ios::fmtflags flags_;
+  std::streamsize precision_;
+};
+
+}  // namespace
+
+void MetricsRegistry::write_text(std::ostream& os) const {
+  const ScopedFloatFormat fmt(os);
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& [name, c] : counters_)
+    os << name << " counter " << c->value() << '\n';
+  for (const auto& [name, g] : gauges_)
+    os << name << " gauge " << g->value() << '\n';
+  for (const auto& [name, h] : high_water_)
+    os << name << " high_water " << h->value() << '\n';
+  for (const auto& [name, h] : histograms_) {
+    os << name << " histogram count " << h->count() << " sum " << h->sum()
+       << " max " << h->max() << " buckets";
+    write_histogram_buckets(os, *h, /*json=*/false);
+    os << '\n';
+  }
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  const ScopedFloatFormat fmt(os);
+  std::lock_guard<std::mutex> lk(mu_);
+  os << '{';
+  os << "\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) os << ',';
+    first = false;
+    write_json_string(os, name);
+    os << ':' << c->value();
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) os << ',';
+    first = false;
+    write_json_string(os, name);
+    os << ':' << g->value();
+  }
+  os << "},\"high_water\":{";
+  first = true;
+  for (const auto& [name, h] : high_water_) {
+    if (!first) os << ',';
+    first = false;
+    write_json_string(os, name);
+    os << ':' << h->value();
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) os << ',';
+    first = false;
+    write_json_string(os, name);
+    os << ":{\"count\":" << h->count() << ",\"sum\":" << h->sum()
+       << ",\"max\":" << h->max() << ",\"buckets\":[";
+    write_histogram_buckets(os, *h, /*json=*/true);
+    os << "]}";
+  }
+  os << "}}\n";
+}
+
+}  // namespace bpp::obs

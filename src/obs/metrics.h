@@ -1,0 +1,114 @@
+#pragma once
+// Metrics registry: named counters, gauges, high-water marks, and
+// log-scale histograms, with text and JSON dumps.
+//
+// Instruments are created on first lookup and never destroyed while the
+// registry lives, so engines may cache the returned references across a
+// run. Lookup takes a mutex (do it once, outside hot loops); updates on
+// the instruments themselves are lock-free atomics, safe from any thread.
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace bpp::obs {
+
+/// Monotonic 64-bit event count.
+class Counter {
+ public:
+  void add(std::int64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Last-write-wins double value.
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Running maximum (e.g. channel occupancy high-water marks).
+class HighWater {
+ public:
+  void update(double v) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Log2-bucketed histogram of non-negative doubles (e.g. release lags in
+/// seconds). Bucket i holds values in [2^i, 2^(i+1)) * kBase seconds;
+/// values below kBase land in bucket 0, values past the top in the last.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 48;
+  static constexpr double kBase = 1e-9;  ///< resolution floor (1 ns)
+
+  void observe(double v);
+  [[nodiscard]] std::int64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double max() const {
+    return max_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t bucket(int i) const {
+    return buckets_[static_cast<std::size_t>(i)].load(
+        std::memory_order_relaxed);
+  }
+  /// Inclusive upper edge of bucket `i` in the observed unit.
+  [[nodiscard]] static double bucket_upper(int i);
+
+ private:
+  std::atomic<std::int64_t> buckets_[kBuckets]{};
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  HighWater& high_water(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// One instrument per line, sorted by name:
+  ///   name kind value [histogram detail]
+  void write_text(std::ostream& os) const;
+  /// {"counters":{...},"gauges":{...},"high_water":{...},"histograms":{...}}
+  void write_json(std::ostream& os) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<HighWater>> high_water_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace bpp::obs

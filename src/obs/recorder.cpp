@@ -1,0 +1,59 @@
+#include "obs/recorder.h"
+
+#include <algorithm>
+
+namespace bpp::obs {
+
+void Recorder::begin_session(TraceClock clock, double cycles_per_second,
+                             int cores,
+                             std::vector<std::string> kernel_names) {
+  trace_ = Trace{};
+  trace_.clock = clock;
+  trace_.cycles_per_second = cycles_per_second;
+  trace_.cores = cores;
+  trace_.kernel_names = std::move(kernel_names);
+  rings_.clear();
+  rings_.reserve(static_cast<std::size_t>(cores));
+  for (int c = 0; c < cores; ++c)
+    rings_.push_back(std::make_unique<EventRing>(opt_.ring_capacity));
+}
+
+const Trace& Recorder::finish_session(double duration_seconds) {
+  trace_.duration_seconds = duration_seconds;
+  for (auto& r : rings_) {
+    r->drain_into(trace_.events);
+    trace_.dropped_events += r->dropped();
+  }
+  std::stable_sort(trace_.events.begin(), trace_.events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.t0 < b.t0;
+                   });
+
+  // Standard derived metrics, identical for both engines.
+  Counter& firings = metrics_.counter("trace.firings");
+  Counter& releases = metrics_.counter("trace.releases");
+  Counter& delayed = metrics_.counter("trace.delayed_releases");
+  Histogram& lag = metrics_.histogram("trace.release_lag_seconds");
+  Histogram& firing_s = metrics_.histogram("trace.firing_seconds");
+  for (const TraceEvent& e : trace_.events) {
+    switch (e.kind) {
+      case EventKind::kFiring:
+        firings.add(1);
+        firing_s.observe(e.t1 - e.t0);
+        break;
+      case EventKind::kSourceRelease:
+        releases.add(1);
+        if (e.aux1 > 0.0f) delayed.add(1);
+        lag.observe(static_cast<double>(e.aux0));
+        break;
+      default:
+        break;
+    }
+  }
+  metrics_.counter("trace.dropped_events")
+      .add(static_cast<std::int64_t>(trace_.dropped_events));
+  metrics_.gauge("trace.duration_seconds").set(duration_seconds);
+  return trace_;
+}
+
+}  // namespace bpp::obs

@@ -1,0 +1,64 @@
+#pragma once
+// Recorder: the handle an engine run records into.
+//
+// Lifecycle (one session per engine run):
+//   Recorder rec;                      // caller owns, outlives the run
+//   opts.recorder = &rec;              // hand to run_threaded()/simulate()
+//   ... engine calls begin_session(), workers emit into ring(core) ...
+//   ... engine calls finish_session(duration) after workers joined ...
+//   rec.trace();                       // unified, time-sorted Trace
+//   rec.metrics();                     // registry (engine + derived)
+//
+// The per-core rings are SPSC: the worker owning a core is the only
+// producer, the collector (finish_session) the only consumer. A Recorder
+// can be reused; begin_session resets the previous session's trace.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/event_ring.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace bpp::obs {
+
+struct RecorderOptions {
+  /// Events buffered per core ring; overflow drops the newest events and
+  /// counts them in Trace::dropped_events.
+  std::size_t ring_capacity = 1 << 16;
+};
+
+class Recorder {
+ public:
+  explicit Recorder(RecorderOptions opt = {}) : opt_(opt) {}
+
+  /// Engine side, before workers start: allocate one ring per core and
+  /// stamp the trace metadata. `cycles_per_second` is 0 on the wall clock.
+  void begin_session(TraceClock clock, double cycles_per_second, int cores,
+                     std::vector<std::string> kernel_names);
+
+  /// Ring for `core`'s worker (valid between begin and finish). Engines
+  /// treat a null Recorder* as tracing-off; this is never null after
+  /// begin_session for an in-range core.
+  [[nodiscard]] EventRing* ring(int core) {
+    return rings_[static_cast<std::size_t>(core)].get();
+  }
+
+  /// Engine side, after workers joined: drain every ring into the trace,
+  /// sort by start time, record the run duration, and derive standard
+  /// metrics (firing/release counters, release-lag histogram, drop count).
+  const Trace& finish_session(double duration_seconds);
+
+  [[nodiscard]] const Trace& trace() const { return trace_; }
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
+
+ private:
+  RecorderOptions opt_;
+  std::vector<std::unique_ptr<EventRing>> rings_;
+  Trace trace_;
+  MetricsRegistry metrics_;
+};
+
+}  // namespace bpp::obs

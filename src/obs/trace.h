@@ -1,0 +1,101 @@
+#pragma once
+// Observability event model (DESIGN.md "Observability").
+//
+// Both execution engines emit the same fixed-size TraceEvent records: the
+// timing simulator stamps them with modeled seconds and cycle breakdowns,
+// the host runtime with wall-clock seconds measured around the same
+// phases. A drained, time-sorted collection of events plus its metadata is
+// a Trace — the machine-readable timeline behind the paper's Fig. 13
+// per-core utilization breakdown, exportable as Chrome trace-event JSON
+// (loadable in Perfetto / chrome://tracing).
+//
+// Compile-out gate: building with -DBPP_OBS_ENABLED=0 turns every engine
+// instrumentation site into dead code (the `obs::kCompiledIn &&` operand
+// folds to false); with it on, the disabled-at-runtime cost is a single
+// branch on a null recorder/ring pointer.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#ifndef BPP_OBS_ENABLED
+#define BPP_OBS_ENABLED 1
+#endif
+
+namespace bpp::obs {
+
+/// False when observability is compiled out (-DBPP_OBS_ENABLED=0); engine
+/// record sites are `if (obs::kCompiledIn && ring) ...` so the whole site
+/// constant-folds away in that build.
+inline constexpr bool kCompiledIn = BPP_OBS_ENABLED != 0;
+
+/// Which clock the event timestamps live on.
+enum class TraceClock : std::uint8_t {
+  kModeled,  ///< simulator seconds; aux fields carry cycles
+  kWall,     ///< host steady-clock seconds since run start; aux in seconds
+};
+
+enum class EventKind : std::uint8_t {
+  /// Span: one kernel firing (input pop + method/forward). aux0/1/2 are the
+  /// run/read/write components — cycles on the modeled clock, seconds on
+  /// the wall clock (wall firings carry their write cost in separate
+  /// kWrite spans, so aux2 is 0 there).
+  kFiring = 0,
+  /// Span: draining back-pressured pending emissions to channels (the
+  /// write phase when it happens outside a firing). aux2 = write cost.
+  kWrite,
+  /// Span: a worker parked idle on its eventcount (wall clock only).
+  /// t0 = park, t1 = wakeup; kernel is -1.
+  kPark,
+  /// Instant: an application input released one item. aux0 = release lag in
+  /// seconds (0 when on time), aux1 = 1 when the lag exceeded the engine's
+  /// configured tolerance (a counted deadline miss).
+  kSourceRelease,
+  /// Instant: an item was pushed to / popped from channel `channel`;
+  /// aux0 = occupancy just after the operation.
+  kChannelPush,
+  kChannelPop,
+};
+
+[[nodiscard]] const char* event_kind_name(EventKind k);
+
+/// One fixed-size, trivially-copyable record; spans use [t0, t1], instants
+/// carry t0 == t1. Meaning of aux0..2 depends on `kind` (see EventKind).
+struct TraceEvent {
+  double t0 = 0.0;
+  double t1 = 0.0;
+  float aux0 = 0.0f;
+  float aux1 = 0.0f;
+  float aux2 = 0.0f;
+  std::int32_t kernel = -1;
+  std::int32_t core = -1;
+  std::int32_t method = -1;
+  std::int32_t channel = -1;
+  EventKind kind = EventKind::kFiring;
+};
+
+/// A drained, time-sorted event collection plus the metadata needed to
+/// interpret and export it.
+struct Trace {
+  TraceClock clock = TraceClock::kWall;
+  /// Cycles per second of the modeled machine (converts the cycle-valued
+  /// aux fields to seconds); 0 on the wall clock.
+  double cycles_per_second = 0.0;
+  int cores = 0;
+  double duration_seconds = 0.0;
+  std::vector<std::string> kernel_names;
+  std::vector<TraceEvent> events;  ///< sorted by t0 (stable)
+  /// Events lost to ring overflow (the rings keep the oldest events).
+  std::uint64_t dropped_events = 0;
+
+  [[nodiscard]] const std::string& kernel_name(std::int32_t k) const;
+};
+
+/// Write `t` as Chrome trace-event JSON ({"traceEvents": [...]}), loadable
+/// in Perfetto or chrome://tracing. Firing/write/park events become "X"
+/// complete events on one track per core (sources on an extra track),
+/// releases become instants, channel occupancies become "C" counters.
+void write_chrome_trace(const Trace& t, std::ostream& os);
+
+}  // namespace bpp::obs

@@ -12,7 +12,8 @@
 
 #include "core/error.h"
 #include "core/firing.h"
-#include "runtime/spsc_ring.h"
+#include "core/spsc_ring.h"
+#include "obs/recorder.h"
 
 namespace bpp {
 
@@ -45,6 +46,9 @@ struct RtChannel {
   SpscRing<Item> ring;
   KernelId producer_kernel = -1;
   KernelId consumer_kernel = -1;
+  /// Peak occupancy observed at push time. Producer-owned plain int (only
+  /// the producing worker writes it); read after workers join.
+  int high_water = 0;
   /// Producer saw the ring full and parked; the consumer's next pop must
   /// re-arm (mark ready) the producer kernel. Padded: written by both
   /// sides, and must not share a line with the ring indices.
@@ -177,6 +181,16 @@ class ThreadedRun {
       }
     }
 
+    kernel_fired_.assign(static_cast<size_t>(n), 0);
+    if (obs::kCompiledIn && opt.recorder) {
+      rec_ = opt.recorder;
+      std::vector<std::string> names;
+      names.reserve(static_cast<size_t>(n));
+      for (KernelId k = 0; k < n; ++k) names.push_back(g.kernel(k).name());
+      rec_->begin_session(obs::TraceClock::kWall, 0.0, mapping.cores,
+                          std::move(names));
+    }
+
     // Everything starts ready: sources to emit, the rest to drain initial
     // emissions or discover they have nothing to do. Runs before workers
     // exist, so plain pushes are fine.
@@ -253,6 +267,31 @@ class ThreadedRun {
     res.total_firings = firings_.load();
     res.delayed_releases = delayed_.load();
     res.max_release_lag_seconds = max_lag_.load();
+    res.kernel_firings = kernel_fired_;  // merged by workers on exit
+    res.channel_high_water.assign(channels_.size(), -1);
+    for (size_t c = 0; c < channels_.size(); ++c)
+      if (channels_[c])
+        res.channel_high_water[c] = channels_[c]->high_water;
+
+    if (obs::kCompiledIn && rec_) {
+      rec_->finish_session(res.wall_seconds);
+      obs::MetricsRegistry& m = rec_->metrics();
+      m.gauge("runtime.wall_seconds").set(res.wall_seconds);
+      m.counter("runtime.total_firings").add(res.total_firings);
+      m.counter("runtime.delayed_releases").add(res.delayed_releases);
+      m.gauge("runtime.max_release_lag_seconds")
+          .set(res.max_release_lag_seconds);
+      for (size_t c = 0; c < channels_.size(); ++c)
+        if (channels_[c])
+          m.high_water("runtime.channel." + std::to_string(c) +
+                       ".occupancy")
+              .update(static_cast<double>(channels_[c]->high_water));
+      for (size_t k = 0; k < kernel_fired_.size(); ++k)
+        if (kernel_fired_[k] > 0)
+          m.counter("runtime.kernel." + g_.kernel(static_cast<KernelId>(k)).name() +
+                    ".firings")
+              .add(kernel_fired_[k]);
+    }
     return res;
   }
 
@@ -268,6 +307,12 @@ class ThreadedRun {
     /// for; entries only for this worker's kernels.
     std::vector<double> timed;
     int timed_armed = 0;
+    /// This core's event ring, or null when tracing is off — the single
+    /// branch every instrumented site pays when disabled.
+    obs::EventRing* ring = nullptr;
+    /// Worker-local per-kernel firing counts, merged into kernel_fired_ at
+    /// exit (keeps the hot loop off shared cache lines).
+    std::vector<long> fired;
   };
 
   RtChannel& chan(ChannelId c) { return *channels_[static_cast<size_t>(c)]; }
@@ -313,7 +358,7 @@ class ThreadedRun {
   /// Push one item to every channel of a fan-out and mark the consumers
   /// ready. Callers guarantee space (has_space_or_arm) — only the owning
   /// worker pushes, so space cannot shrink in between.
-  void push_all(const std::vector<ChannelId>& outs, Item item, int self_core) {
+  void push_all(const std::vector<ChannelId>& outs, Item item, Worker& w) {
     const size_t n = outs.size();
     for (size_t i = 0; i < n; ++i) {
       RtChannel& ch = chan(outs[i]);
@@ -321,22 +366,54 @@ class ThreadedRun {
                                  : ch.ring.try_push(item);
       if (!ok)
         throw ExecutionError("runtime: push on full channel (scheduler bug)");
+      const int occ = static_cast<int>(ch.ring.size_approx());
+      if (occ > ch.high_water) ch.high_water = occ;
+      if (obs::kCompiledIn && w.ring) {
+        obs::TraceEvent e;
+        e.kind = obs::EventKind::kChannelPush;
+        e.t0 = e.t1 = elapsed();
+        e.core = w.core;
+        e.channel = outs[i];
+        e.aux0 = static_cast<float>(occ);
+        w.ring->emit(e);
+      }
     }
     std::atomic_thread_fence(std::memory_order_seq_cst);
-    for (ChannelId c : outs) mark_ready(chan(c).consumer_kernel, self_core);
+    for (ChannelId c : outs) mark_ready(chan(c).consumer_kernel, w.core);
   }
 
   /// Drain pending emissions of kernel k. Returns true if all were moved.
-  bool drain(KernelId k, int self_core) {
+  /// With tracing on, a drain that moved items is recorded as a write span
+  /// (the back-pressured write phase of Fig. 13's breakdown).
+  bool drain(KernelId k, Worker& w) {
     auto& pending = pending_[static_cast<size_t>(k)];
+    if (pending.empty()) return true;
+    const bool rec = obs::kCompiledIn && w.ring != nullptr;
+    const double t_begin = rec ? elapsed() : 0.0;
+    bool moved = false;
+    bool all = true;
     while (!pending.empty()) {
       Emission& e = pending.front();
       const auto& outs = outs_of_[static_cast<size_t>(k)][static_cast<size_t>(e.port)];
-      if (!has_space_or_arm(outs)) return false;
-      push_all(outs, std::move(e.item), self_core);
+      if (!has_space_or_arm(outs)) {
+        all = false;
+        break;
+      }
+      push_all(outs, std::move(e.item), w);
       pending.pop_front();
+      moved = true;
     }
-    return true;
+    if (rec && moved) {
+      obs::TraceEvent e;
+      e.kind = obs::EventKind::kWrite;
+      e.t0 = t_begin;
+      e.t1 = elapsed();
+      e.aux2 = static_cast<float>(e.t1 - e.t0);  // whole span is write time
+      e.kernel = k;
+      e.core = w.core;
+      w.ring->emit(e);
+    }
+    return all;
   }
 
   /// After popping (and fencing), re-arm producers that parked on
@@ -358,8 +435,7 @@ class ThreadedRun {
   /// Source loop: drain the staged emission then poll for more. Exits when
   /// exhausted (never re-armed), back-pressured (producer_blocked armed),
   /// or — paced — not due yet (timed re-arm via `timed`).
-  void run_source(KernelId k, Kernel& kn, int self_core,
-                  std::vector<double>& timed, int& timed_armed) {
+  void run_source(KernelId k, Kernel& kn, Worker& w) {
     auto& next = src_next_[static_cast<size_t>(k)];
     while (true) {
       if (next.has_value()) {
@@ -368,20 +444,31 @@ class ThreadedRun {
         if (opt_.pace_inputs) {
           const double release = next->release_seconds * opt_.pace_slowdown;
           if (elapsed() + 1e-9 < release) {
-            if (timed[static_cast<size_t>(k)] < 0.0) ++timed_armed;
-            timed[static_cast<size_t>(k)] = release;  // due later
+            if (w.timed[static_cast<size_t>(k)] < 0.0) ++w.timed_armed;
+            w.timed[static_cast<size_t>(k)] = release;  // due later
             return;
           }
           if (!has_space_or_arm(outs)) return;
           const double lag = elapsed() - release;
-          if (lag > opt_.lag_tolerance_seconds) {
+          const bool late = lag > opt_.lag_tolerance_seconds;
+          if (late) {
             delayed_.fetch_add(1, std::memory_order_relaxed);
             update_max_lag(lag);
+          }
+          if (obs::kCompiledIn && w.ring) {
+            obs::TraceEvent e;
+            e.kind = obs::EventKind::kSourceRelease;
+            e.t0 = e.t1 = elapsed();
+            e.kernel = k;
+            e.core = w.core;
+            e.aux0 = static_cast<float>(lag > 0.0 ? lag : 0.0);
+            e.aux1 = late ? 1.0f : 0.0f;
+            w.ring->emit(e);
           }
         } else if (!has_space_or_arm(outs)) {
           return;
         }
-        push_all(outs, std::move(next->item), self_core);
+        push_all(outs, std::move(next->item), w);
         next.reset();
       }
       SourceEmission e;
@@ -399,17 +486,17 @@ class ThreadedRun {
 
     Kernel& kn = g_.kernel(k);
     if (kn.is_source()) {
-      if (!drain(k, w.core) &&
+      if (!drain(k, w) &&
           static_cast<long>(pending_[static_cast<size_t>(k)].size()) >=
               kn.pending_capacity())
         return;
-      run_source(k, kn, w.core, w.timed, w.timed_armed);
+      run_source(k, kn, w);
       return;
     }
 
     const auto& in_of = in_of_[static_cast<size_t>(k)];
     while (true) {
-      if (!drain(k, w.core) &&
+      if (!drain(k, w) &&
           static_cast<long>(pending_[static_cast<size_t>(k)].size()) >=
               kn.pending_capacity())
         return;  // back-pressured; the consumer's pop re-arms us
@@ -425,6 +512,9 @@ class ThreadedRun {
       const FireDecision& d = w.decision;
       if (!d.fires()) return;  // idle; the next push re-arms us
 
+      const bool rec = obs::kCompiledIn && w.ring != nullptr;
+      const double t_begin = rec ? elapsed() : 0.0;
+
       ExecContext& ctx = w.ctx;
       ctx.reset();
       w.popped.clear();
@@ -433,6 +523,15 @@ class ThreadedRun {
         RtChannel& ch = chan(in_of[static_cast<size_t>(p)]);
         w.popped.push_back(std::move(*ch.ring.front_mut()));
         ch.ring.pop();
+        if (rec) {
+          obs::TraceEvent e;
+          e.kind = obs::EventKind::kChannelPop;
+          e.t0 = e.t1 = elapsed();
+          e.core = w.core;
+          e.channel = in_of[static_cast<size_t>(p)];
+          e.aux0 = static_cast<float>(ch.ring.size_approx());
+          w.ring->emit(e);
+        }
         if (is_token(w.popped.back()) &&
             as_token(w.popped.back()).cls == tok::kEndOfStream)
           ++eos_seen_[static_cast<size_t>(k)];
@@ -443,6 +542,7 @@ class ThreadedRun {
       for (size_t i = 0; i < d.pop_inputs.size(); ++i)
         ctx.bind_input(d.pop_inputs[i], &w.popped[i]);
 
+      const double t_read = rec ? elapsed() : 0.0;
       if (d.kind == FireDecision::Kind::Method) {
         if (d.token >= 0) ctx.set_trigger_token(d.token, d.payload);
         kn.invoke(d.method, ctx);
@@ -453,6 +553,19 @@ class ThreadedRun {
       for (Emission& e : ctx.emissions())
         pending_[static_cast<size_t>(k)].push_back(std::move(e));
       firings_.fetch_add(1, std::memory_order_relaxed);
+      ++w.fired[static_cast<size_t>(k)];
+      if (rec) {
+        obs::TraceEvent e;
+        e.kind = obs::EventKind::kFiring;
+        e.t0 = t_begin;
+        e.t1 = elapsed();
+        e.aux0 = static_cast<float>(e.t1 - t_read);   // run (invoke)
+        e.aux1 = static_cast<float>(t_read - t_begin);  // read (pops)
+        e.kernel = k;
+        e.core = w.core;
+        e.method = d.kind == FireDecision::Kind::Method ? d.method : -1;
+        w.ring->emit(e);
+      }
 
       // Sink completion: all connected inputs delivered end-of-stream.
       if (is_sink_[static_cast<size_t>(k)] &&
@@ -471,6 +584,8 @@ class ThreadedRun {
     const auto& kernels = core_kernels_[static_cast<size_t>(core)];
     Worker w;
     w.core = core;
+    w.fired.assign(static_cast<size_t>(g_.kernel_count()), 0);
+    if (obs::kCompiledIn && rec_) w.ring = rec_->ring(core);
     // Paced sources blocked on wall-clock time, worker-private:
     // timed[k] >= 0 is the release (seconds since t0) kernel k waits for.
     w.timed.assign(static_cast<size_t>(g_.kernel_count()), -1.0);
@@ -511,23 +626,39 @@ class ThreadedRun {
           next_release = rel;
       }
 
-      std::unique_lock<std::mutex> lk(sync.mu);
-      sync.sleepers.fetch_add(1, std::memory_order_seq_cst);
-      const auto pred = [&] {
-        return sync.epoch.load(std::memory_order_seq_cst) != e ||
-               stop_.load(std::memory_order_acquire);
-      };
-      if (next_release >= 0.0) {
-        const auto deadline =
-            t0_ + std::chrono::duration_cast<
-                      std::chrono::steady_clock::duration>(
-                      std::chrono::duration<double>(next_release));
-        sync.cv.wait_until(lk, deadline, pred);
-      } else {
-        sync.cv.wait(lk, pred);
+      const double t_park = obs::kCompiledIn && w.ring ? elapsed() : 0.0;
+      {
+        std::unique_lock<std::mutex> lk(sync.mu);
+        sync.sleepers.fetch_add(1, std::memory_order_seq_cst);
+        const auto pred = [&] {
+          return sync.epoch.load(std::memory_order_seq_cst) != e ||
+                 stop_.load(std::memory_order_acquire);
+        };
+        if (next_release >= 0.0) {
+          const auto deadline =
+              t0_ + std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(next_release));
+          sync.cv.wait_until(lk, deadline, pred);
+        } else {
+          sync.cv.wait(lk, pred);
+        }
+        sync.sleepers.fetch_sub(1, std::memory_order_seq_cst);
       }
-      sync.sleepers.fetch_sub(1, std::memory_order_seq_cst);
+      if (obs::kCompiledIn && w.ring) {
+        obs::TraceEvent ev;
+        ev.kind = obs::EventKind::kPark;
+        ev.t0 = t_park;
+        ev.t1 = elapsed();
+        ev.core = core;
+        w.ring->emit(ev);
+      }
     }
+
+    // Merge worker-local firing counts into the shared tally.
+    std::lock_guard<std::mutex> lk(merge_mu_);
+    for (size_t k = 0; k < w.fired.size(); ++k)
+      kernel_fired_[k] += w.fired[k];
   }
 
   Graph& g_;
@@ -549,10 +680,14 @@ class ThreadedRun {
   std::unique_ptr<ReadyNode[]> nodes_;  // per-kernel ready-queue nodes
   std::chrono::steady_clock::time_point t0_{};
   int total_sinks_ = 0;
+  obs::Recorder* rec_ = nullptr;  // null = tracing off
 
   std::mutex done_mu_;
   std::condition_variable done_cv_;
   bool done_ = false;  // guarded by done_mu_
+
+  std::mutex merge_mu_;
+  std::vector<long> kernel_fired_;  // guarded by merge_mu_ until join
 
   // Hot counters, each on its own line so workers do not false-share.
   alignas(kCacheLineSize) std::atomic<bool> stop_{false};

@@ -16,11 +16,16 @@
 
 #include <atomic>
 #include <string>
+#include <vector>
 
 #include "compiler/multiplex.h"
 #include "core/graph.h"
 
 namespace bpp {
+
+namespace obs {
+class Recorder;
+}  // namespace obs
 
 struct RuntimeOptions {
   /// Items per channel queue. Larger than the simulator's model because
@@ -41,6 +46,12 @@ struct RuntimeOptions {
   /// ordinary host-scheduler wakeup quanta; tests pin it to 0 to count
   /// every late release.
   double lag_tolerance_seconds = 2e-3;
+  /// Observability sink (see obs/recorder.h). Null = tracing off; the
+  /// hot-path cost of "off" is one branch per instrumented site. When set,
+  /// workers record firing/write/park spans, channel push/pop occupancy,
+  /// and paced source releases into per-core lock-free event rings on the
+  /// wall clock, and the run populates the recorder's metrics registry.
+  obs::Recorder* recorder = nullptr;
 };
 
 struct RuntimeResult {
@@ -51,6 +62,11 @@ struct RuntimeResult {
   /// With pace_inputs: source releases that ran late, and the worst lag.
   long delayed_releases = 0;
   double max_release_lag_seconds = 0.0;
+  /// Firings per kernel, indexed by KernelId (sums to total_firings).
+  std::vector<long> kernel_firings;
+  /// Peak queue occupancy per channel, indexed by ChannelId; -1 for dead
+  /// channels (which get no runtime state).
+  std::vector<long> channel_high_water;
   std::string diagnostics;
 };
 

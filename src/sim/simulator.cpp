@@ -5,10 +5,13 @@
 #include <deque>
 #include <queue>
 #include <limits>
+#include <memory>
 #include <sstream>
+#include <string>
 
 #include "core/error.h"
 #include "core/firing.h"
+#include "obs/recorder.h"
 
 namespace bpp {
 
@@ -125,6 +128,31 @@ class Sim {
         st.pending.push_back(std::move(e));
     }
     res_.kernel_activity.assign(static_cast<size_t>(n), {0L, 0.0});
+
+    // Observability: an external recorder gets the full event stream; the
+    // trace_limit adapter alone gets an internal recorder sized to exactly
+    // the requested firing count (the ring keeps the oldest events, which
+    // is the "first N firings" semantic).
+    if (obs::kCompiledIn && (opt.recorder || opt.trace_limit > 0)) {
+      rec_ = opt.recorder;
+      if (!rec_) {
+        obs::RecorderOptions ro;
+        ro.ring_capacity =
+            static_cast<std::size_t>(std::max<long>(opt.trace_limit, 1));
+        own_rec_ = std::make_unique<obs::Recorder>(ro);
+        rec_ = own_rec_.get();
+      }
+      std::vector<std::string> names;
+      names.reserve(static_cast<size_t>(n));
+      for (KernelId k = 0; k < n; ++k) names.push_back(g.kernel(k).name());
+      rec_->begin_session(obs::TraceClock::kModeled, opt.machine.clock_hz,
+                          mapping.cores, std::move(names));
+      // The simulator is single-threaded: everything goes through ring 0,
+      // which also keeps events chronological without sorting.
+      ring_ = mapping.cores > 0 ? rec_->ring(0) : nullptr;
+      detail_ = opt.recorder ? ring_ : nullptr;
+      if (detail_) chan_hw_.assign(channels_.size(), 0);
+    }
   }
 
   SimResult run() {
@@ -198,17 +226,59 @@ class Sim {
       ++res_.delayed_releases;
       res_.max_input_lag_seconds = std::max(res_.max_input_lag_seconds, lag);
     }
-    for (ChannelId c : outs)
+    for (ChannelId c : outs) {
       channels_[static_cast<size_t>(c)].q.push_back(
           TimedItem{s.next.item, now, item_words(s.next.item)});
+      record_push(c, now);
+    }
+    if (obs::kCompiledIn && detail_) {
+      obs::TraceEvent e;
+      e.kind = obs::EventKind::kSourceRelease;
+      e.t0 = e.t1 = now;
+      e.kernel = s.id;
+      e.core = -1;  // input releases happen off-core ("sources" track)
+      e.aux0 = static_cast<float>(lag > 0.0 ? lag : 0.0);
+      e.aux1 =
+          lag > opt_.lag_tolerance_periods * pixel_period_ + 1e-12 ? 1.0f
+                                                                   : 0.0f;
+      detail_->emit(e);
+    }
     advance_source(s);
     return true;
+  }
+
+  /// Detail events (external recorder only): channel occupancy sample
+  /// after a push or pop.
+  void record_push(ChannelId c, double now) {
+    if (!obs::kCompiledIn || !detail_) return;
+    const auto occ =
+        static_cast<long>(channels_[static_cast<size_t>(c)].q.size());
+    if (occ > chan_hw_[static_cast<size_t>(c)])
+      chan_hw_[static_cast<size_t>(c)] = occ;
+    obs::TraceEvent e;
+    e.kind = obs::EventKind::kChannelPush;
+    e.t0 = e.t1 = now;
+    e.channel = c;
+    e.core = -1;
+    e.aux0 = static_cast<float>(occ);
+    detail_->emit(e);
+  }
+
+  void record_pop(ChannelId c, int core, double now) {
+    if (!obs::kCompiledIn || !detail_) return;
+    obs::TraceEvent e;
+    e.kind = obs::EventKind::kChannelPop;
+    e.t0 = e.t1 = now;
+    e.channel = c;
+    e.core = core;
+    e.aux0 = static_cast<float>(channels_[static_cast<size_t>(c)].q.size());
+    detail_->emit(e);
   }
 
   /// Move as many pending emissions of kernel `k` to channels as fit,
   /// marking them with a provisional +inf availability that retime_recent
   /// replaces with the action's end time. Returns words written.
-  long drain_pending(KernelId k) {
+  long drain_pending(KernelId k, double now) {
     constexpr double kProvisional = std::numeric_limits<double>::infinity();
     KernelState& st = kstate_[static_cast<size_t>(k)];
     long words = 0;
@@ -222,6 +292,7 @@ class Sim {
         channels_[static_cast<size_t>(c)].q.push_back(
             TimedItem{e.item, kProvisional, charge});
         words += charge;
+        record_push(c, now);
       }
       st.pending.pop_front();
     }
@@ -243,12 +314,22 @@ class Sim {
       // Deliver back-pressured output first; a kernel may keep firing
       // while its undelivered items fit its modeled output buffering.
       if (!st.pending.empty()) {
-        const long words = drain_pending(k);
+        const long words = drain_pending(k, now);
         if (words > 0) {
           const double cycles = words * opt_.machine.write_cost;
           const double dur = cycles / opt_.machine.clock_hz;
           retime_recent(k, now + dur);
           stats.write_cycles += cycles;
+          if (obs::kCompiledIn && detail_) {
+            obs::TraceEvent e;
+            e.kind = obs::EventKind::kWrite;
+            e.t0 = now;
+            e.t1 = now + dur;
+            e.aux2 = static_cast<float>(cycles);
+            e.kernel = k;
+            e.core = c;
+            detail_->emit(e);
+          }
           core.rr = (idx + 1) % n;
           last_action_ = std::max(last_action_, now + dur);
           return dur;
@@ -281,6 +362,7 @@ class Sim {
         read_words += q.front().charge;
         popped.push_back(std::move(q.front().item));
         q.pop_front();
+        record_pop(ch, c, now);
       }
       for (size_t i = 0; i < d.pop_inputs.size(); ++i)
         ctx.bind_input(d.pop_inputs[static_cast<size_t>(i)], &popped[i]);
@@ -314,7 +396,7 @@ class Sim {
       const double base_cycles = opt_.machine.context_switch +
                                  read_words * opt_.machine.read_cost +
                                  static_cast<double>(run_cycles);
-      const long write_words = drain_pending(k);  // retimed below
+      const long write_words = drain_pending(k, now);  // retimed below
       const double cycles =
           base_cycles + write_words * opt_.machine.write_cost;
       const double dur = cycles / opt_.machine.clock_hz;
@@ -333,10 +415,19 @@ class Sim {
           if (is_token(it) && as_token(it).cls == tok::kEndOfFrame)
             res_.sink_frame_times[static_cast<size_t>(st.sink_index)]
                 .second.push_back(now + dur);
-      if (static_cast<long>(res_.trace.size()) < opt_.trace_limit)
-        res_.trace.push_back(FiringRecord{
-            now, dur, c, k,
-            d.kind == FireDecision::Kind::Method ? d.method : -1});
+      if (obs::kCompiledIn && ring_) {
+        obs::TraceEvent e;
+        e.kind = obs::EventKind::kFiring;
+        e.t0 = now;
+        e.t1 = now + dur;
+        e.aux0 = static_cast<float>(run_cycles);
+        e.aux1 = static_cast<float>(read_words * opt_.machine.read_cost);
+        e.aux2 = static_cast<float>(write_words * opt_.machine.write_cost);
+        e.kernel = k;
+        e.core = c;
+        e.method = d.kind == FireDecision::Kind::Method ? d.method : -1;
+        ring_->emit(e);
+      }
       core.rr = (idx + 1) % n;
       last_action_ = std::max(last_action_, now + dur);
       return dur;
@@ -374,6 +465,31 @@ class Sim {
     const double tolerance = opt_.lag_tolerance_periods * pixel_period_;
     res_.realtime_met = res_.completed &&
                         res_.max_input_lag_seconds <= tolerance + 1e-12;
+
+    if (obs::kCompiledIn && rec_) {
+      const obs::Trace& t = rec_->finish_session(res_.sim_seconds);
+      // trace_limit adapter: the legacy FiringRecord timeline is the first
+      // N firing spans of the obs trace.
+      if (opt_.trace_limit > 0) {
+        for (const obs::TraceEvent& e : t.events) {
+          if (e.kind != obs::EventKind::kFiring) continue;
+          if (static_cast<long>(res_.trace.size()) >= opt_.trace_limit)
+            break;
+          res_.trace.push_back(
+              FiringRecord{e.t0, e.t1 - e.t0, e.core, e.kernel, e.method});
+        }
+      }
+      obs::MetricsRegistry& m = rec_->metrics();
+      m.gauge("sim.seconds").set(res_.sim_seconds);
+      m.counter("sim.total_firings").add(res_.total_firings);
+      m.counter("sim.delayed_releases").add(res_.delayed_releases);
+      m.gauge("sim.max_input_lag_seconds").set(res_.max_input_lag_seconds);
+      m.gauge("sim.realtime_met").set(res_.realtime_met ? 1.0 : 0.0);
+      for (std::size_t c = 0; c < chan_hw_.size(); ++c)
+        if (chan_hw_[c] > 0)
+          m.high_water("sim.channel." + std::to_string(c) + ".occupancy")
+              .update(static_cast<double>(chan_hw_[c]));
+    }
   }
 
   Graph& g_;
@@ -387,6 +503,16 @@ class Sim {
   double pixel_period_ = 1.0;
   double last_action_ = 0.0;
   FireDecision fire_scratch_;  // reused across steps; see decide_fire_into
+
+  /// Observability (see ctor): rec_ is the session sink (external or the
+  /// internal trace_limit adapter); ring_ receives firing spans; detail_
+  /// is non-null only for an external recorder and additionally receives
+  /// write spans, releases, and channel occupancy samples.
+  obs::Recorder* rec_ = nullptr;
+  std::unique_ptr<obs::Recorder> own_rec_;
+  obs::EventRing* ring_ = nullptr;
+  obs::EventRing* detail_ = nullptr;
+  std::vector<long> chan_hw_;
 };
 
 }  // namespace

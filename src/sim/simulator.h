@@ -22,6 +22,10 @@
 
 namespace bpp {
 
+namespace obs {
+class Recorder;
+}  // namespace obs
+
 struct SimOptions {
   MachineSpec machine;
   /// Items of slack per channel (the paper's one-iteration implicit buffer
@@ -32,8 +36,16 @@ struct SimOptions {
   double lag_tolerance_periods = 1.0;
   /// Abort after this many simulated firings (runaway guard).
   long max_firings = 500'000'000;
-  /// Record the first `trace_limit` firings (0 = tracing off).
+  /// Record the first `trace_limit` firings (0 = off) into
+  /// SimResult::trace. A thin adapter over the obs trace layer: the
+  /// simulator spins up an internal Recorder sized to `trace_limit` and
+  /// converts its firing spans back to FiringRecords after the run.
   long trace_limit = 0;
+  /// Observability sink (see obs/recorder.h). Null = tracing off. When
+  /// set, every firing/write span (with its modeled run/read/write cycle
+  /// breakdown), input release, and channel push/pop lands in the
+  /// recorder on the modeled clock, and `trace_limit` converts from it.
+  obs::Recorder* recorder = nullptr;
 };
 
 /// One traced firing: when, where, what (for timeline inspection).

@@ -8,7 +8,8 @@
 //   bpc fig1 --frame 96x72 --rate 130 --simulate
 //   bpc bayer --rate 450 --run
 //   bpc fig1 --policy pad --dot app.dot
-//   bpc histogram --machine 10e6,256 --simulate --trace 40
+//   bpc histogram --machine 10e6,256 --simulate --firings 40
+//   bpc pipeline --trace out.json --metrics -
 
 #include <cstdio>
 #include <algorithm>
@@ -24,6 +25,8 @@
 #include "compiler/report.h"
 #include "core/dot_export.h"
 #include "kernels/kernels.h"
+#include "obs/analysis.h"
+#include "obs/recorder.h"
 #include "runtime/runtime.h"
 #include "sim/simulator.h"
 
@@ -43,7 +46,9 @@ struct Args {
   bool do_sim = false;
   bool do_run = false;
   bool show_kernels = false;
-  long trace = 0;
+  long firings = 0;
+  std::string trace_path;
+  std::string metrics_path;
   std::string dot_path;
   std::string save_path;
   MachineSpec machine;
@@ -68,9 +73,14 @@ void usage() {
       "  --save FILE        write the source graph as bpp-graph text\n"
       "  --dot FILE         write the compiled graph as Graphviz\n"
       "  --simulate         verify real time on the timing simulator\n"
-      "  --trace N          with --simulate: print the first N firings\n"
+      "  --firings N        with --simulate: print the first N firings\n"
       "  --kernels          with --simulate: busiest kernels by cycles\n"
-      "  --run              execute functionally on host threads\n");
+      "  --run              execute functionally on host threads\n"
+      "  --trace FILE       write a Chrome trace-event JSON timeline\n"
+      "                     (simulated run if --simulate, else host run;\n"
+      "                     implies --simulate when neither is given)\n"
+      "  --metrics FILE     write the metrics registry ('-' = stdout;\n"
+      "                     *.json = JSON, otherwise text)\n");
 }
 
 bool parse(int argc, char** argv, Args& a) {
@@ -124,10 +134,18 @@ bool parse(int argc, char** argv, Args& a) {
       a.dot_path = v;
     } else if (flag == "--simulate") {
       a.do_sim = true;
+    } else if (flag == "--firings") {
+      const char* v = value();
+      if (!v) return false;
+      a.firings = std::atol(v);
     } else if (flag == "--trace") {
       const char* v = value();
       if (!v) return false;
-      a.trace = std::atol(v);
+      a.trace_path = v;
+    } else if (flag == "--metrics") {
+      const char* v = value();
+      if (!v) return false;
+      a.metrics_path = v;
     } else if (flag == "--kernels") {
       a.show_kernels = true;
     } else if (flag == "--run") {
@@ -169,6 +187,50 @@ Graph build(const Args& a) {
   throw GraphError("unknown application '" + a.app + "'");
 }
 
+// Write `emit(os)` to `path` ("-" = stdout), throwing bpp::Error on open or
+// write failure so main's catch turns it into a non-zero exit.
+template <typename Emit>
+void write_output_file(const std::string& path, const char* what, Emit emit) {
+  if (path == "-") {
+    emit(std::cout);
+    std::cout.flush();
+    if (!std::cout)
+      throw Error(std::string("failed writing ") + what + " to stdout");
+    return;
+  }
+  std::ofstream f(path);
+  if (!f)
+    throw Error(std::string("cannot open ") + what + " file '" + path + "'");
+  emit(f);
+  f.flush();
+  if (!f)
+    throw Error(std::string("failed writing ") + what + " file '" + path +
+                "'");
+  std::printf("wrote %s\n", path.c_str());
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// Dump the recorder's trace and/or metrics as requested by --trace and
+// --metrics. Called for whichever execution (sim or host run) owns the
+// observability output.
+void write_obs_outputs(const Args& a, obs::Recorder& rec) {
+  if (!a.trace_path.empty())
+    write_output_file(a.trace_path, "trace", [&](std::ostream& os) {
+      obs::write_chrome_trace(rec.trace(), os);
+    });
+  if (!a.metrics_path.empty())
+    write_output_file(a.metrics_path, "metrics", [&](std::ostream& os) {
+      if (ends_with(a.metrics_path, ".json"))
+        rec.metrics().write_json(os);
+      else
+        rec.metrics().write_text(os);
+    });
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -177,6 +239,11 @@ int main(int argc, char** argv) {
     usage();
     return 2;
   }
+  // --trace/--metrics need an execution to observe; default to the
+  // simulator when neither --simulate nor --run was requested.
+  if ((!a.trace_path.empty() || !a.metrics_path.empty()) && !a.do_sim &&
+      !a.do_run)
+    a.do_sim = true;
 
   try {
     CompileOptions opt;
@@ -201,9 +268,11 @@ int main(int argc, char** argv) {
 
     if (a.do_sim) {
       Graph g = app.graph.clone();
+      obs::Recorder rec;
       SimOptions sopt;
       sopt.machine = opt.machine;
-      sopt.trace_limit = a.trace;
+      sopt.trace_limit = a.firings;
+      sopt.recorder = &rec;
       const SimResult r = simulate(g, app.mapping, sopt);
       std::string extra;
       if (r.resource_exception_count > 0)
@@ -215,6 +284,8 @@ int main(int argc, char** argv) {
           r.max_input_lag_seconds * 1e6,
           100.0 * r.avg_utilization(opt.machine), r.total_firings,
           extra.c_str());
+      if (obs::kCompiledIn)
+        write_utilization(obs::analyze_utilization(rec.trace()), std::cout);
       if (a.show_kernels) {
         std::vector<std::pair<double, KernelId>> busiest;
         for (KernelId k = 0; k < g.kernel_count(); ++k)
@@ -238,13 +309,25 @@ int main(int argc, char** argv) {
                         ? g.kernel(f.kernel).methods()[static_cast<size_t>(f.method)].name.c_str()
                         : "(forward)",
                     f.duration_seconds * 1e6);
+      write_obs_outputs(a, rec);
     }
 
     if (a.do_run) {
-      const RuntimeResult r = run_threaded(app.graph, app.mapping);
+      obs::Recorder rec;
+      // The simulated run owns --trace/--metrics when both are requested.
+      const bool observe =
+          !a.do_sim && (!a.trace_path.empty() || !a.metrics_path.empty());
+      RuntimeOptions ropt;
+      if (observe) ropt.recorder = &rec;
+      const RuntimeResult r = run_threaded(app.graph, app.mapping, ropt);
       std::printf("run: completed=%s wall=%.1fms firings=%ld\n",
                   r.completed ? "yes" : "no", r.wall_seconds * 1e3,
                   r.total_firings);
+      if (observe) {
+        if (obs::kCompiledIn)
+          write_utilization(obs::analyze_utilization(rec.trace()), std::cout);
+        write_obs_outputs(a, rec);
+      }
     }
   } catch (const Error& e) {
     std::fprintf(stderr, "bpc: %s\n", e.what());

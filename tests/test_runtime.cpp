@@ -6,6 +6,7 @@
 #include "apps/pipelines.h"
 #include "compiler/pipeline.h"
 #include "kernels/kernels.h"
+#include "obs/recorder.h"
 #include "ref/reference.h"
 #include "runtime/runtime.h"
 #include "test_util.h"
@@ -82,6 +83,70 @@ TEST(Runtime, CountsFirings) {
   ASSERT_TRUE(r.completed);
   // At least one firing per pixel at the histogram plus merge and sink work.
   EXPECT_GT(r.total_firings, 8 * 6);
+}
+
+TEST(Runtime, KernelFiringsSumToTotal) {
+  CompiledApp app = compile(apps::histogram_app({16, 12}, 80.0, 1, 8));
+  const RuntimeResult r = run_threaded(app.graph, app.mapping);
+  ASSERT_TRUE(r.completed) << r.diagnostics;
+  ASSERT_EQ(r.kernel_firings.size(),
+            static_cast<size_t>(app.graph.kernel_count()));
+  long sum = 0;
+  for (const long f : r.kernel_firings) {
+    EXPECT_GE(f, 0);
+    sum += f;
+  }
+  EXPECT_EQ(sum, r.total_firings);
+  // Every non-source kernel processed at least the end-of-stream token
+  // (source releases are not firings in the host runtime).
+  for (KernelId k = 0; k < app.graph.kernel_count(); ++k)
+    if (!app.graph.kernel(k).is_source())
+      EXPECT_GT(r.kernel_firings[static_cast<size_t>(k)], 0)
+          << app.graph.kernel(k).name();
+}
+
+TEST(Runtime, ChannelHighWaterWithinCapacity) {
+  CompiledApp app = compile(apps::pipeline_app({16, 12}, 80.0, 1));
+  RuntimeOptions opt;
+  opt.channel_capacity = 64;
+  const RuntimeResult r = run_threaded(app.graph, app.mapping, opt);
+  ASSERT_TRUE(r.completed) << r.diagnostics;
+  ASSERT_EQ(r.channel_high_water.size(),
+            static_cast<size_t>(app.graph.channel_count()));
+  bool any_used = false;
+  for (const long hw : r.channel_high_water) {
+    EXPECT_GE(hw, -1);  // -1 marks dead channels
+    // try_push can observe one in-flight item beyond nominal capacity.
+    EXPECT_LE(hw, opt.channel_capacity + 1);
+    if (hw > 0) any_used = true;
+  }
+  EXPECT_TRUE(any_used);
+}
+
+TEST(Runtime, RecorderCapturesWallClockTrace) {
+  CompiledApp app = compile(apps::histogram_app({16, 12}, 80.0, 1, 8));
+  obs::Recorder rec;
+  RuntimeOptions opt;
+  opt.recorder = &rec;
+  const RuntimeResult r = run_threaded(app.graph, app.mapping, opt);
+  ASSERT_TRUE(r.completed) << r.diagnostics;
+
+  const obs::Trace& t = rec.trace();
+  EXPECT_EQ(t.clock, obs::TraceClock::kWall);
+  EXPECT_EQ(t.cores, app.mapping.cores);
+  EXPECT_GT(t.duration_seconds, 0.0);
+  long firings = 0;
+  for (const obs::TraceEvent& e : t.events) {
+    EXPECT_GE(e.t1, e.t0);
+    if (e.kind == obs::EventKind::kFiring) {
+      ++firings;
+      ASSERT_GE(e.kernel, 0);
+      ASSERT_LT(e.kernel, app.graph.kernel_count());
+    }
+  }
+  if (t.dropped_events == 0) EXPECT_EQ(firings, r.total_firings);
+  EXPECT_EQ(rec.metrics().counter("runtime.total_firings").value(),
+            r.total_firings);
 }
 
 TEST(Runtime, MultiFrameFeedbackTerminates) {

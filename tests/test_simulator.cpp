@@ -7,6 +7,7 @@
 #include "apps/pipelines.h"
 #include "compiler/pipeline.h"
 #include "kernels/kernels.h"
+#include "obs/recorder.h"
 #include "sim/simulator.h"
 #include "test_util.h"
 
@@ -229,6 +230,47 @@ TEST(Simulator, TraceRecordsFiringTimeline) {
   // Tracing off by default.
   Graph h = apps::histogram_app({8, 6}, 50.0, 1);
   EXPECT_TRUE(simulate(h, map_one_to_one(h), SimOptions{}).trace.empty());
+}
+
+TEST(Simulator, TraceLimitMatchesRecorderFirings) {
+  // trace_limit is a thin adapter over the obs trace layer: the FiringRecords
+  // must equal the first N firing spans an external Recorder sees.
+  Graph a = apps::histogram_app({8, 6}, 50.0, 1);
+  const Mapping m = map_one_to_one(a);
+  SimOptions lim;
+  lim.trace_limit = 12;
+  const SimResult ra = simulate(a, m, lim);
+  ASSERT_TRUE(ra.completed);
+  ASSERT_EQ(ra.trace.size(), 12u);
+
+  Graph b = apps::histogram_app({8, 6}, 50.0, 1);
+  obs::Recorder rec;
+  SimOptions full;
+  full.recorder = &rec;
+  ASSERT_TRUE(simulate(b, m, full).completed);
+  std::vector<obs::TraceEvent> firings;
+  for (const obs::TraceEvent& e : rec.trace().events)
+    if (e.kind == obs::EventKind::kFiring) firings.push_back(e);
+  ASSERT_GE(firings.size(), ra.trace.size());
+
+  for (size_t i = 0; i < ra.trace.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ra.trace[i].start_seconds, firings[i].t0) << i;
+    EXPECT_DOUBLE_EQ(ra.trace[i].duration_seconds,
+                     firings[i].t1 - firings[i].t0)
+        << i;
+    EXPECT_EQ(ra.trace[i].core, firings[i].core) << i;
+    EXPECT_EQ(ra.trace[i].kernel, firings[i].kernel) << i;
+    EXPECT_EQ(ra.trace[i].method, firings[i].method) << i;
+  }
+}
+
+TEST(Simulator, TraceLimitLargerThanRunKeepsEverything) {
+  Graph g = apps::histogram_app({8, 6}, 50.0, 1);
+  SimOptions opt;
+  opt.trace_limit = 20'000;  // far more than the run fires
+  const SimResult r = simulate(g, map_one_to_one(g), opt);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(static_cast<long>(r.trace.size()), r.total_firings);
 }
 
 

@@ -12,7 +12,7 @@
 #include "compiler/pipeline.h"
 #include "kernels/kernels.h"
 #include "runtime/runtime.h"
-#include "runtime/spsc_ring.h"
+#include "core/spsc_ring.h"
 
 namespace bpp {
 namespace {
