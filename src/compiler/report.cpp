@@ -1,7 +1,10 @@
 #include "compiler/report.h"
 
+#include <cstdint>
 #include <iomanip>
+#include <map>
 #include <sstream>
+#include <vector>
 
 #include "kernels/buffer.h"
 
@@ -110,6 +113,113 @@ void write_utilization(const obs::UtilizationReport& u, std::ostream& os) {
 std::string utilization_string(const obs::UtilizationReport& u) {
   std::ostringstream os;
   write_utilization(u, os);
+  return os.str();
+}
+
+RateValidation validate_rates(const CompiledApp& app,
+                              const obs::Trace& trace) {
+  RateValidation v;
+  const int n = app.graph.kernel_count();
+
+  // Preferred measurement window: an integer number of frame periods,
+  // bounded by frame-start instants. Firing patterns are periodic per
+  // frame in the steady state, so counting method activations over
+  // [start(1), start(last)) divides out intra-frame burstiness exactly —
+  // the naive first-to-last-firing span is biased by the idle tail at the
+  // end of each frame. Frame 0 is skipped as pipeline fill.
+  std::map<std::int64_t, double> frame_start;
+  for (const obs::TraceEvent& e : trace.events) {
+    if (e.kind != obs::EventKind::kFrameStart || e.method < 0) continue;
+    auto [it, fresh] = frame_start.emplace(e.method, e.t0);
+    if (!fresh && e.t0 < it->second) it->second = e.t0;
+  }
+  double w0 = 0.0, w1 = 0.0;
+  const bool windowed = frame_start.size() >= 3;
+  if (windowed) {
+    w0 = std::next(frame_start.begin())->second;
+    w1 = frame_start.rbegin()->second;
+  }
+
+  // Per-kernel method-activation counts (token forwards, method -1, are
+  // scheduling noise the data-flow analysis does not count as firings):
+  // inside the window, plus first/last/penultimate start times for the
+  // span fallback when fewer than three frames were tracked.
+  std::vector<long> in_window(static_cast<size_t>(n), 0);
+  std::vector<long> count(static_cast<size_t>(n), 0);
+  std::vector<double> first(static_cast<size_t>(n), 0.0);
+  std::vector<double> last(static_cast<size_t>(n), 0.0);
+  std::vector<double> prev(static_cast<size_t>(n), 0.0);
+  for (const obs::TraceEvent& e : trace.events) {
+    if (e.kind != obs::EventKind::kFiring) continue;
+    if (e.kernel < 0 || e.kernel >= n || e.method < 0) continue;
+    const auto k = static_cast<size_t>(e.kernel);
+    if (count[k] == 0) first[k] = e.t0;
+    prev[k] = last[k];
+    last[k] = e.t0;
+    ++count[k];
+    if (windowed && e.t0 >= w0 && e.t0 < w1) ++in_window[k];
+  }
+
+  for (KernelId k = 0; k < n; ++k) {
+    const Kernel& kn = app.graph.kernel(k);
+    if (kn.is_source()) continue;
+    const auto ks = static_cast<size_t>(k);
+    if (count[ks] == 0) continue;
+    RateRow row;
+    row.kernel = k;
+    row.name = kn.name();
+    if (k < app.loads.size())
+      row.predicted_hz = app.loads.of(k).firings_per_second;
+    if (windowed && w1 > w0 && in_window[ks] > 0) {
+      row.firings = in_window[ks];
+      row.measured = true;
+      row.measured_hz = static_cast<double>(in_window[ks]) / (w1 - w0);
+    } else {
+      // Fallback: steady-state span of the firing start times, dropping
+      // the final firing (the end-of-stream tail).
+      row.firings = count[ks] - 1;
+      if (row.firings >= 2 && prev[ks] > first[ks]) {
+        row.measured = true;
+        row.measured_hz =
+            static_cast<double>(row.firings - 1) / (prev[ks] - first[ks]);
+      }
+    }
+    v.rows.push_back(std::move(row));
+  }
+  return v;
+}
+
+void write_rate_validation(const RateValidation& v, std::ostream& os) {
+  const auto fmt = os.flags();
+  const auto prec = os.precision();
+  os << "firing rates, predicted vs measured:\n";
+  os << std::fixed << std::setprecision(1);
+  bool any_off = false;
+  for (const RateRow& r : v.rows) {
+    os << "  " << std::left << std::setw(28) << r.name << std::right
+       << " predicted " << std::setw(10) << r.predicted_hz << " Hz";
+    if (!r.measured) {
+      os << "  measured        n/a (" << r.firings << " firings)\n";
+      continue;
+    }
+    os << "  measured " << std::setw(10) << r.measured_hz << " Hz";
+    if (r.predicted_hz > 0.0) {
+      os << "  (" << std::setprecision(2) << 100.0 * r.relative_error()
+         << "% off)" << std::setprecision(1);
+      if (r.relative_error() > 0.01) any_off = true;
+    }
+    os << '\n';
+  }
+  os << (any_off ? "  WARNING: at least one kernel deviates >1% from the "
+                   "compiled rate\n"
+                 : "  all measured kernels within 1% of compiled rates\n");
+  os.flags(fmt);
+  os.precision(prec);
+}
+
+std::string rate_validation_string(const RateValidation& v) {
+  std::ostringstream os;
+  write_rate_validation(v, os);
   return os.str();
 }
 

@@ -34,4 +34,48 @@ void write_report(const CompiledApp& app, std::ostream& os);
 void write_utilization(const obs::UtilizationReport& u, std::ostream& os);
 [[nodiscard]] std::string utilization_string(const obs::UtilizationReport& u);
 
+/// One row of the predicted-vs-measured firing-rate table: the compiler's
+/// steady-state estimate (LoadMap firings_per_second, i.e. the data-flow
+/// analysis' firings_per_frame * rate_hz) against the rate observed in a
+/// recorded trace.
+struct RateRow {
+  KernelId kernel = -1;
+  std::string name;
+  double predicted_hz = 0.0;
+  double measured_hz = 0.0;
+  long firings = 0;      ///< firings used for the measurement
+  bool measured = false; ///< enough steady-state firings to compute a rate
+
+  /// |measured - predicted| / predicted, or 0 when either side is missing.
+  [[nodiscard]] double relative_error() const {
+    if (!measured || predicted_hz <= 0.0) return 0.0;
+    const double d = measured_hz - predicted_hz;
+    return (d < 0.0 ? -d : d) / predicted_hz;
+  }
+};
+
+struct RateValidation {
+  std::vector<RateRow> rows;
+
+  /// True when every measurable row with a prediction is within `tol`
+  /// relative error (e.g. 0.01 for 1%).
+  [[nodiscard]] bool all_within(double tol) const {
+    for (const RateRow& r : rows)
+      if (r.measured && r.predicted_hz > 0.0 && r.relative_error() > tol)
+        return false;
+    return true;
+  }
+};
+
+/// Compare compiled rate predictions against firing spans in `trace`.
+/// Sources are skipped (they release rather than fire); each kernel's final
+/// firing — the end-of-stream tail, which has no successor at the steady
+/// period — is dropped, and the rate is (n-1) firings over the span of the
+/// remaining start times.
+[[nodiscard]] RateValidation validate_rates(const CompiledApp& app,
+                                            const obs::Trace& trace);
+
+void write_rate_validation(const RateValidation& v, std::ostream& os);
+[[nodiscard]] std::string rate_validation_string(const RateValidation& v);
+
 }  // namespace bpp

@@ -1,0 +1,183 @@
+#include "obs/critical_path.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+
+namespace bpp::obs {
+
+namespace {
+
+constexpr double kEps = 1e-12;
+
+/// One candidate span on a chain: a firing or back-pressure write.
+struct Span {
+  double t0 = 0.0;
+  double t1 = 0.0;
+};
+
+/// Per-kernel spans sorted by end time, for "latest span ending before t"
+/// queries.
+struct SpanIndex {
+  std::vector<std::vector<Span>> of;  // indexed by kernel
+
+  /// Index of the last span of `k` with t1 <= t + eps, or -1.
+  [[nodiscard]] int last_ending_before(std::int32_t k, double t) const {
+    const auto& v = of[static_cast<std::size_t>(k)];
+    auto it = std::upper_bound(
+        v.begin(), v.end(), t + kEps,
+        [](double val, const Span& s) { return val < s.t1; });
+    if (it == v.begin()) return -1;
+    return static_cast<int>(std::distance(v.begin(), it)) - 1;
+  }
+};
+
+}  // namespace
+
+std::vector<PathContribution> CriticalPathReport::ranked() const {
+  std::vector<PathContribution> out;
+  for (const PathContribution& c : kernels)
+    if (c.spans > 0 || c.total_seconds() > 0.0) out.push_back(c);
+  std::sort(out.begin(), out.end(),
+            [](const PathContribution& a, const PathContribution& b) {
+              return a.total_seconds() > b.total_seconds();
+            });
+  return out;
+}
+
+CriticalPathReport analyze_critical_path(const Trace& t,
+                                         const FrameReport& frames,
+                                         const Graph& g) {
+  CriticalPathReport r;
+  const int n = g.kernel_count();
+  r.kernels.resize(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k)
+    r.kernels[static_cast<std::size_t>(k)].kernel = k;
+  if (frames.empty()) return r;
+
+  // Upstream producers per kernel, from the live channels.
+  std::vector<std::vector<std::int32_t>> ups(static_cast<std::size_t>(n));
+  for (ChannelId c = 0; c < g.channel_count(); ++c) {
+    const Channel& ch = g.channel(c);
+    if (!ch.alive) continue;
+    auto& u = ups[static_cast<std::size_t>(ch.dst_kernel)];
+    if (std::find(u.begin(), u.end(), ch.src_kernel) == u.end())
+      u.push_back(ch.src_kernel);
+  }
+
+  SpanIndex idx;
+  idx.of.resize(static_cast<std::size_t>(n));
+  std::size_t total_spans = 0;
+  for (const TraceEvent& e : t.events) {
+    if (e.kind != EventKind::kFiring && e.kind != EventKind::kWrite) continue;
+    if (e.kernel < 0 || e.kernel >= n) continue;
+    idx.of[static_cast<std::size_t>(e.kernel)].push_back(Span{e.t0, e.t1});
+    ++total_spans;
+  }
+  for (auto& v : idx.of)
+    std::sort(v.begin(), v.end(),
+              [](const Span& a, const Span& b) { return a.t1 < b.t1; });
+
+  for (const FrameRecord& f : frames.frames) {
+    if (f.end_kernel < 0 || f.end_kernel >= n) continue;
+    // Seed: the sink span that completed the frame (ends at f.end).
+    std::int32_t k = f.end_kernel;
+    int si = idx.last_ending_before(k, f.end_seconds);
+    if (si < 0) continue;
+    ++r.frames_analyzed;
+    r.latency_seconds += f.latency_seconds();
+
+    std::size_t steps = 0;
+    while (steps++ <= total_spans) {
+      const Span cur = idx.of[static_cast<std::size_t>(k)][
+          static_cast<std::size_t>(si)];
+      PathContribution& pc = r.kernels[static_cast<std::size_t>(k)];
+      // Clamp to the frame window; spans preceding the frame's release are
+      // pipeline work for earlier frames.
+      const double b0 = std::max(cur.t0, f.start_seconds);
+      const double b1 = std::max(cur.t1, f.start_seconds);
+      pc.busy_seconds += b1 - b0;
+      ++pc.spans;
+      if (cur.t0 <= f.start_seconds + kEps) break;
+
+      // Critical predecessor: latest span ending before we started, from
+      // this kernel (it was busy) or an upstream producer (we starved).
+      // On a tie the same kernel wins — back-to-back firings mean the
+      // kernel itself is saturated.
+      std::int32_t best_k = -1;
+      int best_i = -1;
+      double best_t1 = -1.0;
+      const int own = idx.last_ending_before(k, cur.t0);
+      if (own >= 0) {
+        // Guard against selecting the current span itself (or a tied later
+        // one) when spans are zero-length: stay strictly earlier in the
+        // per-kernel order so same-kernel walks always terminate.
+        int i = std::min(own, si - 1);
+        if (i >= 0) {
+          best_k = k;
+          best_i = i;
+          best_t1 = idx.of[static_cast<std::size_t>(k)][
+              static_cast<std::size_t>(i)].t1;
+        }
+      }
+      for (const std::int32_t u : ups[static_cast<std::size_t>(k)]) {
+        const int ui = idx.last_ending_before(u, cur.t0);
+        if (ui < 0) continue;
+        const double t1 = idx.of[static_cast<std::size_t>(u)][
+            static_cast<std::size_t>(ui)].t1;
+        if (t1 > best_t1 + kEps) {
+          best_k = u;
+          best_i = ui;
+          best_t1 = t1;
+        }
+      }
+      if (best_k < 0 || best_t1 <= f.start_seconds + kEps) {
+        // Chain ends: whatever ran before the frame started. The gap back
+        // to the release is wait in front of the current kernel.
+        pc.wait_seconds += std::max(0.0, cur.t0 - f.start_seconds);
+        break;
+      }
+      pc.wait_seconds += std::max(0.0, cur.t0 - best_t1);
+      k = best_k;
+      si = best_i;
+    }
+  }
+
+  double best = 0.0;
+  for (const PathContribution& c : r.kernels)
+    if (c.total_seconds() > best) {
+      best = c.total_seconds();
+      r.bottleneck = c.kernel;
+    }
+  return r;
+}
+
+void write_critical_path(const CriticalPathReport& r, const Trace& t,
+                         std::ostream& os) {
+  const auto fmt = os.flags();
+  const auto prec = os.precision();
+  os << "critical path over " << r.frames_analyzed << " frame(s)";
+  if (r.frames_analyzed == 0) {
+    os << ": no tracked frames\n";
+    os.flags(fmt);
+    os.precision(prec);
+    return;
+  }
+  os << " (" << std::fixed << std::setprecision(3)
+     << r.latency_seconds * 1e3 << " ms of latency attributed):\n";
+  os << std::setprecision(1);
+  const double total = r.latency_seconds > 0.0 ? r.latency_seconds : 1.0;
+  for (const PathContribution& c : r.ranked()) {
+    os << "  " << std::left << std::setw(28)
+       << t.kernel_name(c.kernel) << std::right << " busy "
+       << std::setw(5) << 100.0 * c.busy_seconds / total << "% wait "
+       << std::setw(5) << 100.0 * c.wait_seconds / total << "%  ("
+       << c.spans << " spans)\n";
+  }
+  if (r.bottleneck >= 0)
+    os << "  bottleneck: " << t.kernel_name(r.bottleneck) << '\n';
+  os.flags(fmt);
+  os.precision(prec);
+}
+
+}  // namespace bpp::obs

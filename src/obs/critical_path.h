@@ -1,0 +1,60 @@
+#pragma once
+// Trace-driven bottleneck attribution.
+//
+// For each tracked frame, walk backwards from the sink firing that
+// completed it: a span's critical predecessor is the latest span (a prior
+// firing of the same kernel — the kernel was busy — or a firing/write of
+// an upstream producer — the kernel was starved) that finished before it
+// started. Busy time on the chain is attributed to the span's kernel;
+// gaps between a span and its predecessor are attributed as wait in front
+// of the waiting kernel (scheduling or back-pressure). Summed over
+// frames, the kernel with the largest share of the chain is the one that
+// bounds the frame latency — "which kernel broke your deadline".
+//
+// The walk needs the channel topology (who produces for whom), which the
+// trace does not carry; pass the executed Graph alongside it.
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "core/graph.h"
+#include "obs/frames.h"
+#include "obs/trace.h"
+
+namespace bpp::obs {
+
+/// Per-kernel share of the critical chains, summed over analyzed frames.
+struct PathContribution {
+  std::int32_t kernel = -1;
+  double busy_seconds = 0.0;  ///< firing/write spans on the chain
+  double wait_seconds = 0.0;  ///< gaps while this kernel waited to start
+  long spans = 0;
+
+  [[nodiscard]] double total_seconds() const {
+    return busy_seconds + wait_seconds;
+  }
+};
+
+struct CriticalPathReport {
+  /// Indexed by kernel id; kernels never on a chain have zero entries.
+  std::vector<PathContribution> kernels;
+  long frames_analyzed = 0;
+  double latency_seconds = 0.0;  ///< summed latency of analyzed frames
+  /// Kernel with the largest busy+wait share, -1 if nothing was analyzed.
+  std::int32_t bottleneck = -1;
+
+  /// Contributions sorted by descending share (non-zero only).
+  [[nodiscard]] std::vector<PathContribution> ranked() const;
+};
+
+/// Attribute each tracked frame's latency along its critical chain.
+[[nodiscard]] CriticalPathReport analyze_critical_path(
+    const Trace& t, const FrameReport& frames, const Graph& g);
+
+/// Human-readable table (kernel, busy %, wait %, spans) plus the named
+/// bottleneck; percentages are of the summed frame latency.
+void write_critical_path(const CriticalPathReport& r, const Trace& t,
+                         std::ostream& os);
+
+}  // namespace bpp::obs

@@ -1,0 +1,58 @@
+#include "obs/deadline.h"
+
+#include <algorithm>
+
+namespace bpp::obs {
+
+namespace {
+/// Simulated schedules hit their deadlines exactly; keep float fuzz from
+/// flipping an on-time frame to missed.
+constexpr double kEps = 1e-9;
+}  // namespace
+
+DeadlineMonitor::DeadlineMonitor(DeadlineOptions opt, MetricsRegistry* metrics,
+                                 MissCallback on_miss)
+    : opt_(opt), metrics_(metrics), on_miss_(std::move(on_miss)) {
+  if (metrics_ && opt_.rate_hz > 0.0)
+    metrics_->gauge("deadline.period_seconds").set(period_seconds());
+}
+
+const FrameVerdict& DeadlineMonitor::observe_frame(std::int64_t frame,
+                                                   double end_seconds) {
+  if (!anchored_) {
+    anchored_ = true;
+    anchor_frame_ = frame;
+    anchor_seconds_ = end_seconds;
+  }
+  FrameVerdict v;
+  v.frame = frame;
+  v.completed_seconds = end_seconds;
+  const double scheduled =
+      anchor_seconds_ +
+      static_cast<double>(frame - anchor_frame_) * period_seconds();
+  v.deadline_seconds = scheduled + opt_.slack_seconds;
+  v.lateness_seconds = end_seconds - scheduled;
+  v.missed = opt_.rate_hz > 0.0 &&
+             end_seconds > v.deadline_seconds + kEps;
+  if (v.missed) ++misses_;
+  max_lateness_ = std::max(max_lateness_, v.lateness_seconds);
+
+  if (metrics_) {
+    metrics_->counter("deadline.frames").add(1);
+    if (v.missed) metrics_->counter("deadline.misses").add(1);
+    metrics_->high_water("deadline.max_lateness_seconds")
+        .update(v.lateness_seconds);
+    metrics_->histogram("deadline.lateness_seconds")
+        .observe(std::max(0.0, v.lateness_seconds));
+  }
+  verdicts_.push_back(v);
+  if (v.missed && on_miss_) on_miss_(verdicts_.back());
+  return verdicts_.back();
+}
+
+void DeadlineMonitor::observe(const FrameReport& report) {
+  for (const FrameRecord& f : report.frames)
+    observe_frame(f.frame, f.end_seconds);
+}
+
+}  // namespace bpp::obs

@@ -1,0 +1,93 @@
+#pragma once
+// Deadline monitor: classify tracked frames against the graph's declared
+// rate.
+//
+// The compiler's rate analysis (§III-A, §III-E) statically promises that
+// the application keeps up with the input frame rate; this is the runtime
+// check of that promise. Given the declared rate R, frame N's completion
+// deadline is anchored at the first observed completion — pipelining means
+// end-to-end latency legitimately exceeds one period, but in the steady
+// state completions must arrive one period 1/R apart (§IV-D):
+//
+//   deadline(N) = end(first) + (N - first) / R + slack
+//
+// A feasible graph holds the schedule exactly; an over-rated one drifts
+// later every frame and accumulates misses. `slack` absorbs host-scheduler
+// jitter on wall-clock traces (simulated traces can run with slack 0).
+//
+// Misses feed counters/gauges in a MetricsRegistry and optionally invoke a
+// user callback — the hook a graceful-degradation policy would attach to.
+// The monitor is plain analysis code and always links; what -DBPP_OBS=OFF
+// compiles out are the engines' frame-boundary instrumentation sites, so
+// in that build the monitor never sees a frame to classify.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "obs/frames.h"
+#include "obs/metrics.h"
+
+namespace bpp::obs {
+
+/// Verdict for one frame.
+struct FrameVerdict {
+  std::int64_t frame = -1;
+  double completed_seconds = 0.0;
+  double deadline_seconds = 0.0;  ///< includes slack
+  /// completed - (anchored schedule), before slack; negative = early.
+  double lateness_seconds = 0.0;
+  bool missed = false;
+};
+
+struct DeadlineOptions {
+  /// Declared frame rate the schedule is derived from (frames/second).
+  double rate_hz = 0.0;
+  /// Grace added to every deadline (absorbs wall-clock scheduler jitter).
+  double slack_seconds = 0.0;
+};
+
+class DeadlineMonitor {
+ public:
+  using MissCallback = std::function<void(const FrameVerdict&)>;
+
+  /// `metrics` (optional) receives deadline.frames / deadline.misses
+  /// counters, a deadline.max_lateness_seconds high-water mark, and a
+  /// deadline.lateness_seconds histogram. `on_miss` (optional) runs
+  /// synchronously for every missed frame.
+  explicit DeadlineMonitor(DeadlineOptions opt,
+                           MetricsRegistry* metrics = nullptr,
+                           MissCallback on_miss = {});
+
+  /// Feed one completed frame (monotonically increasing indices expected;
+  /// the first observation anchors the schedule). Returns its verdict.
+  const FrameVerdict& observe_frame(std::int64_t frame, double end_seconds);
+
+  /// Feed a whole post-run frame report.
+  void observe(const FrameReport& report);
+
+  [[nodiscard]] long frames() const {
+    return static_cast<long>(verdicts_.size());
+  }
+  [[nodiscard]] long misses() const { return misses_; }
+  [[nodiscard]] double max_lateness_seconds() const { return max_lateness_; }
+  [[nodiscard]] double period_seconds() const {
+    return opt_.rate_hz > 0.0 ? 1.0 / opt_.rate_hz : 0.0;
+  }
+  [[nodiscard]] const std::vector<FrameVerdict>& verdicts() const {
+    return verdicts_;
+  }
+
+ private:
+  DeadlineOptions opt_;
+  MetricsRegistry* metrics_ = nullptr;
+  MissCallback on_miss_;
+  bool anchored_ = false;
+  std::int64_t anchor_frame_ = 0;
+  double anchor_seconds_ = 0.0;
+  long misses_ = 0;
+  double max_lateness_ = 0.0;
+  std::vector<FrameVerdict> verdicts_;
+};
+
+}  // namespace bpp::obs

@@ -1,0 +1,94 @@
+#include "obs/frames.h"
+
+#include <algorithm>
+#include <map>
+
+namespace bpp::obs {
+
+SeriesSummary summarize(std::vector<double> values) {
+  SeriesSummary s;
+  s.count = static_cast<long>(values.size());
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  s.mean = sum / static_cast<double>(values.size());
+  s.max = values.back();
+  // Nearest-rank with linear interpolation (the exact small-series analog
+  // of Histogram::quantile).
+  const auto at = [&](double q) {
+    const double pos = q * static_cast<double>(values.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, values.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return values[lo] + (values[hi] - values[lo]) * frac;
+  };
+  s.p50 = at(0.50);
+  s.p95 = at(0.95);
+  return s;
+}
+
+FrameReport analyze_frames(const Trace& t) {
+  struct Partial {
+    bool has_start = false, has_end = false;
+    double start = 0.0, end = 0.0;
+    std::int32_t start_kernel = -1, end_kernel = -1;
+  };
+  // Frame indices are small and dense in practice, but a run cut short or
+  // a feedback seed (payload -1) must not blow up a vector index.
+  std::map<std::int64_t, Partial> partial;
+
+  for (const TraceEvent& e : t.events) {
+    if (e.kind != EventKind::kFrameStart && e.kind != EventKind::kFrameEnd)
+      continue;
+    if (e.method < 0) continue;  // feedback seeds carry no real frame index
+    Partial& p = partial[e.method];
+    if (e.kind == EventKind::kFrameStart) {
+      if (!p.has_start || e.t0 < p.start) {
+        p.start = e.t0;
+        p.start_kernel = e.kernel;
+      }
+      p.has_start = true;
+    } else {
+      if (!p.has_end || e.t1 > p.end) {
+        p.end = e.t1;
+        p.end_kernel = e.kernel;
+      }
+      p.has_end = true;
+    }
+  }
+
+  FrameReport r;
+  for (const auto& [idx, p] : partial) {
+    if (!p.has_start || !p.has_end) {
+      ++r.incomplete;
+      continue;
+    }
+    FrameRecord f;
+    f.frame = idx;
+    f.start_seconds = p.start;
+    f.end_seconds = p.end;
+    f.start_kernel = p.start_kernel;
+    f.end_kernel = p.end_kernel;
+    r.frames.push_back(f);
+  }
+  // std::map iterates in index order already; keep the invariant explicit.
+  std::sort(r.frames.begin(), r.frames.end(),
+            [](const FrameRecord& a, const FrameRecord& b) {
+              return a.frame < b.frame;
+            });
+
+  std::vector<double> latencies, periods;
+  latencies.reserve(r.frames.size());
+  for (std::size_t i = 0; i < r.frames.size(); ++i) {
+    latencies.push_back(r.frames[i].latency_seconds());
+    if (i > 0)
+      periods.push_back(r.frames[i].end_seconds -
+                        r.frames[i - 1].end_seconds);
+  }
+  r.latency = summarize(std::move(latencies));
+  r.period = summarize(std::move(periods));
+  return r;
+}
+
+}  // namespace bpp::obs

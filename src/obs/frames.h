@@ -1,0 +1,61 @@
+#pragma once
+// Per-frame latency tracking over a Trace.
+//
+// Both engines emit frame-boundary instants: a kFrameStart when an
+// application input releases the first pixel of frame N, a kFrameEnd when
+// a sink kernel finishes consuming frame N's end-of-frame token. Pairing
+// them yields the two real-time criteria of the paper's evaluation
+// (§IV-D) — end-to-end latency per frame and the steady-state completion
+// period — exactly the latency-vs-throughput tension Benoit et al. frame
+// for pipelined image processing. With several sources or sinks, a frame
+// starts at the earliest source release and ends at the latest sink
+// completion carrying that frame index.
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace bpp::obs {
+
+/// One tracked frame: both boundaries observed.
+struct FrameRecord {
+  std::int64_t frame = -1;         ///< frame index (input order)
+  double start_seconds = 0.0;      ///< earliest source release of the frame
+  double end_seconds = 0.0;        ///< latest sink completion of the frame
+  std::int32_t start_kernel = -1;  ///< source that released the start
+  std::int32_t end_kernel = -1;    ///< sink that completed the end
+
+  [[nodiscard]] double latency_seconds() const {
+    return end_seconds - start_seconds;
+  }
+};
+
+/// Exact order statistics of a small series (frame latencies or periods).
+struct SeriesSummary {
+  long count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+};
+
+[[nodiscard]] SeriesSummary summarize(std::vector<double> values);
+
+struct FrameReport {
+  /// Complete frames (both boundaries seen), sorted by frame index.
+  std::vector<FrameRecord> frames;
+  /// Frame indices with only one boundary (dropped events, or a run cut
+  /// short) — excluded from the series below.
+  long incomplete = 0;
+  SeriesSummary latency;  ///< end-to-end seconds per frame
+  SeriesSummary period;   ///< deltas between consecutive completions
+
+  [[nodiscard]] bool empty() const { return frames.empty(); }
+};
+
+/// Pair the trace's frame-boundary events into per-frame records and
+/// derive the latency/period series.
+[[nodiscard]] FrameReport analyze_frames(const Trace& t);
+
+}  // namespace bpp::obs

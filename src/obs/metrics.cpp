@@ -1,5 +1,6 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
 #include <cmath>
 #include <iomanip>
 #include <ostream>
@@ -28,6 +29,30 @@ void Histogram::observe(double v) {
 
 double Histogram::bucket_upper(int i) {
   return i <= 0 ? kBase : kBase * std::ldexp(1.0, i);
+}
+
+double Histogram::quantile(double q) const {
+  const std::int64_t n = count();
+  if (n <= 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // 1-based rank of the requested quantile over n observations.
+  const std::int64_t rank =
+      std::max<std::int64_t>(1, static_cast<std::int64_t>(std::ceil(q * n)));
+  std::int64_t cum = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    const std::int64_t b = bucket(i);
+    if (b == 0) continue;
+    if (cum + b >= rank) {
+      const double lo = i == 0 ? 0.0 : bucket_upper(i - 1);
+      const double hi = bucket_upper(i);
+      const double frac =
+          static_cast<double>(rank - cum) / static_cast<double>(b);
+      return std::min(lo + (hi - lo) * frac, max());
+    }
+    cum += b;
+  }
+  return max();
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
@@ -120,6 +145,7 @@ void MetricsRegistry::write_text(std::ostream& os) const {
     os << name << " high_water " << h->value() << '\n';
   for (const auto& [name, h] : histograms_) {
     os << name << " histogram count " << h->count() << " sum " << h->sum()
+       << " p50 " << h->quantile(0.50) << " p95 " << h->quantile(0.95)
        << " max " << h->max() << " buckets";
     write_histogram_buckets(os, *h, /*json=*/false);
     os << '\n';
@@ -161,6 +187,7 @@ void MetricsRegistry::write_json(std::ostream& os) const {
     first = false;
     write_json_string(os, name);
     os << ":{\"count\":" << h->count() << ",\"sum\":" << h->sum()
+       << ",\"p50\":" << h->quantile(0.50) << ",\"p95\":" << h->quantile(0.95)
        << ",\"max\":" << h->max() << ",\"buckets\":[";
     write_histogram_buckets(os, *h, /*json=*/true);
     os << "]}";

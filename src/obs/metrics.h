@@ -82,6 +82,11 @@ class Histogram {
   }
   /// Inclusive upper edge of bucket `i` in the observed unit.
   [[nodiscard]] static double bucket_upper(int i);
+  /// Approximate quantile (q in [0, 1]) reconstructed from the log2
+  /// buckets: linear interpolation inside the covering bucket, clamped to
+  /// the exact observed maximum. Resolution is the bucket width (a factor
+  /// of 2), which is plenty for latency summaries.
+  [[nodiscard]] double quantile(double q) const;
 
  private:
   std::atomic<std::int64_t> buckets_[kBuckets]{};

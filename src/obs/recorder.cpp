@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/frames.h"
+
 namespace bpp::obs {
 
 void Recorder::begin_session(TraceClock clock, double cycles_per_second,
@@ -53,6 +55,24 @@ const Trace& Recorder::finish_session(double duration_seconds) {
   metrics_.counter("trace.dropped_events")
       .add(static_cast<std::int64_t>(trace_.dropped_events));
   metrics_.gauge("trace.duration_seconds").set(duration_seconds);
+
+  // Frame tracking: pair the frame-boundary instants and feed the latency
+  // and completion-period histograms (whose log2 buckets back the p50/p95
+  // summaries in the metric dumps).
+  const FrameReport frames = analyze_frames(trace_);
+  if (!frames.frames.empty() || frames.incomplete > 0) {
+    metrics_.counter("trace.frames")
+        .add(static_cast<std::int64_t>(frames.frames.size()));
+    metrics_.counter("trace.incomplete_frames").add(frames.incomplete);
+    Histogram& latency = metrics_.histogram("trace.frame_latency_seconds");
+    Histogram& period = metrics_.histogram("trace.frame_period_seconds");
+    for (std::size_t i = 0; i < frames.frames.size(); ++i) {
+      latency.observe(frames.frames[i].latency_seconds());
+      if (i > 0)
+        period.observe(frames.frames[i].end_seconds -
+                       frames.frames[i - 1].end_seconds);
+    }
+  }
   return trace_;
 }
 

@@ -45,6 +45,14 @@ class Recorder {
     return rings_[static_cast<std::size_t>(core)].get();
   }
 
+  /// Collector side, callable while workers are still emitting (the rings
+  /// are SPSC with this thread as the single consumer): move everything
+  /// buffered so far into the trace. Engines poll periodically so sessions
+  /// longer than the ring capacity do not shed events.
+  void poll() {
+    for (auto& r : rings_) r->drain_into(trace_.events);
+  }
+
   /// Engine side, after workers joined: drain every ring into the trace,
   /// sort by start time, record the run duration, and derive standard
   /// metrics (firing/release counters, release-lag histogram, drop count).

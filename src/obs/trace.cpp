@@ -46,6 +46,8 @@ const char* event_kind_name(EventKind k) {
     case EventKind::kSourceRelease: return "release";
     case EventKind::kChannelPush: return "push";
     case EventKind::kChannelPop: return "pop";
+    case EventKind::kFrameStart: return "frame_start";
+    case EventKind::kFrameEnd: return "frame_end";
   }
   return "?";
 }
@@ -118,6 +120,16 @@ void write_chrome_trace(const Trace& t, std::ostream& os) {
         os << "{\"ph\":\"C\",\"pid\":0,\"tid\":" << tid << ",\"ts\":"
            << us(e.t0) << ",\"name\":\"chan " << e.channel
            << "\",\"args\":{\"occupancy\":" << e.aux0 << "}}";
+        break;
+      case EventKind::kFrameStart:
+      case EventKind::kFrameEnd:
+        os << "{\"ph\":\"i\",\"s\":\"g\",\"pid\":0,\"tid\":" << tid
+           << ",\"ts\":" << us(e.t0) << ",\"cat\":\""
+           << event_kind_name(e.kind) << "\",\"name\":";
+        write_escaped(os, std::string(event_kind_name(e.kind)) + " " +
+                              std::to_string(e.method));
+        os << ",\"args\":{\"frame\":" << e.method
+           << ",\"kernel\":" << e.kernel << "}}";
         break;
     }
   }

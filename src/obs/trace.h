@@ -56,6 +56,13 @@ enum class EventKind : std::uint8_t {
   /// aux0 = occupancy just after the operation.
   kChannelPush,
   kChannelPop,
+  /// Instant: an application input released the first pixel of a frame.
+  /// `kernel` is the source, `method` carries the frame index (the field is
+  /// otherwise unused for instants).
+  kFrameStart,
+  /// Instant: a sink kernel finished consuming a frame's end-of-frame
+  /// token. `kernel` is the sink, `method` carries the frame index.
+  kFrameEnd,
 };
 
 [[nodiscard]] const char* event_kind_name(EventKind k);

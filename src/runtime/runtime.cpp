@@ -182,6 +182,8 @@ class ThreadedRun {
     }
 
     kernel_fired_.assign(static_cast<size_t>(n), 0);
+    src_at_frame_start_.assign(static_cast<size_t>(n), 1);
+    src_frame_idx_.assign(static_cast<size_t>(n), 0);
     if (obs::kCompiledIn && opt.recorder) {
       rec_ = opt.recorder;
       std::vector<std::string> names;
@@ -233,11 +235,23 @@ class ThreadedRun {
       const auto window = std::chrono::duration_cast<
           std::chrono::steady_clock::duration>(
           std::chrono::duration<double>(opt_.watchdog_seconds));
+      // With a recorder attached, this thread doubles as the trace
+      // collector: wake every few ms to drain the per-core rings (SPSC,
+      // single consumer) so runs longer than the ring capacity keep every
+      // event instead of shedding the newest.
+      const bool polling = obs::kCompiledIn && rec_ != nullptr;
       std::unique_lock<std::mutex> lk(done_mu_);
       while (!done_) {
-        if (done_cv_.wait_until(lk, last_change + window,
-                                [&] { return done_; }))
-          break;
+        const auto deadline = last_change + window;
+        auto wake = deadline;
+        if (polling) {
+          const auto poll_at =
+              std::chrono::steady_clock::now() + std::chrono::milliseconds(2);
+          if (poll_at < wake) wake = poll_at;
+        }
+        if (done_cv_.wait_until(lk, wake, [&] { return done_; })) break;
+        if (polling) rec_->poll();
+        if (wake < deadline) continue;  // poll tick, not the watchdog
         const long f = firings_.load(std::memory_order_relaxed);
         if (f != last_firings) {
           last_firings = f;
@@ -281,6 +295,11 @@ class ThreadedRun {
       m.counter("runtime.delayed_releases").add(res.delayed_releases);
       m.gauge("runtime.max_release_lag_seconds")
           .set(res.max_release_lag_seconds);
+      if (opt_.pace_inputs) {
+        m.gauge("runtime.lag_tolerance_seconds")
+            .set(opt_.lag_tolerance_seconds);
+        m.gauge("runtime.pace_slowdown").set(opt_.pace_slowdown);
+      }
       for (size_t c = 0; c < channels_.size(); ++c)
         if (channels_[c])
           m.high_water("runtime.channel." + std::to_string(c) +
@@ -468,8 +487,28 @@ class ThreadedRun {
         } else if (!has_space_or_arm(outs)) {
           return;
         }
+        // Frame tracking (inspect before the item is moved): the first
+        // pixel after an end-of-frame token opens the next frame.
+        const bool frame_data = is_data(next->item);
+        const bool frame_eof =
+            !frame_data && as_token(next->item).cls == tok::kEndOfFrame;
         push_all(outs, std::move(next->item), w);
         next.reset();
+        if (obs::kCompiledIn && w.ring) {
+          if (frame_data && src_at_frame_start_[static_cast<size_t>(k)]) {
+            src_at_frame_start_[static_cast<size_t>(k)] = 0;
+            obs::TraceEvent e;
+            e.kind = obs::EventKind::kFrameStart;
+            e.t0 = e.t1 = elapsed();
+            e.kernel = k;
+            e.core = w.core;
+            e.method = src_frame_idx_[static_cast<size_t>(k)];
+            w.ring->emit(e);
+          } else if (frame_eof) {
+            ++src_frame_idx_[static_cast<size_t>(k)];
+            src_at_frame_start_[static_cast<size_t>(k)] = 1;
+          }
+        }
       }
       SourceEmission e;
       if (!kn.source_poll(e)) return;  // exhausted for good
@@ -565,6 +604,21 @@ class ThreadedRun {
         e.core = w.core;
         e.method = d.kind == FireDecision::Kind::Method ? d.method : -1;
         w.ring->emit(e);
+      }
+
+      // Frame tracking: a sink consuming an end-of-frame token closes the
+      // frame whose index rides in the token payload.
+      if (rec && is_sink_[static_cast<size_t>(k)]) {
+        for (const Item& it : w.popped) {
+          if (!is_token(it) || as_token(it).cls != tok::kEndOfFrame) continue;
+          obs::TraceEvent e;
+          e.kind = obs::EventKind::kFrameEnd;
+          e.t0 = e.t1 = elapsed();
+          e.kernel = k;
+          e.core = w.core;
+          e.method = as_token(it).payload;
+          w.ring->emit(e);
+        }
       }
 
       // Sink completion: all connected inputs delivered end-of-stream.
@@ -675,6 +729,10 @@ class ThreadedRun {
   std::vector<int> eos_seen_;
   std::vector<char> is_sink_;
   std::vector<std::optional<SourceEmission>> src_next_;
+  /// Per-source frame cursors (only the owning worker touches its sources):
+  /// whether the next data item opens a frame, and that frame's index.
+  std::vector<char> src_at_frame_start_;
+  std::vector<std::int32_t> src_frame_idx_;
   std::unique_ptr<std::atomic<bool>[]> sink_done_;
   std::unique_ptr<ReadyFlag[]> ready_;  // per-kernel, cache-line padded
   std::unique_ptr<ReadyNode[]> nodes_;  // per-kernel ready-queue nodes

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <deque>
 #include <queue>
 #include <limits>
@@ -68,6 +69,9 @@ struct SourceState {
   bool exhausted = false;
   bool have_next = false;
   SourceEmission next;
+  /// Frame tracking: the next data release starts a new frame.
+  bool at_frame_start = true;
+  std::int64_t frame_idx = 0;
 };
 
 struct CoreState {
@@ -166,6 +170,12 @@ class Sim {
       now = wake.top();
       while (!wake.empty() && wake.top() <= now + 1e-15) wake.pop();
 
+      // Keep an external recorder's ring drained so sessions longer than
+      // its capacity keep every event (single-threaded: we are both the
+      // producer and the collector). The internal trace_limit adapter is
+      // deliberately not polled — its full ring is the "first N" cutoff.
+      if (obs::kCompiledIn && detail_ && opt_.recorder) opt_.recorder->poll();
+
       bool acted = true;
       while (acted) {
         acted = false;
@@ -242,6 +252,25 @@ class Sim {
           lag > opt_.lag_tolerance_periods * pixel_period_ + 1e-12 ? 1.0f
                                                                    : 0.0f;
       detail_->emit(e);
+    }
+    // Frame tracking: the first pixel after an end-of-frame token opens
+    // frame N; the token itself advances the source's frame cursor.
+    if (is_data(s.next.item)) {
+      if (s.at_frame_start) {
+        s.at_frame_start = false;
+        if (obs::kCompiledIn && detail_) {
+          obs::TraceEvent e;
+          e.kind = obs::EventKind::kFrameStart;
+          e.t0 = e.t1 = now;
+          e.kernel = s.id;
+          e.core = -1;
+          e.method = static_cast<std::int32_t>(s.frame_idx);
+          detail_->emit(e);
+        }
+      }
+    } else if (as_token(s.next.item).cls == tok::kEndOfFrame) {
+      ++s.frame_idx;
+      s.at_frame_start = true;
     }
     advance_source(s);
     return true;
@@ -412,9 +441,19 @@ class Sim {
       res_.kernel_activity[static_cast<size_t>(k)].second += cycles;
       if (st.is_sink)
         for (const Item& it : popped)
-          if (is_token(it) && as_token(it).cls == tok::kEndOfFrame)
+          if (is_token(it) && as_token(it).cls == tok::kEndOfFrame) {
             res_.sink_frame_times[static_cast<size_t>(st.sink_index)]
                 .second.push_back(now + dur);
+            if (obs::kCompiledIn && detail_) {
+              obs::TraceEvent e;
+              e.kind = obs::EventKind::kFrameEnd;
+              e.t0 = e.t1 = now + dur;
+              e.kernel = k;
+              e.core = c;
+              e.method = static_cast<std::int32_t>(as_token(it).payload);
+              detail_->emit(e);
+            }
+          }
       if (obs::kCompiledIn && ring_) {
         obs::TraceEvent e;
         e.kind = obs::EventKind::kFiring;

@@ -26,6 +26,9 @@
 #include "core/dot_export.h"
 #include "kernels/kernels.h"
 #include "obs/analysis.h"
+#include "obs/critical_path.h"
+#include "obs/deadline.h"
+#include "obs/frames.h"
 #include "obs/recorder.h"
 #include "runtime/runtime.h"
 #include "sim/simulator.h"
@@ -47,8 +50,14 @@ struct Args {
   bool do_run = false;
   bool show_kernels = false;
   long firings = 0;
+  bool firings_set = false;  ///< --firings given explicitly
+  bool pace = false;
+  double pace_slowdown = 1.0;
+  double deadline_slack = 0.0;
+  bool deadline_slack_set = false;
   std::string trace_path;
   std::string metrics_path;
+  std::string analyze_path;
   std::string dot_path;
   std::string save_path;
   MachineSpec machine;
@@ -76,11 +85,20 @@ void usage() {
       "  --firings N        with --simulate: print the first N firings\n"
       "  --kernels          with --simulate: busiest kernels by cycles\n"
       "  --run              execute functionally on host threads\n"
+      "  --pace             with --run: release inputs on the wall-clock\n"
+      "                     schedule instead of as fast as possible\n"
+      "  --slowdown X       with --pace: stretch the release schedule by X\n"
       "  --trace FILE       write a Chrome trace-event JSON timeline\n"
       "                     (simulated run if --simulate, else host run;\n"
       "                     implies --simulate when neither is given)\n"
       "  --metrics FILE     write the metrics registry ('-' = stdout;\n"
-      "                     *.json = JSON, otherwise text)\n");
+      "                     *.json = JSON, otherwise text)\n"
+      "  --analyze FILE     write the real-time analysis report ('-' =\n"
+      "                     stdout): per-frame latency, deadline verdicts,\n"
+      "                     critical-path attribution, predicted-vs-\n"
+      "                     measured firing rates; needs --simulate/--run\n"
+      "  --deadline-slack S with --analyze: per-frame deadline slack in\n"
+      "                     seconds (default 0)\n");
 }
 
 bool parse(int argc, char** argv, Args& a) {
@@ -138,6 +156,22 @@ bool parse(int argc, char** argv, Args& a) {
       const char* v = value();
       if (!v) return false;
       a.firings = std::atol(v);
+      a.firings_set = true;
+    } else if (flag == "--pace") {
+      a.pace = true;
+    } else if (flag == "--slowdown") {
+      const char* v = value();
+      if (!v) return false;
+      a.pace_slowdown = std::atof(v);
+    } else if (flag == "--deadline-slack") {
+      const char* v = value();
+      if (!v) return false;
+      a.deadline_slack = std::atof(v);
+      a.deadline_slack_set = true;
+    } else if (flag == "--analyze") {
+      const char* v = value();
+      if (!v) return false;
+      a.analyze_path = v;
     } else if (flag == "--trace") {
       const char* v = value();
       if (!v) return false;
@@ -214,6 +248,90 @@ bool ends_with(const std::string& s, const std::string& suffix) {
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
+// Flag combinations that cannot mean what the user intended. Returns a
+// message for the first contradiction found, or nullptr when consistent.
+// Called after --trace/--metrics have implied --simulate.
+const char* contradiction(const Args& a) {
+  if (!a.analyze_path.empty() && !a.do_sim && !a.do_run)
+    return "--analyze needs an execution to observe; add --simulate or --run";
+  if (a.firings_set && a.firings == 0 && !a.trace_path.empty())
+    return "--firings 0 contradicts --trace: nothing would be recorded";
+  if (a.firings_set && a.firings > 0 && !a.do_sim)
+    return "--firings applies to the simulator; add --simulate";
+  if (a.pace && !a.do_run)
+    return "--pace applies to the host runtime; add --run";
+  if (a.pace_slowdown != 1.0 && !a.pace)
+    return "--slowdown requires --pace";
+  if (a.deadline_slack_set && a.analyze_path.empty())
+    return "--deadline-slack requires --analyze";
+  return nullptr;
+}
+
+// The real-time analysis report (--analyze): frame latency/period series,
+// deadline verdicts against the graph's declared rate, critical-path
+// attribution, and the predicted-vs-measured firing-rate table. Feeds the
+// deadline monitor before the metrics dump so its counters appear there.
+// `slowdown` > 1 stretches the declared rate to the schedule the paced
+// host run actually followed (1 for the simulator).
+void write_analysis(const Args& a, const CompiledApp& app, obs::Recorder& rec,
+                    double slowdown = 1.0) {
+  if (a.analyze_path.empty()) return;
+  if (!obs::kCompiledIn)
+    throw Error(
+        "--analyze requires the observability layer; rebuild with "
+        "-DBPP_OBS=ON");
+  const obs::Trace& trace = rec.trace();
+  const obs::FrameReport frames = obs::analyze_frames(trace);
+
+  // Declared rate: the fastest rate the data-flow analysis assigned — the
+  // input frame rate for every bundled pipeline.
+  double rate = 0.0;
+  for (const KernelAnalysis& ka : app.analysis.kernel)
+    rate = std::max(rate, ka.rate_hz);
+  if (slowdown > 0.0) rate /= slowdown;
+  obs::DeadlineOptions dopt;
+  dopt.rate_hz = rate;
+  dopt.slack_seconds = a.deadline_slack;
+  obs::DeadlineMonitor mon(dopt, &rec.metrics());
+  mon.observe(frames);
+
+  const obs::CriticalPathReport cp =
+      obs::analyze_critical_path(trace, frames, app.graph);
+  const RateValidation rates = validate_rates(app, trace);
+
+  write_output_file(a.analyze_path, "analysis", [&](std::ostream& os) {
+    os << "frames tracked: " << frames.frames.size() << " complete, "
+       << frames.incomplete << " incomplete\n";
+    auto series = [&os](const char* what, const obs::SeriesSummary& s) {
+      char buf[160];
+      std::snprintf(buf, sizeof buf,
+                    "  %s: mean %.3f ms  p50 %.3f ms  p95 %.3f ms  max "
+                    "%.3f ms  (%ld samples)\n",
+                    what, s.mean * 1e3, s.p50 * 1e3, s.p95 * 1e3, s.max * 1e3,
+                    s.count);
+      os << buf;
+    };
+    if (!frames.empty()) {
+      series("latency", frames.latency);
+      series("period ", frames.period);
+    }
+    char line[200];
+    std::snprintf(line, sizeof line,
+                  "deadlines: rate %.1f Hz, slack %.3f ms -> %ld frames, "
+                  "%ld missed",
+                  rate, a.deadline_slack * 1e3, mon.frames(), mon.misses());
+    os << line;
+    if (mon.misses() > 0) {
+      std::snprintf(line, sizeof line, ", max lateness %.3f ms",
+                    mon.max_lateness_seconds() * 1e3);
+      os << line;
+    }
+    os << '\n';
+    obs::write_critical_path(cp, trace, os);
+    write_rate_validation(rates, os);
+  });
+}
+
 // Dump the recorder's trace and/or metrics as requested by --trace and
 // --metrics. Called for whichever execution (sim or host run) owns the
 // observability output.
@@ -244,6 +362,10 @@ int main(int argc, char** argv) {
   if ((!a.trace_path.empty() || !a.metrics_path.empty()) && !a.do_sim &&
       !a.do_run)
     a.do_sim = true;
+  if (const char* err = contradiction(a)) {
+    std::fprintf(stderr, "bpc: %s\n", err);
+    return 2;
+  }
 
   try {
     CompileOptions opt;
@@ -309,15 +431,20 @@ int main(int argc, char** argv) {
                         ? g.kernel(f.kernel).methods()[static_cast<size_t>(f.method)].name.c_str()
                         : "(forward)",
                     f.duration_seconds * 1e6);
+      write_analysis(a, app, rec);
       write_obs_outputs(a, rec);
     }
 
     if (a.do_run) {
       obs::Recorder rec;
-      // The simulated run owns --trace/--metrics when both are requested.
+      // The simulated run owns --trace/--metrics/--analyze when both are
+      // requested.
       const bool observe =
-          !a.do_sim && (!a.trace_path.empty() || !a.metrics_path.empty());
+          !a.do_sim && (!a.trace_path.empty() || !a.metrics_path.empty() ||
+                        !a.analyze_path.empty());
       RuntimeOptions ropt;
+      ropt.pace_inputs = a.pace;
+      ropt.pace_slowdown = a.pace_slowdown;
       if (observe) ropt.recorder = &rec;
       const RuntimeResult r = run_threaded(app.graph, app.mapping, ropt);
       std::printf("run: completed=%s wall=%.1fms firings=%ld\n",
@@ -326,6 +453,7 @@ int main(int argc, char** argv) {
       if (observe) {
         if (obs::kCompiledIn)
           write_utilization(obs::analyze_utilization(rec.trace()), std::cout);
+        write_analysis(a, app, rec, a.pace ? a.pace_slowdown : 1.0);
         write_obs_outputs(a, rec);
       }
     }

@@ -14,7 +14,10 @@
 #include "compiler/pipeline.h"
 #include "compiler/report.h"
 #include "obs/analysis.h"
+#include "obs/critical_path.h"
+#include "obs/deadline.h"
 #include "obs/event_ring.h"
+#include "obs/frames.h"
 #include "obs/metrics.h"
 #include "obs/recorder.h"
 #include "obs/trace.h"
@@ -514,6 +517,227 @@ TEST(ObsEndToEnd, SimulatorTraceMatchesCycleAccounting) {
   obs::write_chrome_trace(t, os);
   JsonParser p(os.str());
   EXPECT_TRUE(p.valid());
+}
+
+// --- Frame tracking ------------------------------------------------------
+
+TraceEvent frame_mark(EventKind kind, double t, int kernel, int frame) {
+  TraceEvent e;
+  e.kind = kind;
+  e.t0 = e.t1 = t;
+  e.kernel = kernel;
+  e.method = frame;
+  return e;
+}
+
+TEST(Frames, SummarizeComputesOrderStatistics) {
+  const obs::SeriesSummary s = obs::summarize({4.0, 1.0, 3.0, 2.0});
+  EXPECT_EQ(s.count, 4);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.p50, 2.5);  // interpolated between 2 and 3
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_GT(s.p95, s.p50);
+  EXPECT_LE(s.p95, s.max);
+}
+
+TEST(Frames, PairsBoundariesOnHandBuiltTrace) {
+  Trace t;
+  // Frame 0: two sources released (earliest wins), two sinks completed
+  // (latest wins). Frame 1 is a plain pair. Frame 2 never completes, and
+  // a negative index (a feedback seed) is ignored entirely.
+  t.events.push_back(frame_mark(EventKind::kFrameStart, 0.002, 0, 0));
+  t.events.push_back(frame_mark(EventKind::kFrameStart, 0.001, 1, 0));
+  t.events.push_back(frame_mark(EventKind::kFrameEnd, 0.010, 5, 0));
+  t.events.push_back(frame_mark(EventKind::kFrameEnd, 0.011, 6, 0));
+  t.events.push_back(frame_mark(EventKind::kFrameStart, 0.006, 0, 1));
+  t.events.push_back(frame_mark(EventKind::kFrameEnd, 0.016, 5, 1));
+  t.events.push_back(frame_mark(EventKind::kFrameStart, 0.012, 0, 2));
+  t.events.push_back(frame_mark(EventKind::kFrameEnd, 0.020, 5, -1));
+
+  const obs::FrameReport r = obs::analyze_frames(t);
+  ASSERT_EQ(r.frames.size(), 2u);
+  EXPECT_EQ(r.incomplete, 1);
+  EXPECT_EQ(r.frames[0].frame, 0);
+  EXPECT_DOUBLE_EQ(r.frames[0].start_seconds, 0.001);
+  EXPECT_DOUBLE_EQ(r.frames[0].end_seconds, 0.011);
+  EXPECT_EQ(r.frames[0].start_kernel, 1);
+  EXPECT_EQ(r.frames[0].end_kernel, 6);
+  EXPECT_DOUBLE_EQ(r.frames[0].latency_seconds(), 0.010);
+  EXPECT_DOUBLE_EQ(r.frames[1].latency_seconds(), 0.010);
+  EXPECT_EQ(r.latency.count, 2);
+  EXPECT_DOUBLE_EQ(r.latency.mean, 0.010);
+  // One completion delta: 0.016 - 0.011.
+  EXPECT_EQ(r.period.count, 1);
+  EXPECT_DOUBLE_EQ(r.period.mean, 0.005);
+}
+
+TEST(Frames, RecorderDerivesFrameMetrics) {
+  Recorder rec;
+  rec.begin_session(TraceClock::kWall, 0.0, 1, {"src", "snk"});
+  rec.ring(0)->emit(frame_mark(EventKind::kFrameStart, 0.000, 0, 0));
+  rec.ring(0)->emit(frame_mark(EventKind::kFrameEnd, 0.004, 1, 0));
+  rec.ring(0)->emit(frame_mark(EventKind::kFrameStart, 0.010, 0, 1));
+  rec.ring(0)->emit(frame_mark(EventKind::kFrameEnd, 0.014, 1, 1));
+  rec.ring(0)->emit(frame_mark(EventKind::kFrameStart, 0.020, 0, 2));
+  rec.finish_session(0.025);
+
+  EXPECT_EQ(rec.metrics().counter("trace.frames").value(), 2);
+  EXPECT_EQ(rec.metrics().counter("trace.incomplete_frames").value(), 1);
+  EXPECT_EQ(
+      rec.metrics().histogram("trace.frame_latency_seconds").count(), 2);
+  EXPECT_EQ(rec.metrics().histogram("trace.frame_period_seconds").count(), 1);
+
+  // Frame instants survive the Chrome export as parseable JSON.
+  std::ostringstream os;
+  obs::write_chrome_trace(rec.trace(), os);
+  JsonParser p(os.str());
+  EXPECT_TRUE(p.valid());
+  EXPECT_EQ(p.count_keys("frame"), 5);
+}
+
+// --- Deadline monitor ----------------------------------------------------
+
+TEST(Deadline, OnScheduleFramesAllMeet) {
+  obs::MetricsRegistry m;
+  obs::DeadlineMonitor mon({/*rate_hz=*/100.0, /*slack_seconds=*/0.0}, &m);
+  // Completions exactly one 10 ms period apart; latency of the pipeline
+  // fill (the 50 ms anchor) is irrelevant by design.
+  mon.observe_frame(0, 0.050);
+  mon.observe_frame(1, 0.060);
+  mon.observe_frame(2, 0.070);
+  EXPECT_EQ(mon.frames(), 3);
+  EXPECT_EQ(mon.misses(), 0);
+  EXPECT_EQ(m.counter("deadline.frames").value(), 3);
+  EXPECT_EQ(m.counter("deadline.misses").value(), 0);
+}
+
+TEST(Deadline, DriftAccumulatesMissesAndInvokesCallback) {
+  obs::MetricsRegistry m;
+  std::vector<std::int64_t> missed;
+  obs::DeadlineMonitor mon(
+      {/*rate_hz=*/100.0, /*slack_seconds=*/0.0}, &m,
+      [&](const obs::FrameVerdict& v) { missed.push_back(v.frame); });
+  mon.observe_frame(0, 0.050);  // anchor
+  mon.observe_frame(1, 0.062);  // 2 ms late
+  mon.observe_frame(2, 0.074);  // 4 ms late
+  EXPECT_EQ(mon.misses(), 2);
+  EXPECT_EQ(missed, (std::vector<std::int64_t>{1, 2}));
+  EXPECT_NEAR(mon.max_lateness_seconds(), 0.004, 1e-9);
+  EXPECT_EQ(m.counter("deadline.misses").value(), 2);
+  EXPECT_NEAR(m.high_water("deadline.max_lateness_seconds").value(), 0.004,
+              1e-9);
+  ASSERT_EQ(mon.verdicts().size(), 3u);
+  EXPECT_FALSE(mon.verdicts()[0].missed);
+  EXPECT_TRUE(mon.verdicts()[1].missed);
+  EXPECT_NEAR(mon.verdicts()[2].lateness_seconds, 0.004, 1e-9);
+}
+
+TEST(Deadline, SlackAbsorbsJitter) {
+  obs::DeadlineMonitor mon({/*rate_hz=*/100.0, /*slack_seconds=*/0.005});
+  mon.observe_frame(0, 0.050);
+  mon.observe_frame(1, 0.064);  // 4 ms late < 5 ms slack
+  EXPECT_EQ(mon.misses(), 0);
+}
+
+TEST(Deadline, WholeReportObservation) {
+  obs::FrameReport r;
+  r.frames.push_back({0, 0.000, 0.020, 0, 1});
+  r.frames.push_back({1, 0.010, 0.045, 0, 1});  // 15 ms late at 100 Hz
+  obs::DeadlineMonitor mon({/*rate_hz=*/100.0, /*slack_seconds=*/0.0});
+  mon.observe(r);
+  EXPECT_EQ(mon.frames(), 2);
+  EXPECT_EQ(mon.misses(), 1);
+}
+
+// --- Critical path + rate validation (simulated end to end) --------------
+
+TEST(CriticalPath, AttributesSimulatedFrameLatency) {
+  CompiledApp app = compile(apps::pipeline_app({16, 12}, 120.0, 3));
+  Graph g = app.graph.clone();
+  Recorder rec;
+  SimOptions opt;
+  opt.recorder = &rec;
+  ASSERT_TRUE(simulate(g, app.mapping, opt).completed);
+
+  const obs::FrameReport frames = obs::analyze_frames(rec.trace());
+  ASSERT_EQ(frames.frames.size(), 3u);
+  EXPECT_EQ(frames.incomplete, 0);
+
+  const obs::CriticalPathReport cp =
+      obs::analyze_critical_path(rec.trace(), frames, app.graph);
+  EXPECT_EQ(cp.frames_analyzed, 3);
+  double total_latency = 0.0;
+  for (const auto& f : frames.frames) total_latency += f.latency_seconds();
+  EXPECT_NEAR(cp.latency_seconds, total_latency, 1e-9);
+
+  ASSERT_GE(cp.bottleneck, 0);
+  ASSERT_LT(cp.bottleneck, app.graph.kernel_count());
+  double attributed = 0.0;
+  for (const auto& c : cp.kernels) {
+    EXPECT_GE(c.busy_seconds, -1e-12);
+    EXPECT_GE(c.wait_seconds, -1e-12);
+    attributed += c.total_seconds();
+  }
+  // The walk explains the latency it claims to: attribution is positive
+  // and never exceeds the summed frame latency (busy is clamped to each
+  // frame's window).
+  EXPECT_GT(attributed, 0.0);
+  EXPECT_LE(attributed, total_latency * 1.001 + 1e-9);
+
+  std::ostringstream os;
+  obs::write_critical_path(cp, rec.trace(), os);
+  EXPECT_NE(os.str().find("bottleneck:"), std::string::npos);
+}
+
+TEST(RateValidation, SimulatedRatesMatchCompiledLoads) {
+  // The acceptance bar: on the edge-detect pipeline every measurable
+  // kernel's observed firing rate is within 1% of the compiler's
+  // firings_per_frame * rate_hz prediction.
+  CompiledApp app = compile(apps::sobel_app({48, 36}, 180.0, 5, 100.0));
+  Graph g = app.graph.clone();
+  Recorder rec;
+  SimOptions opt;
+  opt.recorder = &rec;
+  ASSERT_TRUE(simulate(g, app.mapping, opt).completed);
+
+  const RateValidation v = validate_rates(app, rec.trace());
+  ASSERT_FALSE(v.rows.empty());
+  for (const RateRow& r : v.rows) {
+    EXPECT_TRUE(r.measured) << r.name;
+    EXPECT_GT(r.predicted_hz, 0.0) << r.name;
+  }
+  EXPECT_TRUE(v.all_within(0.01));
+
+  const std::string s = rate_validation_string(v);
+  EXPECT_NE(s.find("within 1%"), std::string::npos) << s;
+}
+
+// --- Histogram quantiles --------------------------------------------------
+
+TEST(Metrics, HistogramQuantilesFromBuckets) {
+  obs::MetricsRegistry m;
+  obs::Histogram& h = m.histogram("lat");
+  for (int i = 0; i < 99; ++i) h.observe(1e-3);
+  h.observe(0.5);  // one outlier dominates the max
+  EXPECT_DOUBLE_EQ(h.max(), 0.5);
+  // p50 lands in the bucket covering 1e-3 (log2 buckets: within 2x).
+  EXPECT_GE(h.quantile(0.50), 0.5e-3);
+  EXPECT_LE(h.quantile(0.50), 2.1e-3);
+  EXPECT_LE(h.quantile(0.95), 2.1e-3);  // 95th still inside the mass
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.5);  // clamped to the observed max
+  EXPECT_LE(h.quantile(0.0), h.quantile(0.5));
+
+  // Both dump formats carry the derived summaries.
+  std::ostringstream text;
+  m.write_text(text);
+  EXPECT_NE(text.str().find("p50"), std::string::npos);
+  EXPECT_NE(text.str().find("p95"), std::string::npos);
+  std::ostringstream json;
+  m.write_json(json);
+  JsonParser p(json.str());
+  EXPECT_TRUE(p.valid());
+  EXPECT_EQ(p.count_keys("p50"), 1);
+  EXPECT_EQ(p.count_keys("p95"), 1);
 }
 
 }  // namespace

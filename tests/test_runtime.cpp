@@ -222,6 +222,64 @@ TEST(Runtime, LagToleranceZeroCountsEveryLateRelease) {
   EXPECT_GT(r.max_release_lag_seconds, 0.0);
 }
 
+TEST(Runtime, PacedRunReportsFiringsHighWaterAndObsGauges) {
+  // Under pace_inputs the result still carries exact bookkeeping: per-kernel
+  // firing counts sum to the total, channel high-water marks are sane, and
+  // the paced-release accounting surfaces in the metrics registry alongside
+  // the tracked frames.
+  const int frames = 2;
+  CompiledApp app = compile(apps::histogram_app({16, 12}, 100.0, frames, 8));
+  Graph g = app.graph.clone();
+  obs::Recorder rec;
+  RuntimeOptions opt;
+  opt.pace_inputs = true;
+  opt.recorder = &rec;
+  const RuntimeResult r = run_threaded(g, app.mapping, opt);
+  ASSERT_TRUE(r.completed) << r.diagnostics;
+
+  ASSERT_EQ(r.kernel_firings.size(),
+            static_cast<size_t>(g.kernel_count()));
+  long sum = 0;
+  for (long f : r.kernel_firings) sum += f;
+  EXPECT_EQ(sum, r.total_firings);
+
+  ASSERT_EQ(r.channel_high_water.size(),
+            static_cast<size_t>(g.channel_count()));
+  for (ChannelId c = 0; c < g.channel_count(); ++c) {
+    const long hw = r.channel_high_water[static_cast<size_t>(c)];
+    if (g.channel(c).alive) {
+      EXPECT_GE(hw, 0) << "channel " << c;
+    } else {
+      EXPECT_EQ(hw, -1) << "channel " << c;
+    }
+  }
+
+  obs::MetricsRegistry& m = rec.metrics();
+  EXPECT_EQ(m.counter("runtime.delayed_releases").value(),
+            r.delayed_releases);
+  EXPECT_DOUBLE_EQ(m.gauge("runtime.max_release_lag_seconds").value(),
+                   r.max_release_lag_seconds);
+  // Paced-only gauges expose the schedule the run followed.
+  EXPECT_DOUBLE_EQ(m.gauge("runtime.lag_tolerance_seconds").value(),
+                   opt.lag_tolerance_seconds);
+  EXPECT_DOUBLE_EQ(m.gauge("runtime.pace_slowdown").value(),
+                   opt.pace_slowdown);
+
+  // Both frame boundaries were traced for every frame. Each source emits a
+  // start for every frame it releases (auxiliary one-shot sources add a
+  // frame-0 start), so starts are at least one per frame; sinks close each
+  // frame exactly once.
+  EXPECT_EQ(m.counter("trace.frames").value(), frames);
+  EXPECT_EQ(m.counter("trace.incomplete_frames").value(), 0);
+  long starts = 0, ends = 0;
+  for (const obs::TraceEvent& e : rec.trace().events) {
+    if (e.kind == obs::EventKind::kFrameStart) ++starts;
+    if (e.kind == obs::EventKind::kFrameEnd) ++ends;
+  }
+  EXPECT_GE(starts, frames);
+  EXPECT_EQ(ends, frames);
+}
+
 TEST(Runtime, PacedSlowdownStretchesTheRun) {
   const double rate = 100.0;
   CompiledApp app = compile(apps::histogram_app({12, 8}, rate, 2, 8));
