@@ -127,8 +127,30 @@ class Analyzer {
     for (const OutputPort& p : kn.outputs()) a.memory_words += p.spec.words();
 
     if (any_misaligned) a.resolved = false;
-    if (kn.is_feedback()) a.rate_hz = kn.feedback_spec()->rate_hz;
+    if (kn.is_feedback()) {
+      a.rate_hz = kn.feedback_spec()->rate_hz;
+      check_loop_frame(k, kn);
+    }
     res_.kernel[static_cast<size_t>(k)] = a;
+  }
+
+  /// A feedback kernel re-emits its declared frame, so whatever arrives on
+  /// the loop-carried input must have exactly that extent. A mismatch —
+  /// typically an alignment trim inserted inside the loop — would make the
+  /// kernel wait forever for pixels that never come (or mis-frame extras),
+  /// deadlocking execution. Reject it here, in both strictness modes.
+  void check_loop_frame(KernelId k, const Kernel& kn) const {
+    const auto spec = kn.feedback_spec();
+    if (!spec) return;
+    for (size_t p = 0; p < kn.inputs().size(); ++p) {
+      const StreamInfo* s = input_stream(k, static_cast<int>(p));
+      if (s == nullptr || !s->pixel_space) continue;
+      if (!(s->frame == spec->frame))
+        throw AnalysisError(
+            kn.name() + ": loop-carried input is " + to_string(s->frame) +
+            " but the declared feedback frame is " + to_string(spec->frame) +
+            "; a trimmed or resampled loop cannot converge (paper §III-D)");
+    }
   }
 
   /// Returns false when the method's pixel inputs are misaligned.

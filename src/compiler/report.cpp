@@ -6,6 +6,7 @@
 #include <sstream>
 #include <vector>
 
+#include "fault/plan.h"
 #include "kernels/buffer.h"
 
 namespace bpp {
@@ -220,6 +221,78 @@ void write_rate_validation(const RateValidation& v, std::ostream& os) {
 std::string rate_validation_string(const RateValidation& v) {
   std::ostringstream os;
   write_rate_validation(v, os);
+  return os.str();
+}
+
+void write_fault_binding(const fault::FaultPlan& plan, const Graph& g,
+                         std::ostream& os) {
+  os << "fault plan: seed " << plan.seed << ", " << plan.kernels.size()
+     << " kernel rule(s), " << plan.cores.size() << " core rule(s), "
+     << plan.delivery.size() << " delivery rule(s)\n";
+  std::vector<bool> kernel_hit(plan.kernels.size(), false);
+  std::vector<bool> delivery_hit(plan.delivery.size(), false);
+  for (KernelId k = 0; k < g.kernel_count(); ++k) {
+    const std::string& name = g.kernel(k).name();
+    int krule = -1;
+    for (size_t i = 0; i < plan.kernels.size(); ++i)
+      if (fault::glob_match(plan.kernels[i].match, name)) {
+        krule = static_cast<int>(i);
+        kernel_hit[i] = true;
+        break;
+      }
+    int drule = -1;
+    for (size_t i = 0; i < plan.delivery.size(); ++i)
+      if (fault::glob_match(plan.delivery[i].match, name)) {
+        drule = static_cast<int>(i);
+        delivery_hit[i] = true;
+        break;
+      }
+    if (krule < 0 && drule < 0) continue;
+    os << "  " << std::left << std::setw(28) << name << std::right;
+    if (krule >= 0) {
+      const fault::KernelRule& r = plan.kernels[static_cast<size_t>(krule)];
+      os << " timing '" << r.match << "'";
+      char buf[120];
+      if (r.jitter > 0.0) {
+        std::snprintf(buf, sizeof buf, " jitter %.0f%%", r.jitter * 100.0);
+        os << buf;
+      }
+      if (r.overrun_prob > 0.0) {
+        std::snprintf(buf, sizeof buf, " overrun %.0f%%x%.1f",
+                      r.overrun_prob * 100.0, r.overrun_factor);
+        os << buf;
+      }
+      if (r.stall_prob > 0.0) {
+        std::snprintf(buf, sizeof buf, " stall %.0f%%@%.0fus",
+                      r.stall_prob * 100.0, r.stall_seconds * 1e6);
+        os << buf;
+      }
+    }
+    if (drule >= 0) {
+      const fault::DeliveryRule& r = plan.delivery[static_cast<size_t>(drule)];
+      char buf[120];
+      std::snprintf(buf, sizeof buf, " delivery '%s' %.0f%%@%.0fus",
+                    r.match.c_str(), r.prob * 100.0, r.delay_seconds * 1e6);
+      os << buf;
+    }
+    os << '\n';
+  }
+  for (const fault::CoreRule& r : plan.cores)
+    os << "  core " << r.core << " throttled " << r.throttle << "x\n";
+  for (size_t i = 0; i < plan.kernels.size(); ++i)
+    if (!kernel_hit[i])
+      os << "  WARNING: kernel rule '" << plan.kernels[i].match
+         << "' matches no kernel\n";
+  for (size_t i = 0; i < plan.delivery.size(); ++i)
+    if (!delivery_hit[i])
+      os << "  WARNING: delivery rule '" << plan.delivery[i].match
+         << "' matches no kernel\n";
+}
+
+std::string fault_binding_string(const fault::FaultPlan& plan,
+                                 const Graph& g) {
+  std::ostringstream os;
+  write_fault_binding(plan, g, os);
   return os.str();
 }
 

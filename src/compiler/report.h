@@ -11,6 +11,10 @@
 
 namespace bpp {
 
+namespace fault {
+struct FaultPlan;
+}  // namespace fault
+
 /// Kernel inventory of a compiled app: counts by role.
 struct GraphCensus {
   int total = 0;
@@ -77,5 +81,16 @@ struct RateValidation {
 
 void write_rate_validation(const RateValidation& v, std::ostream& os);
 [[nodiscard]] std::string rate_validation_string(const RateValidation& v);
+
+/// Which fault-plan rules bind to which kernels: for every kernel the first
+/// matching timing and delivery rule (first match wins — the same resolution
+/// fault::Injector::bind uses), plus the core-throttle table and a warning
+/// for rules whose glob matched nothing. Printed by `bpc --faults` so a
+/// plan's globs can be sanity-checked against the compiled (renamed,
+/// replicated, multiplexed) kernel set rather than the source one.
+void write_fault_binding(const fault::FaultPlan& plan, const Graph& g,
+                         std::ostream& os);
+[[nodiscard]] std::string fault_binding_string(const fault::FaultPlan& plan,
+                                               const Graph& g);
 
 }  // namespace bpp

@@ -1,0 +1,84 @@
+#pragma once
+// Injector: turns a FaultPlan into deterministic per-firing perturbations.
+//
+// Determinism is the whole point: both engines must be replayable under a
+// fixed (plan, seed), and the host runtime must be replayable regardless of
+// thread interleaving. The injector therefore draws nothing from shared
+// RNG state — every decision is a pure counter-based hash of
+// (seed, kernel id, firing index, salt). Each kernel is owned by exactly
+// one worker in the runtime, so a per-kernel firing counter is free of
+// races, and the simulator uses the same counters; faulted firing N of
+// kernel K sees the same Perturbation in both engines.
+//
+// Faults perturb *timing only* (scale, stall, delivery delay); values are
+// never touched, so bit-exactness against the scalar reference must hold
+// under any plan (asserted by the fuzz harness and test_random_pipelines).
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/plan.h"
+
+namespace bpp {
+class Graph;
+}
+
+namespace bpp::fault {
+
+/// The perturbation applied to a single firing.
+struct Perturbation {
+  double time_scale = 1.0;      ///< multiply execution time/cycles by this
+  double stall_seconds = 0.0;   ///< stall before the firing runs
+  double delivery_delay_seconds = 0.0;  ///< outputs become visible this late
+
+  [[nodiscard]] bool identity() const {
+    return time_scale == 1.0 && stall_seconds == 0.0 &&
+           delivery_delay_seconds == 0.0;
+  }
+};
+
+/// Deterministic, thread-safe (const after bind) fault source.
+class Injector {
+ public:
+  Injector() = default;
+  Injector(FaultPlan plan, std::uint64_t seed)
+      : plan_(std::move(plan)), seed_(seed) {}
+
+  /// Resolve glob rules against the graph's kernel names and the placement
+  /// (core_of[kernel] = core index, or empty when unplaced: core rules are
+  /// then ignored). Must be called before perturb(); may be re-bound.
+  void bind(const Graph& graph, const std::vector<int>& core_of);
+
+  [[nodiscard]] bool bound() const { return bound_; }
+  [[nodiscard]] bool active() const { return bound_ && !plan_.empty(); }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+  /// Perturbation for firing `firing_index` (0-based, per kernel) of
+  /// kernel `kernel_id`. Pure function of (seed, kernel, firing).
+  [[nodiscard]] Perturbation perturb(int kernel_id,
+                                     std::int64_t firing_index) const;
+
+ private:
+  struct Resolved {
+    const KernelRule* kernel = nullptr;      ///< first matching rule or null
+    const DeliveryRule* delivery = nullptr;  ///< first matching rule or null
+    double core_throttle = 1.0;              ///< from CoreRule on its core
+  };
+
+  /// Uniform double in [0, 1) from the firing-scoped hash stream.
+  [[nodiscard]] double u01(int kernel_id, std::int64_t firing_index,
+                           std::uint64_t salt) const;
+
+  FaultPlan plan_;
+  std::uint64_t seed_ = 0;
+  std::vector<Resolved> resolved_;
+  bool bound_ = false;
+};
+
+/// Busy-wait for `seconds` (host runtime's way of physically realizing a
+/// stall; the simulator adds model time instead). Spins on steady_clock —
+/// sleeping would park the worker and under-represent the induced load.
+void spin_for(double seconds);
+
+}  // namespace bpp::fault

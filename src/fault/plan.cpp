@@ -1,0 +1,178 @@
+#include "fault/plan.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "core/error.h"
+#include "serialize/json.h"
+
+namespace bpp::fault {
+
+namespace {
+
+void check_prob(double p, const char* what) {
+  if (!(p >= 0.0 && p <= 1.0))
+    throw Error(std::string("fault plan: ") + what +
+                " must be a probability in [0, 1]");
+}
+
+void check_nonneg(double v, const char* what) {
+  if (!(v >= 0.0))
+    throw Error(std::string("fault plan: ") + what + " must be >= 0");
+}
+
+void check_factor(double v, const char* what) {
+  if (!(v >= 1.0))
+    throw Error(std::string("fault plan: ") + what + " must be >= 1");
+}
+
+void check_keys(const json::Object& obj,
+                std::initializer_list<const char*> allowed,
+                const char* where) {
+  for (const auto& [key, value] : obj) {
+    bool ok = false;
+    for (const char* a : allowed) ok = ok || key == a;
+    if (!ok)
+      throw Error(std::string("fault plan: unknown key \"") + key + "\" in " +
+                  where);
+  }
+}
+
+KernelRule parse_kernel_rule(const json::Value& v) {
+  check_keys(v.as_object(),
+             {"match", "jitter", "overrun_prob", "overrun_factor",
+              "stall_prob", "stall_seconds"},
+             "kernels[] entry");
+  KernelRule r;
+  r.match = v.string_or("match", "*");
+  r.jitter = v.number_or("jitter", 0.0);
+  r.overrun_prob = v.number_or("overrun_prob", 0.0);
+  r.overrun_factor = v.number_or("overrun_factor", 1.0);
+  r.stall_prob = v.number_or("stall_prob", 0.0);
+  r.stall_seconds = v.number_or("stall_seconds", 0.0);
+  if (!(r.jitter >= 0.0 && r.jitter < 1.0))
+    throw Error("fault plan: jitter must be in [0, 1)");
+  check_prob(r.overrun_prob, "overrun_prob");
+  check_factor(r.overrun_factor, "overrun_factor");
+  check_prob(r.stall_prob, "stall_prob");
+  check_nonneg(r.stall_seconds, "stall_seconds");
+  return r;
+}
+
+CoreRule parse_core_rule(const json::Value& v) {
+  check_keys(v.as_object(), {"core", "throttle"}, "cores[] entry");
+  CoreRule r;
+  const double core = v.number_or("core", 0.0);
+  if (core < 0.0)
+    throw Error("fault plan: core index must be >= 0");
+  r.core = static_cast<int>(core);
+  r.throttle = v.number_or("throttle", 1.0);
+  check_factor(r.throttle, "throttle");
+  return r;
+}
+
+DeliveryRule parse_delivery_rule(const json::Value& v) {
+  check_keys(v.as_object(), {"match", "prob", "delay_seconds"},
+             "delivery[] entry");
+  DeliveryRule r;
+  r.match = v.string_or("match", "*");
+  r.prob = v.number_or("prob", 0.0);
+  r.delay_seconds = v.number_or("delay_seconds", 0.0);
+  check_prob(r.prob, "delivery prob");
+  check_nonneg(r.delay_seconds, "delay_seconds");
+  return r;
+}
+
+}  // namespace
+
+bool glob_match(const std::string& pattern, const std::string& name) {
+  // Iterative glob with single-star backtracking.
+  std::size_t p = 0, n = 0;
+  std::size_t star = std::string::npos, mark = 0;
+  while (n < name.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '?' || pattern[p] == name[n])) {
+      ++p;
+      ++n;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      mark = n;
+    } else if (star != std::string::npos) {
+      p = star + 1;
+      n = ++mark;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+FaultPlan parse_plan(const std::string& json_text) {
+  const json::Value doc = json::parse(json_text);
+  if (!doc.is_object())
+    throw Error("fault plan: top-level JSON value must be an object");
+  check_keys(doc.as_object(), {"seed", "kernels", "cores", "delivery"},
+             "plan");
+
+  FaultPlan plan;
+  const double seed = doc.number_or("seed", 0.0);
+  if (seed < 0.0) throw Error("fault plan: seed must be >= 0");
+  plan.seed = static_cast<std::uint64_t>(seed);
+
+  if (const json::Value* ks = doc.find("kernels"))
+    for (const json::Value& v : ks->as_array())
+      plan.kernels.push_back(parse_kernel_rule(v));
+  if (const json::Value* cs = doc.find("cores"))
+    for (const json::Value& v : cs->as_array())
+      plan.cores.push_back(parse_core_rule(v));
+  if (const json::Value* ds = doc.find("delivery"))
+    for (const json::Value& v : ds->as_array())
+      plan.delivery.push_back(parse_delivery_rule(v));
+  return plan;
+}
+
+FaultPlan load_plan(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("fault plan: cannot open " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_plan(text.str());
+}
+
+std::string write_plan(const FaultPlan& plan) {
+  json::Object doc;
+  doc["seed"] = static_cast<double>(plan.seed);
+  json::Array kernels;
+  for (const KernelRule& r : plan.kernels) {
+    json::Object o;
+    o["match"] = r.match;
+    o["jitter"] = r.jitter;
+    o["overrun_prob"] = r.overrun_prob;
+    o["overrun_factor"] = r.overrun_factor;
+    o["stall_prob"] = r.stall_prob;
+    o["stall_seconds"] = r.stall_seconds;
+    kernels.emplace_back(std::move(o));
+  }
+  if (!kernels.empty()) doc["kernels"] = std::move(kernels);
+  json::Array cores;
+  for (const CoreRule& r : plan.cores) {
+    json::Object o;
+    o["core"] = r.core;
+    o["throttle"] = r.throttle;
+    cores.emplace_back(std::move(o));
+  }
+  if (!cores.empty()) doc["cores"] = std::move(cores);
+  json::Array delivery;
+  for (const DeliveryRule& r : plan.delivery) {
+    json::Object o;
+    o["match"] = r.match;
+    o["prob"] = r.prob;
+    o["delay_seconds"] = r.delay_seconds;
+    delivery.emplace_back(std::move(o));
+  }
+  if (!delivery.empty()) doc["delivery"] = std::move(delivery);
+  return json::write(json::Value(std::move(doc)));
+}
+
+}  // namespace bpp::fault

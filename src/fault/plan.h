@@ -1,0 +1,80 @@
+#pragma once
+// FaultPlan: a serializable description of the perturbations to inject into
+// one run — per-kernel execution-time jitter and overrun distributions,
+// transient kernel stalls, slow-core throttling, and channel-delivery delay.
+// A plan is pure data; src/fault/injector.h turns (plan, seed, graph) into
+// deterministic per-firing perturbations shared by the timing simulator and
+// the host runtime.
+//
+// On disk a plan is JSON (see examples/faults/):
+//   {
+//     "seed": 7,
+//     "kernels": [
+//       {"match": "conv*", "jitter": 0.2,
+//        "overrun_prob": 0.05, "overrun_factor": 8.0,
+//        "stall_prob": 0.01, "stall_seconds": 2e-4}
+//     ],
+//     "cores": [{"core": 1, "throttle": 2.0}],
+//     "delivery": [{"match": "*", "prob": 0.02, "delay_seconds": 5e-5}]
+//   }
+// "match" is a glob over kernel names (* and ? only); the first matching
+// rule wins. "seed" is a default and is overridden by --fault-seed.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bpp::fault {
+
+/// Per-kernel timing perturbation rule.
+struct KernelRule {
+  std::string match = "*";      ///< glob over kernel names; first match wins
+  double jitter = 0.0;          ///< uniform relative jitter: scale in [1-j, 1+j]
+  double overrun_prob = 0.0;    ///< chance a firing overruns
+  double overrun_factor = 1.0;  ///< multiplier applied on overrun
+  double stall_prob = 0.0;      ///< chance a firing stalls before running
+  double stall_seconds = 0.0;   ///< stall duration (wall/model time)
+};
+
+/// Slow-core throttling: every firing placed on `core` runs `throttle`x
+/// slower (models thermal throttling or a busy neighbour).
+struct CoreRule {
+  int core = 0;
+  double throttle = 1.0;
+};
+
+/// Channel-delivery delay: outputs of kernels matching `match` become
+/// visible to consumers `delay_seconds` late with probability `prob`.
+struct DeliveryRule {
+  std::string match = "*";
+  double prob = 0.0;
+  double delay_seconds = 0.0;
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 0;  ///< default seed; --fault-seed overrides
+  std::vector<KernelRule> kernels;
+  std::vector<CoreRule> cores;
+  std::vector<DeliveryRule> delivery;
+
+  [[nodiscard]] bool empty() const {
+    return kernels.empty() && cores.empty() && delivery.empty();
+  }
+};
+
+/// Glob match with '*' and '?' only (no character classes).
+[[nodiscard]] bool glob_match(const std::string& pattern,
+                              const std::string& name);
+
+/// Parse a plan from JSON text. Throws bpp::Error on malformed JSON,
+/// unknown keys, or out-of-range values (probabilities outside [0,1],
+/// negative durations, throttle/overrun factors < 1).
+[[nodiscard]] FaultPlan parse_plan(const std::string& json_text);
+
+/// Load a plan from a file (throws bpp::Error if unreadable).
+[[nodiscard]] FaultPlan load_plan(const std::string& path);
+
+/// Serialize back to JSON. parse_plan(write_plan(p)) reproduces p.
+[[nodiscard]] std::string write_plan(const FaultPlan& plan);
+
+}  // namespace bpp::fault

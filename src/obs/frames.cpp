@@ -82,9 +82,16 @@ FrameReport analyze_frames(const Trace& t) {
   latencies.reserve(r.frames.size());
   for (std::size_t i = 0; i < r.frames.size(); ++i) {
     latencies.push_back(r.frames[i].latency_seconds());
-    if (i > 0)
-      periods.push_back(r.frames[i].end_seconds -
-                        r.frames[i - 1].end_seconds);
+    if (i > 0) {
+      // Shed or incomplete frames leave gaps in the index sequence; a
+      // raw completion delta across a gap would read as one giant period,
+      // so normalize by the index distance actually spanned.
+      const double gap =
+          static_cast<double>(r.frames[i].frame - r.frames[i - 1].frame);
+      periods.push_back(
+          (r.frames[i].end_seconds - r.frames[i - 1].end_seconds) /
+          (gap > 0.0 ? gap : 1.0));
+    }
   }
   r.latency = summarize(std::move(latencies));
   r.period = summarize(std::move(periods));

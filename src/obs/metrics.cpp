@@ -25,6 +25,10 @@ void Histogram::observe(double v) {
   while (v > m &&
          !max_.compare_exchange_weak(m, v, std::memory_order_relaxed)) {
   }
+  double lo = min_.load(std::memory_order_relaxed);
+  while ((lo == kNoMin || v < lo) &&
+         !min_.compare_exchange_weak(lo, v, std::memory_order_relaxed)) {
+  }
 }
 
 double Histogram::bucket_upper(int i) {
@@ -34,8 +38,11 @@ double Histogram::bucket_upper(int i) {
 double Histogram::quantile(double q) const {
   const std::int64_t n = count();
   if (n <= 0) return 0.0;
-  if (q < 0.0) q = 0.0;
-  if (q > 1.0) q = 1.0;
+  // The comparison form rejects NaN too (NaN fails both <= and >=, so a
+  // NaN q would otherwise reach the ceil() cast below — undefined).
+  if (!(q >= 0.0)) q = 0.0;
+  if (q >= 1.0) return max();
+  if (q <= 0.0) return min();
   // 1-based rank of the requested quantile over n observations.
   const std::int64_t rank =
       std::max<std::int64_t>(1, static_cast<std::int64_t>(std::ceil(q * n)));
@@ -48,7 +55,7 @@ double Histogram::quantile(double q) const {
       const double hi = bucket_upper(i);
       const double frac =
           static_cast<double>(rank - cum) / static_cast<double>(b);
-      return std::min(lo + (hi - lo) * frac, max());
+      return std::clamp(lo + (hi - lo) * frac, min(), max());
     }
     cum += b;
   }
@@ -145,8 +152,8 @@ void MetricsRegistry::write_text(std::ostream& os) const {
     os << name << " high_water " << h->value() << '\n';
   for (const auto& [name, h] : histograms_) {
     os << name << " histogram count " << h->count() << " sum " << h->sum()
-       << " p50 " << h->quantile(0.50) << " p95 " << h->quantile(0.95)
-       << " max " << h->max() << " buckets";
+       << " min " << h->min() << " p50 " << h->quantile(0.50) << " p95 "
+       << h->quantile(0.95) << " max " << h->max() << " buckets";
     write_histogram_buckets(os, *h, /*json=*/false);
     os << '\n';
   }
@@ -187,8 +194,9 @@ void MetricsRegistry::write_json(std::ostream& os) const {
     first = false;
     write_json_string(os, name);
     os << ":{\"count\":" << h->count() << ",\"sum\":" << h->sum()
-       << ",\"p50\":" << h->quantile(0.50) << ",\"p95\":" << h->quantile(0.95)
-       << ",\"max\":" << h->max() << ",\"buckets\":[";
+       << ",\"min\":" << h->min() << ",\"p50\":" << h->quantile(0.50)
+       << ",\"p95\":" << h->quantile(0.95) << ",\"max\":" << h->max()
+       << ",\"buckets\":[";
     write_histogram_buckets(os, *h, /*json=*/true);
     os << "]}";
   }

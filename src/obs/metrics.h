@@ -76,6 +76,11 @@ class Histogram {
   [[nodiscard]] double max() const {
     return max_.load(std::memory_order_relaxed);
   }
+  /// Smallest observed value (0 until the first observation).
+  [[nodiscard]] double min() const {
+    const double m = min_.load(std::memory_order_relaxed);
+    return m == kNoMin ? 0.0 : m;
+  }
   [[nodiscard]] std::int64_t bucket(int i) const {
     return buckets_[static_cast<std::size_t>(i)].load(
         std::memory_order_relaxed);
@@ -84,15 +89,20 @@ class Histogram {
   [[nodiscard]] static double bucket_upper(int i);
   /// Approximate quantile (q in [0, 1]) reconstructed from the log2
   /// buckets: linear interpolation inside the covering bucket, clamped to
-  /// the exact observed maximum. Resolution is the bucket width (a factor
-  /// of 2), which is plenty for latency summaries.
+  /// the exact observed extremes — quantile(0) is the observed minimum,
+  /// quantile(1) the observed maximum, and an empty histogram yields 0 for
+  /// every q. NaN q is treated as 0. Resolution between the extremes is
+  /// the bucket width (a factor of 2), plenty for latency summaries.
   [[nodiscard]] double quantile(double q) const;
 
  private:
+  static constexpr double kNoMin = -1.0;  ///< sentinel: nothing observed
+
   std::atomic<std::int64_t> buckets_[kBuckets]{};
   std::atomic<std::int64_t> count_{0};
   std::atomic<double> sum_{0.0};
   std::atomic<double> max_{0.0};
+  std::atomic<double> min_{kNoMin};
 };
 
 class MetricsRegistry {

@@ -48,6 +48,9 @@ const char* event_kind_name(EventKind k) {
     case EventKind::kChannelPop: return "pop";
     case EventKind::kFrameStart: return "frame_start";
     case EventKind::kFrameEnd: return "frame_end";
+    case EventKind::kFaultInject: return "fault";
+    case EventKind::kFrameShed: return "shed";
+    case EventKind::kShedRecover: return "recover";
   }
   return "?";
 }
@@ -127,6 +130,25 @@ void write_chrome_trace(const Trace& t, std::ostream& os) {
            << ",\"ts\":" << us(e.t0) << ",\"cat\":\""
            << event_kind_name(e.kind) << "\",\"name\":";
         write_escaped(os, std::string(event_kind_name(e.kind)) + " " +
+                              std::to_string(e.method));
+        os << ",\"args\":{\"frame\":" << e.method
+           << ",\"kernel\":" << e.kernel << "}}";
+        break;
+      case EventKind::kFaultInject:
+        os << "{\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":" << tid
+           << ",\"ts\":" << us(e.t0) << ",\"cat\":\"fault\",\"name\":";
+        write_escaped(os, "fault " + t.kernel_name(e.kernel));
+        os << ",\"args\":{\"kernel\":" << e.kernel
+           << ",\"time_scale\":" << e.aux0
+           << ",\"stall_seconds\":" << e.aux1
+           << ",\"delivery_delay_seconds\":" << e.aux2 << "}}";
+        break;
+      case EventKind::kFrameShed:
+      case EventKind::kShedRecover:
+        os << "{\"ph\":\"i\",\"s\":\"g\",\"pid\":0,\"tid\":" << tid
+           << ",\"ts\":" << us(e.t0) << ",\"cat\":\""
+           << event_kind_name(e.kind) << "\",\"name\":";
+        write_escaped(os, std::string(event_kind_name(e.kind)) + " frame " +
                               std::to_string(e.method));
         os << ",\"args\":{\"frame\":" << e.method
            << ",\"kernel\":" << e.kernel << "}}";

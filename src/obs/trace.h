@@ -63,6 +63,17 @@ enum class EventKind : std::uint8_t {
   /// Instant: a sink kernel finished consuming a frame's end-of-frame
   /// token. `kernel` is the sink, `method` carries the frame index.
   kFrameEnd,
+  /// Instant: the fault injector perturbed this firing. `kernel` is the
+  /// perturbed kernel, aux0 = time scale, aux1 = stall seconds,
+  /// aux2 = delivery delay seconds.
+  kFaultInject,
+  /// Instant: a source started dropping a whole frame (graceful
+  /// degradation). `kernel` is the source, `method` the shed frame index.
+  kFrameShed,
+  /// Instant: the shed finished — the frame's end-of-frame token was
+  /// dropped and the source is back at a frame boundary. `kernel` is the
+  /// source, `method` the shed frame index.
+  kShedRecover,
 };
 
 [[nodiscard]] const char* event_kind_name(EventKind k);

@@ -13,6 +13,8 @@
 #include "core/error.h"
 #include "core/firing.h"
 #include "core/spsc_ring.h"
+#include "fault/degradation.h"
+#include "fault/injector.h"
 #include "obs/recorder.h"
 
 namespace bpp {
@@ -184,6 +186,33 @@ class ThreadedRun {
     kernel_fired_.assign(static_cast<size_t>(n), 0);
     src_at_frame_start_.assign(static_cast<size_t>(n), 1);
     src_frame_idx_.assign(static_cast<size_t>(n), 0);
+    src_dropping_.assign(static_cast<size_t>(n), 0);
+
+    // Fault injection: copy + re-bind so the caller's injector is reusable
+    // across runs of different graphs.
+    if (opt.injector != nullptr) {
+      inj_ = *opt.injector;
+      inj_.bind(g, mapping.core_of);
+      faults_ = inj_.active();
+    }
+
+    // Graceful degradation: sinks report completions, and the first
+    // rate-driven finite source owns shed claims (a deterministic choice;
+    // shedding with several independent rate-driven sources would need a
+    // cross-source frame barrier this runtime does not model).
+    ctrl_ = opt.degradation;
+    if (ctrl_ != nullptr) {
+      ctrl_->attach_sinks(total_sinks_);
+      for (KernelId k = 0; k < n; ++k) {
+        Kernel& kn = g.kernel(k);
+        if (!kn.is_source()) continue;
+        auto spec = kn.source_spec(0);
+        if (spec && spec->rate_hz > 0.0 && spec->frames > 0) {
+          shed_source_ = k;
+          break;
+        }
+      }
+    }
     if (obs::kCompiledIn && opt.recorder) {
       rec_ = opt.recorder;
       std::vector<std::string> names;
@@ -279,6 +308,8 @@ class ThreadedRun {
     res.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
     res.total_firings = firings_.load();
+    res.faults_injected = faults_total_;  // merged by workers on exit
+    if (ctrl_ != nullptr) res.frames_shed = ctrl_->frames_shed();
     res.delayed_releases = delayed_.load();
     res.max_release_lag_seconds = max_lag_.load();
     res.kernel_firings = kernel_fired_;  // merged by workers on exit
@@ -295,6 +326,9 @@ class ThreadedRun {
       m.counter("runtime.delayed_releases").add(res.delayed_releases);
       m.gauge("runtime.max_release_lag_seconds")
           .set(res.max_release_lag_seconds);
+      if (faults_) m.counter("runtime.faults_injected").add(res.faults_injected);
+      if (ctrl_ != nullptr)
+        m.counter("runtime.frames_shed").add(res.frames_shed);
       if (opt_.pace_inputs) {
         m.gauge("runtime.lag_tolerance_seconds")
             .set(opt_.lag_tolerance_seconds);
@@ -332,6 +366,8 @@ class ThreadedRun {
     /// Worker-local per-kernel firing counts, merged into kernel_fired_ at
     /// exit (keeps the hot loop off shared cache lines).
     std::vector<long> fired;
+    /// Worker-local count of perturbed firings, merged at exit.
+    long faults = 0;
   };
 
   RtChannel& chan(ChannelId c) { return *channels_[static_cast<size_t>(c)]; }
@@ -454,12 +490,35 @@ class ThreadedRun {
   /// Source loop: drain the staged emission then poll for more. Exits when
   /// exhausted (never re-armed), back-pressured (producer_blocked armed),
   /// or — paced — not due yet (timed re-arm via `timed`).
+  /// Instant event helper for frame/shed boundaries on a source.
+  void emit_frame_instant(obs::EventKind kind, KernelId k, Worker& w,
+                          std::int32_t frame) {
+    if (!obs::kCompiledIn || !w.ring) return;
+    obs::TraceEvent e;
+    e.kind = kind;
+    e.t0 = e.t1 = elapsed();
+    e.kernel = k;
+    e.core = w.core;
+    e.method = frame;
+    w.ring->emit(e);
+  }
+
   void run_source(KernelId k, Kernel& kn, Worker& w) {
     auto& next = src_next_[static_cast<size_t>(k)];
+    const bool sheddable = ctrl_ != nullptr && k == shed_source_;
     while (true) {
       if (next.has_value()) {
-        const auto& outs =
-            outs_of_[static_cast<size_t>(k)][static_cast<size_t>(next->port)];
+        // Inspect before the item is moved. Frame bookkeeping runs
+        // unconditionally — the shed state machine needs it even with
+        // tracing off.
+        const bool frame_data = is_data(next->item);
+        const bool frame_eof =
+            !frame_data && as_token(next->item).cls == tok::kEndOfFrame;
+        const bool frame_eos =
+            !frame_data && as_token(next->item).cls == tok::kEndOfStream;
+
+        // Pacing is honored whether or not the item will be dropped: the
+        // camera does not pause while we shed.
         if (opt_.pace_inputs) {
           const double release = next->release_seconds * opt_.pace_slowdown;
           if (elapsed() + 1e-9 < release) {
@@ -467,43 +526,60 @@ class ThreadedRun {
             w.timed[static_cast<size_t>(k)] = release;  // due later
             return;
           }
-          if (!has_space_or_arm(outs)) return;
-          const double lag = elapsed() - release;
-          const bool late = lag > opt_.lag_tolerance_seconds;
-          if (late) {
-            delayed_.fetch_add(1, std::memory_order_relaxed);
-            update_max_lag(lag);
-          }
-          if (obs::kCompiledIn && w.ring) {
-            obs::TraceEvent e;
-            e.kind = obs::EventKind::kSourceRelease;
-            e.t0 = e.t1 = elapsed();
-            e.kernel = k;
-            e.core = w.core;
-            e.aux0 = static_cast<float>(lag > 0.0 ? lag : 0.0);
-            e.aux1 = late ? 1.0f : 0.0f;
-            w.ring->emit(e);
-          }
-        } else if (!has_space_or_arm(outs)) {
-          return;
         }
-        // Frame tracking (inspect before the item is moved): the first
-        // pixel after an end-of-frame token opens the next frame.
-        const bool frame_data = is_data(next->item);
-        const bool frame_eof =
-            !frame_data && as_token(next->item).cls == tok::kEndOfFrame;
-        push_all(outs, std::move(next->item), w);
-        next.reset();
-        if (obs::kCompiledIn && w.ring) {
+
+        // Frame boundary: claim an armed shed request and drop the whole
+        // upcoming frame (never mid-frame, never end-of-stream).
+        if (frame_data && src_at_frame_start_[static_cast<size_t>(k)] &&
+            !src_dropping_[static_cast<size_t>(k)] && sheddable &&
+            ctrl_->should_shed()) {
+          src_dropping_[static_cast<size_t>(k)] = 1;
+          emit_frame_instant(obs::EventKind::kFrameShed, k, w,
+                             src_frame_idx_[static_cast<size_t>(k)]);
+        }
+
+        if (src_dropping_[static_cast<size_t>(k)] && !frame_eos) {
+          // Dropping: consume without pushing.
+          if (frame_data && src_at_frame_start_[static_cast<size_t>(k)])
+            src_at_frame_start_[static_cast<size_t>(k)] = 0;
+          next.reset();
+          if (frame_eof) {
+            const std::int32_t shed = src_frame_idx_[static_cast<size_t>(k)];
+            ++src_frame_idx_[static_cast<size_t>(k)];
+            src_at_frame_start_[static_cast<size_t>(k)] = 1;
+            src_dropping_[static_cast<size_t>(k)] = 0;
+            emit_frame_instant(obs::EventKind::kShedRecover, k, w, shed);
+            ctrl_->on_shed_complete(shed);
+          }
+        } else {
+          const auto& outs = outs_of_[static_cast<size_t>(k)]
+                                     [static_cast<size_t>(next->port)];
+          if (!has_space_or_arm(outs)) return;
+          if (opt_.pace_inputs) {
+            const double release = next->release_seconds * opt_.pace_slowdown;
+            const double lag = elapsed() - release;
+            const bool late = lag > opt_.lag_tolerance_seconds;
+            if (late) {
+              delayed_.fetch_add(1, std::memory_order_relaxed);
+              update_max_lag(lag);
+            }
+            if (obs::kCompiledIn && w.ring) {
+              obs::TraceEvent e;
+              e.kind = obs::EventKind::kSourceRelease;
+              e.t0 = e.t1 = elapsed();
+              e.kernel = k;
+              e.core = w.core;
+              e.aux0 = static_cast<float>(lag > 0.0 ? lag : 0.0);
+              e.aux1 = late ? 1.0f : 0.0f;
+              w.ring->emit(e);
+            }
+          }
+          push_all(outs, std::move(next->item), w);
+          next.reset();
           if (frame_data && src_at_frame_start_[static_cast<size_t>(k)]) {
             src_at_frame_start_[static_cast<size_t>(k)] = 0;
-            obs::TraceEvent e;
-            e.kind = obs::EventKind::kFrameStart;
-            e.t0 = e.t1 = elapsed();
-            e.kernel = k;
-            e.core = w.core;
-            e.method = src_frame_idx_[static_cast<size_t>(k)];
-            w.ring->emit(e);
+            emit_frame_instant(obs::EventKind::kFrameStart, k, w,
+                               src_frame_idx_[static_cast<size_t>(k)]);
           } else if (frame_eof) {
             ++src_frame_idx_[static_cast<size_t>(k)];
             src_at_frame_start_[static_cast<size_t>(k)] = 1;
@@ -554,6 +630,28 @@ class ThreadedRun {
       const bool rec = obs::kCompiledIn && w.ring != nullptr;
       const double t_begin = rec ? elapsed() : 0.0;
 
+      // Fault injection, keyed on the kernel's firing index — w.fired[k]
+      // counts exactly that, and only this worker fires k, so the key is
+      // interleaving-independent (same seed -> same perturbed firings).
+      fault::Perturbation pert;
+      if (faults_) {
+        pert = inj_.perturb(k, w.fired[static_cast<size_t>(k)]);
+        if (!pert.identity()) {
+          ++w.faults;
+          if (rec) {
+            obs::TraceEvent e;
+            e.kind = obs::EventKind::kFaultInject;
+            e.t0 = e.t1 = elapsed();
+            e.kernel = k;
+            e.core = w.core;
+            e.aux0 = static_cast<float>(pert.time_scale);
+            e.aux1 = static_cast<float>(pert.stall_seconds);
+            e.aux2 = static_cast<float>(pert.delivery_delay_seconds);
+            w.ring->emit(e);
+          }
+        }
+      }
+
       ExecContext& ctx = w.ctx;
       ctx.reset();
       w.popped.clear();
@@ -581,7 +679,9 @@ class ThreadedRun {
       for (size_t i = 0; i < d.pop_inputs.size(); ++i)
         ctx.bind_input(d.pop_inputs[i], &w.popped[i]);
 
-      const double t_read = rec ? elapsed() : 0.0;
+      const double t_read = rec || faults_ ? elapsed() : 0.0;
+      if (pert.stall_seconds > 0.0) fault::spin_for(pert.stall_seconds);
+      const double t_run = pert.stall_seconds > 0.0 ? elapsed() : t_read;
       if (d.kind == FireDecision::Kind::Method) {
         if (d.token >= 0) ctx.set_trigger_token(d.token, d.payload);
         kn.invoke(d.method, ctx);
@@ -589,6 +689,14 @@ class ThreadedRun {
         for (int o : d.forward_outputs)
           ctx.emit(o, ControlToken{d.token, d.payload});
       }
+      // Overrun/throttle: stretch the firing by spinning for the induced
+      // extra time (wall clock cannot run a kernel faster, so time scales
+      // below 1 are a no-op here; the simulator honors them). Delivery
+      // delay spins between the firing and the publication of its outputs.
+      if (pert.time_scale > 1.0)
+        fault::spin_for((elapsed() - t_run) * (pert.time_scale - 1.0));
+      if (pert.delivery_delay_seconds > 0.0)
+        fault::spin_for(pert.delivery_delay_seconds);
       for (Emission& e : ctx.emissions())
         pending_[static_cast<size_t>(k)].push_back(std::move(e));
       firings_.fetch_add(1, std::memory_order_relaxed);
@@ -607,17 +715,23 @@ class ThreadedRun {
       }
 
       // Frame tracking: a sink consuming an end-of-frame token closes the
-      // frame whose index rides in the token payload.
-      if (rec && is_sink_[static_cast<size_t>(k)]) {
+      // frame whose index rides in the token payload. The degradation
+      // controller gets the same completions as miss feedback.
+      if ((rec || ctrl_ != nullptr) && is_sink_[static_cast<size_t>(k)]) {
         for (const Item& it : w.popped) {
           if (!is_token(it) || as_token(it).cls != tok::kEndOfFrame) continue;
-          obs::TraceEvent e;
-          e.kind = obs::EventKind::kFrameEnd;
-          e.t0 = e.t1 = elapsed();
-          e.kernel = k;
-          e.core = w.core;
-          e.method = as_token(it).payload;
-          w.ring->emit(e);
+          const double t_end = elapsed();
+          if (rec) {
+            obs::TraceEvent e;
+            e.kind = obs::EventKind::kFrameEnd;
+            e.t0 = e.t1 = t_end;
+            e.kernel = k;
+            e.core = w.core;
+            e.method = as_token(it).payload;
+            w.ring->emit(e);
+          }
+          if (ctrl_ != nullptr)
+            ctrl_->on_frame_end(as_token(it).payload, t_end);
         }
       }
 
@@ -713,6 +827,7 @@ class ThreadedRun {
     std::lock_guard<std::mutex> lk(merge_mu_);
     for (size_t k = 0; k < w.fired.size(); ++k)
       kernel_fired_[k] += w.fired[k];
+    faults_total_ += w.faults;
   }
 
   Graph& g_;
@@ -733,6 +848,13 @@ class ThreadedRun {
   /// whether the next data item opens a frame, and that frame's index.
   std::vector<char> src_at_frame_start_;
   std::vector<std::int32_t> src_frame_idx_;
+  /// Per-source shed state: mid-drop of the current frame.
+  std::vector<char> src_dropping_;
+  /// Fault injection (bound copy; see ctor) and degradation wiring.
+  fault::Injector inj_;
+  bool faults_ = false;
+  fault::DegradationController* ctrl_ = nullptr;
+  KernelId shed_source_ = -1;
   std::unique_ptr<std::atomic<bool>[]> sink_done_;
   std::unique_ptr<ReadyFlag[]> ready_;  // per-kernel, cache-line padded
   std::unique_ptr<ReadyNode[]> nodes_;  // per-kernel ready-queue nodes
@@ -746,6 +868,7 @@ class ThreadedRun {
 
   std::mutex merge_mu_;
   std::vector<long> kernel_fired_;  // guarded by merge_mu_ until join
+  long faults_total_ = 0;           // guarded by merge_mu_ until join
 
   // Hot counters, each on its own line so workers do not false-share.
   alignas(kCacheLineSize) std::atomic<bool> stop_{false};

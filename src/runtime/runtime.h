@@ -27,6 +27,11 @@ namespace obs {
 class Recorder;
 }  // namespace obs
 
+namespace fault {
+class DegradationController;
+class Injector;
+}  // namespace fault
+
 struct RuntimeOptions {
   /// Items per channel queue. Larger than the simulator's model because
   /// host threads do not honor the modeled timing; this only provides
@@ -52,6 +57,23 @@ struct RuntimeOptions {
   /// and paced source releases into per-core lock-free event rings on the
   /// wall clock, and the run populates the recorder's metrics registry.
   obs::Recorder* recorder = nullptr;
+  /// Fault injection (see fault/injector.h). Null = no faults. The run
+  /// copies and re-binds the injector against this graph/placement and
+  /// perturbs firings deterministically — keyed on per-kernel firing
+  /// indices, which are interleaving-independent because every kernel is
+  /// owned by exactly one worker. Stalls and overruns are realized by
+  /// busy-spinning (they occupy the core like a real overrun); delivery
+  /// delay spins between a firing and the publication of its outputs.
+  /// Faults never touch values, only time.
+  const fault::Injector* injector = nullptr;
+  /// Graceful degradation (see fault/degradation.h). Null = off. Sinks
+  /// feed frame completions to the controller; when a completion misses
+  /// its deadline the controller arms a shed request, and the first
+  /// rate-driven source claims it at its next frame boundary, dropping
+  /// that entire upcoming frame (data + end-of-line + end-of-frame, never
+  /// end-of-stream, never mid-frame). Paced sources keep honoring release
+  /// times while dropping — the camera does not pause.
+  fault::DegradationController* degradation = nullptr;
 };
 
 struct RuntimeResult {
@@ -59,6 +81,11 @@ struct RuntimeResult {
   bool watchdog_fired = false;
   double wall_seconds = 0.0;
   long total_firings = 0;
+  /// Firings the fault injector perturbed (0 without an injector).
+  long faults_injected = 0;
+  /// Whole frames dropped at source frame boundaries (0 without a
+  /// degradation controller).
+  long frames_shed = 0;
   /// With pace_inputs: source releases that ran late, and the worst lag.
   long delayed_releases = 0;
   double max_release_lag_seconds = 0.0;

@@ -1,0 +1,307 @@
+#include "serialize/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace bpp::json {
+
+namespace {
+
+[[noreturn]] void kind_error(const char* want, Kind got) {
+  const char* names[] = {"null", "bool", "number", "string", "array",
+                         "object"};
+  throw Error(std::string("json: expected ") + want + ", have " +
+              names[static_cast<int>(got)]);
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Value document() {
+    Value v = value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    std::size_t line = 1, col = 1;
+    for (std::size_t i = 0; i < pos_ && i < s_.size(); ++i) {
+      if (s_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    std::ostringstream os;
+    os << "json: " << why << " at line " << line << ", column " << col;
+    throw Error(os.str());
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  [[nodiscard]] char peek() {
+    skip_ws();
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool literal(const char* word) {
+    const std::size_t n = std::string(word).size();
+    if (s_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Value value() {
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return Value(string());
+      case 't':
+        if (literal("true")) return Value(true);
+        fail("invalid literal");
+      case 'f':
+        if (literal("false")) return Value(false);
+        fail("invalid literal");
+      case 'n':
+        if (literal("null")) return Value();
+        fail("invalid literal");
+      default: return number();
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) fail("unterminated escape");
+        const char e = s_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          default: fail("unsupported escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  Value number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    bool digits = false;
+    auto eat_digits = [&] {
+      while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+        digits = true;
+      }
+    };
+    eat_digits();
+    if (pos_ < s_.size() && s_[pos_] == '.') {
+      ++pos_;
+      eat_digits();
+    }
+    if (digits && pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+      const bool had = digits;
+      digits = false;
+      eat_digits();
+      digits = digits && had;
+    }
+    if (!digits) fail("invalid number");
+    return Value(std::strtod(s_.c_str() + start, nullptr));
+  }
+
+  Value array() {
+    expect('[');
+    Array out;
+    if (peek() == ']') {
+      ++pos_;
+      return Value(std::move(out));
+    }
+    while (true) {
+      out.push_back(value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return Value(std::move(out));
+      if (c != ',') fail("expected ',' or ']'");
+    }
+  }
+
+  Value object() {
+    expect('{');
+    Object out;
+    if (peek() == '}') {
+      ++pos_;
+      return Value(std::move(out));
+    }
+    while (true) {
+      skip_ws();
+      std::string key = string();
+      expect(':');
+      out[std::move(key)] = value();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return Value(std::move(out));
+      if (c != ',') fail("expected ',' or '}'");
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+void write_value(const Value& v, std::string& out) {
+  switch (v.kind()) {
+    case Kind::Null:
+      out += "null";
+      break;
+    case Kind::Bool:
+      out += v.as_bool() ? "true" : "false";
+      break;
+    case Kind::Number: {
+      const double n = v.as_number();
+      if (!std::isfinite(n)) {
+        out += "null";  // JSON has no inf/nan
+        break;
+      }
+      char buf[40];
+      if (n == std::floor(n) && std::fabs(n) < 1e15)
+        std::snprintf(buf, sizeof buf, "%.0f", n);
+      else
+        std::snprintf(buf, sizeof buf, "%.17g", n);
+      out += buf;
+      break;
+    }
+    case Kind::String: {
+      out += '"';
+      for (const char c : v.as_string()) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+              char buf[8];
+              std::snprintf(buf, sizeof buf, "\\u%04x", c);
+              out += buf;
+            } else {
+              out += c;
+            }
+        }
+      }
+      out += '"';
+      break;
+    }
+    case Kind::Array: {
+      out += '[';
+      bool first = true;
+      for (const Value& e : v.as_array()) {
+        if (!first) out += ',';
+        first = false;
+        write_value(e, out);
+      }
+      out += ']';
+      break;
+    }
+    case Kind::Object: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, e] : v.as_object()) {
+        if (!first) out += ',';
+        first = false;
+        write_value(Value(k), out);
+        out += ':';
+        write_value(e, out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+bool Value::as_bool() const {
+  if (kind_ != Kind::Bool) kind_error("bool", kind_);
+  return bool_;
+}
+
+double Value::as_number() const {
+  if (kind_ != Kind::Number) kind_error("number", kind_);
+  return num_;
+}
+
+const std::string& Value::as_string() const {
+  if (kind_ != Kind::String) kind_error("string", kind_);
+  return str_;
+}
+
+const Array& Value::as_array() const {
+  if (kind_ != Kind::Array) kind_error("array", kind_);
+  return *arr_;
+}
+
+const Object& Value::as_object() const {
+  if (kind_ != Kind::Object) kind_error("object", kind_);
+  return *obj_;
+}
+
+const Value* Value::find(const std::string& key) const {
+  if (kind_ != Kind::Object) return nullptr;
+  const auto it = obj_->find(key);
+  return it == obj_->end() ? nullptr : &it->second;
+}
+
+double Value::number_or(const std::string& key, double dflt) const {
+  const Value* v = find(key);
+  return v ? v->as_number() : dflt;
+}
+
+std::string Value::string_or(const std::string& key,
+                             const std::string& dflt) const {
+  const Value* v = find(key);
+  return v ? v->as_string() : dflt;
+}
+
+Value parse(const std::string& text) { return Parser(text).document(); }
+
+std::string write(const Value& v) {
+  std::string out;
+  write_value(v, out);
+  return out;
+}
+
+}  // namespace bpp::json

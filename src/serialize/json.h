@@ -1,0 +1,76 @@
+#pragma once
+// Minimal JSON document model: parse and write the subset of JSON the
+// project's serialized artifacts use (objects, arrays, numbers, strings,
+// booleans, null). Exists so configuration files like fault plans
+// (src/fault/plan.h) can be authored as ordinary .json without pulling in
+// an external dependency; it is not a general-purpose JSON library (no
+// \uXXXX escapes beyond pass-through, numbers parsed as double).
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/error.h"
+
+namespace bpp::json {
+
+class Value;
+using Array = std::vector<Value>;
+/// std::map keeps object keys sorted, so writing is deterministic.
+using Object = std::map<std::string, Value>;
+
+enum class Kind { Null, Bool, Number, String, Array, Object };
+
+class Value {
+ public:
+  Value() = default;
+  Value(bool b) : kind_(Kind::Bool), bool_(b) {}  // NOLINT
+  Value(double n) : kind_(Kind::Number), num_(n) {}  // NOLINT
+  Value(int n) : kind_(Kind::Number), num_(n) {}  // NOLINT
+  Value(long n) : kind_(Kind::Number), num_(static_cast<double>(n)) {}  // NOLINT
+  Value(const char* s) : kind_(Kind::String), str_(s) {}  // NOLINT
+  Value(std::string s) : kind_(Kind::String), str_(std::move(s)) {}  // NOLINT
+  Value(Array a) : kind_(Kind::Array),  // NOLINT
+                   arr_(std::make_shared<Array>(std::move(a))) {}
+  Value(Object o) : kind_(Kind::Object),  // NOLINT
+                    obj_(std::make_shared<Object>(std::move(o))) {}
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::Null; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::Number; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::String; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::Array; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::Object; }
+
+  /// Typed accessors throw Error when the value has a different kind.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  [[nodiscard]] const Value* find(const std::string& key) const;
+  /// Member with a default for scalars.
+  [[nodiscard]] double number_or(const std::string& key, double dflt) const;
+  [[nodiscard]] std::string string_or(const std::string& key,
+                                      const std::string& dflt) const;
+
+ private:
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::shared_ptr<Array> arr_;
+  std::shared_ptr<Object> obj_;
+};
+
+/// Parse one JSON document (throws bpp::Error with position info on
+/// malformed input; trailing garbage after the document is an error).
+[[nodiscard]] Value parse(const std::string& text);
+
+/// Serialize with deterministic member order (objects are sorted maps).
+[[nodiscard]] std::string write(const Value& v);
+
+}  // namespace bpp::json

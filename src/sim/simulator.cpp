@@ -12,6 +12,7 @@
 
 #include "core/error.h"
 #include "core/firing.h"
+#include "fault/injector.h"
 #include "obs/recorder.h"
 
 namespace bpp {
@@ -72,6 +73,8 @@ struct SourceState {
   /// Frame tracking: the next data release starts a new frame.
   bool at_frame_start = true;
   std::int64_t frame_idx = 0;
+  /// Items released so far (the injector's firing index for sources).
+  std::int64_t released = 0;
 };
 
 struct CoreState {
@@ -157,6 +160,14 @@ class Sim {
       detail_ = opt.recorder ? ring_ : nullptr;
       if (detail_) chan_hw_.assign(channels_.size(), 0);
     }
+
+    // Fault injection: copy + re-bind so the caller's injector can be
+    // reused across runs of different graphs.
+    if (opt.injector != nullptr) {
+      inj_ = *opt.injector;
+      inj_.bind(g, core_of_);
+      faults_ = inj_.active();
+    }
   }
 
   SimResult run() {
@@ -206,6 +217,12 @@ class Sim {
           return std::move(res_);
         }
       }
+      // Delivery-delayed items become visible at instants no core/source
+      // wake covers; queue them so consumers retry then (after settling —
+      // a future avail cannot enable anything now).
+      for (const double t : pending_wakes_)
+        if (t > now + 1e-15) wake.push(t);
+      pending_wakes_.clear();
     }
     finish(now);
     return std::move(res_);
@@ -236,9 +253,24 @@ class Sim {
       ++res_.delayed_releases;
       res_.max_input_lag_seconds = std::max(res_.max_input_lag_seconds, lag);
     }
+    // Sources only feel delivery faults (a camera cannot run slow, but its
+    // link can): matching items land in the channel late.
+    double avail = now;
+    if (faults_) {
+      const fault::Perturbation pert = inj_.perturb(s.id, s.released);
+      if (!pert.identity()) {
+        ++res_.faults_injected;
+        record_fault(s.id, -1, now, pert);
+      }
+      if (pert.delivery_delay_seconds > 0.0) {
+        avail = now + pert.delivery_delay_seconds;
+        pending_wakes_.push_back(avail);
+      }
+    }
+    ++s.released;
     for (ChannelId c : outs) {
       channels_[static_cast<size_t>(c)].q.push_back(
-          TimedItem{s.next.item, now, item_words(s.next.item)});
+          TimedItem{s.next.item, avail, item_words(s.next.item)});
       record_push(c, now);
     }
     if (obs::kCompiledIn && detail_) {
@@ -290,6 +322,21 @@ class Sim {
     e.channel = c;
     e.core = -1;
     e.aux0 = static_cast<float>(occ);
+    detail_->emit(e);
+  }
+
+  /// Instant marking a perturbed firing/release (external recorder only).
+  void record_fault(KernelId k, int core, double now,
+                    const fault::Perturbation& p) {
+    if (!obs::kCompiledIn || !detail_) return;
+    obs::TraceEvent e;
+    e.kind = obs::EventKind::kFaultInject;
+    e.t0 = e.t1 = now;
+    e.kernel = k;
+    e.core = core;
+    e.aux0 = static_cast<float>(p.time_scale);
+    e.aux1 = static_cast<float>(p.stall_seconds);
+    e.aux2 = static_cast<float>(p.delivery_delay_seconds);
     detail_->emit(e);
   }
 
@@ -428,17 +475,38 @@ class Sim {
       const long write_words = drain_pending(k, now);  // retimed below
       const double cycles =
           base_cycles + write_words * opt_.machine.write_cost;
-      const double dur = cycles / opt_.machine.clock_hz;
-      retime_recent(k, now + dur);
+
+      // Fault injection: jitter/overrun/throttle scale the firing, stalls
+      // prepend dead time, delivery delay pushes output availability past
+      // the firing's end. Keyed on the kernel's firing index, so the host
+      // runtime perturbs the same firings.
+      fault::Perturbation pert;
+      double fault_cycles = 0.0;
+      if (faults_) {
+        pert = inj_.perturb(
+            k, res_.kernel_activity[static_cast<size_t>(k)].first);
+        if (!pert.identity()) {
+          ++res_.faults_injected;
+          record_fault(k, c, now, pert);
+        }
+        fault_cycles = cycles * (pert.time_scale - 1.0) +
+                       pert.stall_seconds * opt_.machine.clock_hz;
+      }
+      const double dur = (cycles + fault_cycles) / opt_.machine.clock_hz;
+      retime_recent(k, now + dur + pert.delivery_delay_seconds);
+      if (pert.delivery_delay_seconds > 0.0)
+        pending_wakes_.push_back(now + dur + pert.delivery_delay_seconds);
 
       stats.switch_cycles += opt_.machine.context_switch;
       stats.read_cycles += read_words * opt_.machine.read_cost;
-      stats.run_cycles += static_cast<double>(run_cycles);
+      // Induced overrun/stall time counts as run: it occupies the core.
+      stats.run_cycles += static_cast<double>(run_cycles) + fault_cycles;
       stats.write_cycles += write_words * opt_.machine.write_cost;
       ++stats.firings;
       ++res_.total_firings;
       res_.kernel_activity[static_cast<size_t>(k)].first += 1;
-      res_.kernel_activity[static_cast<size_t>(k)].second += cycles;
+      res_.kernel_activity[static_cast<size_t>(k)].second +=
+          cycles + fault_cycles;
       if (st.is_sink)
         for (const Item& it : popped)
           if (is_token(it) && as_token(it).cls == tok::kEndOfFrame) {
@@ -524,6 +592,7 @@ class Sim {
       m.counter("sim.delayed_releases").add(res_.delayed_releases);
       m.gauge("sim.max_input_lag_seconds").set(res_.max_input_lag_seconds);
       m.gauge("sim.realtime_met").set(res_.realtime_met ? 1.0 : 0.0);
+      if (faults_) m.counter("sim.faults_injected").add(res_.faults_injected);
       for (std::size_t c = 0; c < chan_hw_.size(); ++c)
         if (chan_hw_[c] > 0)
           m.high_water("sim.channel." + std::to_string(c) + ".occupancy")
@@ -542,6 +611,12 @@ class Sim {
   double pixel_period_ = 1.0;
   double last_action_ = 0.0;
   FireDecision fire_scratch_;  // reused across steps; see decide_fire_into
+
+  /// Fault injection (see ctor): a bound copy of the caller's injector.
+  fault::Injector inj_;
+  bool faults_ = false;
+  /// Wake instants for delivery-delayed items (drained by run()).
+  std::vector<double> pending_wakes_;
 
   /// Observability (see ctor): rec_ is the session sink (external or the
   /// internal trace_limit adapter); ring_ receives firing spans; detail_

@@ -26,6 +26,10 @@ namespace obs {
 class Recorder;
 }  // namespace obs
 
+namespace fault {
+class Injector;
+}  // namespace fault
+
 struct SimOptions {
   MachineSpec machine;
   /// Items of slack per channel (the paper's one-iteration implicit buffer
@@ -46,6 +50,13 @@ struct SimOptions {
   /// breakdown), input release, and channel push/pop lands in the
   /// recorder on the modeled clock, and `trace_limit` converts from it.
   obs::Recorder* recorder = nullptr;
+  /// Fault injection (see fault/injector.h). Null = no faults. The sim
+  /// copies and re-binds the injector against this run's graph/placement,
+  /// then perturbs every firing deterministically: execution time scaling
+  /// (jitter/overrun/throttle) and stalls stretch the modeled duration,
+  /// delivery delay pushes output availability past the firing's end.
+  /// Faults never touch values, only the clock.
+  const fault::Injector* injector = nullptr;
 };
 
 /// One traced firing: when, where, what (for timeline inspection).
@@ -92,6 +103,8 @@ struct SimResult {
   double max_input_lag_seconds = 0.0;
   long delayed_releases = 0;  ///< input items pushed later than scheduled
   long total_firings = 0;
+  /// Firings (or source releases) the fault injector perturbed.
+  long faults_injected = 0;
   std::vector<CoreStats> cores;
   std::string diagnostics;
   /// Firings that blew their declared cycle bound (first 64 recorded).

@@ -3,17 +3,20 @@
 // Builds one of the bundled applications, compiles it for a machine,
 // prints the transformation report, and optionally verifies it on the
 // timing simulator, executes it on host threads, exports the compiled
-// graph as Graphviz, or dumps a firing trace.
+// graph as Graphviz, or dumps a firing trace. Flag parsing and the
+// contradictory-flag rejection live in tools/cli.{h,cpp}.
 //
 //   bpc fig1 --frame 96x72 --rate 130 --simulate
 //   bpc bayer --rate 450 --run
 //   bpc fig1 --policy pad --dot app.dot
 //   bpc histogram --machine 10e6,256 --simulate --firings 40
 //   bpc pipeline --trace out.json --metrics -
+//   bpc sobel --faults plan.json --fault-seed 7 --analyze -
+//   bpc sobel --run --pace --shed --faults plan.json --degradation -
 
 #include <cstdio>
 #include <algorithm>
-#include <cstring>
+#include <optional>
 #include <vector>
 #include <fstream>
 #include <iostream>
@@ -24,6 +27,9 @@
 #include "compiler/pipeline.h"
 #include "compiler/report.h"
 #include "core/dot_export.h"
+#include "fault/degradation.h"
+#include "fault/injector.h"
+#include "fault/plan.h"
 #include "kernels/kernels.h"
 #include "obs/analysis.h"
 #include "obs/critical_path.h"
@@ -32,167 +38,13 @@
 #include "obs/recorder.h"
 #include "runtime/runtime.h"
 #include "sim/simulator.h"
+#include "tools/cli.h"
 
 using namespace bpp;
 
 namespace {
 
-struct Args {
-  std::string app;
-  Size2 frame{48, 36};
-  double rate = 180.0;
-  int frames = 2;
-  int bins = 32;
-  AlignPolicy policy = AlignPolicy::Trim;
-  bool reuse = false;
-  bool multiplex = true;
-  bool do_sim = false;
-  bool do_run = false;
-  bool show_kernels = false;
-  long firings = 0;
-  bool firings_set = false;  ///< --firings given explicitly
-  bool pace = false;
-  double pace_slowdown = 1.0;
-  double deadline_slack = 0.0;
-  bool deadline_slack_set = false;
-  std::string trace_path;
-  std::string metrics_path;
-  std::string analyze_path;
-  std::string dot_path;
-  std::string save_path;
-  MachineSpec machine;
-};
-
-void usage() {
-  std::printf(
-      "usage: bpc <app>|@file.bpg [options]\n"
-      "apps (or @file to load a bpp-graph text file):\n"
-      "  fig1 | bayer | histogram | parallel-buffer | multi-conv |\n"
-      "  pipeline | sobel | downsample | separable | motion | feedback |\n"
-      "  radio | analytics\n"
-      "options:\n"
-      "  --frame WxH        input frame extent (default 48x36)\n"
-      "  --rate HZ          input frame rate (default 180)\n"
-      "  --frames N         frames per run (default 2)\n"
-      "  --bins N           histogram bins (default 32)\n"
-      "  --policy P         alignment: trim | pad | mirror (default trim)\n"
-      "  --reuse            Fig. 9 reuse-optimized striping\n"
-      "  --no-multiplex     keep the 1:1 kernel-to-core mapping\n"
-      "  --machine C,M      PE clock_hz and mem_words (default 20e6,512)\n"
-      "  --save FILE        write the source graph as bpp-graph text\n"
-      "  --dot FILE         write the compiled graph as Graphviz\n"
-      "  --simulate         verify real time on the timing simulator\n"
-      "  --firings N        with --simulate: print the first N firings\n"
-      "  --kernels          with --simulate: busiest kernels by cycles\n"
-      "  --run              execute functionally on host threads\n"
-      "  --pace             with --run: release inputs on the wall-clock\n"
-      "                     schedule instead of as fast as possible\n"
-      "  --slowdown X       with --pace: stretch the release schedule by X\n"
-      "  --trace FILE       write a Chrome trace-event JSON timeline\n"
-      "                     (simulated run if --simulate, else host run;\n"
-      "                     implies --simulate when neither is given)\n"
-      "  --metrics FILE     write the metrics registry ('-' = stdout;\n"
-      "                     *.json = JSON, otherwise text)\n"
-      "  --analyze FILE     write the real-time analysis report ('-' =\n"
-      "                     stdout): per-frame latency, deadline verdicts,\n"
-      "                     critical-path attribution, predicted-vs-\n"
-      "                     measured firing rates; needs --simulate/--run\n"
-      "  --deadline-slack S with --analyze: per-frame deadline slack in\n"
-      "                     seconds (default 0)\n");
-}
-
-bool parse(int argc, char** argv, Args& a) {
-  if (argc < 2) return false;
-  a.app = argv[1];
-  for (int i = 2; i < argc; ++i) {
-    const std::string flag = argv[i];
-    auto value = [&]() -> const char* {
-      return i + 1 < argc ? argv[++i] : nullptr;
-    };
-    if (flag == "--frame") {
-      const char* v = value();
-      if (!v || std::sscanf(v, "%dx%d", &a.frame.w, &a.frame.h) != 2) return false;
-    } else if (flag == "--rate") {
-      const char* v = value();
-      if (!v) return false;
-      a.rate = std::atof(v);
-    } else if (flag == "--frames") {
-      const char* v = value();
-      if (!v) return false;
-      a.frames = std::atoi(v);
-    } else if (flag == "--bins") {
-      const char* v = value();
-      if (!v) return false;
-      a.bins = std::atoi(v);
-    } else if (flag == "--policy") {
-      const char* v = value();
-      if (!v) return false;
-      if (!std::strcmp(v, "trim")) a.policy = AlignPolicy::Trim;
-      else if (!std::strcmp(v, "pad")) a.policy = AlignPolicy::Pad;
-      else if (!std::strcmp(v, "mirror")) a.policy = AlignPolicy::MirrorPad;
-      else return false;
-    } else if (flag == "--reuse") {
-      a.reuse = true;
-    } else if (flag == "--no-multiplex") {
-      a.multiplex = false;
-    } else if (flag == "--machine") {
-      const char* v = value();
-      double clock = 0;
-      long mem = 0;
-      if (!v || std::sscanf(v, "%lf,%ld", &clock, &mem) != 2) return false;
-      a.machine.clock_hz = clock;
-      a.machine.mem_words = mem;
-    } else if (flag == "--save") {
-      const char* v = value();
-      if (!v) return false;
-      a.save_path = v;
-    } else if (flag == "--dot") {
-      const char* v = value();
-      if (!v) return false;
-      a.dot_path = v;
-    } else if (flag == "--simulate") {
-      a.do_sim = true;
-    } else if (flag == "--firings") {
-      const char* v = value();
-      if (!v) return false;
-      a.firings = std::atol(v);
-      a.firings_set = true;
-    } else if (flag == "--pace") {
-      a.pace = true;
-    } else if (flag == "--slowdown") {
-      const char* v = value();
-      if (!v) return false;
-      a.pace_slowdown = std::atof(v);
-    } else if (flag == "--deadline-slack") {
-      const char* v = value();
-      if (!v) return false;
-      a.deadline_slack = std::atof(v);
-      a.deadline_slack_set = true;
-    } else if (flag == "--analyze") {
-      const char* v = value();
-      if (!v) return false;
-      a.analyze_path = v;
-    } else if (flag == "--trace") {
-      const char* v = value();
-      if (!v) return false;
-      a.trace_path = v;
-    } else if (flag == "--metrics") {
-      const char* v = value();
-      if (!v) return false;
-      a.metrics_path = v;
-    } else if (flag == "--kernels") {
-      a.show_kernels = true;
-    } else if (flag == "--run") {
-      a.do_run = true;
-    } else {
-      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
-      return false;
-    }
-  }
-  return true;
-}
-
-Graph build(const Args& a) {
+Graph build(const cli::Args& a) {
   if (!a.app.empty() && a.app[0] == '@') {
     std::ifstream f(a.app.substr(1));
     if (!f) throw GraphError("cannot open '" + a.app.substr(1) + "'");
@@ -248,33 +100,66 @@ bool ends_with(const std::string& s, const std::string& suffix) {
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
-// Flag combinations that cannot mean what the user intended. Returns a
-// message for the first contradiction found, or nullptr when consistent.
-// Called after --trace/--metrics have implied --simulate.
-const char* contradiction(const Args& a) {
-  if (!a.analyze_path.empty() && !a.do_sim && !a.do_run)
-    return "--analyze needs an execution to observe; add --simulate or --run";
-  if (a.firings_set && a.firings == 0 && !a.trace_path.empty())
-    return "--firings 0 contradicts --trace: nothing would be recorded";
-  if (a.firings_set && a.firings > 0 && !a.do_sim)
-    return "--firings applies to the simulator; add --simulate";
-  if (a.pace && !a.do_run)
-    return "--pace applies to the host runtime; add --run";
-  if (a.pace_slowdown != 1.0 && !a.pace)
-    return "--slowdown requires --pace";
-  if (a.deadline_slack_set && a.analyze_path.empty())
-    return "--deadline-slack requires --analyze";
-  return nullptr;
+// The fastest rate the data-flow analysis assigned — the input frame rate
+// for every bundled pipeline — stretched by the paced slowdown when the
+// host run followed a slower schedule.
+double declared_rate(const CompiledApp& app, double slowdown) {
+  double rate = 0.0;
+  for (const KernelAnalysis& ka : app.analysis.kernel)
+    rate = std::max(rate, ka.rate_hz);
+  if (slowdown > 0.0) rate /= slowdown;
+  return rate;
+}
+
+// Build the degradation report for an execution. `ctrl` non-null on the
+// host-run shedding path (live shed/miss accounting); otherwise verdicts
+// are derived by replaying the anchored deadline schedule over the
+// recorded trace (the simulator path — nothing sheds there, faulted
+// frames can only come in late). `rec` may be null (run without
+// observability): the report then has no critical-path attribution.
+fault::DegradationReport make_degradation_report(
+    const cli::Args& a, const CompiledApp& app, obs::Recorder* rec,
+    double slowdown, const fault::DegradationController* ctrl) {
+  const obs::Trace* trace = rec ? &rec->trace() : nullptr;
+  obs::FrameReport frames;
+  obs::CriticalPathReport cp;
+  const obs::CriticalPathReport* cpp = nullptr;
+  if (trace) {
+    frames = obs::analyze_frames(*trace);
+    cp = obs::analyze_critical_path(*trace, frames, app.graph);
+    cpp = &cp;
+  }
+  if (ctrl) return fault::build_degradation_report(*ctrl, cpp, trace);
+  const double rate = declared_rate(app, slowdown);
+  obs::DeadlineMonitor mon({rate, a.deadline_slack});
+  mon.observe(frames);
+  return fault::build_degradation_report(mon.verdicts(), {}, rate,
+                                         a.deadline_slack, cpp, trace);
+}
+
+// --degradation FILE: text, or JSON when the path ends in .json.
+void write_degradation_output(const cli::Args& a,
+                              const fault::DegradationReport& deg) {
+  if (a.degradation_path.empty()) return;
+  write_output_file(a.degradation_path, "degradation report",
+                    [&](std::ostream& os) {
+                      if (ends_with(a.degradation_path, ".json"))
+                        os << fault::write_degradation_json(deg);
+                      else
+                        fault::write_degradation(deg, os);
+                    });
 }
 
 // The real-time analysis report (--analyze): frame latency/period series,
 // deadline verdicts against the graph's declared rate, critical-path
-// attribution, and the predicted-vs-measured firing-rate table. Feeds the
-// deadline monitor before the metrics dump so its counters appear there.
+// attribution, the predicted-vs-measured firing-rate table, and — when the
+// run had faults or shedding — the degradation section. Feeds the deadline
+// monitor before the metrics dump so its counters appear there.
 // `slowdown` > 1 stretches the declared rate to the schedule the paced
 // host run actually followed (1 for the simulator).
-void write_analysis(const Args& a, const CompiledApp& app, obs::Recorder& rec,
-                    double slowdown = 1.0) {
+void write_analysis(const cli::Args& a, const CompiledApp& app,
+                    obs::Recorder& rec, double slowdown = 1.0,
+                    const fault::DegradationReport* deg = nullptr) {
   if (a.analyze_path.empty()) return;
   if (!obs::kCompiledIn)
     throw Error(
@@ -283,12 +168,7 @@ void write_analysis(const Args& a, const CompiledApp& app, obs::Recorder& rec,
   const obs::Trace& trace = rec.trace();
   const obs::FrameReport frames = obs::analyze_frames(trace);
 
-  // Declared rate: the fastest rate the data-flow analysis assigned — the
-  // input frame rate for every bundled pipeline.
-  double rate = 0.0;
-  for (const KernelAnalysis& ka : app.analysis.kernel)
-    rate = std::max(rate, ka.rate_hz);
-  if (slowdown > 0.0) rate /= slowdown;
+  const double rate = declared_rate(app, slowdown);
   obs::DeadlineOptions dopt;
   dopt.rate_hz = rate;
   dopt.slack_seconds = a.deadline_slack;
@@ -329,13 +209,14 @@ void write_analysis(const Args& a, const CompiledApp& app, obs::Recorder& rec,
     os << '\n';
     obs::write_critical_path(cp, trace, os);
     write_rate_validation(rates, os);
+    if (deg) fault::write_degradation(*deg, os);
   });
 }
 
 // Dump the recorder's trace and/or metrics as requested by --trace and
 // --metrics. Called for whichever execution (sim or host run) owns the
 // observability output.
-void write_obs_outputs(const Args& a, obs::Recorder& rec) {
+void write_obs_outputs(const cli::Args& a, obs::Recorder& rec) {
   if (!a.trace_path.empty())
     write_output_file(a.trace_path, "trace", [&](std::ostream& os) {
       obs::write_chrome_trace(rec.trace(), os);
@@ -352,17 +233,13 @@ void write_obs_outputs(const Args& a, obs::Recorder& rec) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  Args a;
-  if (!parse(argc, argv, a)) {
-    usage();
+  cli::Args a;
+  if (!cli::parse(argc, argv, a)) {
+    std::fputs(cli::usage_text(), stdout);
     return 2;
   }
-  // --trace/--metrics need an execution to observe; default to the
-  // simulator when neither --simulate nor --run was requested.
-  if ((!a.trace_path.empty() || !a.metrics_path.empty()) && !a.do_sim &&
-      !a.do_run)
-    a.do_sim = true;
-  if (const char* err = contradiction(a)) {
+  cli::apply_implications(a);
+  if (const char* err = cli::contradiction(a)) {
     std::fprintf(stderr, "bpc: %s\n", err);
     return 2;
   }
@@ -382,11 +259,24 @@ int main(int argc, char** argv) {
     CompiledApp app = compile(std::move(source), opt);
     write_report(app, std::cout);
 
+    fault::FaultPlan plan;
+    std::optional<fault::Injector> inj;
+    if (!a.faults_path.empty()) {
+      plan = fault::load_plan(a.faults_path);
+      inj.emplace(plan, a.fault_seed_set ? a.fault_seed : plan.seed);
+      write_fault_binding(plan, app.graph, std::cout);
+    }
+
     if (!a.dot_path.empty()) {
       std::ofstream f(a.dot_path);
       write_dot(app.graph, f);
       std::printf("wrote %s\n", a.dot_path.c_str());
     }
+
+    // When both executions run, the simulated one owns the observability
+    // outputs — except the degradation report, which the shedding host run
+    // owns (the simulator cannot shed).
+    const bool sim_owns_degradation = !(a.do_run && a.shed);
 
     if (a.do_sim) {
       Graph g = app.graph.clone();
@@ -395,10 +285,13 @@ int main(int argc, char** argv) {
       sopt.machine = opt.machine;
       sopt.trace_limit = a.firings;
       sopt.recorder = &rec;
+      sopt.injector = inj ? &*inj : nullptr;
       const SimResult r = simulate(g, app.mapping, sopt);
       std::string extra;
       if (r.resource_exception_count > 0)
         extra = " resource-exceptions=" + std::to_string(r.resource_exception_count);
+      if (r.faults_injected > 0)
+        extra += " faults=" + std::to_string(r.faults_injected);
       std::printf(
           "simulate: completed=%s real-time=%s max-lag=%.2fus "
           "avg-util=%.1f%% firings=%ld%s\n",
@@ -431,8 +324,16 @@ int main(int argc, char** argv) {
                         ? g.kernel(f.kernel).methods()[static_cast<size_t>(f.method)].name.c_str()
                         : "(forward)",
                     f.duration_seconds * 1e6);
-      write_analysis(a, app, rec);
+      fault::DegradationReport deg;
+      bool have_deg = false;
+      if (obs::kCompiledIn && sim_owns_degradation &&
+          (inj || !a.degradation_path.empty())) {
+        deg = make_degradation_report(a, app, &rec, 1.0, nullptr);
+        have_deg = true;
+      }
+      write_analysis(a, app, rec, 1.0, have_deg ? &deg : nullptr);
       write_obs_outputs(a, rec);
+      if (have_deg) write_degradation_output(a, deg);
     }
 
     if (a.do_run) {
@@ -441,21 +342,51 @@ int main(int argc, char** argv) {
       // requested.
       const bool observe =
           !a.do_sim && (!a.trace_path.empty() || !a.metrics_path.empty() ||
-                        !a.analyze_path.empty());
+                        !a.analyze_path.empty() || !a.degradation_path.empty());
+      const double slowdown = a.pace ? a.pace_slowdown : 1.0;
       RuntimeOptions ropt;
       ropt.pace_inputs = a.pace;
       ropt.pace_slowdown = a.pace_slowdown;
       if (observe) ropt.recorder = &rec;
+      ropt.injector = inj ? &*inj : nullptr;
+      std::optional<fault::DegradationController> ctrl;
+      if (a.shed) {
+        fault::DegradationPolicy pol;
+        pol.shed = true;
+        pol.rate_hz = declared_rate(app, slowdown);
+        pol.slack_seconds = a.deadline_slack;
+        // No metrics registry here: the analysis monitor feeds the
+        // deadline counters when --analyze runs, and the runtime itself
+        // records runtime.frames_shed.
+        ctrl.emplace(pol);
+        ropt.degradation = &*ctrl;
+      }
       const RuntimeResult r = run_threaded(app.graph, app.mapping, ropt);
-      std::printf("run: completed=%s wall=%.1fms firings=%ld\n",
+      std::string extra;
+      if (r.faults_injected > 0)
+        extra = " faults=" + std::to_string(r.faults_injected);
+      if (a.shed) extra += " shed=" + std::to_string(r.frames_shed);
+      std::printf("run: completed=%s wall=%.1fms firings=%ld%s\n",
                   r.completed ? "yes" : "no", r.wall_seconds * 1e3,
-                  r.total_firings);
+                  r.total_firings, extra.c_str());
+      fault::DegradationReport deg;
+      bool have_deg = false;
+      if (ctrl) {
+        deg = make_degradation_report(a, app, observe ? &rec : nullptr,
+                                      slowdown, &*ctrl);
+        have_deg = true;
+      } else if (observe && !a.do_sim &&
+                 (inj || !a.degradation_path.empty())) {
+        deg = make_degradation_report(a, app, &rec, slowdown, nullptr);
+        have_deg = true;
+      }
       if (observe) {
         if (obs::kCompiledIn)
           write_utilization(obs::analyze_utilization(rec.trace()), std::cout);
-        write_analysis(a, app, rec, a.pace ? a.pace_slowdown : 1.0);
+        write_analysis(a, app, rec, slowdown, have_deg ? &deg : nullptr);
         write_obs_outputs(a, rec);
       }
+      if (have_deg) write_degradation_output(a, deg);
     }
   } catch (const Error& e) {
     std::fprintf(stderr, "bpc: %s\n", e.what());

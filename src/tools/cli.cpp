@@ -1,0 +1,194 @@
+#include "tools/cli.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace bpp::cli {
+
+const char* usage_text() {
+  return
+      "usage: bpc <app>|@file.bpg [options]\n"
+      "apps (or @file to load a bpp-graph text file):\n"
+      "  fig1 | bayer | histogram | parallel-buffer | multi-conv |\n"
+      "  pipeline | sobel | downsample | separable | motion | feedback |\n"
+      "  radio | analytics\n"
+      "options:\n"
+      "  --frame WxH        input frame extent (default 48x36)\n"
+      "  --rate HZ          input frame rate (default 180)\n"
+      "  --frames N         frames per run (default 2)\n"
+      "  --bins N           histogram bins (default 32)\n"
+      "  --policy P         alignment: trim | pad | mirror (default trim)\n"
+      "  --reuse            Fig. 9 reuse-optimized striping\n"
+      "  --no-multiplex     keep the 1:1 kernel-to-core mapping\n"
+      "  --machine C,M      PE clock_hz and mem_words (default 20e6,512)\n"
+      "  --save FILE        write the source graph as bpp-graph text\n"
+      "  --dot FILE         write the compiled graph as Graphviz\n"
+      "  --simulate         verify real time on the timing simulator\n"
+      "  --firings N        with --simulate: print the first N firings\n"
+      "  --kernels          with --simulate: busiest kernels by cycles\n"
+      "  --run              execute functionally on host threads\n"
+      "  --pace             with --run: release inputs on the wall-clock\n"
+      "                     schedule instead of as fast as possible\n"
+      "  --slowdown X       with --pace: stretch the release schedule by X\n"
+      "  --faults FILE      load a JSON fault plan and inject deterministic\n"
+      "                     timing faults (jitter, overruns, stalls, core\n"
+      "                     throttling, delivery delay) into the execution;\n"
+      "                     implies --simulate when neither --simulate nor\n"
+      "                     --run is given\n"
+      "  --fault-seed N     override the fault plan's seed (replay knob)\n"
+      "  --shed             with --run: shed whole frames at source frame\n"
+      "                     boundaries when sinks miss their deadlines\n"
+      "  --degradation FILE write the degradation report: frames on-time /\n"
+      "                     late / shed plus per-kernel overrun attribution\n"
+      "                     ('-' = stdout; *.json = JSON, otherwise text)\n"
+      "  --trace FILE       write a Chrome trace-event JSON timeline\n"
+      "                     (simulated run if --simulate, else host run;\n"
+      "                     implies --simulate when neither is given)\n"
+      "  --metrics FILE     write the metrics registry ('-' = stdout;\n"
+      "                     *.json = JSON, otherwise text)\n"
+      "  --analyze FILE     write the real-time analysis report ('-' =\n"
+      "                     stdout): per-frame latency, deadline verdicts,\n"
+      "                     critical-path attribution, predicted-vs-\n"
+      "                     measured firing rates; needs --simulate/--run\n"
+      "  --deadline-slack S per-frame deadline slack in seconds for\n"
+      "                     --analyze and --shed (default 0)\n";
+}
+
+bool parse(int argc, const char* const* argv, Args& a) {
+  if (argc < 2) return false;
+  a.app = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--frame") {
+      const char* v = value();
+      if (!v || std::sscanf(v, "%dx%d", &a.frame.w, &a.frame.h) != 2)
+        return false;
+    } else if (flag == "--rate") {
+      const char* v = value();
+      if (!v) return false;
+      a.rate = std::atof(v);
+    } else if (flag == "--frames") {
+      const char* v = value();
+      if (!v) return false;
+      a.frames = std::atoi(v);
+    } else if (flag == "--bins") {
+      const char* v = value();
+      if (!v) return false;
+      a.bins = std::atoi(v);
+    } else if (flag == "--policy") {
+      const char* v = value();
+      if (!v) return false;
+      if (!std::strcmp(v, "trim")) a.policy = AlignPolicy::Trim;
+      else if (!std::strcmp(v, "pad")) a.policy = AlignPolicy::Pad;
+      else if (!std::strcmp(v, "mirror")) a.policy = AlignPolicy::MirrorPad;
+      else return false;
+    } else if (flag == "--reuse") {
+      a.reuse = true;
+    } else if (flag == "--no-multiplex") {
+      a.multiplex = false;
+    } else if (flag == "--machine") {
+      const char* v = value();
+      double clock = 0;
+      long mem = 0;
+      if (!v || std::sscanf(v, "%lf,%ld", &clock, &mem) != 2) return false;
+      a.machine.clock_hz = clock;
+      a.machine.mem_words = mem;
+    } else if (flag == "--save") {
+      const char* v = value();
+      if (!v) return false;
+      a.save_path = v;
+    } else if (flag == "--dot") {
+      const char* v = value();
+      if (!v) return false;
+      a.dot_path = v;
+    } else if (flag == "--simulate") {
+      a.do_sim = true;
+    } else if (flag == "--firings") {
+      const char* v = value();
+      if (!v) return false;
+      a.firings = std::atol(v);
+      a.firings_set = true;
+    } else if (flag == "--pace") {
+      a.pace = true;
+    } else if (flag == "--slowdown") {
+      const char* v = value();
+      if (!v) return false;
+      a.pace_slowdown = std::atof(v);
+    } else if (flag == "--deadline-slack") {
+      const char* v = value();
+      if (!v) return false;
+      a.deadline_slack = std::atof(v);
+      a.deadline_slack_set = true;
+    } else if (flag == "--faults") {
+      const char* v = value();
+      if (!v) return false;
+      a.faults_path = v;
+    } else if (flag == "--fault-seed") {
+      const char* v = value();
+      if (!v) return false;
+      char* end = nullptr;
+      a.fault_seed = std::strtoull(v, &end, 10);
+      if (!end || *end != '\0') return false;
+      a.fault_seed_set = true;
+    } else if (flag == "--shed") {
+      a.shed = true;
+    } else if (flag == "--degradation") {
+      const char* v = value();
+      if (!v) return false;
+      a.degradation_path = v;
+    } else if (flag == "--analyze") {
+      const char* v = value();
+      if (!v) return false;
+      a.analyze_path = v;
+    } else if (flag == "--trace") {
+      const char* v = value();
+      if (!v) return false;
+      a.trace_path = v;
+    } else if (flag == "--metrics") {
+      const char* v = value();
+      if (!v) return false;
+      a.metrics_path = v;
+    } else if (flag == "--kernels") {
+      a.show_kernels = true;
+    } else if (flag == "--run") {
+      a.do_run = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+void apply_implications(Args& a) {
+  if ((!a.trace_path.empty() || !a.metrics_path.empty() ||
+       !a.faults_path.empty() || !a.degradation_path.empty()) &&
+      !a.do_sim && !a.do_run)
+    a.do_sim = true;
+}
+
+const char* contradiction(const Args& a) {
+  if (!a.analyze_path.empty() && !a.do_sim && !a.do_run)
+    return "--analyze needs an execution to observe; add --simulate or --run";
+  if (a.firings_set && a.firings == 0 && !a.trace_path.empty())
+    return "--firings 0 contradicts --trace: nothing would be recorded";
+  if (a.firings_set && a.firings > 0 && !a.do_sim)
+    return "--firings applies to the simulator; add --simulate";
+  if (a.pace && !a.do_run)
+    return "--pace applies to the host runtime; add --run";
+  if (a.pace_slowdown != 1.0 && !a.pace)
+    return "--slowdown requires --pace";
+  if (a.fault_seed_set && a.faults_path.empty())
+    return "--fault-seed requires --faults";
+  if (a.shed && !a.do_run)
+    return "--shed applies to the host runtime; add --run";
+  if (a.deadline_slack_set && a.analyze_path.empty() && !a.shed)
+    return "--deadline-slack requires --analyze or --shed";
+  return nullptr;
+}
+
+}  // namespace bpp::cli

@@ -1,0 +1,63 @@
+#pragma once
+// bpc's command-line surface, split out of the driver so the flag parser
+// and the contradictory-flag rejection are unit-testable (tests/test_errors
+// fires every branch). The driver (bpc_main.cpp) owns everything that
+// actually executes: building apps, compiling, running engines.
+
+#include <string>
+
+#include "compiler/machine.h"
+#include "compiler/pipeline.h"
+#include "core/geometry.h"
+
+namespace bpp::cli {
+
+struct Args {
+  std::string app;
+  Size2 frame{48, 36};
+  double rate = 180.0;
+  int frames = 2;
+  int bins = 32;
+  AlignPolicy policy = AlignPolicy::Trim;
+  bool reuse = false;
+  bool multiplex = true;
+  bool do_sim = false;
+  bool do_run = false;
+  bool show_kernels = false;
+  long firings = 0;
+  bool firings_set = false;  ///< --firings given explicitly
+  bool pace = false;
+  double pace_slowdown = 1.0;
+  double deadline_slack = 0.0;
+  bool deadline_slack_set = false;
+  std::string faults_path;      ///< --faults FILE (JSON fault plan)
+  std::uint64_t fault_seed = 0;  ///< --fault-seed N
+  bool fault_seed_set = false;
+  bool shed = false;  ///< --shed: frame shedding on deadline misses
+  std::string degradation_path;  ///< --degradation FILE
+  std::string trace_path;
+  std::string metrics_path;
+  std::string analyze_path;
+  std::string dot_path;
+  std::string save_path;
+  MachineSpec machine;
+};
+
+/// The full usage text (one string; the driver prints it on bad flags).
+[[nodiscard]] const char* usage_text();
+
+/// Parse argv into `a`. Returns false on unknown flags, missing values,
+/// or malformed operands (the driver then prints usage and exits 2).
+[[nodiscard]] bool parse(int argc, const char* const* argv, Args& a);
+
+/// Outputs that observe an execution default to the simulator when
+/// neither --simulate nor --run was requested (--trace, --metrics,
+/// --faults, --degradation). Call before contradiction().
+void apply_implications(Args& a);
+
+/// Flag combinations that cannot mean what the user intended. Returns a
+/// message for the first contradiction found, or nullptr when consistent.
+/// Called after apply_implications().
+[[nodiscard]] const char* contradiction(const Args& a);
+
+}  // namespace bpp::cli

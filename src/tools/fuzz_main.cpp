@@ -1,0 +1,311 @@
+// bpp_fuzz — seeded end-to-end fuzz harness (the CI fuzz matrix entry
+// point). One invocation = one seed: build a random kernel chain, compile
+// it, then
+//
+//   1. simulate it twice and require bit-identical traces and degradation
+//      reports (replay determinism — with --faulted this exercises the
+//      fault injector's counter-based hashing),
+//   2. execute it on host threads (fault-injected when --faulted) and
+//      require bit-exact output against the composed scalar reference —
+//      faults perturb timing only, never values.
+//
+// On failure it prints the exact repro command and exits 1; --trace FILE
+// saves the host run's Chrome trace so CI can upload it as an artifact.
+//
+//   bpp_fuzz --seed 3
+//   bpp_fuzz --seed 3 --faulted --trace fuzz-3.json
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/pipelines.h"
+#include "compiler/pipeline.h"
+#include "fault/degradation.h"
+#include "fault/injector.h"
+#include "fault/plan.h"
+#include "kernels/kernels.h"
+#include "obs/deadline.h"
+#include "obs/frames.h"
+#include "obs/recorder.h"
+#include "ref/reference.h"
+#include "runtime/runtime.h"
+#include "sim/simulator.h"
+
+using namespace bpp;
+
+namespace {
+
+std::uint64_t splitmix(std::uint64_t& s) {
+  s += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = s;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// One randomly chosen stage (mirrors tests/test_random_pipelines.cpp: how
+// it extends the graph and how it transforms the reference frame).
+struct Stage {
+  enum Kind { Conv3, Median3, Sobel, Scale, Threshold, Down2 } kind;
+
+  [[nodiscard]] int shrink() const {
+    switch (kind) {
+      case Conv3:
+      case Median3:
+      case Sobel:
+        return 2;
+      default:
+        return 0;
+    }
+  }
+
+  Kernel* append(Graph& g, int idx) const {
+    const std::string n = "stage" + std::to_string(idx);
+    switch (kind) {
+      case Conv3: {
+        auto& k = g.add<ConvolutionKernel>(n, 3, 3);
+        g.connect(g.add<ConstSource>(n + "_c", apps::blur_coeff3x3()), "out", k,
+                  "coeff");
+        return &k;
+      }
+      case Median3:
+        return &g.add<MedianKernel>(n, 3, 3);
+      case Sobel:
+        return &g.add<SobelKernel>(n);
+      case Scale:
+        return &g.add_kernel(make_scale(n, 0.5, 8.0));
+      case Threshold:
+        return &g.add_kernel(make_threshold(n, 96.0));
+      case Down2:
+        return &g.add<DownsampleKernel>(n, 2);
+    }
+    return nullptr;
+  }
+
+  [[nodiscard]] Tile reference(const Tile& in) const {
+    switch (kind) {
+      case Conv3:
+        return ref::convolve(in, apps::blur_coeff3x3());
+      case Median3:
+        return ref::median(in, 3, 3);
+      case Sobel:
+        return ref::sobel(in);
+      case Scale: {
+        Tile out(in.size());
+        for (int y = 0; y < in.height(); ++y)
+          for (int x = 0; x < in.width(); ++x)
+            out.at(x, y) = 0.5 * in.at(x, y) + 8.0;
+        return out;
+      }
+      case Threshold: {
+        Tile out(in.size());
+        for (int y = 0; y < in.height(); ++y)
+          for (int x = 0; x < in.width(); ++x)
+            out.at(x, y) = in.at(x, y) > 96.0 ? 1.0 : 0.0;
+        return out;
+      }
+      case Down2:
+        return ref::downsample(in, 2);
+    }
+    return in;
+  }
+};
+
+std::vector<Stage> random_stages(std::uint64_t& rng, Size2& frame_left) {
+  std::vector<Stage> stages;
+  const int n = 1 + static_cast<int>(splitmix(rng) % 4);
+  for (int i = 0; i < n; ++i) {
+    const auto kind = static_cast<Stage::Kind>(splitmix(rng) % 6);
+    Stage s{kind};
+    Size2 next = {frame_left.w - s.shrink(), frame_left.h - s.shrink()};
+    if (kind == Stage::Down2) next = {frame_left.w / 2, frame_left.h / 2};
+    if (next.w < 8 || next.h < 8) break;
+    if (kind == Stage::Down2 && (frame_left.w % 2 || frame_left.h % 2))
+      continue;
+    stages.push_back(s);
+    frame_left = next;
+  }
+  if (stages.empty()) stages.push_back(Stage{Stage::Scale});
+  return stages;
+}
+
+// An aggressive-but-bounded plan: every fault class is on, so any
+// value-corrupting or determinism-breaking path in the injector or the
+// engines gets hammered by the CI matrix.
+fault::FaultPlan fuzz_plan(std::uint64_t seed) {
+  fault::FaultPlan plan;
+  plan.seed = seed;
+  fault::KernelRule kr;
+  kr.match = "*";
+  kr.jitter = 0.3;
+  kr.overrun_prob = 0.1;
+  kr.overrun_factor = 4.0;
+  kr.stall_prob = 0.02;
+  kr.stall_seconds = 1e-4;
+  plan.kernels.push_back(kr);
+  fault::CoreRule cr;
+  cr.core = 1;
+  cr.throttle = 1.5;
+  plan.cores.push_back(cr);
+  fault::DeliveryRule dr;
+  dr.match = "stage*";
+  dr.prob = 0.05;
+  dr.delay_seconds = 5e-5;
+  plan.delivery.push_back(dr);
+  return plan;
+}
+
+struct SimFingerprint {
+  std::string trace_json;
+  std::string degradation_json;
+  long firings = 0;
+  long faults = 0;
+};
+
+SimFingerprint simulate_once(const CompiledApp& app,
+                             const fault::Injector* inj, double rate) {
+  Graph g = app.graph.clone();
+  obs::Recorder rec;
+  SimOptions sopt;
+  sopt.recorder = &rec;
+  sopt.injector = inj;
+  const SimResult r = simulate(g, app.mapping, sopt);
+  SimFingerprint fp;
+  fp.firings = r.total_firings;
+  fp.faults = r.faults_injected;
+  std::ostringstream ts;
+  obs::write_chrome_trace(rec.trace(), ts);
+  fp.trace_json = ts.str();
+  const obs::FrameReport frames = obs::analyze_frames(rec.trace());
+  obs::DeadlineMonitor mon({rate, 0.0});
+  mon.observe(frames);
+  fp.degradation_json = fault::write_degradation_json(
+      fault::build_degradation_report(mon.verdicts(), {}, rate, 0.0));
+  return fp;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bpp_fuzz --seed N [--faulted] [--trace FILE]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t seed = 0;
+  bool seed_set = false;
+  bool faulted = false;
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--seed" && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+      seed_set = true;
+    } else if (flag == "--faulted") {
+      faulted = true;
+    } else if (flag == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+  if (!seed_set) return usage();
+
+  const std::string repro = std::string("repro: bpp_fuzz --seed ") +
+                            std::to_string(seed) +
+                            (faulted ? " --faulted" : "");
+  auto fail = [&](const std::string& why) {
+    std::fprintf(stderr, "FAIL seed=%llu: %s\n  %s\n",
+                 static_cast<unsigned long long>(seed), why.c_str(),
+                 repro.c_str());
+    return 1;
+  };
+
+  try {
+    std::uint64_t rng = 0xF0221ULL ^ (seed << 17);
+    const Size2 frame{static_cast<int>(20 + splitmix(rng) % 16),
+                      static_cast<int>(18 + splitmix(rng) % 10)};
+    const double rate = 50.0 + static_cast<double>(splitmix(rng) % 300);
+    const int nframes = 2;
+    Size2 left = frame;
+    const std::vector<Stage> stages = random_stages(rng, left);
+
+    Graph g;
+    Kernel* prev = &g.add<InputKernel>("input", frame, rate, nframes);
+    for (size_t i = 0; i < stages.size(); ++i) {
+      Kernel* k = stages[i].append(g, static_cast<int>(i));
+      g.connect(*prev, "out", *k, "in");
+      prev = k;
+    }
+    auto& out = g.add<OutputKernel>("result");
+    g.connect(*prev, "out", out, "in");
+
+    CompileOptions opt;
+    if (splitmix(rng) & 1) opt.machine.clock_hz /= 2;
+    CompiledApp app = compile(std::move(g), opt);
+    std::printf("seed=%llu frame=%dx%d stages=%zu faulted=%d\n",
+                static_cast<unsigned long long>(seed), frame.w, frame.h,
+                stages.size(), faulted ? 1 : 0);
+
+    const fault::FaultPlan plan = fuzz_plan(seed);
+    fault::Injector inj(plan, seed);
+    const fault::Injector* injp = faulted ? &inj : nullptr;
+
+    // 1. Replay determinism on the simulator.
+    const SimFingerprint fa = simulate_once(app, injp, rate);
+    const SimFingerprint fb = simulate_once(app, injp, rate);
+    if (fa.trace_json != fb.trace_json)
+      return fail("simulator trace differs between identical runs");
+    if (fa.degradation_json != fb.degradation_json)
+      return fail("degradation report differs between identical runs");
+    std::printf("sim: firings=%ld faults=%ld trace=%zu bytes, replay ok\n",
+                fa.firings, fa.faults, fa.trace_json.size());
+
+    // 2. Host run vs the composed scalar reference.
+    obs::Recorder rec;
+    RuntimeOptions ropt;
+    ropt.recorder = obs::kCompiledIn ? &rec : nullptr;
+    ropt.injector = injp;
+    const RuntimeResult r = run_threaded(app.graph, app.mapping, ropt);
+    if (!trace_path.empty() && obs::kCompiledIn) {
+      std::ofstream f(trace_path);
+      obs::write_chrome_trace(rec.trace(), f);
+      std::printf("wrote %s\n", trace_path.c_str());
+    }
+    if (!r.completed) return fail("host run did not complete");
+
+    const auto& res =
+        dynamic_cast<const OutputKernel&>(app.graph.by_name("result"));
+    if (res.frames().size() != static_cast<size_t>(nframes))
+      return fail("expected " + std::to_string(nframes) + " frames, got " +
+                  std::to_string(res.frames().size()));
+    for (int f = 0; f < nframes; ++f) {
+      Tile want = ref::make_frame(frame, f, default_pixel_fn());
+      for (const Stage& s : stages) want = s.reference(want);
+      const Tile& got = res.frames()[static_cast<size_t>(f)];
+      if (got.size() != want.size())
+        return fail("frame " + std::to_string(f) + " size mismatch");
+      for (int y = 0; y < want.height(); ++y)
+        for (int x = 0; x < want.width(); ++x)
+          if (std::fabs(got.at(x, y) - want.at(x, y)) > 1e-9)
+            return fail("frame " + std::to_string(f) + " differs at (" +
+                        std::to_string(x) + "," + std::to_string(y) +
+                        "): got " + std::to_string(got.at(x, y)) +
+                        " want " + std::to_string(want.at(x, y)));
+    }
+    std::printf("run: firings=%ld faults=%ld, %d frames bit-exact\n",
+                r.total_firings, r.faults_injected, nframes);
+  } catch (const Error& e) {
+    return fail(std::string("exception: ") + e.what());
+  }
+  std::printf("OK seed=%llu%s\n", static_cast<unsigned long long>(seed),
+              faulted ? " (faulted)" : "");
+  return 0;
+}

@@ -1,0 +1,438 @@
+// Adversarial error-path sweep: every diagnostic branch in graph
+// validation (core/validation.cpp), every contradictory-flag rejection in
+// the bpc CLI (tools/cli.cpp), and every range/shape check in the fault
+// plan parser (fault/plan.cpp) is fired at least once. Error paths are
+// code too — an error message nobody has ever seen is an error message
+// that is probably wrong.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "compiler/pipeline.h"
+#include "core/error.h"
+#include "core/validation.h"
+#include "fault/plan.h"
+#include "kernels/feedback.h"
+#include "kernels/kernels.h"
+#include "tools/cli.h"
+#include "test_util.h"
+
+namespace bpp {
+namespace {
+
+using testutil::ItemSink;
+using testutil::PassKernel;
+using testutil::ScriptedSource;
+
+bool mentions(const std::vector<std::string>& issues, const std::string& what) {
+  for (const std::string& s : issues)
+    if (s.find(what) != std::string::npos) return true;
+  return false;
+}
+
+std::string all_of(const std::vector<std::string>& issues) {
+  std::string s;
+  for (const std::string& i : issues) s += i + "\n";
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Graph validation
+
+// A kernel whose clone() violates the contract by returning a freshly
+// constructed (never-configured) instance instead of a copy — the bug
+// class the "never configured" diagnostic defends against, since
+// Graph::clone() stores clone() results without re-running configure().
+class FreshCloneKernel final : public Kernel {
+ public:
+  explicit FreshCloneKernel(std::string name) : Kernel(std::move(name)) {}
+  void configure() override {
+    create_input("in", {1, 1}, {1, 1}, {0.0, 0.0});
+    create_output("out", {1, 1});
+    auto& m = register_method("pass", Resources{1, 1}, &FreshCloneKernel::pass);
+    method_input(m, "in");
+    method_output(m, "out");
+  }
+  [[nodiscard]] std::unique_ptr<Kernel> clone() const override {
+    return std::make_unique<FreshCloneKernel>(name());  // wrong: not a copy
+  }
+
+ private:
+  void pass() { write_output("out", read_input("in")); }
+};
+
+TEST(Validation, UnconfiguredKernelAfterBadClone) {
+  Graph g;
+  auto& src = g.add<ScriptedSource>("src", std::vector<Item>{});
+  auto& k = g.add<FreshCloneKernel>("fresh");
+  auto& sink = g.add<ItemSink>("sink");
+  g.connect(src, "out", k, "in");
+  g.connect(k, "out", sink, "in");
+  EXPECT_TRUE(validate(g).empty()) << all_of(validate(g));
+
+  const Graph c = g.clone();
+  const auto issues = validate(c);
+  EXPECT_TRUE(mentions(issues, "never configured")) << all_of(issues);
+}
+
+TEST(Validation, UnconnectedInputReported) {
+  Graph g;
+  auto& p = g.add<PassKernel>("lonely");
+  auto& sink = g.add<ItemSink>("sink");
+  g.connect(p, "out", sink, "in");
+  const auto issues = validate(g);
+  EXPECT_TRUE(mentions(issues, "input 'in' is not connected"))
+      << all_of(issues);
+}
+
+// Second input is connected but no method lists it as a trigger.
+class DeadInputKernel final : public Kernel {
+ public:
+  explicit DeadInputKernel(std::string name) : Kernel(std::move(name)) {}
+  void configure() override {
+    create_input("in", {1, 1}, {1, 1}, {0.0, 0.0});
+    create_input("unused", {1, 1}, {1, 1}, {0.0, 0.0});
+    create_output("out", {1, 1});
+    auto& m = register_method("pass", Resources{1, 1}, &DeadInputKernel::pass);
+    method_input(m, "in");
+    method_output(m, "out");
+  }
+  [[nodiscard]] std::unique_ptr<Kernel> clone() const override {
+    return std::make_unique<DeadInputKernel>(*this);
+  }
+
+ private:
+  void pass() { write_output("out", read_input("in")); }
+};
+
+TEST(Validation, InputFeedingNoMethodReported) {
+  Graph g;
+  auto& a = g.add<ScriptedSource>("a", std::vector<Item>{});
+  auto& b = g.add<ScriptedSource>("b", std::vector<Item>{});
+  auto& k = g.add<DeadInputKernel>("dead");
+  auto& sink = g.add<ItemSink>("sink");
+  g.connect(a, "out", k, "in");
+  g.connect(b, "out", k, "unused");
+  g.connect(k, "out", sink, "in");
+  const auto issues = validate(g);
+  EXPECT_TRUE(mentions(issues, "'unused' does not trigger any method"))
+      << all_of(issues);
+}
+
+TEST(Validation, UnconnectedOutputReported) {
+  Graph g;
+  auto& src = g.add<ScriptedSource>("src", std::vector<Item>{});
+  auto& p = g.add<PassKernel>("p");
+  g.connect(src, "out", p, "in");
+  const auto issues = validate(g);
+  EXPECT_TRUE(mentions(issues, "output 'out' is not connected"))
+      << all_of(issues);
+}
+
+// A "source" that provides no stream spec and illegally declares an input.
+class BrokenSource final : public Kernel {
+ public:
+  explicit BrokenSource(std::string name) : Kernel(std::move(name)) {}
+  void configure() override {
+    create_input("in", {1, 1}, {1, 1}, {0.0, 0.0});
+    create_output("out", {1, 1});
+  }
+  [[nodiscard]] std::unique_ptr<Kernel> clone() const override {
+    return std::make_unique<BrokenSource>(*this);
+  }
+  [[nodiscard]] bool is_source() const override { return true; }
+};
+
+TEST(Validation, SourceWithoutSpecAndWithInputsReported) {
+  Graph g;
+  auto& feeder = g.add<ScriptedSource>("feeder", std::vector<Item>{});
+  auto& s = g.add<BrokenSource>("weird");
+  auto& sink = g.add<ItemSink>("sink");
+  g.connect(feeder, "out", s, "in");
+  g.connect(s, "out", sink, "in");
+  const auto issues = validate(g);
+  EXPECT_TRUE(mentions(issues, "provides no stream spec")) << all_of(issues);
+  EXPECT_TRUE(mentions(issues, "source kernels may not have inputs"))
+      << all_of(issues);
+}
+
+// Non-source kernel that registers nothing.
+class MethodlessKernel final : public Kernel {
+ public:
+  explicit MethodlessKernel(std::string name) : Kernel(std::move(name)) {}
+  void configure() override {
+    create_input("in", {1, 1}, {1, 1}, {0.0, 0.0});
+    create_output("out", {1, 1});
+  }
+  [[nodiscard]] std::unique_ptr<Kernel> clone() const override {
+    return std::make_unique<MethodlessKernel>(*this);
+  }
+};
+
+TEST(Validation, MethodlessKernelReported) {
+  Graph g;
+  auto& src = g.add<ScriptedSource>("src", std::vector<Item>{});
+  auto& k = g.add<MethodlessKernel>("inert");
+  auto& sink = g.add<ItemSink>("sink");
+  g.connect(src, "out", k, "in");
+  g.connect(k, "out", sink, "in");
+  const auto issues = validate(g);
+  EXPECT_TRUE(mentions(issues, "defines no methods")) << all_of(issues);
+}
+
+// A data method with no triggering inputs (registration allows it; the
+// validator flags it because it could never fire).
+class TriggerlessKernel final : public Kernel {
+ public:
+  explicit TriggerlessKernel(std::string name) : Kernel(std::move(name)) {}
+  void configure() override {
+    create_input("in", {1, 1}, {1, 1}, {0.0, 0.0});
+    create_output("out", {1, 1});
+    auto& m = register_method("pass", Resources{1, 1}, &TriggerlessKernel::pass);
+    method_input(m, "in");
+    method_output(m, "out");
+    auto& z = register_method("zombie", Resources{1, 1},
+                              &TriggerlessKernel::zombie);
+    method_output(z, "out");
+  }
+  [[nodiscard]] std::unique_ptr<Kernel> clone() const override {
+    return std::make_unique<TriggerlessKernel>(*this);
+  }
+
+ private:
+  void pass() { write_output("out", read_input("in")); }
+  void zombie() {}
+};
+
+TEST(Validation, MethodWithoutTriggersReported) {
+  Graph g;
+  auto& src = g.add<ScriptedSource>("src", std::vector<Item>{});
+  auto& k = g.add<TriggerlessKernel>("half");
+  auto& sink = g.add<ItemSink>("sink");
+  g.connect(src, "out", k, "in");
+  g.connect(k, "out", sink, "in");
+  const auto issues = validate(g);
+  EXPECT_TRUE(mentions(issues, "method 'zombie' has no triggering inputs"))
+      << all_of(issues);
+}
+
+TEST(Validation, CycleReportedAsIssue) {
+  Graph g;
+  auto& a = g.add<PassKernel>("a");
+  auto& b = g.add<PassKernel>("b");
+  g.connect(a, "out", b, "in");
+  g.connect(b, "out", a, "in");
+  const auto issues = validate(g);
+  EXPECT_TRUE(mentions(issues, "cycle")) << all_of(issues);
+}
+
+TEST(Validation, ValidateOrThrowAggregates) {
+  Graph g;
+  g.add<PassKernel>("floating");  // both ports dangling
+  try {
+    validate_or_throw(g);
+    FAIL() << "expected GraphError";
+  } catch (const GraphError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("invalid application graph"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("2 problem(s)"), std::string::npos) << msg;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CLI flag rejection
+
+cli::Args parsed(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "bpc");
+  cli::Args a;
+  EXPECT_TRUE(cli::parse(static_cast<int>(argv.size()), argv.data(), a));
+  cli::apply_implications(a);
+  return a;
+}
+
+std::string reject(std::vector<const char*> argv) {
+  cli::Args a = parsed(std::move(argv));
+  const char* err = cli::contradiction(a);
+  return err ? err : "";
+}
+
+TEST(Cli, ConsistentCombinationsAccepted) {
+  EXPECT_EQ(reject({"fig1"}), "");
+  EXPECT_EQ(reject({"fig1", "--simulate", "--firings", "5"}), "");
+  EXPECT_EQ(reject({"fig1", "--run", "--pace", "--slowdown", "2"}), "");
+  EXPECT_EQ(reject({"fig1", "--run", "--shed", "--deadline-slack", "0.01"}),
+            "");
+  EXPECT_EQ(reject({"fig1", "--faults", "p.json", "--fault-seed", "7"}), "");
+}
+
+TEST(Cli, EveryContradictionFires) {
+  EXPECT_EQ(reject({"fig1", "--firings", "3"}),
+            std::string("--firings applies to the simulator; add --simulate"));
+  // --analyze alone: no implied execution.
+  {
+    cli::Args a;
+    std::vector<const char*> argv{"bpc", "fig1", "--analyze", "-"};
+    ASSERT_TRUE(cli::parse(static_cast<int>(argv.size()), argv.data(), a));
+    cli::apply_implications(a);
+    EXPECT_STREQ(cli::contradiction(a),
+                 "--analyze needs an execution to observe; add --simulate or "
+                 "--run");
+  }
+  EXPECT_EQ(reject({"fig1", "--firings", "0", "--trace", "t.json"}),
+            std::string(
+                "--firings 0 contradicts --trace: nothing would be recorded"));
+  EXPECT_EQ(reject({"fig1", "--pace"}),
+            std::string("--pace applies to the host runtime; add --run"));
+  EXPECT_EQ(reject({"fig1", "--run", "--slowdown", "2"}),
+            std::string("--slowdown requires --pace"));
+  EXPECT_EQ(reject({"fig1", "--simulate", "--fault-seed", "3"}),
+            std::string("--fault-seed requires --faults"));
+  EXPECT_EQ(reject({"fig1", "--simulate", "--shed"}),
+            std::string("--shed applies to the host runtime; add --run"));
+  EXPECT_EQ(reject({"fig1", "--simulate", "--deadline-slack", "0.1"}),
+            std::string("--deadline-slack requires --analyze or --shed"));
+}
+
+TEST(Cli, ImplicationsDefaultToSimulator) {
+  EXPECT_TRUE(parsed({"fig1", "--trace", "t.json"}).do_sim);
+  EXPECT_TRUE(parsed({"fig1", "--metrics", "-"}).do_sim);
+  EXPECT_TRUE(parsed({"fig1", "--faults", "p.json"}).do_sim);
+  EXPECT_TRUE(parsed({"fig1", "--degradation", "-"}).do_sim);
+  EXPECT_FALSE(parsed({"fig1", "--run", "--faults", "p.json"}).do_sim);
+  EXPECT_FALSE(parsed({"fig1", "--dot", "g.dot"}).do_sim);
+}
+
+TEST(Cli, ParseRejectsMalformedFlags) {
+  auto fails = [](std::vector<const char*> argv) {
+    argv.insert(argv.begin(), "bpc");
+    cli::Args a;
+    return !cli::parse(static_cast<int>(argv.size()), argv.data(), a);
+  };
+  EXPECT_TRUE(fails({}));                            // no app at all
+  EXPECT_TRUE(fails({"fig1", "--frame", "banana"}));  // not WxH
+  EXPECT_TRUE(fails({"fig1", "--frame"}));            // missing value
+  EXPECT_TRUE(fails({"fig1", "--policy", "best"}));   // unknown policy
+  EXPECT_TRUE(fails({"fig1", "--machine", "fast"}));  // not C,M
+  EXPECT_TRUE(fails({"fig1", "--fault-seed", "7up"}));  // trailing junk
+  EXPECT_TRUE(fails({"fig1", "--faults"}));           // missing value
+  EXPECT_TRUE(fails({"fig1", "--warp-speed"}));       // unknown flag
+  EXPECT_FALSE(fails({"fig1", "--fault-seed", "7"}));
+}
+
+TEST(Cli, ParsePopulatesFaultFields) {
+  const cli::Args a = parsed({"sobel", "--faults", "plan.json", "--fault-seed",
+                              "42", "--run", "--shed", "--degradation",
+                              "deg.json"});
+  EXPECT_EQ(a.faults_path, "plan.json");
+  EXPECT_TRUE(a.fault_seed_set);
+  EXPECT_EQ(a.fault_seed, 42u);
+  EXPECT_TRUE(a.shed);
+  EXPECT_EQ(a.degradation_path, "deg.json");
+  EXPECT_TRUE(a.do_run);
+}
+
+// ---------------------------------------------------------------------------
+// Fault plan validation
+
+std::string plan_error(const std::string& json) {
+  try {
+    (void)fault::parse_plan(json);
+  } catch (const Error& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(FaultPlanErrors, EveryRangeCheckFires) {
+  EXPECT_NE(plan_error("[1,2]").find("must be an object"), std::string::npos);
+  EXPECT_NE(plan_error("{\"seed\": -1}").find("seed must be >= 0"),
+            std::string::npos);
+  EXPECT_NE(plan_error("{\"kernels\": [{\"jitter\": 1.0}]}")
+                .find("jitter must be in [0, 1)"),
+            std::string::npos);
+  EXPECT_NE(plan_error("{\"kernels\": [{\"overrun_prob\": 1.5}]}")
+                .find("overrun_prob must be a probability"),
+            std::string::npos);
+  EXPECT_NE(plan_error("{\"kernels\": [{\"overrun_factor\": 0.5}]}")
+                .find("overrun_factor must be >= 1"),
+            std::string::npos);
+  EXPECT_NE(plan_error("{\"kernels\": [{\"stall_prob\": -0.1}]}")
+                .find("stall_prob must be a probability"),
+            std::string::npos);
+  EXPECT_NE(plan_error("{\"kernels\": [{\"stall_seconds\": -1}]}")
+                .find("stall_seconds must be >= 0"),
+            std::string::npos);
+  EXPECT_NE(plan_error("{\"cores\": [{\"core\": -2}]}")
+                .find("core index must be >= 0"),
+            std::string::npos);
+  EXPECT_NE(plan_error("{\"cores\": [{\"throttle\": 0.9}]}")
+                .find("throttle must be >= 1"),
+            std::string::npos);
+  EXPECT_NE(plan_error("{\"delivery\": [{\"prob\": 2}]}")
+                .find("delivery prob must be a probability"),
+            std::string::npos);
+  EXPECT_NE(plan_error("{\"delivery\": [{\"delay_seconds\": -1e-6}]}")
+                .find("delay_seconds must be >= 0"),
+            std::string::npos);
+}
+
+TEST(FaultPlanErrors, UnknownKeysRejectedEverywhere) {
+  EXPECT_NE(plan_error("{\"sead\": 1}").find("unknown key \"sead\" in plan"),
+            std::string::npos);
+  EXPECT_NE(plan_error("{\"kernels\": [{\"jiter\": 0.1}]}")
+                .find("unknown key \"jiter\" in kernels[] entry"),
+            std::string::npos);
+  EXPECT_NE(plan_error("{\"cores\": [{\"cpu\": 1}]}")
+                .find("unknown key \"cpu\" in cores[] entry"),
+            std::string::npos);
+  EXPECT_NE(plan_error("{\"delivery\": [{\"delay\": 1}]}")
+                .find("unknown key \"delay\" in delivery[] entry"),
+            std::string::npos);
+}
+
+TEST(FaultPlanErrors, MalformedJsonAndMissingFile) {
+  EXPECT_NE(plan_error("{\"seed\": }").size(), 0u);
+  EXPECT_NE(plan_error("").size(), 0u);
+  try {
+    (void)fault::load_plan("/nonexistent/fault/plan.json");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("cannot open"), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Compiler analysis errors around feedback loops.
+
+TEST(AnalysisErrors, TrimmedLoopInputRejected) {
+  // A windowed kernel inside the loop shrinks the frame below the declared
+  // feedback spec. Before this diagnostic existed, the graph compiled and
+  // then deadlocked at run time (the loop kernel waited forever for pixels
+  // the trim had eaten); now the analysis rejects it.
+  const Size2 frame{16, 14};
+  Graph g;
+  auto& input = g.add<InputKernel>("input", frame, 50.0, 2);
+  auto& med = g.add<MedianKernel>("median", 3, 3);
+  auto& mix = g.add<TemporalMixKernel>("mix", 0.5);
+  auto& init = g.add<InitialValueKernel>("loopInit", Size2{14, 12}, 50.0, 0.0);
+  auto& out = g.add<OutputKernel>("result");
+  g.connect(input, "out", med, "in");
+  g.connect(med, "out", mix, "x");
+  g.connect(init, "out", mix, "prev");
+  g.connect(mix, "out", init, "in");
+  g.connect(mix, "out", out, "in");
+  try {
+    CompiledApp app = compile(std::move(g));
+    FAIL() << "expected AnalysisError";
+  } catch (const AnalysisError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("loopInit"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("loop-carried input"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("cannot converge"), std::string::npos) << msg;
+  }
+}
+
+}  // namespace
+}  // namespace bpp
