@@ -5,9 +5,23 @@
 // buffering pass every channel carries exactly one tile of the consumer's
 // declared window size per iteration, so the tile shape on a channel is an
 // invariant checked at execution time.
+//
+// Storage contract (the SIMD backend relies on this):
+//   - data() is aligned to kAlignBytes (one cache line, enough for any
+//     vector width up to AVX-512);
+//   - the allocation extends kPadDoubles zero-initialized doubles past the
+//     last element, so a row pointer may be *read* up to one vector width
+//     beyond the row end (the over-read lands in the next row or in the
+//     tail pad, never outside the allocation). Writes past a row end are
+//     never allowed;
+//   - rows are contiguous with stride() == width() doubles (no inter-row
+//     padding), so the whole tile is also one contiguous span of words().
 
+#include <algorithm>
 #include <cassert>
 #include <cstddef>
+#include <cstring>
+#include <new>
 #include <vector>
 
 #include "core/geometry.h"
@@ -16,41 +30,97 @@ namespace bpp {
 
 class Tile {
  public:
+  /// Doubles of readable (zeroed) slack past the last element.
+  static constexpr int kPadDoubles = 8;
+  /// Alignment of data() in bytes.
+  static constexpr std::size_t kAlignBytes = 64;
+
   Tile() = default;
-  Tile(int w, int h) : size_{w, h}, data_(static_cast<size_t>(w) * h, 0.0) {
+  Tile(int w, int h) : size_{w, h} {
     assert(w >= 0 && h >= 0);
+    if (area() > 0) allocate(0.0);
   }
   explicit Tile(Size2 s) : Tile(s.w, s.h) {}
-  Tile(Size2 s, double fill)
-      : size_(s), data_(static_cast<size_t>(s.w) * s.h, fill) {}
+  Tile(Size2 s, double fill) : size_(s) {
+    if (area() > 0) allocate(fill);
+  }
+
+  Tile(const Tile& o) : size_(o.size_) {
+    if (o.data_) {
+      allocate_raw();
+      std::memcpy(data_, o.data_, (area() + kPadDoubles) * sizeof(double));
+    }
+  }
+  Tile(Tile&& o) noexcept : size_(o.size_), data_(o.data_) {
+    o.size_ = {0, 0};
+    o.data_ = nullptr;
+  }
+  Tile& operator=(const Tile& o) {
+    if (this != &o) {
+      Tile tmp(o);
+      swap(tmp);
+    }
+    return *this;
+  }
+  Tile& operator=(Tile&& o) noexcept {
+    if (this != &o) {
+      release();
+      size_ = o.size_;
+      data_ = o.data_;
+      o.size_ = {0, 0};
+      o.data_ = nullptr;
+    }
+    return *this;
+  }
+  ~Tile() { release(); }
+
+  void swap(Tile& o) noexcept {
+    std::swap(size_, o.size_);
+    std::swap(data_, o.data_);
+  }
 
   [[nodiscard]] Size2 size() const { return size_; }
   [[nodiscard]] int width() const { return size_.w; }
   [[nodiscard]] int height() const { return size_.h; }
   [[nodiscard]] long words() const { return size_.area(); }
-  [[nodiscard]] bool empty() const { return data_.empty(); }
+  [[nodiscard]] bool empty() const { return data_ == nullptr; }
 
   [[nodiscard]] double& at(int x, int y) {
     assert(x >= 0 && x < size_.w && y >= 0 && y < size_.h);
-    return data_[static_cast<size_t>(y) * size_.w + x];
+    return data_[static_cast<std::size_t>(y) * size_.w + x];
   }
   [[nodiscard]] double at(int x, int y) const {
     assert(x >= 0 && x < size_.w && y >= 0 && y < size_.h);
-    return data_[static_cast<size_t>(y) * size_.w + x];
+    return data_[static_cast<std::size_t>(y) * size_.w + x];
   }
 
-  [[nodiscard]] double* data() { return data_.data(); }
-  [[nodiscard]] const double* data() const { return data_.data(); }
+  [[nodiscard]] double* data() { return data_; }
+  [[nodiscard]] const double* data() const { return data_; }
 
-  [[nodiscard]] std::vector<double>& raw() { return data_; }
-  [[nodiscard]] const std::vector<double>& raw() const { return data_; }
+  /// First element of row `y`; rows are contiguous, stride() apart.
+  [[nodiscard]] double* row_ptr(int y) {
+    assert(y >= 0 && y < size_.h);
+    return data_ + static_cast<std::size_t>(y) * size_.w;
+  }
+  [[nodiscard]] const double* row_ptr(int y) const {
+    assert(y >= 0 && y < size_.h);
+    return data_ + static_cast<std::size_t>(y) * size_.w;
+  }
+  /// Doubles between consecutive row starts (== width(): rows are dense).
+  [[nodiscard]] int stride() const { return size_.w; }
+
+  /// Contents as a vector (copy) — convenience for tests and serialization.
+  [[nodiscard]] std::vector<double> to_vector() const {
+    return {data_, data_ + area()};
+  }
 
   /// Copies the sub-rectangle [x0, x0+s.w) x [y0, y0+s.h) into a new tile.
   [[nodiscard]] Tile crop(int x0, int y0, Size2 s) const {
     assert(x0 >= 0 && y0 >= 0 && x0 + s.w <= size_.w && y0 + s.h <= size_.h);
     Tile out(s);
     for (int y = 0; y < s.h; ++y)
-      for (int x = 0; x < s.w; ++x) out.at(x, y) = at(x0 + x, y0 + y);
+      std::memcpy(out.row_ptr(y), row_ptr(y0 + y) + x0,
+                  static_cast<std::size_t>(s.w) * sizeof(double));
     return out;
   }
 
@@ -58,26 +128,32 @@ class Tile {
   [[nodiscard]] Tile padded(const Border& b, bool mirror = false) const {
     Tile out(size_.w + b.left + b.right, size_.h + b.top + b.bottom);
     for (int y = 0; y < out.height(); ++y) {
-      for (int x = 0; x < out.width(); ++x) {
-        int sx = x - b.left;
-        int sy = y - b.top;
-        if (mirror) {
-          sx = reflect(sx, size_.w);
-          sy = reflect(sy, size_.h);
-          out.at(x, y) = at(sx, sy);
-        } else if (sx >= 0 && sx < size_.w && sy >= 0 && sy < size_.h) {
-          out.at(x, y) = at(sx, sy);
-        }
+      double* orow = out.row_ptr(y);
+      const int sy = y - b.top;
+      if (mirror) {
+        const double* srow = row_ptr(reflect(sy, size_.h));
+        for (int x = 0; x < out.width(); ++x)
+          orow[x] = srow[reflect(x - b.left, size_.w)];
+      } else if (sy >= 0 && sy < size_.h) {
+        std::memcpy(orow + b.left, row_ptr(sy),
+                    static_cast<std::size_t>(size_.w) * sizeof(double));
       }
     }
     return out;
   }
 
   friend bool operator==(const Tile& a, const Tile& b) {
-    return a.size_ == b.size_ && a.data_ == b.data_;
+    if (a.size_ != b.size_) return false;
+    // Element-wise double comparison (not memcmp): -0.0 == 0.0 compares
+    // equal, NaN != NaN, matching the previous std::vector semantics.
+    return std::equal(a.data_, a.data_ + a.area(), b.data_);
   }
 
  private:
+  [[nodiscard]] std::size_t area() const {
+    return static_cast<std::size_t>(size_.area());
+  }
+
   static int reflect(int v, int n) {
     if (n == 1) return 0;
     while (v < 0 || v >= n) {
@@ -87,8 +163,22 @@ class Tile {
     return v;
   }
 
+  void allocate_raw() {
+    data_ = static_cast<double*>(::operator new(
+        (area() + kPadDoubles) * sizeof(double), std::align_val_t{kAlignBytes}));
+  }
+  void allocate(double fill) {
+    allocate_raw();
+    std::fill_n(data_, area(), fill);
+    std::fill_n(data_ + area(), kPadDoubles, 0.0);  // deterministic over-reads
+  }
+  void release() {
+    if (data_) ::operator delete(data_, std::align_val_t{kAlignBytes});
+    data_ = nullptr;
+  }
+
   Size2 size_{0, 0};
-  std::vector<double> data_;
+  double* data_ = nullptr;
 };
 
 }  // namespace bpp

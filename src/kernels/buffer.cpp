@@ -1,5 +1,6 @@
 #include "kernels/buffer.h"
 
+#include <algorithm>
 #include <sstream>
 
 namespace bpp {
@@ -88,8 +89,10 @@ bool BufferKernel::pixel_received(int px, int py) const {
 
 void BufferKernel::absorb() {
   const Tile& t = read_input("in");
-  for (int y = 0; y < in_gran_.h; ++y)
-    for (int x = 0; x < in_gran_.w; ++x) cell(in_x_ + x, in_y_ + y) = t.at(x, y);
+  for (int y = 0; y < in_gran_.h; ++y) {
+    const double* src = t.row_ptr(y);
+    std::copy(src, src + in_gran_.w, &cell(in_x_, in_y_ + y));
+  }
   in_x_ += in_gran_.w;
   if (in_x_ >= frame_.w) {
     in_x_ = 0;
@@ -104,8 +107,10 @@ void BufferKernel::emit_ready_windows() {
     const int py = ey_ * out_step_.y;
     if (!pixel_received(px + out_win_.w - 1, py + out_win_.h - 1)) return;
     Tile win(out_win_);
-    for (int y = 0; y < out_win_.h; ++y)
-      for (int x = 0; x < out_win_.w; ++x) win.at(x, y) = cell(px + x, py + y);
+    for (int y = 0; y < out_win_.h; ++y) {
+      const double* src = &cell(px, py + y);  // ring rows are contiguous
+      std::copy(src, src + out_win_.w, win.row_ptr(y));
+    }
     write_output_charged("out", std::move(win), window_charge(ex_, ey_));
     if (++ex_ == iters_.w) {
       ex_ = 0;

@@ -1,7 +1,8 @@
 #include "kernels/convolution.h"
 
 #include <algorithm>
-#include <cmath>
+
+#include "kernels/simd/simd.h"
 
 namespace bpp {
 
@@ -12,11 +13,12 @@ ConvolutionKernel::ConvolutionKernel(std::string name, int width, int height)
 }
 
 void ConvolutionKernel::configure() {
-  create_input("in", {width_, height_}, {1, 1},
-               {std::floor(width_ / 2.0), std::floor(height_ / 2.0)});
+  // Window offsets are integer half-widths; no float round-trip.
+  const Offset2 center{static_cast<double>(width_ / 2),
+                       static_cast<double>(height_ / 2)};
+  create_input("in", {width_, height_}, {1, 1}, center);
   create_output("out", {1, 1});
-  create_input("coeff", {width_, height_}, {width_, height_},
-               {std::floor(width_ / 2.0), std::floor(height_ / 2.0)});
+  create_input("coeff", {width_, height_}, {width_, height_}, center);
   set_replicated("coeff");
 
   // Registered before runConvolve: when both inputs are ready, a pending
@@ -55,22 +57,34 @@ void ConvolutionKernel::init() {
   // filter so that start-up races cannot produce garbage.
   coeff_ = Tile(width_, height_);
   coeff_.at(width_ / 2, height_ / 2) = 1.0;
+  flip_coeff();
   loaded_ = false;
+}
+
+void ConvolutionKernel::flip_coeff() {
+  // The paper's coefficient flip, pre-applied once per (re)load: flipping
+  // both axes of a row-major array is a full reversal, so runConvolve is
+  // a straight dot product over the contiguous window.
+  const long n = coeff_.words();
+  coeff_flipped_.resize(static_cast<size_t>(n));
+  const double* c = coeff_.data();
+  for (long i = 0; i < n; ++i)
+    coeff_flipped_[static_cast<size_t>(i)] = c[n - 1 - i];
 }
 
 void ConvolutionKernel::run_convolve() {
   const Tile& in = read_input("in");
   Tile result(1, 1);
-  double acc = 0.0;
-  for (int x = 0; x < width_; ++x)
-    for (int y = 0; y < height_; ++y)
-      acc += in.at(x, y) * coeff_.at(width_ - x - 1, height_ - y - 1);
-  result.at(0, 0) = acc;
+  // Row-major accumulation; the SIMD backends reassociate the reduction
+  // within the dot (ULP-bounded vs the scalar table, tests/test_simd.cpp).
+  result.at(0, 0) = simd::ops().dot(in.data(), coeff_flipped_.data(),
+                                    static_cast<int>(in.words()));
   write_output("out", std::move(result));
 }
 
 void ConvolutionKernel::load_coeff() {
   coeff_ = read_input("coeff");
+  flip_coeff();
   loaded_ = true;
 }
 

@@ -38,10 +38,12 @@ class ConvolutionKernel final : public Kernel {
  private:
   void run_convolve();
   void load_coeff();
+  void flip_coeff();
 
   int width_;
   int height_;
   Tile coeff_;
+  std::vector<double> coeff_flipped_;  ///< contiguous, both axes reversed
   bool loaded_ = false;
 };
 

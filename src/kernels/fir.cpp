@@ -2,11 +2,16 @@
 
 #include <cmath>
 
+#include "kernels/simd/simd.h"
+
 namespace bpp {
 
 FirDecimateKernel::FirDecimateKernel(std::string name, std::vector<double> taps,
                                      int decimate)
-    : Kernel(std::move(name)), taps_(std::move(taps)), decimate_(decimate) {
+    : Kernel(std::move(name)),
+      taps_(std::move(taps)),
+      taps_rev_(taps_.rbegin(), taps_.rend()),
+      decimate_(decimate) {
   if (taps_.empty()) throw GraphError(this->name() + ": FIR needs taps");
   if (decimate < 1) throw GraphError(this->name() + ": decimation must be >= 1");
 }
@@ -27,11 +32,8 @@ void FirDecimateKernel::configure() {
 
 void FirDecimateKernel::run() {
   const Tile& in = read_input("in");
-  double acc = 0.0;
-  const int t = taps();
-  for (int i = 0; i < t; ++i) acc += in.at(i, 0) * taps_[static_cast<size_t>(t - 1 - i)];
   Tile out(1, 1);
-  out.at(0, 0) = acc;
+  out.at(0, 0) = simd::ops().dot(in.data(), taps_rev_.data(), taps());
   write_output("out", std::move(out));
 }
 

@@ -33,6 +33,7 @@ class FirDecimateKernel final : public Kernel {
   void run();
 
   std::vector<double> taps_;
+  std::vector<double> taps_rev_;  ///< taps_ reversed: run() is a plain dot
   int decimate_;
 };
 

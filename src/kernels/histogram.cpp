@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "kernels/simd/simd.h"
+
 namespace bpp {
 
 HistogramKernel::HistogramKernel(std::string name, int bins)
@@ -68,9 +70,7 @@ Tile HistogramKernel::uniform_bins(int bins, double lo, double hi) {
 }
 
 int HistogramKernel::find_bin(double v) const {
-  for (int i = 0; i < bins_ - 1; ++i)
-    if (v < uppers_[static_cast<size_t>(i)]) return i;
-  return bins_ - 1;  // everything else lands in the last bin
+  return simd::ops().find_bin(v, uppers_.data(), bins_);
 }
 
 void HistogramKernel::count() {
@@ -129,7 +129,7 @@ void HistogramMergeKernel::on_upstream_parallelized(int input_idx, int factor) {
 
 void HistogramMergeKernel::merge() {
   const Tile& p = read_input("partial");
-  for (int i = 0; i < bins_; ++i) acc_[static_cast<size_t>(i)] += p.at(i, 0);
+  simd::ops().add(acc_.data(), p.data(), acc_.data(), bins_);
   if (++received_ < expected_) return;
   Tile out(bins_, 1);
   for (int i = 0; i < bins_; ++i) {

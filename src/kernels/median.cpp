@@ -1,8 +1,9 @@
 #include "kernels/median.h"
 
 #include <algorithm>
-#include <cmath>
 #include <vector>
+
+#include "kernels/simd/simd.h"
 
 namespace bpp {
 
@@ -14,7 +15,7 @@ MedianKernel::MedianKernel(std::string name, int width, int height)
 
 void MedianKernel::configure() {
   create_input("in", {width_, height_}, {1, 1},
-               {std::floor(width_ / 2.0), std::floor(height_ / 2.0)});
+               {static_cast<double>(width_ / 2), static_cast<double>(height_ / 2)});
   create_output("out", {1, 1});
   auto& run = register_method("runMedian",
                               Resources{run_cycles(width_, height_),
@@ -26,11 +27,17 @@ void MedianKernel::configure() {
 
 void MedianKernel::run_median() {
   const Tile& in = read_input("in");
-  std::vector<double> v(in.raw());
-  auto mid = v.begin() + static_cast<std::ptrdiff_t>(v.size() / 2);
-  std::nth_element(v.begin(), mid, v.end());
   Tile result(1, 1);
-  result.at(0, 0) = *mid;
+  if (in.words() == 9) {
+    // 3x3 is the common case: 19-exchange sorting network, same exchange
+    // sequence in every backend, so the result is bit-identical everywhere.
+    result.at(0, 0) = simd::ops().median9(in.data());
+  } else {
+    std::vector<double> v(in.data(), in.data() + in.words());
+    auto mid = v.begin() + static_cast<std::ptrdiff_t>(v.size() / 2);
+    std::nth_element(v.begin(), mid, v.end());
+    result.at(0, 0) = *mid;
+  }
   write_output("out", std::move(result));
 }
 

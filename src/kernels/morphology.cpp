@@ -1,7 +1,6 @@
 #include "kernels/morphology.h"
 
-#include <algorithm>
-#include <cmath>
+#include "kernels/simd/simd.h"
 
 namespace bpp {
 
@@ -14,7 +13,7 @@ MorphologyKernel::MorphologyKernel(std::string name, Op op, int width,
 
 void MorphologyKernel::configure() {
   create_input("in", {width_, height_}, {1, 1},
-               {std::floor(width_ / 2.0), std::floor(height_ / 2.0)});
+               {static_cast<double>(width_ / 2), static_cast<double>(height_ / 2)});
   create_output("out", {1, 1});
   auto& run = register_method(op_ == Op::Erode ? "erode" : "dilate",
                               Resources{run_cycles(width_, height_), 8},
@@ -25,12 +24,10 @@ void MorphologyKernel::configure() {
 
 void MorphologyKernel::run() {
   const Tile& in = read_input("in");
-  double v = in.at(0, 0);
-  for (int y = 0; y < height_; ++y)
-    for (int x = 0; x < width_; ++x)
-      v = op_ == Op::Erode ? std::min(v, in.at(x, y)) : std::max(v, in.at(x, y));
+  const int n = static_cast<int>(in.words());
   Tile out(1, 1);
-  out.at(0, 0) = v;
+  out.at(0, 0) = op_ == Op::Erode ? simd::ops().reduce_min(in.data(), n)
+                                  : simd::ops().reduce_max(in.data(), n);
   write_output("out", std::move(out));
 }
 

@@ -1,5 +1,6 @@
 #include "kernels/motion.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
@@ -43,8 +44,10 @@ void MotionEstimateKernel::estimate() {
   const Tile& blk = read_input("in");
   const int px = bx_ * block;
   const int py = by_ * block;
-  for (int y = 0; y < block; ++y)
-    for (int x = 0; x < block; ++x) cur_.at(px + x, py + y) = blk.at(x, y);
+  for (int y = 0; y < block; ++y) {
+    const double* src = blk.row_ptr(y);
+    std::copy(src, src + block, cur_.row_ptr(py + y) + px);
+  }
 
   long cycles = 20;
   double best = std::numeric_limits<double>::infinity();
@@ -60,9 +63,11 @@ void MotionEstimateKernel::estimate() {
           continue;
         cycles += candidate_cycles();
         double sad = 0.0;
-        for (int y = 0; y < block && sad < best; ++y)
-          for (int x = 0; x < block; ++x)
-            sad += std::abs(blk.at(x, y) - prev_.at(ox + x, oy + y));
+        for (int y = 0; y < block && sad < best; ++y) {
+          const double* b = blk.row_ptr(y);
+          const double* p = prev_.row_ptr(oy + y) + ox;
+          for (int x = 0; x < block; ++x) sad += std::abs(b[x] - p[x]);
+        }
         if (sad < best) {
           best = sad;
           best_dx = dx;

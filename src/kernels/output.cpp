@@ -1,5 +1,7 @@
 #include "kernels/output.h"
 
+#include <algorithm>
+
 namespace bpp {
 
 OutputKernel::OutputKernel(std::string name, Size2 item)
@@ -34,9 +36,11 @@ void OutputKernel::collect() {
   // (items of height > 1 tile the frame band by band).
   if (band_.size() < static_cast<size_t>(t.height()))
     band_.resize(static_cast<size_t>(t.height()));
-  for (int y = 0; y < t.height(); ++y)
-    for (int x = 0; x < t.width(); ++x)
-      band_[static_cast<size_t>(y)].push_back(t.at(x, y));
+  for (int y = 0; y < t.height(); ++y) {
+    const double* row = t.row_ptr(y);
+    band_[static_cast<size_t>(y)].insert(band_[static_cast<size_t>(y)].end(),
+                                         row, row + t.width());
+  }
 }
 
 void OutputKernel::on_eol() {
@@ -57,8 +61,8 @@ void OutputKernel::on_eof() {
   if (rect && w > 0) {
     Tile frame(static_cast<int>(w), static_cast<int>(rows_.size()));
     for (size_t y = 0; y < rows_.size(); ++y)
-      for (size_t x = 0; x < w; ++x)
-        frame.at(static_cast<int>(x), static_cast<int>(y)) = rows_[y][x];
+      std::copy(rows_[y].begin(), rows_[y].end(),
+                frame.row_ptr(static_cast<int>(y)));
     frames_.push_back(std::move(frame));
   }
   rows_.clear();

@@ -22,8 +22,10 @@ void DownsampleKernel::configure() {
 void DownsampleKernel::run() {
   const Tile& in = read_input("in");
   double sum = 0.0;
-  for (int y = 0; y < factor_; ++y)
-    for (int x = 0; x < factor_; ++x) sum += in.at(x, y);
+  for (int y = 0; y < factor_; ++y) {
+    const double* row = in.row_ptr(y);
+    for (int x = 0; x < factor_; ++x) sum += row[x];
+  }
   Tile out(1, 1);
   out.at(0, 0) = sum / (factor_ * factor_);
   write_output("out", std::move(out));

@@ -1,0 +1,134 @@
+// Runtime CPU dispatch: pick the widest supported table at startup,
+// honor the BPP_ISA environment variable, and let tools (bpc --isa,
+// bpp_fuzz --isa) re-select for A/B testing.
+
+#include "kernels/simd/simd.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace bpp::simd {
+
+const Ops* ops_table_scalar();
+#if defined(__x86_64__) || defined(_M_X64)
+const Ops* ops_table_sse2();
+const Ops* ops_table_avx2();
+#endif
+#if defined(__aarch64__)
+const Ops* ops_table_neon();
+#endif
+
+bool supported(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return true;
+#if defined(__x86_64__) || defined(_M_X64)
+    case Isa::kSse2:
+      return true;  // x86-64 baseline
+    case Isa::kAvx2:
+#if defined(__GNUC__) || defined(__clang__)
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+      return false;
+#endif
+    case Isa::kNeon:
+      return false;
+#elif defined(__aarch64__)
+    case Isa::kNeon:
+      return true;  // aarch64 baseline
+    case Isa::kSse2:
+    case Isa::kAvx2:
+      return false;
+#else
+    default:
+      return false;
+#endif
+  }
+  return false;
+}
+
+Isa detect_best() {
+#if defined(__x86_64__) || defined(_M_X64)
+  if (supported(Isa::kAvx2)) return Isa::kAvx2;
+  return Isa::kSse2;
+#elif defined(__aarch64__)
+  return Isa::kNeon;
+#else
+  return Isa::kScalar;
+#endif
+}
+
+const Ops& ops_for(Isa isa) {
+  switch (isa) {
+#if defined(__x86_64__) || defined(_M_X64)
+    case Isa::kSse2:
+      return *ops_table_sse2();
+    case Isa::kAvx2:
+      return *ops_table_avx2();
+#endif
+#if defined(__aarch64__)
+    case Isa::kNeon:
+      return *ops_table_neon();
+#endif
+    default:
+      return *ops_table_scalar();
+  }
+}
+
+const char* isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kSse2:
+      return "sse2";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kNeon:
+      return "neon";
+  }
+  return "scalar";
+}
+
+std::optional<Isa> isa_from_name(std::string_view name) {
+  if (name == "scalar") return Isa::kScalar;
+  if (name == "sse2") return Isa::kSse2;
+  if (name == "avx2") return Isa::kAvx2;
+  if (name == "neon") return Isa::kNeon;
+  if (name == "native") return detect_best();
+  return std::nullopt;
+}
+
+namespace {
+
+const Ops* initial_table() {
+  if (const char* env = std::getenv("BPP_ISA")) {
+    const std::optional<Isa> isa = isa_from_name(env);
+    if (isa && supported(*isa)) return &ops_for(*isa);
+    std::fprintf(stderr,
+                 "bpp: BPP_ISA=%s is %s on this machine; using %s\n", env,
+                 isa ? "not supported" : "not a known ISA",
+                 isa_name(detect_best()));
+  }
+  return &ops_for(detect_best());
+}
+
+std::atomic<const Ops*>& active_slot() {
+  static std::atomic<const Ops*> slot{initial_table()};
+  return slot;
+}
+
+}  // namespace
+
+const Ops& ops() { return *active_slot().load(std::memory_order_relaxed); }
+
+Isa active_isa() { return ops().isa; }
+
+bool set_isa(Isa isa) {
+  if (!supported(isa)) return false;
+  active_slot().store(&ops_for(isa), std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace bpp::simd

@@ -1,0 +1,55 @@
+// AVX2+FMA backend: 4 doubles per lane. This TU is compiled with
+// -mavx2 -mfma (see CMakeLists.txt) and is only ever *executed* after
+// runtime detection confirms the host supports both.
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "kernels/simd/simd.h"
+
+namespace bpp::simd {
+namespace {
+
+struct VT {
+  static constexpr int W = 4;
+  using reg = __m256d;
+  static reg loadu(const double* p) { return _mm256_loadu_pd(p); }
+  static void storeu(double* p, reg v) { _mm256_storeu_pd(p, v); }
+  static reg bcast(double x) { return _mm256_set1_pd(x); }
+  static reg zero() { return _mm256_setzero_pd(); }
+  static reg add(reg a, reg b) { return _mm256_add_pd(a, b); }
+  static reg sub(reg a, reg b) { return _mm256_sub_pd(a, b); }
+  static reg mul(reg a, reg b) { return _mm256_mul_pd(a, b); }
+  static reg min(reg a, reg b) { return _mm256_min_pd(a, b); }
+  static reg max(reg a, reg b) { return _mm256_max_pd(a, b); }
+  static reg fmadd(reg a, reg b, reg acc) { return _mm256_fmadd_pd(a, b, acc); }
+  static reg abs(reg v) {
+    return _mm256_andnot_pd(_mm256_set1_pd(-0.0), v);
+  }
+  static reg cmp_gt(reg a, reg b) { return _mm256_cmp_pd(a, b, _CMP_GT_OQ); }
+  static reg cmp_lt(reg a, reg b) { return _mm256_cmp_pd(a, b, _CMP_LT_OQ); }
+  static reg select(reg mask, reg x, reg y) {
+    return _mm256_blendv_pd(y, x, mask);
+  }
+  static int movemask(reg v) { return _mm256_movemask_pd(v); }
+  static double lane(reg v, int i) {
+    alignas(32) double t[4];
+    _mm256_store_pd(t, v);
+    return t[i];
+  }
+};
+
+}  // namespace
+}  // namespace bpp::simd
+
+#define BPP_SIMD_ISA_ENUM Isa::kAvx2
+#define BPP_SIMD_ISA_NAME "avx2"
+#define BPP_SIMD_TABLE_FN ops_table_avx2
+
+#include "kernels/simd/vec_ops.inl"
+
+#endif  // x86-64

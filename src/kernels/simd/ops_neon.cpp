@@ -1,0 +1,59 @@
+// NEON backend: 2 doubles per lane. Advanced SIMD with double-precision
+// arithmetic is part of the aarch64 baseline, so no special compile flags
+// and always executable on aarch64 hosts.
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "kernels/simd/simd.h"
+
+namespace bpp::simd {
+namespace {
+
+struct VT {
+  static constexpr int W = 2;
+  using reg = float64x2_t;
+  static reg loadu(const double* p) { return vld1q_f64(p); }
+  static void storeu(double* p, reg v) { vst1q_f64(p, v); }
+  static reg bcast(double x) { return vdupq_n_f64(x); }
+  static reg zero() { return vdupq_n_f64(0.0); }
+  static reg add(reg a, reg b) { return vaddq_f64(a, b); }
+  static reg sub(reg a, reg b) { return vsubq_f64(a, b); }
+  static reg mul(reg a, reg b) { return vmulq_f64(a, b); }
+  static reg min(reg a, reg b) { return vminq_f64(a, b); }
+  static reg max(reg a, reg b) { return vmaxq_f64(a, b); }
+  static reg fmadd(reg a, reg b, reg acc) { return vfmaq_f64(acc, a, b); }
+  static reg abs(reg v) { return vabsq_f64(v); }
+  static reg cmp_gt(reg a, reg b) {
+    return vreinterpretq_f64_u64(vcgtq_f64(a, b));
+  }
+  static reg cmp_lt(reg a, reg b) {
+    return vreinterpretq_f64_u64(vcltq_f64(a, b));
+  }
+  static reg select(reg mask, reg x, reg y) {
+    return vbslq_f64(vreinterpretq_u64_f64(mask), x, y);
+  }
+  static int movemask(reg v) {
+    const uint64x2_t m = vreinterpretq_u64_f64(v);
+    return static_cast<int>(vgetq_lane_u64(m, 0) >> 63) |
+           static_cast<int>((vgetq_lane_u64(m, 1) >> 63) << 1);
+  }
+  static double lane(reg v, int i) {
+    return i == 0 ? vgetq_lane_f64(v, 0) : vgetq_lane_f64(v, 1);
+  }
+};
+
+}  // namespace
+}  // namespace bpp::simd
+
+#define BPP_SIMD_ISA_ENUM Isa::kNeon
+#define BPP_SIMD_ISA_NAME "neon"
+#define BPP_SIMD_TABLE_FN ops_table_neon
+
+#include "kernels/simd/vec_ops.inl"
+
+#endif  // aarch64

@@ -1,0 +1,208 @@
+// Scalar table: portable straight-line implementations of every
+// primitive, in the exact accumulation order the paired equivalence tests
+// and the fuzz harness treat as ground truth. Compiled unconditionally on
+// every architecture.
+
+#include <algorithm>
+#include <cmath>
+
+#include "kernels/simd/simd.h"
+
+namespace bpp::simd {
+namespace {
+
+double dot_scalar(const double* a, const double* b, int n) {
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+void conv2d_scalar(const double* in, int in_stride, const double* kflip,
+                   int kw, int kh, double* out, int out_stride, int out_w,
+                   int out_h) {
+  for (int oy = 0; oy < out_h; ++oy)
+    for (int ox = 0; ox < out_w; ++ox) {
+      double acc = 0.0;
+      for (int ky = 0; ky < kh; ++ky) {
+        const double* row = in + static_cast<long>(oy + ky) * in_stride + ox;
+        const double* krow = kflip + static_cast<long>(ky) * kw;
+        for (int kx = 0; kx < kw; ++kx) acc += row[kx] * krow[kx];
+      }
+      out[static_cast<long>(oy) * out_stride + ox] = acc;
+    }
+}
+
+double reduce_min_scalar(const double* p, int n) {
+  double v = p[0];
+  for (int i = 1; i < n; ++i) v = std::min(v, p[i]);
+  return v;
+}
+
+double reduce_max_scalar(const double* p, int n) {
+  double v = p[0];
+  for (int i = 1; i < n; ++i) v = std::max(v, p[i]);
+  return v;
+}
+
+template <bool kErode>
+void morph2d_scalar(const double* in, int in_stride, int kw, int kh,
+                    double* out, int out_stride, int out_w, int out_h) {
+  for (int oy = 0; oy < out_h; ++oy)
+    for (int ox = 0; ox < out_w; ++ox) {
+      double v = in[static_cast<long>(oy) * in_stride + ox];
+      for (int ky = 0; ky < kh; ++ky) {
+        const double* row = in + static_cast<long>(oy + ky) * in_stride + ox;
+        for (int kx = 0; kx < kw; ++kx)
+          v = kErode ? std::min(v, row[kx]) : std::max(v, row[kx]);
+      }
+      out[static_cast<long>(oy) * out_stride + ox] = v;
+    }
+}
+
+void erode2d_scalar(const double* in, int in_stride, int kw, int kh,
+                    double* out, int out_stride, int out_w, int out_h) {
+  morph2d_scalar<true>(in, in_stride, kw, kh, out, out_stride, out_w, out_h);
+}
+
+void dilate2d_scalar(const double* in, int in_stride, int kw, int kh,
+                     double* out, int out_stride, int out_w, int out_h) {
+  morph2d_scalar<false>(in, in_stride, kw, kh, out, out_stride, out_w, out_h);
+}
+
+inline void sort2(double& a, double& b) {
+  const double lo = std::min(a, b);
+  b = std::max(a, b);
+  a = lo;
+}
+
+// Median of 9 in 19 compare-exchanges (the classic median-selection
+// network). The same exchange sequence runs lane-parallel in the vector
+// backends, so scalar and SIMD agree bitwise.
+double median9_scalar(const double* p) {
+  double v0 = p[0], v1 = p[1], v2 = p[2], v3 = p[3], v4 = p[4], v5 = p[5],
+         v6 = p[6], v7 = p[7], v8 = p[8];
+  sort2(v1, v2);
+  sort2(v4, v5);
+  sort2(v7, v8);
+  sort2(v0, v1);
+  sort2(v3, v4);
+  sort2(v6, v7);
+  sort2(v1, v2);
+  sort2(v4, v5);
+  sort2(v7, v8);
+  sort2(v0, v3);
+  sort2(v5, v8);
+  sort2(v4, v7);
+  sort2(v3, v6);
+  sort2(v1, v4);
+  sort2(v2, v5);
+  sort2(v4, v7);
+  sort2(v4, v2);
+  sort2(v6, v4);
+  sort2(v4, v2);
+  return v4;
+}
+
+void median3x3_2d_scalar(const double* in, int in_stride, double* out,
+                         int out_stride, int out_w, int out_h) {
+  for (int oy = 0; oy < out_h; ++oy)
+    for (int ox = 0; ox < out_w; ++ox) {
+      const double* r0 = in + static_cast<long>(oy) * in_stride + ox;
+      const double* r1 = r0 + in_stride;
+      const double* r2 = r1 + in_stride;
+      const double win[9] = {r0[0], r0[1], r0[2], r1[0], r1[1],
+                             r1[2], r2[0], r2[1], r2[2]};
+      out[static_cast<long>(oy) * out_stride + ox] = median9_scalar(win);
+    }
+}
+
+void sobel2d_scalar(const double* in, int in_stride, double* out,
+                    int out_stride, int out_w, int out_h) {
+  for (int oy = 0; oy < out_h; ++oy) {
+    const double* r0 = in + static_cast<long>(oy) * in_stride;
+    const double* r1 = r0 + in_stride;
+    const double* r2 = r1 + in_stride;
+    for (int ox = 0; ox < out_w; ++ox) {
+      // Column sums T(c) = ((r0[c] + 2*r1[c]) + r2[c]) and row sums
+      // U(r) = ((r[ox] + 2*r[ox+1]) + r[ox+2]) in the same association as
+      // SobelKernel::gradient_magnitude.
+      const double gx = (r0[ox + 2] + 2 * r1[ox + 2] + r2[ox + 2]) -
+                        (r0[ox] + 2 * r1[ox] + r2[ox]);
+      const double gy = (r2[ox] + 2 * r2[ox + 1] + r2[ox + 2]) -
+                        (r0[ox] + 2 * r0[ox + 1] + r0[ox + 2]);
+      out[static_cast<long>(oy) * out_stride + ox] =
+          std::abs(gx) + std::abs(gy);
+    }
+  }
+}
+
+void add_scalar(const double* a, const double* b, double* out, int n) {
+  for (int i = 0; i < n; ++i) out[i] = a[i] + b[i];
+}
+void sub_scalar(const double* a, const double* b, double* out, int n) {
+  for (int i = 0; i < n; ++i) out[i] = a[i] - b[i];
+}
+void mul_scalar(const double* a, const double* b, double* out, int n) {
+  for (int i = 0; i < n; ++i) out[i] = a[i] * b[i];
+}
+void absdiff_scalar(const double* a, const double* b, double* out, int n) {
+  for (int i = 0; i < n; ++i) out[i] = std::abs(a[i] - b[i]);
+}
+void abs1_scalar(const double* a, double* out, int n) {
+  for (int i = 0; i < n; ++i) out[i] = std::abs(a[i]);
+}
+void scale_scalar(const double* a, double* out, int n, double s, double b) {
+  for (int i = 0; i < n; ++i) out[i] = s * a[i] + b;
+}
+void threshold_scalar(const double* a, double* out, int n, double level) {
+  for (int i = 0; i < n; ++i) out[i] = a[i] > level ? 1.0 : 0.0;
+}
+void clamp_scalar(const double* a, double* out, int n, double lo, double hi) {
+  for (int i = 0; i < n; ++i) out[i] = std::clamp(a[i], lo, hi);
+}
+
+int find_bin_scalar(double v, const double* uppers, int bins) {
+  for (int i = 0; i < bins - 1; ++i)
+    if (v < uppers[i]) return i;
+  return bins - 1;
+}
+
+void histogram2d_scalar(const double* in, int in_stride, int w, int h,
+                        const double* uppers, int bins, long* counts) {
+  for (int y = 0; y < h; ++y) {
+    const double* row = in + static_cast<long>(y) * in_stride;
+    for (int x = 0; x < w; ++x)
+      ++counts[find_bin_scalar(row[x], uppers, bins)];
+  }
+}
+
+}  // namespace
+
+const Ops* ops_table_scalar() {
+  static const Ops table = {
+      Isa::kScalar,
+      "scalar",
+      dot_scalar,
+      conv2d_scalar,
+      reduce_min_scalar,
+      reduce_max_scalar,
+      erode2d_scalar,
+      dilate2d_scalar,
+      median9_scalar,
+      median3x3_2d_scalar,
+      sobel2d_scalar,
+      add_scalar,
+      sub_scalar,
+      mul_scalar,
+      absdiff_scalar,
+      abs1_scalar,
+      scale_scalar,
+      threshold_scalar,
+      clamp_scalar,
+      find_bin_scalar,
+      histogram2d_scalar,
+  };
+  return &table;
+}
+
+}  // namespace bpp::simd

@@ -1,0 +1,58 @@
+// SSE2 backend: 2 doubles per lane. SSE2 is part of the x86-64 baseline,
+// so this TU needs no special compile flags and is always executable on
+// x86-64 hosts — it is the portable "some SIMD" floor the AVX2 table
+// falls back to.
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <emmintrin.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "kernels/simd/simd.h"
+
+namespace bpp::simd {
+namespace {
+
+struct VT {
+  static constexpr int W = 2;
+  using reg = __m128d;
+  static reg loadu(const double* p) { return _mm_loadu_pd(p); }
+  static void storeu(double* p, reg v) { _mm_storeu_pd(p, v); }
+  static reg bcast(double x) { return _mm_set1_pd(x); }
+  static reg zero() { return _mm_setzero_pd(); }
+  static reg add(reg a, reg b) { return _mm_add_pd(a, b); }
+  static reg sub(reg a, reg b) { return _mm_sub_pd(a, b); }
+  static reg mul(reg a, reg b) { return _mm_mul_pd(a, b); }
+  static reg min(reg a, reg b) { return _mm_min_pd(a, b); }
+  static reg max(reg a, reg b) { return _mm_max_pd(a, b); }
+  // No FMA below AVX2: plain mul + add (still reassociates the dot
+  // reduction, hence the shared ULP bound).
+  static reg fmadd(reg a, reg b, reg acc) {
+    return _mm_add_pd(_mm_mul_pd(a, b), acc);
+  }
+  static reg abs(reg v) { return _mm_andnot_pd(_mm_set1_pd(-0.0), v); }
+  static reg cmp_gt(reg a, reg b) { return _mm_cmpgt_pd(a, b); }
+  static reg cmp_lt(reg a, reg b) { return _mm_cmplt_pd(a, b); }
+  static reg select(reg mask, reg x, reg y) {
+    return _mm_or_pd(_mm_and_pd(mask, x), _mm_andnot_pd(mask, y));
+  }
+  static int movemask(reg v) { return _mm_movemask_pd(v); }
+  static double lane(reg v, int i) {
+    alignas(16) double t[2];
+    _mm_store_pd(t, v);
+    return t[i];
+  }
+};
+
+}  // namespace
+}  // namespace bpp::simd
+
+#define BPP_SIMD_ISA_ENUM Isa::kSse2
+#define BPP_SIMD_ISA_NAME "sse2"
+#define BPP_SIMD_TABLE_FN ops_table_sse2
+
+#include "kernels/simd/vec_ops.inl"
+
+#endif  // x86-64

@@ -1,0 +1,114 @@
+#pragma once
+// Runtime-dispatched SIMD backend for the hot kernel inner loops.
+//
+// The kernel library calls through a per-ISA table of raw-pointer
+// primitives (`ops()`), selected once at startup by CPU detection and
+// overridable for A/B testing with the BPP_ISA environment variable or
+// `bpc --isa`. The scalar table is always compiled and is the golden
+// reference: every vectorized primitive is either bit-exact against it
+// (min/max, elementwise, sorting networks, histograms) or ULP-bounded
+// where summation reassociation is unavoidable (dot products and
+// convolution — the bound is asserted in tests/test_simd.cpp).
+//
+// Pointer contract: `in`/`a`/`b` spans may be *read* up to one vector
+// width (8 doubles, Tile::kPadDoubles) past their end — Tile's padded
+// allocation guarantees this for tile rows. Output spans are never
+// written past their end; vector tails fall back to scalar code.
+
+#include <optional>
+#include <string_view>
+
+namespace bpp::simd {
+
+enum class Isa {
+  kScalar = 0,  ///< portable straight-line loops (always available)
+  kSse2,        ///< x86-64 baseline, 2 doubles/lane
+  kAvx2,        ///< AVX2+FMA, 4 doubles/lane
+  kNeon,        ///< aarch64 baseline, 2 doubles/lane
+};
+
+/// Per-ISA primitive table. All geometry parameters are in doubles
+/// (elements), not bytes; strides are row-to-row element counts.
+struct Ops {
+  Isa isa;
+  const char* name;
+
+  // --- dot products (ULP-bounded under SIMD: partial accumulators and
+  // FMA reassociate the reduction) ---
+
+  /// sum_i a[i] * b[i].
+  double (*dot)(const double* a, const double* b, int n);
+  /// Valid-mode 2-D correlation with a pre-flipped kernel: for each output
+  /// (ox, oy), sum over (kx, ky) of in[(oy+ky)*in_stride + ox+kx] *
+  /// kflip[ky*kw + kx]. Row-major accumulation order in the scalar table.
+  void (*conv2d)(const double* in, int in_stride, const double* kflip, int kw,
+                 int kh, double* out, int out_stride, int out_w, int out_h);
+
+  // --- bit-exact window reductions ---
+
+  double (*reduce_min)(const double* p, int n);
+  double (*reduce_max)(const double* p, int n);
+  /// Valid-mode sliding-window min/max (morphological erode/dilate).
+  void (*erode2d)(const double* in, int in_stride, int kw, int kh, double* out,
+                  int out_stride, int out_w, int out_h);
+  void (*dilate2d)(const double* in, int in_stride, int kw, int kh,
+                   double* out, int out_stride, int out_w, int out_h);
+  /// Median of 9 contiguous values (19-exchange sorting network).
+  double (*median9)(const double* p);
+  /// Valid-mode 3x3 median over a frame (sorting network per output).
+  void (*median3x3_2d)(const double* in, int in_stride, double* out,
+                       int out_stride, int out_w, int out_h);
+  /// Valid-mode Sobel |gx| + |gy| (SobelKernel::gradient_magnitude).
+  void (*sobel2d)(const double* in, int in_stride, double* out, int out_stride,
+                  int out_w, int out_h);
+
+  // --- bit-exact elementwise over contiguous spans ---
+
+  void (*add)(const double* a, const double* b, double* out, int n);
+  void (*sub)(const double* a, const double* b, double* out, int n);
+  void (*mul)(const double* a, const double* b, double* out, int n);
+  void (*absdiff)(const double* a, const double* b, double* out, int n);
+  void (*abs1)(const double* a, double* out, int n);
+  /// out[i] = s * a[i] + b — explicit mul-then-add, never fused, so the
+  /// result matches the scalar expression under -ffp-contract=off.
+  void (*scale)(const double* a, double* out, int n, double s, double b);
+  void (*threshold)(const double* a, double* out, int n, double level);
+  void (*clamp)(const double* a, double* out, int n, double lo, double hi);
+
+  // --- histogram (bit-exact: first-match semantics, integer counts) ---
+
+  /// First i in [0, bins-1) with v < uppers[i], else bins-1. Exact
+  /// first-match even for unsorted bin bounds. Never reads past
+  /// uppers[bins-1].
+  int (*find_bin)(double v, const double* uppers, int bins);
+  /// Bin counts over a w x h region (counts must hold `bins` zeros or
+  /// running totals; increments only).
+  void (*histogram2d)(const double* in, int in_stride, int w, int h,
+                      const double* uppers, int bins, long* counts);
+};
+
+/// True when this machine can execute `isa`.
+[[nodiscard]] bool supported(Isa isa);
+
+/// The widest ISA this machine supports (cpuid-style detection).
+[[nodiscard]] Isa detect_best();
+
+/// Table for a specific ISA; `isa` must be supported().
+[[nodiscard]] const Ops& ops_for(Isa isa);
+
+/// The active table: detect_best() at startup, unless the BPP_ISA
+/// environment variable (scalar|sse2|avx2|neon|native) or set_isa()
+/// overrides it. Safe to call from any thread.
+[[nodiscard]] const Ops& ops();
+[[nodiscard]] Isa active_isa();
+
+/// Select the active table. Returns false (and changes nothing) when the
+/// ISA is not supported on this machine.
+bool set_isa(Isa isa);
+
+/// Parse an ISA name ("scalar", "sse2", "avx2", "neon", or "native" for
+/// detect_best()). Returns nullopt for unknown names.
+[[nodiscard]] std::optional<Isa> isa_from_name(std::string_view name);
+[[nodiscard]] const char* isa_name(Isa isa);
+
+}  // namespace bpp::simd

@@ -1,0 +1,416 @@
+// Single-source vector implementations of the Ops table, instantiated
+// once per ISA translation unit. The including TU must define, before
+// including this file, a struct named `VT` with:
+//
+//   static constexpr int W;            // lanes (doubles per register)
+//   using reg = ...;                   // vector register type
+//   static reg  loadu(const double*);  // unaligned load of W doubles
+//   static void storeu(double*, reg);
+//   static reg  bcast(double);
+//   static reg  zero();
+//   static reg  add(reg, reg), sub(reg, reg), mul(reg, reg);
+//   static reg  min(reg, reg), max(reg, reg);
+//   static reg  fmadd(reg a, reg b, reg acc);   // a*b + acc (fused ok)
+//   static reg  abs(reg);
+//   static reg  cmp_gt(reg a, reg b);  // lanewise a > b ? ~0 : 0
+//   static reg  cmp_lt(reg a, reg b);  // lanewise a < b ? ~0 : 0
+//   static reg  select(reg mask, reg x, reg y);  // mask ? x : y
+//   static int  movemask(reg);         // lane sign bits, bit i = lane i
+//   static double lane(reg, int i);    // extract lane i
+//
+// and BPP_SIMD_ISA_ENUM / BPP_SIMD_ISA_NAME / BPP_SIMD_TABLE_FN macros.
+//
+// Reduction-order policy: dot/conv2d use FMA and multiple accumulators
+// (ULP-bounded vs scalar); everything else reproduces the scalar table's
+// operations lane-parallel and is bit-exact. Input spans may be over-read
+// by one vector width per the Tile padding contract, except where noted;
+// outputs are never over-written (scalar tails).
+
+namespace bpp::simd {
+namespace {
+
+using R = typename VT::reg;
+constexpr int W = VT::W;
+
+// Sequential in-order sum of the lanes (deterministic reduction order).
+inline double hsum_inorder(R v) {
+  double s = VT::lane(v, 0);
+  for (int i = 1; i < W; ++i) s += VT::lane(v, i);
+  return s;
+}
+
+double dot_vec(const double* a, const double* b, int n) {
+  R acc0 = VT::zero();
+  R acc1 = VT::zero();
+  int i = 0;
+  for (; i + 2 * W <= n; i += 2 * W) {
+    acc0 = VT::fmadd(VT::loadu(a + i), VT::loadu(b + i), acc0);
+    acc1 = VT::fmadd(VT::loadu(a + i + W), VT::loadu(b + i + W), acc1);
+  }
+  for (; i + W <= n; i += W)
+    acc0 = VT::fmadd(VT::loadu(a + i), VT::loadu(b + i), acc0);
+  double s = hsum_inorder(VT::add(acc0, acc1));
+  for (; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+double conv_tail_scalar(const double* in, int in_stride, const double* kflip,
+                        int kw, int kh) {
+  double acc = 0.0;
+  for (int ky = 0; ky < kh; ++ky) {
+    const double* row = in + static_cast<long>(ky) * in_stride;
+    const double* krow = kflip + static_cast<long>(ky) * kw;
+    for (int kx = 0; kx < kw; ++kx) acc += row[kx] * krow[kx];
+  }
+  return acc;
+}
+
+void conv2d_vec(const double* in, int in_stride, const double* kflip, int kw,
+                int kh, double* out, int out_stride, int out_w, int out_h) {
+  for (int oy = 0; oy < out_h; ++oy) {
+    double* orow = out + static_cast<long>(oy) * out_stride;
+    int ox = 0;
+    // W outputs at a time: broadcast each kernel coefficient against W
+    // shifted input pixels. Loads may overhang the row by up to W-1
+    // doubles (covered by the Tile padding contract).
+    for (; ox + W <= out_w; ox += W) {
+      R acc = VT::zero();
+      for (int ky = 0; ky < kh; ++ky) {
+        const double* row = in + static_cast<long>(oy + ky) * in_stride + ox;
+        const double* krow = kflip + static_cast<long>(ky) * kw;
+        for (int kx = 0; kx < kw; ++kx)
+          acc = VT::fmadd(VT::loadu(row + kx), VT::bcast(krow[kx]), acc);
+      }
+      VT::storeu(orow + ox, acc);
+    }
+    for (; ox < out_w; ++ox)
+      orow[ox] = conv_tail_scalar(in + static_cast<long>(oy) * in_stride + ox,
+                                  in_stride, kflip, kw, kh);
+  }
+}
+
+double reduce_min_vec(const double* p, int n) {
+  if (n < 2 * W) {
+    double v = p[0];
+    for (int i = 1; i < n; ++i) v = std::min(v, p[i]);
+    return v;
+  }
+  R acc = VT::loadu(p);
+  int i = W;
+  for (; i + W <= n; i += W) acc = VT::min(acc, VT::loadu(p + i));
+  double v = VT::lane(acc, 0);
+  for (int l = 1; l < W; ++l) v = std::min(v, VT::lane(acc, l));
+  for (; i < n; ++i) v = std::min(v, p[i]);
+  return v;
+}
+
+double reduce_max_vec(const double* p, int n) {
+  if (n < 2 * W) {
+    double v = p[0];
+    for (int i = 1; i < n; ++i) v = std::max(v, p[i]);
+    return v;
+  }
+  R acc = VT::loadu(p);
+  int i = W;
+  for (; i + W <= n; i += W) acc = VT::max(acc, VT::loadu(p + i));
+  double v = VT::lane(acc, 0);
+  for (int l = 1; l < W; ++l) v = std::max(v, VT::lane(acc, l));
+  for (; i < n; ++i) v = std::max(v, p[i]);
+  return v;
+}
+
+template <bool kErode>
+void morph2d_vec(const double* in, int in_stride, int kw, int kh, double* out,
+                 int out_stride, int out_w, int out_h) {
+  for (int oy = 0; oy < out_h; ++oy) {
+    double* orow = out + static_cast<long>(oy) * out_stride;
+    int ox = 0;
+    for (; ox + W <= out_w; ox += W) {
+      R acc = VT::loadu(in + static_cast<long>(oy) * in_stride + ox);
+      for (int ky = 0; ky < kh; ++ky) {
+        const double* row = in + static_cast<long>(oy + ky) * in_stride + ox;
+        for (int kx = 0; kx < kw; ++kx) {
+          const R v = VT::loadu(row + kx);
+          acc = kErode ? VT::min(acc, v) : VT::max(acc, v);
+        }
+      }
+      VT::storeu(orow + ox, acc);
+    }
+    for (; ox < out_w; ++ox) {
+      double v = in[static_cast<long>(oy) * in_stride + ox];
+      for (int ky = 0; ky < kh; ++ky) {
+        const double* row = in + static_cast<long>(oy + ky) * in_stride + ox;
+        for (int kx = 0; kx < kw; ++kx)
+          v = kErode ? std::min(v, row[kx]) : std::max(v, row[kx]);
+      }
+      orow[ox] = v;
+    }
+  }
+}
+
+void erode2d_vec(const double* in, int in_stride, int kw, int kh, double* out,
+                 int out_stride, int out_w, int out_h) {
+  morph2d_vec<true>(in, in_stride, kw, kh, out, out_stride, out_w, out_h);
+}
+
+void dilate2d_vec(const double* in, int in_stride, int kw, int kh, double* out,
+                  int out_stride, int out_w, int out_h) {
+  morph2d_vec<false>(in, in_stride, kw, kh, out, out_stride, out_w, out_h);
+}
+
+inline void vsort2(R& a, R& b) {
+  const R lo = VT::min(a, b);
+  b = VT::max(a, b);
+  a = lo;
+}
+
+// The scalar table's 19-exchange network, lane-parallel.
+template <class Reg>
+inline Reg median9_net(Reg v0, Reg v1, Reg v2, Reg v3, Reg v4, Reg v5, Reg v6,
+                       Reg v7, Reg v8) {
+  vsort2(v1, v2);
+  vsort2(v4, v5);
+  vsort2(v7, v8);
+  vsort2(v0, v1);
+  vsort2(v3, v4);
+  vsort2(v6, v7);
+  vsort2(v1, v2);
+  vsort2(v4, v5);
+  vsort2(v7, v8);
+  vsort2(v0, v3);
+  vsort2(v5, v8);
+  vsort2(v4, v7);
+  vsort2(v3, v6);
+  vsort2(v1, v4);
+  vsort2(v2, v5);
+  vsort2(v4, v7);
+  vsort2(v4, v2);
+  vsort2(v6, v4);
+  vsort2(v4, v2);
+  return v4;
+}
+
+inline void ssort2(double& a, double& b) {
+  const double lo = std::min(a, b);
+  b = std::max(a, b);
+  a = lo;
+}
+
+double median9_one(const double* p) {
+  double v0 = p[0], v1 = p[1], v2 = p[2], v3 = p[3], v4 = p[4], v5 = p[5],
+         v6 = p[6], v7 = p[7], v8 = p[8];
+  ssort2(v1, v2);
+  ssort2(v4, v5);
+  ssort2(v7, v8);
+  ssort2(v0, v1);
+  ssort2(v3, v4);
+  ssort2(v6, v7);
+  ssort2(v1, v2);
+  ssort2(v4, v5);
+  ssort2(v7, v8);
+  ssort2(v0, v3);
+  ssort2(v5, v8);
+  ssort2(v4, v7);
+  ssort2(v3, v6);
+  ssort2(v1, v4);
+  ssort2(v2, v5);
+  ssort2(v4, v7);
+  ssort2(v4, v2);
+  ssort2(v6, v4);
+  ssort2(v4, v2);
+  return v4;
+}
+
+void median3x3_2d_vec(const double* in, int in_stride, double* out,
+                      int out_stride, int out_w, int out_h) {
+  for (int oy = 0; oy < out_h; ++oy) {
+    const double* r0 = in + static_cast<long>(oy) * in_stride;
+    const double* r1 = r0 + in_stride;
+    const double* r2 = r1 + in_stride;
+    double* orow = out + static_cast<long>(oy) * out_stride;
+    int ox = 0;
+    for (; ox + W <= out_w; ox += W) {
+      const R m = median9_net(VT::loadu(r0 + ox), VT::loadu(r0 + ox + 1),
+                              VT::loadu(r0 + ox + 2), VT::loadu(r1 + ox),
+                              VT::loadu(r1 + ox + 1), VT::loadu(r1 + ox + 2),
+                              VT::loadu(r2 + ox), VT::loadu(r2 + ox + 1),
+                              VT::loadu(r2 + ox + 2));
+      VT::storeu(orow + ox, m);
+    }
+    for (; ox < out_w; ++ox) {
+      const double win[9] = {r0[ox], r0[ox + 1], r0[ox + 2],
+                             r1[ox], r1[ox + 1], r1[ox + 2],
+                             r2[ox], r2[ox + 1], r2[ox + 2]};
+      orow[ox] = median9_one(win);
+    }
+  }
+}
+
+void sobel2d_vec(const double* in, int in_stride, double* out, int out_stride,
+                 int out_w, int out_h) {
+  const R two = VT::bcast(2.0);
+  for (int oy = 0; oy < out_h; ++oy) {
+    const double* r0 = in + static_cast<long>(oy) * in_stride;
+    const double* r1 = r0 + in_stride;
+    const double* r2 = r1 + in_stride;
+    double* orow = out + static_cast<long>(oy) * out_stride;
+    int ox = 0;
+    for (; ox + W <= out_w; ox += W) {
+      // Column sums T(c) = (r0[c] + 2*r1[c]) + r2[c]: explicit mul+add,
+      // same association as the scalar table (bit-exact, no FMA).
+      const R t0 = VT::add(VT::add(VT::loadu(r0 + ox),
+                                   VT::mul(two, VT::loadu(r1 + ox))),
+                           VT::loadu(r2 + ox));
+      const R t2 = VT::add(VT::add(VT::loadu(r0 + ox + 2),
+                                   VT::mul(two, VT::loadu(r1 + ox + 2))),
+                           VT::loadu(r2 + ox + 2));
+      const R gx = VT::sub(t2, t0);
+      // Row sums U(r) = (r[ox] + 2*r[ox+1]) + r[ox+2].
+      const R u0 = VT::add(VT::add(VT::loadu(r0 + ox),
+                                   VT::mul(two, VT::loadu(r0 + ox + 1))),
+                           VT::loadu(r0 + ox + 2));
+      const R u2 = VT::add(VT::add(VT::loadu(r2 + ox),
+                                   VT::mul(two, VT::loadu(r2 + ox + 1))),
+                           VT::loadu(r2 + ox + 2));
+      const R gy = VT::sub(u2, u0);
+      VT::storeu(orow + ox, VT::add(VT::abs(gx), VT::abs(gy)));
+    }
+    for (; ox < out_w; ++ox) {
+      const double gx = (r0[ox + 2] + 2 * r1[ox + 2] + r2[ox + 2]) -
+                        (r0[ox] + 2 * r1[ox] + r2[ox]);
+      const double gy = (r2[ox] + 2 * r2[ox + 1] + r2[ox + 2]) -
+                        (r0[ox] + 2 * r0[ox + 1] + r0[ox + 2]);
+      orow[ox] = std::abs(gx) + std::abs(gy);
+    }
+  }
+}
+
+void add_vec(const double* a, const double* b, double* out, int n) {
+  int i = 0;
+  for (; i + W <= n; i += W)
+    VT::storeu(out + i, VT::add(VT::loadu(a + i), VT::loadu(b + i)));
+  for (; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+void sub_vec(const double* a, const double* b, double* out, int n) {
+  int i = 0;
+  for (; i + W <= n; i += W)
+    VT::storeu(out + i, VT::sub(VT::loadu(a + i), VT::loadu(b + i)));
+  for (; i < n; ++i) out[i] = a[i] - b[i];
+}
+
+void mul_vec(const double* a, const double* b, double* out, int n) {
+  int i = 0;
+  for (; i + W <= n; i += W)
+    VT::storeu(out + i, VT::mul(VT::loadu(a + i), VT::loadu(b + i)));
+  for (; i < n; ++i) out[i] = a[i] * b[i];
+}
+
+void absdiff_vec(const double* a, const double* b, double* out, int n) {
+  int i = 0;
+  for (; i + W <= n; i += W)
+    VT::storeu(out + i,
+               VT::abs(VT::sub(VT::loadu(a + i), VT::loadu(b + i))));
+  for (; i < n; ++i) out[i] = std::abs(a[i] - b[i]);
+}
+
+void abs1_vec(const double* a, double* out, int n) {
+  int i = 0;
+  for (; i + W <= n; i += W) VT::storeu(out + i, VT::abs(VT::loadu(a + i)));
+  for (; i < n; ++i) out[i] = std::abs(a[i]);
+}
+
+void scale_vec(const double* a, double* out, int n, double s, double b) {
+  const R vs = VT::bcast(s);
+  const R vb = VT::bcast(b);
+  int i = 0;
+  // mul then add (not fmadd): matches the scalar s*v + b under
+  // -ffp-contract=off bitwise.
+  for (; i + W <= n; i += W)
+    VT::storeu(out + i, VT::add(VT::mul(vs, VT::loadu(a + i)), vb));
+  for (; i < n; ++i) out[i] = s * a[i] + b;
+}
+
+void threshold_vec(const double* a, double* out, int n, double level) {
+  const R vl = VT::bcast(level);
+  const R one = VT::bcast(1.0);
+  const R zero = VT::zero();
+  int i = 0;
+  for (; i + W <= n; i += W)
+    VT::storeu(out + i,
+               VT::select(VT::cmp_gt(VT::loadu(a + i), vl), one, zero));
+  for (; i < n; ++i) out[i] = a[i] > level ? 1.0 : 0.0;
+}
+
+void clamp_vec(const double* a, double* out, int n, double lo, double hi) {
+  const R vlo = VT::bcast(lo);
+  const R vhi = VT::bcast(hi);
+  int i = 0;
+  // Branch-for-branch std::clamp (v < lo ? lo : v > hi ? hi : v), so even
+  // signed-zero cases match the scalar table bitwise.
+  for (; i + W <= n; i += W) {
+    const R v = VT::loadu(a + i);
+    const R r = VT::select(VT::cmp_lt(v, vlo), vlo,
+                           VT::select(VT::cmp_gt(v, vhi), vhi, v));
+    VT::storeu(out + i, r);
+  }
+  for (; i < n; ++i) out[i] = std::clamp(a[i], lo, hi);
+}
+
+int find_bin_vec(double v, const double* uppers, int bins) {
+  const R vv = VT::bcast(v);
+  const int search = bins - 1;  // last bin catches the rest
+  int i = 0;
+  // First-match semantics even for unsorted bounds: scan W bounds per
+  // step, take the lowest set lane. Never reads past uppers[bins-1].
+  for (; i + W <= search; i += W) {
+    const int m = VT::movemask(VT::cmp_lt(vv, VT::loadu(uppers + i)));
+    if (m) {
+      int lane = 0;
+      while (!(m >> lane & 1)) ++lane;
+      return i + lane;
+    }
+  }
+  for (; i < search; ++i)
+    if (v < uppers[i]) return i;
+  return bins - 1;
+}
+
+void histogram2d_vec(const double* in, int in_stride, int w, int h,
+                     const double* uppers, int bins, long* counts) {
+  for (int y = 0; y < h; ++y) {
+    const double* row = in + static_cast<long>(y) * in_stride;
+    for (int x = 0; x < w; ++x) ++counts[find_bin_vec(row[x], uppers, bins)];
+  }
+}
+
+}  // namespace
+
+const Ops* BPP_SIMD_TABLE_FN() {
+  static const Ops table = {
+      BPP_SIMD_ISA_ENUM,
+      BPP_SIMD_ISA_NAME,
+      dot_vec,
+      conv2d_vec,
+      reduce_min_vec,
+      reduce_max_vec,
+      erode2d_vec,
+      dilate2d_vec,
+      median9_one,
+      median3x3_2d_vec,
+      sobel2d_vec,
+      add_vec,
+      sub_vec,
+      mul_vec,
+      absdiff_vec,
+      abs1_vec,
+      scale_vec,
+      threshold_vec,
+      clamp_vec,
+      find_bin_vec,
+      histogram2d_vec,
+  };
+  return &table;
+}
+
+}  // namespace bpp::simd

@@ -4,14 +4,16 @@
 #include <cmath>
 
 #include "kernels/bayer.h"
-#include "kernels/sobel.h"
+#include "kernels/simd/simd.h"
 
 namespace bpp::ref {
 
 Tile make_frame(Size2 size, int f, const PixelFn& fn) {
   Tile t(size);
-  for (int y = 0; y < size.h; ++y)
-    for (int x = 0; x < size.w; ++x) t.at(x, y) = fn(f, x, y);
+  for (int y = 0; y < size.h; ++y) {
+    double* row = t.row_ptr(y);
+    for (int x = 0; x < size.w; ++x) row[x] = fn(f, x, y);
+  }
   return t;
 }
 
@@ -19,70 +21,62 @@ Tile convolve(const Tile& img, const Tile& coeff) {
   const int kw = coeff.width();
   const int kh = coeff.height();
   Tile out(img.width() - kw + 1, img.height() - kh + 1);
-  for (int oy = 0; oy < out.height(); ++oy)
-    for (int ox = 0; ox < out.width(); ++ox) {
-      double acc = 0.0;
-      for (int x = 0; x < kw; ++x)
-        for (int y = 0; y < kh; ++y)
-          acc += img.at(ox + x, oy + y) * coeff.at(kw - x - 1, kh - y - 1);
-      out.at(ox, oy) = acc;
-    }
+  // Flipping both axes of a row-major array is a full reversal; the
+  // dispatched conv2d then walks the window row-major, the same
+  // accumulation order the convolution kernel uses.
+  const long n = coeff.words();
+  std::vector<double> kflip(static_cast<size_t>(n));
+  for (long i = 0; i < n; ++i)
+    kflip[static_cast<size_t>(i)] = coeff.data()[n - 1 - i];
+  simd::ops().conv2d(img.data(), img.stride(), kflip.data(), kw, kh,
+                     out.data(), out.stride(), out.width(), out.height());
   return out;
 }
 
 Tile median(const Tile& img, int w, int h) {
   Tile out(img.width() - w + 1, img.height() - h + 1);
+  if (w == 3 && h == 3) {
+    simd::ops().median3x3_2d(img.data(), img.stride(), out.data(),
+                             out.stride(), out.width(), out.height());
+    return out;
+  }
   std::vector<double> win(static_cast<size_t>(w) * h);
-  for (int oy = 0; oy < out.height(); ++oy)
+  for (int oy = 0; oy < out.height(); ++oy) {
+    double* orow = out.row_ptr(oy);
     for (int ox = 0; ox < out.width(); ++ox) {
       size_t i = 0;
-      // Window values in the kernel's (x-major) order; median is
-      // order-insensitive but keep it identical for clarity.
-      for (int y = 0; y < h; ++y)
-        for (int x = 0; x < w; ++x) win[i++] = img.at(ox + x, oy + y);
+      for (int y = 0; y < h; ++y) {
+        const double* row = img.row_ptr(oy + y) + ox;
+        for (int x = 0; x < w; ++x) win[i++] = row[x];
+      }
       auto mid = win.begin() + static_cast<std::ptrdiff_t>(win.size() / 2);
       std::nth_element(win.begin(), mid, win.end());
-      out.at(ox, oy) = *mid;
+      orow[ox] = *mid;
     }
+  }
   return out;
 }
 
 Tile subtract(const Tile& a, const Tile& b) {
   Tile out(a.size());
-  for (int y = 0; y < a.height(); ++y)
-    for (int x = 0; x < a.width(); ++x) out.at(x, y) = a.at(x, y) - b.at(x, y);
+  simd::ops().sub(a.data(), b.data(), out.data(), static_cast<int>(a.words()));
   return out;
 }
 
 std::vector<long> histogram(const Tile& img, const std::vector<double>& uppers) {
   std::vector<long> counts(uppers.size(), 0);
-  const int bins = static_cast<int>(uppers.size());
-  for (int y = 0; y < img.height(); ++y)
-    for (int x = 0; x < img.width(); ++x) {
-      const double v = img.at(x, y);
-      int b = bins - 1;
-      for (int i = 0; i < bins - 1; ++i)
-        if (v < uppers[static_cast<size_t>(i)]) {
-          b = i;
-          break;
-        }
-      ++counts[static_cast<size_t>(b)];
-    }
+  simd::ops().histogram2d(img.data(), img.stride(), img.width(), img.height(),
+                          uppers.data(), static_cast<int>(uppers.size()),
+                          counts.data());
   return counts;
 }
 
 namespace {
 Tile morph(const Tile& img, int w, int h, bool erode_op) {
   Tile out(img.width() - w + 1, img.height() - h + 1);
-  for (int oy = 0; oy < out.height(); ++oy)
-    for (int ox = 0; ox < out.width(); ++ox) {
-      double v = img.at(ox, oy);
-      for (int y = 0; y < h; ++y)
-        for (int x = 0; x < w; ++x)
-          v = erode_op ? std::min(v, img.at(ox + x, oy + y))
-                       : std::max(v, img.at(ox + x, oy + y));
-      out.at(ox, oy) = v;
-    }
+  const auto fn = erode_op ? simd::ops().erode2d : simd::ops().dilate2d;
+  fn(img.data(), img.stride(), w, h, out.data(), out.stride(), out.width(),
+     out.height());
   return out;
 }
 }  // namespace
@@ -99,10 +93,8 @@ Tile pad(const Tile& img, const Border& b) { return img.padded(b, false); }
 
 Tile sobel(const Tile& img) {
   Tile out(img.width() - 2, img.height() - 2);
-  for (int oy = 0; oy < out.height(); ++oy)
-    for (int ox = 0; ox < out.width(); ++ox)
-      out.at(ox, oy) =
-          SobelKernel::gradient_magnitude(img.crop(ox, oy, {3, 3}));
+  simd::ops().sobel2d(img.data(), img.stride(), out.data(), out.stride(),
+                      out.width(), out.height());
   return out;
 }
 
@@ -121,22 +113,27 @@ Tile bayer_demosaic(const Tile& mosaic) {
 
 Tile downsample(const Tile& img, int factor) {
   Tile out(img.width() / factor, img.height() / factor);
-  for (int oy = 0; oy < out.height(); ++oy)
+  for (int oy = 0; oy < out.height(); ++oy) {
+    double* orow = out.row_ptr(oy);
     for (int ox = 0; ox < out.width(); ++ox) {
       double sum = 0.0;
-      for (int y = 0; y < factor; ++y)
-        for (int x = 0; x < factor; ++x)
-          sum += img.at(ox * factor + x, oy * factor + y);
-      out.at(ox, oy) = sum / (factor * factor);
+      for (int y = 0; y < factor; ++y) {
+        const double* row = img.row_ptr(oy * factor + y) + ox * factor;
+        for (int x = 0; x < factor; ++x) sum += row[x];
+      }
+      orow[ox] = sum / (factor * factor);
     }
+  }
   return out;
 }
 
 Tile upsample(const Tile& img, int factor) {
   Tile out(img.width() * factor, img.height() * factor);
-  for (int y = 0; y < out.height(); ++y)
-    for (int x = 0; x < out.width(); ++x)
-      out.at(x, y) = img.at(x / factor, y / factor);
+  for (int y = 0; y < out.height(); ++y) {
+    const double* irow = img.row_ptr(y / factor);
+    double* orow = out.row_ptr(y);
+    for (int x = 0; x < out.width(); ++x) orow[x] = irow[x / factor];
+  }
   return out;
 }
 

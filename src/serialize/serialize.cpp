@@ -1,5 +1,6 @@
 #include "serialize/serialize.h"
 
+#include <algorithm>
 #include <iomanip>
 #include <map>
 #include <sstream>
@@ -27,7 +28,7 @@ std::string fmt_tile(const Tile& t) {
   std::string out = fmt_size(t.size()) + ":";
   for (long i = 0; i < t.words(); ++i) {
     if (i) out += ',';
-    out += fmt_double(t.raw()[static_cast<size_t>(i)]);
+    out += fmt_double(t.data()[static_cast<size_t>(i)]);
   }
   return out;
 }
@@ -119,7 +120,7 @@ Tile parse_tile(const std::string& v) {
   if (static_cast<long>(vals.size()) != s.area())
     throw GraphError("tile value count mismatch in '" + v + "'");
   Tile t(s);
-  t.raw() = vals;
+  std::copy(vals.begin(), vals.end(), t.data());
   return t;
 }
 

@@ -31,6 +31,7 @@
 #include "fault/injector.h"
 #include "fault/plan.h"
 #include "kernels/kernels.h"
+#include "kernels/simd/simd.h"
 #include "obs/analysis.h"
 #include "obs/critical_path.h"
 #include "obs/deadline.h"
@@ -243,6 +244,22 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "bpc: %s\n", err);
     return 2;
   }
+
+  if (!a.isa.empty()) {
+    const auto isa = simd::isa_from_name(a.isa);
+    if (!isa) {
+      std::fprintf(stderr, "bpc: unknown ISA '%s' (scalar|sse2|avx2|neon|native)\n",
+                   a.isa.c_str());
+      return 2;
+    }
+    if (!simd::supported(*isa)) {
+      std::fprintf(stderr, "bpc: ISA '%s' is not supported on this CPU\n",
+                   a.isa.c_str());
+      return 2;
+    }
+    simd::set_isa(*isa);
+  }
+  std::printf("kernel backend: %s\n", simd::ops().name);
 
   try {
     CompileOptions opt;

@@ -28,6 +28,9 @@ const char* usage_text() {
       "  --firings N        with --simulate: print the first N firings\n"
       "  --kernels          with --simulate: busiest kernels by cycles\n"
       "  --run              execute functionally on host threads\n"
+      "  --isa NAME         kernel backend for --run: scalar | sse2 | avx2 |\n"
+      "                     neon | native (default: native, i.e. the best\n"
+      "                     ISA this CPU supports; BPP_ISA env overrides)\n"
       "  --pace             with --run: release inputs on the wall-clock\n"
       "                     schedule instead of as fast as possible\n"
       "  --slowdown X       with --pace: stretch the release schedule by X\n"
@@ -152,6 +155,10 @@ bool parse(int argc, const char* const* argv, Args& a) {
       const char* v = value();
       if (!v) return false;
       a.metrics_path = v;
+    } else if (flag == "--isa") {
+      const char* v = value();
+      if (!v) return false;
+      a.isa = v;
     } else if (flag == "--kernels") {
       a.show_kernels = true;
     } else if (flag == "--run") {

@@ -35,6 +35,7 @@ struct Args {
   bool fault_seed_set = false;
   bool shed = false;  ///< --shed: frame shedding on deadline misses
   std::string degradation_path;  ///< --degradation FILE
+  std::string isa;  ///< --isa scalar|sse2|avx2|neon|native ("" = default)
   std::string trace_path;
   std::string metrics_path;
   std::string analyze_path;

@@ -14,6 +14,7 @@
 //
 //   bpp_fuzz --seed 3
 //   bpp_fuzz --seed 3 --faulted --trace fuzz-3.json
+//   bpp_fuzz --seed 3 --isa avx2   # pin the kernel backend (A/B vs scalar)
 
 #include <cmath>
 #include <cstdio>
@@ -30,6 +31,7 @@
 #include "fault/injector.h"
 #include "fault/plan.h"
 #include "kernels/kernels.h"
+#include "kernels/simd/simd.h"
 #include "obs/deadline.h"
 #include "obs/frames.h"
 #include "obs/recorder.h"
@@ -192,7 +194,8 @@ SimFingerprint simulate_once(const CompiledApp& app,
 
 int usage() {
   std::fprintf(stderr,
-               "usage: bpp_fuzz --seed N [--faulted] [--trace FILE]\n");
+               "usage: bpp_fuzz --seed N [--faulted] [--isa NAME] "
+               "[--trace FILE]\n");
   return 2;
 }
 
@@ -202,6 +205,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 0;
   bool seed_set = false;
   bool faulted = false;
+  std::string isa_arg;
   std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -210,6 +214,8 @@ int main(int argc, char** argv) {
       seed_set = true;
     } else if (flag == "--faulted") {
       faulted = true;
+    } else if (flag == "--isa" && i + 1 < argc) {
+      isa_arg = argv[++i];
     } else if (flag == "--trace" && i + 1 < argc) {
       trace_path = argv[++i];
     } else {
@@ -218,9 +224,21 @@ int main(int argc, char** argv) {
   }
   if (!seed_set) return usage();
 
-  const std::string repro = std::string("repro: bpp_fuzz --seed ") +
-                            std::to_string(seed) +
-                            (faulted ? " --faulted" : "");
+  if (!isa_arg.empty()) {
+    const auto isa = simd::isa_from_name(isa_arg);
+    if (!isa || !simd::supported(*isa)) {
+      std::fprintf(stderr, "bpp_fuzz: unknown or unsupported ISA '%s'\n",
+                   isa_arg.c_str());
+      return 2;
+    }
+    simd::set_isa(*isa);
+  }
+
+  const std::string repro =
+      std::string("repro: bpp_fuzz --seed ") + std::to_string(seed) +
+      (faulted ? " --faulted" : "") +
+      (isa_arg.empty() ? "" : " --isa " + isa_arg);
+  std::printf("kernel backend: %s\n", simd::ops().name);
   auto fail = [&](const std::string& why) {
     std::fprintf(stderr, "FAIL seed=%llu: %s\n  %s\n",
                  static_cast<unsigned long long>(seed), why.c_str(),

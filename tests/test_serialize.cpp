@@ -88,7 +88,7 @@ TEST(Serialize, ReloadedGraphComputesIdentically) {
 TEST(Serialize, TilePayloadPreservedExactly) {
   Graph g;
   Tile payload(3, 2);
-  for (int i = 0; i < 6; ++i) payload.raw()[static_cast<size_t>(i)] = 0.1 * i - 0.25;
+  for (int i = 0; i < 6; ++i) payload.data()[i] = 0.1 * i - 0.25;
   auto& src = g.add<ConstSource>("weights", payload);
   auto& sink = g.add<OutputKernel>("sink", Size2{3, 2});
   g.connect(src, "out", sink, "in");

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <utility>
+
 #include "core/tile.h"
 
 namespace bpp {
@@ -37,7 +40,40 @@ TEST(Tile, RowMajorLayout) {
   t.at(1, 0) = 2;
   t.at(2, 0) = 3;
   t.at(0, 1) = 4;
-  EXPECT_EQ(t.raw(), (std::vector<double>{1, 2, 3, 4, 0, 0}));
+  EXPECT_EQ(t.to_vector(), (std::vector<double>{1, 2, 3, 4, 0, 0}));
+  EXPECT_EQ(t.stride(), 3);
+  EXPECT_EQ(t.row_ptr(1), t.data() + 3);
+  EXPECT_EQ(t.row_ptr(1)[0], 4.0);
+}
+
+TEST(Tile, AlignedAndPadded) {
+  // The SIMD backend's storage contract: data() is kAlignBytes-aligned and
+  // every row may be over-read by one vector width — the last row's
+  // overhang lands in kPadDoubles of zeroed slack (ASan would flag this
+  // loop if the pad were missing).
+  for (const Size2 s : {Size2{1, 1}, Size2{3, 2}, Size2{7, 5}, Size2{64, 3}}) {
+    Tile t(s, 1.5);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(t.data()) % Tile::kAlignBytes,
+              0u);
+    const double* past = t.row_ptr(s.h - 1) + s.w;
+    double sum = 0.0;
+    for (int i = 0; i < Tile::kPadDoubles; ++i) sum += past[i];
+    EXPECT_EQ(sum, 0.0);
+  }
+}
+
+TEST(Tile, CopyPreservesContentsAndPad) {
+  Tile t(3, 3);
+  t.at(2, 2) = 4.25;
+  const Tile c = t;       // copy ctor
+  Tile d;
+  d = c;                  // copy assign
+  EXPECT_EQ(d, t);
+  const double* past = d.row_ptr(2) + 3;
+  for (int i = 0; i < Tile::kPadDoubles; ++i) EXPECT_EQ(past[i], 0.0);
+  Tile m = std::move(d);  // move leaves source empty
+  EXPECT_EQ(m, t);
+  EXPECT_TRUE(d.empty());  // NOLINT(bugprone-use-after-move)
 }
 
 TEST(Tile, Equality) {
