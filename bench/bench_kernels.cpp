@@ -138,6 +138,25 @@ void bench_histogram(benchmark::State& state, const Ops* ops) {
   state.SetItemsProcessed(state.iterations() * kFrame * kFrame);
 }
 
+// A/B the two bin-search strategies on identical uniform (sorted) bounds
+// and uniformly distributed samples: the early-exit scan stops halfway on
+// average but branch-mispredicts per sample; the sorted variant always
+// touches every bound but is branch-free.
+void bench_find_bin(benchmark::State& state, const Ops* ops, bool sorted) {
+  const std::vector<double> samples = random_vec(kFrame * kFrame / 16, 11);
+  std::vector<double> uppers(kBins);
+  for (int i = 0; i < kBins; ++i)
+    uppers[static_cast<size_t>(i)] = 16.0 * (i + 1) / kBins;
+  auto* fn = sorted ? ops->find_bin_sorted : ops->find_bin;
+  long sink = 0;
+  for (auto _ : state) {
+    for (double v : samples) sink += fn(v, uppers.data(), kBins);
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(samples.size()));
+}
+
 void register_all() {
   for (Isa isa : {Isa::kScalar, Isa::kSse2, Isa::kAvx2, Isa::kNeon}) {
     if (!bpp::simd::supported(isa)) continue;
@@ -159,6 +178,10 @@ void register_all() {
                                  [ops](benchmark::State& s) { bench_median3x3(s, ops); });
     benchmark::RegisterBenchmark(("histogram_32bin" + tag).c_str(),
                                  [ops](benchmark::State& s) { bench_histogram(s, ops); });
+    benchmark::RegisterBenchmark(("find_bin_scan_32bin" + tag).c_str(),
+                                 [ops](benchmark::State& s) { bench_find_bin(s, ops, false); });
+    benchmark::RegisterBenchmark(("find_bin_sorted_32bin" + tag).c_str(),
+                                 [ops](benchmark::State& s) { bench_find_bin(s, ops, true); });
   }
 }
 

@@ -1,11 +1,16 @@
 // Host-runtime throughput (repro substrate: "DSL+runtime on a multicore
 // laptop"): pixels per second through the compiled Fig. 1(b) application
-// for different worker-thread mappings, plus simulator event throughput.
+// for different worker-thread mappings — and, for BM_RuntimeThreads, per
+// SIMD ISA the machine supports (the end-to-end view of the per-primitive
+// speedups in bench_kernels) — plus simulator event throughput.
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+
 #include "apps/pipelines.h"
 #include "compiler/pipeline.h"
+#include "kernels/simd/simd.h"
 #include "obs/recorder.h"
 #include "runtime/runtime.h"
 #include "sim/simulator.h"
@@ -14,11 +19,12 @@ using namespace bpp;
 
 namespace {
 
-void BM_RuntimeThreads(benchmark::State& state) {
+void BM_RuntimeThreads(benchmark::State& state, simd::Isa isa, int threads) {
+  const simd::Isa saved = simd::active_isa();
+  simd::set_isa(isa);
   const Size2 frame{48, 36};
   const int frames = 4;
   CompiledApp app = compile(apps::figure1_app(frame, 180.0, frames, 32));
-  const int threads = static_cast<int>(state.range(0));
 
   for (auto _ : state) {
     state.PauseTiming();
@@ -33,13 +39,32 @@ void BM_RuntimeThreads(benchmark::State& state) {
     if (!r.completed) state.SkipWithError("runtime did not complete");
   }
   state.SetItemsProcessed(state.iterations() * frame.area() * frames);
+  simd::set_isa(saved);
 }
+
+// The ISA dimension can't use DenseRange: the supported set is only known
+// at runtime, so each (isa, threads) point registers its own benchmark.
 // UseRealTime: workers run on their own threads, so the benchmark thread's
 // CPU clock misses nearly all the work — wall time is the honest metric.
-BENCHMARK(BM_RuntimeThreads)
-    ->DenseRange(1, 4)
-    ->UseRealTime()
-    ->Unit(benchmark::kMillisecond);
+void register_runtime_threads() {
+  for (simd::Isa isa :
+       {simd::Isa::kScalar, simd::Isa::kSse2, simd::Isa::kAvx2,
+        simd::Isa::kNeon}) {
+    if (!simd::supported(isa)) continue;
+    for (int threads = 1; threads <= 4; ++threads) {
+      const std::string name = "BM_RuntimeThreads/" +
+                               std::string(simd::isa_name(isa)) + "/" +
+                               std::to_string(threads);
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [isa, threads](benchmark::State& s) {
+            BM_RuntimeThreads(s, isa, threads);
+          })
+          ->UseRealTime()
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
 
 // Same workload with the observability recorder attached: the delta
 // against BM_RuntimeThreads is the cost of enabled tracing (per-core
@@ -114,4 +139,11 @@ BENCHMARK(BM_SimulatorEvents)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  register_runtime_threads();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,5 +1,6 @@
 #include "apps/pipelines.h"
 
+#include "core/error.h"
 #include "kernels/kernels.h"
 
 namespace bpp::apps {
@@ -294,6 +295,25 @@ Graph radio_app(int samples, double block_rate_hz, int blocks) {
   g.connect(mag, "out", env, "in");
   g.connect(env, "out", out, "in");
   return g;
+}
+
+Graph named_app(const std::string& name, Size2 frame, double rate_hz,
+                int frames, int bins) {
+  if (name == "fig1") return figure1_app(frame, rate_hz, frames, bins);
+  if (name == "bayer") return bayer_app(frame, rate_hz, frames);
+  if (name == "histogram") return histogram_app(frame, rate_hz, frames, bins);
+  if (name == "parallel-buffer")
+    return parallel_buffer_app(frame, rate_hz, frames);
+  if (name == "multi-conv") return multi_convolution_app(frame, rate_hz, frames);
+  if (name == "pipeline") return pipeline_app(frame, rate_hz, frames);
+  if (name == "sobel") return sobel_app(frame, rate_hz, frames, 100.0);
+  if (name == "downsample") return downsample_app(frame, rate_hz, frames);
+  if (name == "separable") return separable_blur_app(frame, rate_hz, frames);
+  if (name == "motion") return motion_app(frame, rate_hz, frames);
+  if (name == "feedback") return feedback_app(frame, rate_hz, frames, 0.3);
+  if (name == "radio") return radio_app(frame.w, rate_hz, frames);
+  if (name == "analytics") return analytics_app(frame, rate_hz, frames);
+  throw GraphError("unknown application '" + name + "'");
 }
 
 std::vector<Fig11Config> fig11_configs() {

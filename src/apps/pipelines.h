@@ -90,6 +90,14 @@ namespace bpp::apps {
                                   double alpha = 0.4, double edge_level = 120.0,
                                   int bins = 16);
 
+/// Build a bundled application by its CLI name ("fig1", "bayer",
+/// "histogram", "parallel-buffer", "multi-conv", "pipeline", "sobel",
+/// "downsample", "separable", "motion", "feedback", "radio", "analytics").
+/// Shared by the bpc driver and the bpd service's tenant submissions.
+/// Throws GraphError for an unknown name.
+[[nodiscard]] Graph named_app(const std::string& name, Size2 frame,
+                              double rate_hz, int frames, int bins = 32);
+
 /// Fig. 11 configurations of the Fig. 1(b) example.
 struct Fig11Config {
   const char* tag;

@@ -47,6 +47,7 @@ void HistogramKernel::init() {
     uppers_[static_cast<size_t>(i)] = 256.0 * (i + 1) / bins_;
   counts_.assign(static_cast<size_t>(bins_), 0);
   ranges_loaded_ = false;
+  sorted_ = true;  // the default uniform bounds are ascending
 }
 
 std::optional<FireDecision> HistogramKernel::decide_custom(
@@ -70,7 +71,9 @@ Tile HistogramKernel::uniform_bins(int bins, double lo, double hi) {
 }
 
 int HistogramKernel::find_bin(double v) const {
-  return simd::ops().find_bin(v, uppers_.data(), bins_);
+  const simd::Ops& o = simd::ops();
+  return sorted_ ? o.find_bin_sorted(v, uppers_.data(), bins_)
+                 : o.find_bin(v, uppers_.data(), bins_);
 }
 
 void HistogramKernel::count() {
@@ -100,6 +103,9 @@ void HistogramKernel::configure_bins() {
     uppers_[static_cast<size_t>(i)] = b.at(i, 0);
     counts_[static_cast<size_t>(i)] = 0;
   }
+  // Only the searched bounds matter: the last bin catches the rest.
+  sorted_ = std::is_sorted(uppers_.begin(),
+                           uppers_.begin() + std::max(bins_ - 1, 0));
   ranges_loaded_ = true;
 }
 

@@ -53,6 +53,10 @@ class HistogramKernel final : public Kernel {
   std::vector<double> uppers_;  ///< upper (exclusive) bound of each bin
   std::vector<long> counts_;
   bool ranges_loaded_ = false;
+  /// Searched bounds (all but the catch-all last) are non-decreasing, so
+  /// count() may use the branchless sorted bin search. True for
+  /// uniform_bins; recomputed when configureBins loads custom bounds.
+  bool sorted_ = true;
 };
 
 class HistogramMergeKernel final : public Kernel {

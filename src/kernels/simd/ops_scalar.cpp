@@ -167,6 +167,7 @@ int find_bin_scalar(double v, const double* uppers, int bins) {
   return bins - 1;
 }
 
+
 void histogram2d_scalar(const double* in, int in_stride, int w, int h,
                         const double* uppers, int bins, long* counts) {
   for (int y = 0; y < h; ++y) {
@@ -199,6 +200,10 @@ const Ops* ops_table_scalar() {
       scale_scalar,
       threshold_scalar,
       clamp_scalar,
+      find_bin_scalar,
+      // Sorted entry: the early-exit scan also wins here — without wide
+      // compares, stopping halfway beats a branchless pass over every
+      // bound (measured 58 vs 49 Msamples/s; see EXPERIMENTS.md).
       find_bin_scalar,
       histogram2d_scalar,
   };

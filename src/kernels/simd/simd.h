@@ -81,6 +81,11 @@ struct Ops {
   /// first-match even for unsorted bin bounds. Never reads past
   /// uppers[bins-1].
   int (*find_bin)(double v, const double* uppers, int bins);
+  /// Bin index for *sorted* (non-decreasing) bounds: a branchless count
+  /// of bounds not above v, instead of find_bin's first-match scan.
+  /// Equals find_bin() whenever uppers[0..bins-2] is sorted; unspecified
+  /// for unsorted bounds. NaN values land in bins-1, matching find_bin.
+  int (*find_bin_sorted)(double v, const double* uppers, int bins);
   /// Bin counts over a w x h region (counts must hold `bins` zeros or
   /// running totals; increments only).
   void (*histogram2d)(const double* in, int in_stride, int w, int h,

@@ -26,6 +26,8 @@
 // by one vector width per the Tile padding contract, except where noted;
 // outputs are never over-written (scalar tails).
 
+#include <bit>
+
 namespace bpp::simd {
 namespace {
 
@@ -376,6 +378,24 @@ int find_bin_vec(double v, const double* uppers, int bins) {
   return bins - 1;
 }
 
+int find_bin_sorted_vec(double v, const double* uppers, int bins) {
+  const R vv = VT::bcast(v);
+  const int search = bins - 1;
+  constexpr unsigned kLanes = (1u << W) - 1u;
+  int idx = 0;
+  int i = 0;
+  // Branchless count of bounds not above v — valid only for sorted
+  // bounds, where it equals the first-match index. Complementing the
+  // v < bound mask (instead of comparing bound <= v) sends NaN values
+  // to bins-1 like the early-exit scan.
+  for (; i + W <= search; i += W)
+    idx += std::popcount(~static_cast<unsigned>(VT::movemask(
+                             VT::cmp_lt(vv, VT::loadu(uppers + i)))) &
+                         kLanes);
+  for (; i < search; ++i) idx += v < uppers[i] ? 0 : 1;
+  return idx;
+}
+
 void histogram2d_vec(const double* in, int in_stride, int w, int h,
                      const double* uppers, int bins, long* counts) {
   for (int y = 0; y < h; ++y) {
@@ -408,6 +428,12 @@ const Ops* BPP_SIMD_TABLE_FN() {
       threshold_vec,
       clamp_vec,
       find_bin_vec,
+      // The early-exit scan is also correct for sorted bounds, so each
+      // ISA installs its measured winner here: the branchless popcount
+      // pass pays off at 4 lanes (2.5x on AVX2) but loses to the scan at
+      // 2 (SSE2/NEON W=2 popcounts too few bounds per step to beat
+      // stopping halfway) — see EXPERIMENTS.md.
+      W >= 4 ? find_bin_sorted_vec : find_bin_vec,
       histogram2d_vec,
   };
   return &table;

@@ -1,0 +1,150 @@
+#include "runtime/machine.h"
+
+#include <algorithm>
+
+namespace bpp::rt {
+
+void Program::record_park(int /*core*/, double /*t0_seconds*/,
+                          double /*t1_seconds*/) {}
+
+Machine::Machine(int cores) : epoch_(std::chrono::steady_clock::now()) {
+  cores_.resize(static_cast<size_t>(std::max(cores, 1)));
+  for (auto& c : cores_) c = std::make_unique<Core>();
+  workers_.reserve(cores_.size());
+  for (int c = 0; c < static_cast<int>(cores_.size()); ++c)
+    workers_.emplace_back([this, c] { worker(c); });
+}
+
+Machine::~Machine() {
+  stop_.store(true, std::memory_order_seq_cst);
+  for (auto& c : cores_) wake(*c);
+  for (std::thread& w : workers_) w.join();
+}
+
+void Machine::wake(Core& c) {
+  c.epoch.fetch_add(1, std::memory_order_seq_cst);
+  {
+    std::lock_guard<std::mutex> lk(c.mu);
+  }
+  c.cv.notify_all();
+}
+
+void Machine::attach(Program* p, const std::vector<int>& cores_used) {
+  for (int c : cores_used) {
+    Core& core = *cores_.at(static_cast<size_t>(c));
+    std::lock_guard<std::mutex> lk(core.roster_mu);
+    core.roster.push_back(p);
+  }
+}
+
+void Machine::detach(Program* p) {
+  // The program must already be quiesced: its process() is a no-op and it
+  // arms no new paced sources, so the queued nodes drain quickly.
+  for (auto& c : cores_) {
+    std::lock_guard<std::mutex> lk(c->roster_mu);
+    c->roster.erase(std::remove(c->roster.begin(), c->roster.end(), p),
+                    c->roster.end());
+  }
+  // Wait for every queued ready node of `p` to be popped and retired.
+  // Rare (one detach per program lifetime) and short (no-op drains), so a
+  // wait loop beats wiring a condvar through the hot pop path. Re-wake
+  // each iteration: a push that was mid-flight when a worker last polled
+  // leaves its node invisible to that pop, and with the program quiesced
+  // nobody else will bump the epoch again. The sleep keeps the re-wakes
+  // from becoming a thundering herd while a faulted kernel of `p` stalls
+  // mid-process — other programs still own these cores.
+  while (p->inflight_.load(std::memory_order_acquire) != 0) {
+    for (auto& c : cores_) wake(*c);
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+}
+
+void Machine::enqueue(ReadyNode* n, int core, int self_core) {
+  n->program->inflight_.fetch_add(1, std::memory_order_acq_rel);
+  Core& c = *cores_[static_cast<size_t>(core)];
+  c.queue.push(n);
+  if (core == self_core) return;  // we are awake and re-poll before parking
+  c.epoch.fetch_add(1, std::memory_order_seq_cst);
+  if (c.sleepers.load(std::memory_order_seq_cst) > 0) {
+    {
+      std::lock_guard<std::mutex> lk(c.mu);
+    }
+    c.cv.notify_all();
+  }
+}
+
+void Machine::worker(int core) {
+  Core& sync = *cores_[static_cast<size_t>(core)];
+
+  // Poll every attached program for paced sources that came due, and
+  // compute the earliest pending release for the park deadline. The
+  // roster lock is uncontended outside attach/detach; taking it once per
+  // loop iteration keeps detach() free to destroy programs the moment
+  // their in-flight count drains.
+  auto fire_due = [&] {
+    const double t = now();
+    std::lock_guard<std::mutex> lk(sync.roster_mu);
+    for (Program* p : sync.roster)
+      if (!p->quiesced()) p->fire_due_sources(core, t);
+  };
+  auto earliest_release = [&]() -> double {
+    double next = -1.0;
+    std::lock_guard<std::mutex> lk(sync.roster_mu);
+    for (Program* p : sync.roster) {
+      if (p->quiesced()) continue;
+      const double rel = p->next_release(core);
+      if (rel >= 0.0 && (next < 0.0 || rel < next)) next = rel;
+    }
+    return next;
+  };
+
+  while (!stop_.load(std::memory_order_acquire)) {
+    fire_due();
+    if (ReadyNode* n = sync.queue.pop()) {
+      Program* p = n->program;
+      if (!p->quiesced()) p->process(n->kernel, core);
+      p->inflight_.fetch_sub(1, std::memory_order_acq_rel);
+      continue;
+    }
+
+    // Park: eventcount protocol. Load the epoch, re-check for work, then
+    // sleep until a producer bumps the epoch (or a paced deadline).
+    const unsigned e = sync.epoch.load(std::memory_order_seq_cst);
+    if (ReadyNode* n = sync.queue.pop()) {
+      Program* p = n->program;
+      if (!p->quiesced()) p->process(n->kernel, core);
+      p->inflight_.fetch_sub(1, std::memory_order_acq_rel);
+      continue;
+    }
+    if (stop_.load(std::memory_order_acquire)) break;
+
+    const double next_release = earliest_release();
+    const double t_park = now();
+    {
+      std::unique_lock<std::mutex> lk(sync.mu);
+      sync.sleepers.fetch_add(1, std::memory_order_seq_cst);
+      const auto pred = [&] {
+        return sync.epoch.load(std::memory_order_seq_cst) != e ||
+               stop_.load(std::memory_order_acquire);
+      };
+      if (next_release >= 0.0) {
+        const auto deadline =
+            epoch_ +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(next_release));
+        sync.cv.wait_until(lk, deadline, pred);
+      } else {
+        sync.cv.wait(lk, pred);
+      }
+      sync.sleepers.fetch_sub(1, std::memory_order_seq_cst);
+    }
+    {
+      const double t_wake = now();
+      std::lock_guard<std::mutex> lk(sync.roster_mu);
+      for (Program* p : sync.roster)
+        if (!p->quiesced()) p->record_park(core, t_park, t_wake);
+    }
+  }
+}
+
+}  // namespace bpp::rt

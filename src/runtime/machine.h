@@ -1,0 +1,207 @@
+#pragma once
+// The "machine" half of the host runtime: a pool of worker cores that
+// multiplexes any number of running programs (pipeline instances).
+//
+// PR 1 built the scheduling substrate — per-core ready queues with
+// eventcount parking — but welded it to one graph per run. This header
+// splits that weld so the same worker pool can serve many tenants (the
+// `bpd` daemon) or exactly one (run_threaded, unchanged API):
+//
+//   * Machine owns the worker threads, one per core, plus each core's
+//     ready queue and parking lot. It knows nothing about graphs,
+//     channels, or kernels.
+//   * Program is the unit of multiplexing: a running pipeline instance.
+//     It owns every per-graph structure (channels, pending emissions,
+//     kernel state, per-core scratch) and exposes process(kernel, core)
+//     for the workers to call.
+//   * ReadyNode carries (program, kernel), so one core's queue can
+//     interleave kernels of different programs; a kernel still runs only
+//     on the one core its mapping assigned, preserving the SPSC channel
+//     and worker-private-state invariants from PR 1.
+//
+// Attach/detach protocol: attach() registers the program on the cores it
+// uses (for paced-source wakeups) before the program seeds its initial
+// ready nodes. detach() requires the program to be quiesced first —
+// process() must have become a no-op — then removes it from the timed
+// rosters, wakes every core, and waits for in-flight ready nodes to
+// drain; after detach() returns, no worker holds a reference to the
+// program and it is safe to destroy.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/graph.h"
+#include "core/spsc_ring.h"
+
+namespace bpp::rt {
+
+class Program;
+
+/// Intrusive node of a per-core ready queue; one per (program, kernel).
+/// A kernel is in at most one queue at a time (its program's ready bit
+/// gates enqueueing), so the node is safe to reuse as soon as pop()
+/// returns it.
+struct ReadyNode {
+  std::atomic<ReadyNode*> next{nullptr};
+  Program* program = nullptr;
+  KernelId kernel = -1;
+};
+
+/// Vyukov intrusive MPSC queue: any worker pushes ready kernels for a
+/// core; only that core's worker pops. pop() may transiently report empty
+/// while a push is mid-flight — the pusher always bumps the core's
+/// eventcount afterwards, so the consumer re-checks after parking.
+class ReadyQueue {
+ public:
+  ReadyQueue() : push_end_(&stub_), pop_end_(&stub_) {}
+
+  void push(ReadyNode* n) {
+    n->next.store(nullptr, std::memory_order_relaxed);
+    ReadyNode* prev = push_end_.exchange(n, std::memory_order_acq_rel);
+    prev->next.store(n, std::memory_order_release);
+  }
+
+  ReadyNode* pop() {
+    ReadyNode* tail = pop_end_;
+    ReadyNode* next = tail->next.load(std::memory_order_acquire);
+    if (tail == &stub_) {
+      if (!next) return nullptr;
+      pop_end_ = next;
+      tail = next;
+      next = next->next.load(std::memory_order_acquire);
+    }
+    if (next) {
+      pop_end_ = next;
+      return tail;
+    }
+    if (tail != push_end_.load(std::memory_order_acquire))
+      return nullptr;  // push in flight; the pusher's wake will retry us
+    push(&stub_);
+    next = tail->next.load(std::memory_order_acquire);
+    if (next) {
+      pop_end_ = next;
+      return tail;
+    }
+    return nullptr;  // competing push in flight; same recovery
+  }
+
+ private:
+  alignas(kCacheLineSize) std::atomic<ReadyNode*> push_end_;
+  alignas(kCacheLineSize) ReadyNode* pop_end_;  // worker-private
+  ReadyNode stub_;
+};
+
+/// A running pipeline instance, as the machine sees it. Implemented by
+/// the runtime's GraphProgram; the machine only ever calls these from the
+/// worker owning `core`, or (fire_due_sources/next_release) while holding
+/// that core's roster lock.
+class Program {
+ public:
+  virtual ~Program() = default;
+
+  /// Run kernel `k` until it can make no more progress. Must return
+  /// immediately once the program is quiesced.
+  virtual void process(KernelId k, int core) = 0;
+
+  /// Mark ready any of this core's paced sources whose release time (in
+  /// machine seconds) has arrived. Cheap when none are armed.
+  virtual void fire_due_sources(int core, double now_seconds) = 0;
+
+  /// Earliest machine time one of this core's paced sources waits for;
+  /// negative when none are armed.
+  [[nodiscard]] virtual double next_release(int core) const = 0;
+
+  /// The worker for `core` parked from t0 to t1 (machine seconds). Called
+  /// once per park for every program attached to the core — with several
+  /// tenants sharing a core, each tenant's trace sees the pool's idle
+  /// spans. Default: ignore.
+  virtual void record_park(int core, double t0_seconds, double t1_seconds);
+
+  /// Stop doing work: after this, process() must return without touching
+  /// channels and fire_due_sources must not arm new kernels. Queued ready
+  /// nodes drain as no-ops.
+  void quiesce() { quiesced_.store(true, std::memory_order_release); }
+  [[nodiscard]] bool quiesced() const {
+    return quiesced_.load(std::memory_order_acquire);
+  }
+
+ private:
+  friend class Machine;
+  std::atomic<bool> quiesced_{false};
+  /// Ready nodes of this program currently queued or being processed.
+  /// Machine-maintained; detach() waits for it to reach zero.
+  std::atomic<long> inflight_{0};
+};
+
+/// The shared worker-core pool. Workers run a ready set, not a scan: a
+/// kernel is processed only when something changed for it (see
+/// DESIGN.md §4.1); parking uses a per-core eventcount, so an idle
+/// machine burns no CPU regardless of how many programs are attached.
+class Machine {
+ public:
+  explicit Machine(int cores);
+  ~Machine();  // stops and joins the workers
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  [[nodiscard]] int cores() const { return static_cast<int>(cores_.size()); }
+
+  /// Seconds since the machine started — the common clock programs use
+  /// for paced releases and trace timestamps.
+  [[nodiscard]] double now() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         epoch_)
+        .count();
+  }
+  [[nodiscard]] std::chrono::steady_clock::time_point epoch() const {
+    return epoch_;
+  }
+
+  /// Register `p` on the cores listed in `cores_used` (indices into this
+  /// machine's pool) so their workers poll it for due paced sources. Call
+  /// before seeding the program's initial ready nodes.
+  void attach(Program* p, const std::vector<int>& cores_used);
+
+  /// Unregister a quiesced program and wait until no worker holds a
+  /// reference to it (all its queued ready nodes drained). The program
+  /// must have been quiesced first.
+  void detach(Program* p);
+
+  /// Queue (program, kernel) on `core` and wake its worker. `self_core`
+  /// is the calling worker's own core (a push onto one's own queue needs
+  /// no wakeup), or -1 when called from a non-worker thread. The caller
+  /// must have issued a seq_cst fence after the writes this readiness
+  /// reports (the PR 1 store/fence/load protocol).
+  void enqueue(ReadyNode* n, int core, int self_core);
+
+ private:
+  /// Per-core parking lot + ready queue + roster of attached programs.
+  /// The mutex/condvar exist only to sleep and wake the worker; the
+  /// roster has its own lock (taken by the worker once per loop
+  /// iteration, and by attach/detach).
+  struct Core {
+    ReadyQueue queue;
+    alignas(kCacheLineSize) std::atomic<unsigned> epoch{0};
+    std::atomic<int> sleepers{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    /// Programs with kernels on this core (guarded by roster_mu).
+    mutable std::mutex roster_mu;
+    std::vector<Program*> roster;
+  };
+
+  void worker(int core);
+  void wake(Core& c);
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<std::unique_ptr<Core>> cores_;
+  std::vector<std::thread> workers_;
+  alignas(kCacheLineSize) std::atomic<bool> stop_{false};
+};
+
+}  // namespace bpp::rt

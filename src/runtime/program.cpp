@@ -1,0 +1,785 @@
+#include "runtime/program.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/error.h"
+#include "core/firing.h"
+#include "core/spsc_ring.h"
+#include "fault/degradation.h"
+#include "fault/injector.h"
+#include "obs/recorder.h"
+#include "runtime/machine.h"
+
+namespace bpp {
+
+namespace {
+
+// The per-program execution state (see DESIGN.md §4.1 and §6):
+//
+//  * Channels are lock-free SPSC rings — each has exactly one producer
+//    kernel and one consumer kernel, each kernel owned by one core.
+//  * A kernel is enqueued on its core's ready queue at most once however
+//    many channels feed it, guarded by a per-kernel ready bit.
+//  * All flag protocols are the PR 1 store/fence/load pattern: the
+//    announcing side writes its state (ring slot + index, or blocked
+//    bit), issues a seq_cst fence, then reads the other side's state; the
+//    reacting side does the mirror image. The two fences totally order
+//    the exchanges, so at least one side always observes the other.
+//
+// The worker threads themselves, the ready queues, and the parking lots
+// live in rt::Machine; this file only decides *what* each kernel does
+// when its (program, kernel) node is popped.
+
+struct RtChannel {
+  explicit RtChannel(std::size_t capacity) : ring(capacity) {}
+
+  SpscRing<Item> ring;
+  KernelId producer_kernel = -1;
+  KernelId consumer_kernel = -1;
+  /// Peak occupancy observed at push time. Producer-owned plain int (only
+  /// the producing worker writes it); read after the program finishes.
+  int high_water = 0;
+  /// Producer saw the ring full and parked; the consumer's next pop must
+  /// re-arm (mark ready) the producer kernel. Padded: written by both
+  /// sides, and must not share a line with the ring indices.
+  alignas(kCacheLineSize) std::atomic<bool> producer_blocked{false};
+};
+
+struct alignas(kCacheLineSize) ReadyFlag {
+  std::atomic<bool> ready{false};
+};
+
+}  // namespace
+
+struct GraphProgram::Impl final : rt::Program {
+  /// Per-core scratch, reused across process() calls so the hot loop
+  /// stops heap-allocating once vector capacities warm up. Only the
+  /// worker owning the core touches its entry.
+  struct CoreState {
+    ExecContext ctx;
+    FireDecision decision;
+    std::vector<Item> popped;
+    /// timed[k] >= 0: release time (program seconds) paced source k waits
+    /// for; entries only for this core's kernels.
+    std::vector<double> timed;
+    int timed_armed = 0;
+    /// This program's event ring for this core, or null when tracing is
+    /// off — the single branch every instrumented site pays when disabled.
+    obs::EventRing* ring = nullptr;
+    /// Core-local per-kernel firing counts, merged at finish() (keeps the
+    /// hot loop off shared cache lines).
+    std::vector<long> fired;
+    /// Core-local count of perturbed firings, merged at finish().
+    long faults = 0;
+  };
+
+  Impl(Graph& g, const Mapping& mapping, const RuntimeOptions& opt,
+       rt::Machine& machine)
+      : g_(g), opt_(opt), mapping_(mapping), machine_(machine) {
+    const int n = g.kernel_count();
+    const int mcores = machine.cores();
+    for (int k = 0; k < n; ++k) {
+      const int c = mapping.core_of.at(static_cast<size_t>(k));
+      if (c < 0 || c >= mcores)
+        throw ExecutionError(
+            "GraphProgram: mapping core " + std::to_string(c) +
+            " outside the machine's pool of " + std::to_string(mcores));
+    }
+
+    channels_.resize(static_cast<size_t>(g.channel_count()));
+    for (int c = 0; c < g.channel_count(); ++c) {
+      const Channel& ch = g.channel(c);
+      if (!ch.alive) continue;  // dead channels get no runtime state
+      auto rt = std::make_unique<RtChannel>(
+          static_cast<std::size_t>(opt.channel_capacity));
+      rt->producer_kernel = ch.src_kernel;
+      rt->consumer_kernel = ch.dst_kernel;
+      channels_[static_cast<size_t>(c)] = std::move(rt);
+    }
+
+    in_of_.resize(static_cast<size_t>(n));
+    outs_of_.resize(static_cast<size_t>(n));
+    connected_.resize(static_cast<size_t>(n));
+    pending_.resize(static_cast<size_t>(n));
+    eos_needed_.assign(static_cast<size_t>(n), 0);
+    eos_seen_.assign(static_cast<size_t>(n), 0);
+    is_sink_.assign(static_cast<size_t>(n), 0);
+    src_next_.resize(static_cast<size_t>(n));
+    sink_done_ = std::make_unique<std::atomic<bool>[]>(static_cast<size_t>(n));
+    ready_ = std::make_unique<ReadyFlag[]>(static_cast<size_t>(n));
+    nodes_ = std::make_unique<rt::ReadyNode[]>(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      sink_done_[static_cast<size_t>(i)] = false;
+      nodes_[static_cast<size_t>(i)].kernel = i;
+      nodes_[static_cast<size_t>(i)].program = this;
+    }
+    core_kernels_.resize(static_cast<size_t>(mcores));
+    state_.resize(static_cast<size_t>(mcores));
+
+    for (KernelId k = 0; k < n; ++k) {
+      Kernel& kn = g.kernel(k);
+      in_of_[static_cast<size_t>(k)].assign(kn.inputs().size(), -1);
+      for (size_t i = 0; i < kn.inputs().size(); ++i) {
+        auto c = g.in_channel(k, static_cast<int>(i));
+        if (c) {
+          in_of_[static_cast<size_t>(k)][i] = *c;
+          connected_[static_cast<size_t>(k)].push_back(static_cast<int>(i));
+          ++eos_needed_[static_cast<size_t>(k)];
+        }
+      }
+      outs_of_[static_cast<size_t>(k)].resize(kn.outputs().size());
+      for (size_t o = 0; o < kn.outputs().size(); ++o)
+        outs_of_[static_cast<size_t>(k)][o] = g.out_channels(k, static_cast<int>(o));
+      core_kernels_[static_cast<size_t>(mapping.core_of[static_cast<size_t>(k)])]
+          .push_back(k);
+      kn.init();
+      for (Emission& e : kn.initial_emissions())
+        pending_[static_cast<size_t>(k)].push_back(std::move(e));
+      if (!kn.is_source() && g.out_channels(k).empty()) {
+        is_sink_[static_cast<size_t>(k)] = 1;
+        ++total_sinks_;
+      }
+    }
+
+    kernel_fired_.assign(static_cast<size_t>(n), 0);
+    src_at_frame_start_.assign(static_cast<size_t>(n), 1);
+    src_frame_idx_.assign(static_cast<size_t>(n), 0);
+    src_dropping_.assign(static_cast<size_t>(n), 0);
+
+    cores_used_.clear();
+    for (int c = 0; c < mcores; ++c)
+      if (!core_kernels_[static_cast<size_t>(c)].empty())
+        cores_used_.push_back(c);
+
+    // Fault injection: copy + re-bind so the caller's injector is reusable
+    // across runs of different graphs.
+    if (opt.injector != nullptr) {
+      inj_ = *opt.injector;
+      inj_.bind(g, mapping.core_of);
+      faults_ = inj_.active();
+    }
+
+    // Graceful degradation: sinks report completions, and the first
+    // rate-driven finite source owns shed claims (a deterministic choice;
+    // shedding with several independent rate-driven sources would need a
+    // cross-source frame barrier this runtime does not model).
+    ctrl_ = opt.degradation;
+    if (ctrl_ != nullptr) {
+      ctrl_->attach_sinks(total_sinks_);
+      for (KernelId k = 0; k < n; ++k) {
+        Kernel& kn = g.kernel(k);
+        if (!kn.is_source()) continue;
+        auto spec = kn.source_spec(0);
+        if (spec && spec->rate_hz > 0.0 && spec->frames > 0) {
+          shed_source_ = k;
+          break;
+        }
+      }
+    }
+  }
+
+  ~Impl() override = default;
+
+  // ---- machine-facing interface -----------------------------------------
+
+  void start() {
+    if (obs::kCompiledIn && opt_.recorder) {
+      rec_ = opt_.recorder;
+      std::vector<std::string> names;
+      names.reserve(static_cast<size_t>(g_.kernel_count()));
+      for (KernelId k = 0; k < g_.kernel_count(); ++k)
+        names.push_back(g_.kernel(k).name());
+      rec_->begin_session(obs::TraceClock::kWall, 0.0, machine_.cores(),
+                          std::move(names));
+      for (int c : cores_used_)
+        state_[static_cast<size_t>(c)].ring = rec_->ring(c);
+    }
+    for (int c : cores_used_) {
+      CoreState& s = state_[static_cast<size_t>(c)];
+      s.fired.assign(static_cast<size_t>(g_.kernel_count()), 0);
+      s.timed.assign(static_cast<size_t>(g_.kernel_count()), -1.0);
+    }
+
+    t0_off_ = machine_.now();
+    started_ = true;
+    machine_.attach(this, cores_used_);
+    // Everything starts ready: sources to emit, the rest to drain initial
+    // emissions or discover they have nothing to do. Two phases, because
+    // the machine's workers are already running: every ready bit must be
+    // set before the first node is enqueued, so a worker that processes an
+    // early kernel and pushes to a later one finds that consumer's bit
+    // already true and skips mark_ready's enqueue. Interleaving bit-set
+    // with enqueue would let that mark_ready enqueue a node the loop below
+    // then enqueues again — a double-push that corrupts the intrusive
+    // ready queue (nodes may only be queued once).
+    for (KernelId k = 0; k < g_.kernel_count(); ++k)
+      ready_[static_cast<size_t>(k)].ready.store(true,
+                                                 std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    for (KernelId k = 0; k < g_.kernel_count(); ++k)
+      machine_.enqueue(&nodes_[static_cast<size_t>(k)],
+                       mapping_.core_of[static_cast<size_t>(k)],
+                       /*self_core=*/-1);
+  }
+
+  void process(KernelId k, int core) override {
+    ready_[static_cast<size_t>(k)].ready.store(false, std::memory_order_seq_cst);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+
+    CoreState& w = state_[static_cast<size_t>(core)];
+    Kernel& kn = g_.kernel(k);
+    if (kn.is_source()) {
+      if (!drain(k, core, w) &&
+          static_cast<long>(pending_[static_cast<size_t>(k)].size()) >=
+              kn.pending_capacity())
+        return;
+      run_source(k, kn, core, w);
+      return;
+    }
+
+    const auto& in_of = in_of_[static_cast<size_t>(k)];
+    while (!quiesced()) {
+      if (!drain(k, core, w) &&
+          static_cast<long>(pending_[static_cast<size_t>(k)].size()) >=
+              kn.pending_capacity())
+        return;  // back-pressured; the consumer's pop re-arms us
+
+      decide_fire_into(
+          kn, connected_[static_cast<size_t>(k)],
+          [&](int port) -> const Item* {
+            const ChannelId c = in_of[static_cast<size_t>(port)];
+            if (c < 0) return nullptr;
+            return chan(c).ring.front();  // lock-free consumer-side peek
+          },
+          w.decision);
+      const FireDecision& d = w.decision;
+      if (!d.fires()) return;  // idle; the next push re-arms us
+
+      const bool rec = obs::kCompiledIn && w.ring != nullptr;
+      const double t_begin = rec ? elapsed() : 0.0;
+
+      // Fault injection, keyed on the kernel's firing index — w.fired[k]
+      // counts exactly that, and only this core fires k, so the key is
+      // interleaving-independent (same seed -> same perturbed firings).
+      fault::Perturbation pert;
+      if (faults_) {
+        pert = inj_.perturb(k, w.fired[static_cast<size_t>(k)]);
+        if (!pert.identity()) {
+          ++w.faults;
+          if (rec) {
+            obs::TraceEvent e;
+            e.kind = obs::EventKind::kFaultInject;
+            e.t0 = e.t1 = elapsed();
+            e.kernel = k;
+            e.core = core;
+            e.aux0 = static_cast<float>(pert.time_scale);
+            e.aux1 = static_cast<float>(pert.stall_seconds);
+            e.aux2 = static_cast<float>(pert.delivery_delay_seconds);
+            w.ring->emit(e);
+          }
+        }
+      }
+
+      ExecContext& ctx = w.ctx;
+      ctx.reset();
+      w.popped.clear();
+      w.popped.reserve(d.pop_inputs.size());
+      for (int p : d.pop_inputs) {
+        RtChannel& ch = chan(in_of[static_cast<size_t>(p)]);
+        w.popped.push_back(std::move(*ch.ring.front_mut()));
+        ch.ring.pop();
+        if (rec) {
+          obs::TraceEvent e;
+          e.kind = obs::EventKind::kChannelPop;
+          e.t0 = e.t1 = elapsed();
+          e.core = core;
+          e.channel = in_of[static_cast<size_t>(p)];
+          e.aux0 = static_cast<float>(ch.ring.size_approx());
+          w.ring->emit(e);
+        }
+        if (is_token(w.popped.back()) &&
+            as_token(w.popped.back()).cls == tok::kEndOfStream)
+          ++eos_seen_[static_cast<size_t>(k)];
+      }
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      for (int p : d.pop_inputs)
+        rearm_blocked_producer(chan(in_of[static_cast<size_t>(p)]), core);
+      for (size_t i = 0; i < d.pop_inputs.size(); ++i)
+        ctx.bind_input(d.pop_inputs[i], &w.popped[i]);
+
+      const double t_read = rec || faults_ ? elapsed() : 0.0;
+      if (pert.stall_seconds > 0.0) fault::spin_for(pert.stall_seconds);
+      const double t_run = pert.stall_seconds > 0.0 ? elapsed() : t_read;
+      if (d.kind == FireDecision::Kind::Method) {
+        if (d.token >= 0) ctx.set_trigger_token(d.token, d.payload);
+        kn.invoke(d.method, ctx);
+      } else {
+        for (int o : d.forward_outputs)
+          ctx.emit(o, ControlToken{d.token, d.payload});
+      }
+      // Overrun/throttle: stretch the firing by spinning for the induced
+      // extra time (wall clock cannot run a kernel faster, so time scales
+      // below 1 are a no-op here; the simulator honors them). Delivery
+      // delay spins between the firing and the publication of its outputs.
+      if (pert.time_scale > 1.0)
+        fault::spin_for((elapsed() - t_run) * (pert.time_scale - 1.0));
+      if (pert.delivery_delay_seconds > 0.0)
+        fault::spin_for(pert.delivery_delay_seconds);
+      for (Emission& e : ctx.emissions())
+        pending_[static_cast<size_t>(k)].push_back(std::move(e));
+      firings_.fetch_add(1, std::memory_order_relaxed);
+      ++w.fired[static_cast<size_t>(k)];
+      if (rec) {
+        obs::TraceEvent e;
+        e.kind = obs::EventKind::kFiring;
+        e.t0 = t_begin;
+        e.t1 = elapsed();
+        e.aux0 = static_cast<float>(e.t1 - t_read);    // run (invoke)
+        e.aux1 = static_cast<float>(t_read - t_begin);  // read (pops)
+        e.kernel = k;
+        e.core = core;
+        e.method = d.kind == FireDecision::Kind::Method ? d.method : -1;
+        w.ring->emit(e);
+      }
+
+      // Frame tracking: a sink consuming an end-of-frame token closes the
+      // frame whose index rides in the token payload. The degradation
+      // controller gets the same completions as miss feedback.
+      if ((rec || ctrl_ != nullptr) && is_sink_[static_cast<size_t>(k)]) {
+        for (const Item& it : w.popped) {
+          if (!is_token(it) || as_token(it).cls != tok::kEndOfFrame) continue;
+          const double t_end = elapsed();
+          if (rec) {
+            obs::TraceEvent e;
+            e.kind = obs::EventKind::kFrameEnd;
+            e.t0 = e.t1 = t_end;
+            e.kernel = k;
+            e.core = core;
+            e.method = as_token(it).payload;
+            w.ring->emit(e);
+          }
+          if (ctrl_ != nullptr)
+            ctrl_->on_frame_end(as_token(it).payload, t_end);
+        }
+      }
+
+      // Sink completion: all connected inputs delivered end-of-stream.
+      if (is_sink_[static_cast<size_t>(k)] &&
+          eos_seen_[static_cast<size_t>(k)] >= eos_needed_[static_cast<size_t>(k)] &&
+          !sink_done_[static_cast<size_t>(k)].exchange(true)) {
+        if (finished_sinks_.fetch_add(1, std::memory_order_acq_rel) + 1 >=
+                total_sinks_ &&
+            total_sinks_ > 0)
+          signal_done();
+      }
+    }
+  }
+
+  void fire_due_sources(int core, double now_machine) override {
+    CoreState& w = state_[static_cast<size_t>(core)];
+    if (w.timed_armed == 0) return;
+    const double now = now_machine - t0_off_;
+    for (KernelId k : core_kernels_[static_cast<size_t>(core)]) {
+      double& rel = w.timed[static_cast<size_t>(k)];
+      if (rel >= 0.0 && now + 1e-9 >= rel) {
+        rel = -1.0;
+        --w.timed_armed;
+        mark_ready(k, core);  // our own queue; runs on the next pop
+      }
+    }
+  }
+
+  [[nodiscard]] double next_release(int core) const override {
+    const CoreState& w = state_[static_cast<size_t>(core)];
+    if (w.timed_armed == 0) return -1.0;
+    double next = -1.0;
+    for (KernelId k : core_kernels_[static_cast<size_t>(core)]) {
+      const double rel = w.timed[static_cast<size_t>(k)];
+      if (rel >= 0.0 && (next < 0.0 || rel < next)) next = rel;
+    }
+    return next < 0.0 ? -1.0 : next + t0_off_;
+  }
+
+  void record_park(int core, double t0_machine, double t1_machine) override {
+    CoreState& w = state_[static_cast<size_t>(core)];
+    if (!obs::kCompiledIn || !w.ring) return;
+    obs::TraceEvent ev;
+    ev.kind = obs::EventKind::kPark;
+    ev.t0 = t0_machine - t0_off_;
+    ev.t1 = t1_machine - t0_off_;
+    ev.core = core;
+    w.ring->emit(ev);
+  }
+
+  // ---- internals ---------------------------------------------------------
+
+  [[nodiscard]] double elapsed() const { return machine_.now() - t0_off_; }
+
+  RtChannel& chan(ChannelId c) { return *channels_[static_cast<size_t>(c)]; }
+
+  /// Mark kernel `k` ready and wake its core. Callers must have issued a
+  /// seq_cst fence after the channel writes this readiness reports.
+  /// `self_core` is the calling worker's core: a push onto one's own queue
+  /// needs no eventcount bump — the worker is awake and re-polls its queue
+  /// before it can park.
+  void mark_ready(KernelId k, int self_core) {
+    if (ready_[static_cast<size_t>(k)].ready.exchange(
+            true, std::memory_order_seq_cst))
+      return;  // already queued (or about to re-run)
+    machine_.enqueue(&nodes_[static_cast<size_t>(k)],
+                     mapping_.core_of[static_cast<size_t>(k)], self_core);
+  }
+
+  /// True when every channel in `outs` has space. On the first full one,
+  /// arms its producer_blocked flag so the consumer's next pop re-arms us,
+  /// re-checking afterwards to close the race against a concurrent pop.
+  bool has_space_or_arm(const std::vector<ChannelId>& outs) {
+    for (ChannelId c : outs) {
+      RtChannel& ch = chan(c);
+      if (!ch.ring.full()) continue;
+      ch.producer_blocked.store(true, std::memory_order_seq_cst);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      if (!ch.ring.full()) continue;  // freed meanwhile; stale flag only
+                                      // costs one spurious re-arm
+      return false;
+    }
+    return true;
+  }
+
+  /// Push one item to every channel of a fan-out and mark the consumers
+  /// ready. Callers guarantee space (has_space_or_arm) — only the owning
+  /// worker pushes, so space cannot shrink in between.
+  void push_all(const std::vector<ChannelId>& outs, Item item, int core,
+                CoreState& w) {
+    const size_t n = outs.size();
+    for (size_t i = 0; i < n; ++i) {
+      RtChannel& ch = chan(outs[i]);
+      const bool ok = i + 1 == n ? ch.ring.try_push(std::move(item))
+                                 : ch.ring.try_push(item);
+      if (!ok)
+        throw ExecutionError("runtime: push on full channel (scheduler bug)");
+      const int occ = static_cast<int>(ch.ring.size_approx());
+      if (occ > ch.high_water) ch.high_water = occ;
+      if (obs::kCompiledIn && w.ring) {
+        obs::TraceEvent e;
+        e.kind = obs::EventKind::kChannelPush;
+        e.t0 = e.t1 = elapsed();
+        e.core = core;
+        e.channel = outs[i];
+        e.aux0 = static_cast<float>(occ);
+        w.ring->emit(e);
+      }
+    }
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    for (ChannelId c : outs) mark_ready(chan(c).consumer_kernel, core);
+  }
+
+  /// Drain pending emissions of kernel k. Returns true if all were moved.
+  /// With tracing on, a drain that moved items is recorded as a write span
+  /// (the back-pressured write phase of Fig. 13's breakdown).
+  bool drain(KernelId k, int core, CoreState& w) {
+    auto& pending = pending_[static_cast<size_t>(k)];
+    if (pending.empty()) return true;
+    const bool rec = obs::kCompiledIn && w.ring != nullptr;
+    const double t_begin = rec ? elapsed() : 0.0;
+    bool moved = false;
+    bool all = true;
+    while (!pending.empty()) {
+      Emission& e = pending.front();
+      const auto& outs = outs_of_[static_cast<size_t>(k)][static_cast<size_t>(e.port)];
+      if (!has_space_or_arm(outs)) {
+        all = false;
+        break;
+      }
+      push_all(outs, std::move(e.item), core, w);
+      pending.pop_front();
+      moved = true;
+    }
+    if (rec && moved) {
+      obs::TraceEvent e;
+      e.kind = obs::EventKind::kWrite;
+      e.t0 = t_begin;
+      e.t1 = elapsed();
+      e.aux2 = static_cast<float>(e.t1 - e.t0);  // whole span is write time
+      e.kernel = k;
+      e.core = core;
+      w.ring->emit(e);
+    }
+    return all;
+  }
+
+  /// After popping (and fencing), re-arm producers that parked on
+  /// back-pressure of channel `ch`.
+  void rearm_blocked_producer(RtChannel& ch, int self_core) {
+    if (ch.producer_blocked.load(std::memory_order_seq_cst) &&
+        ch.producer_blocked.exchange(false, std::memory_order_seq_cst))
+      mark_ready(ch.producer_kernel, self_core);
+  }
+
+  void signal_done() {
+    if (!done_.exchange(true, std::memory_order_acq_rel))
+      if (on_complete_) on_complete_();
+  }
+
+  void update_max_lag(double lag) {
+    double cur = max_lag_.load(std::memory_order_relaxed);
+    while (lag > cur &&
+           !max_lag_.compare_exchange_weak(cur, lag, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Instant event helper for frame/shed boundaries on a source.
+  void emit_frame_instant(obs::EventKind kind, KernelId k, int core,
+                          CoreState& w, std::int32_t frame) {
+    if (!obs::kCompiledIn || !w.ring) return;
+    obs::TraceEvent e;
+    e.kind = kind;
+    e.t0 = e.t1 = elapsed();
+    e.kernel = k;
+    e.core = core;
+    e.method = frame;
+    w.ring->emit(e);
+  }
+
+  /// Source loop: drain the staged emission then poll for more. Exits when
+  /// exhausted (never re-armed), back-pressured (producer_blocked armed),
+  /// or — paced — not due yet (timed re-arm via CoreState::timed).
+  void run_source(KernelId k, Kernel& kn, int core, CoreState& w) {
+    auto& next = src_next_[static_cast<size_t>(k)];
+    const bool sheddable = ctrl_ != nullptr && k == shed_source_;
+    while (!quiesced()) {
+      if (next.has_value()) {
+        // Inspect before the item is moved. Frame bookkeeping runs
+        // unconditionally — the shed state machine needs it even with
+        // tracing off.
+        const bool frame_data = is_data(next->item);
+        const bool frame_eof =
+            !frame_data && as_token(next->item).cls == tok::kEndOfFrame;
+        const bool frame_eos =
+            !frame_data && as_token(next->item).cls == tok::kEndOfStream;
+
+        // Pacing is honored whether or not the item will be dropped: the
+        // camera does not pause while we shed.
+        if (opt_.pace_inputs) {
+          const double release = next->release_seconds * opt_.pace_slowdown;
+          if (elapsed() + 1e-9 < release) {
+            if (w.timed[static_cast<size_t>(k)] < 0.0) ++w.timed_armed;
+            w.timed[static_cast<size_t>(k)] = release;  // due later
+            return;
+          }
+        }
+
+        // Frame boundary: claim an armed shed request and drop the whole
+        // upcoming frame (never mid-frame, never end-of-stream).
+        if (frame_data && src_at_frame_start_[static_cast<size_t>(k)] &&
+            !src_dropping_[static_cast<size_t>(k)] && sheddable &&
+            ctrl_->should_shed()) {
+          src_dropping_[static_cast<size_t>(k)] = 1;
+          emit_frame_instant(obs::EventKind::kFrameShed, k, core, w,
+                             src_frame_idx_[static_cast<size_t>(k)]);
+        }
+
+        if (src_dropping_[static_cast<size_t>(k)] && !frame_eos) {
+          // Dropping: consume without pushing.
+          if (frame_data && src_at_frame_start_[static_cast<size_t>(k)])
+            src_at_frame_start_[static_cast<size_t>(k)] = 0;
+          next.reset();
+          if (frame_eof) {
+            const std::int32_t shed = src_frame_idx_[static_cast<size_t>(k)];
+            ++src_frame_idx_[static_cast<size_t>(k)];
+            src_at_frame_start_[static_cast<size_t>(k)] = 1;
+            src_dropping_[static_cast<size_t>(k)] = 0;
+            emit_frame_instant(obs::EventKind::kShedRecover, k, core, w, shed);
+            ctrl_->on_shed_complete(shed);
+          }
+        } else {
+          const auto& outs = outs_of_[static_cast<size_t>(k)]
+                                     [static_cast<size_t>(next->port)];
+          if (!has_space_or_arm(outs)) return;
+          if (opt_.pace_inputs) {
+            const double release = next->release_seconds * opt_.pace_slowdown;
+            const double lag = elapsed() - release;
+            const bool late = lag > opt_.lag_tolerance_seconds;
+            if (late) {
+              delayed_.fetch_add(1, std::memory_order_relaxed);
+              update_max_lag(lag);
+            }
+            if (obs::kCompiledIn && w.ring) {
+              obs::TraceEvent e;
+              e.kind = obs::EventKind::kSourceRelease;
+              e.t0 = e.t1 = elapsed();
+              e.kernel = k;
+              e.core = core;
+              e.aux0 = static_cast<float>(lag > 0.0 ? lag : 0.0);
+              e.aux1 = late ? 1.0f : 0.0f;
+              w.ring->emit(e);
+            }
+          }
+          push_all(outs, std::move(next->item), core, w);
+          next.reset();
+          if (frame_data && src_at_frame_start_[static_cast<size_t>(k)]) {
+            src_at_frame_start_[static_cast<size_t>(k)] = 0;
+            emit_frame_instant(obs::EventKind::kFrameStart, k, core, w,
+                               src_frame_idx_[static_cast<size_t>(k)]);
+          } else if (frame_eof) {
+            ++src_frame_idx_[static_cast<size_t>(k)];
+            src_at_frame_start_[static_cast<size_t>(k)] = 1;
+          }
+        }
+      }
+      SourceEmission e;
+      if (!kn.source_poll(e)) return;  // exhausted for good
+      next = std::move(e);
+    }
+  }
+
+  RuntimeResult finish() {
+    if (finished_) return result_;
+    finished_ = true;
+    const double wall = started_ ? elapsed() : 0.0;
+    quiesce();
+    if (started_) machine_.detach(this);
+
+    RuntimeResult res;
+    res.completed = done_.load(std::memory_order_acquire);
+    res.wall_seconds = wall;
+    res.total_firings = firings_.load();
+    long faults_total = 0;
+    for (int c : cores_used_) {
+      const CoreState& w = state_[static_cast<size_t>(c)];
+      for (size_t k = 0; k < w.fired.size(); ++k)
+        kernel_fired_[k] += w.fired[k];
+      faults_total += w.faults;
+    }
+    res.faults_injected = faults_total;
+    if (ctrl_ != nullptr) res.frames_shed = ctrl_->frames_shed();
+    res.delayed_releases = delayed_.load();
+    res.max_release_lag_seconds = max_lag_.load();
+    res.kernel_firings = kernel_fired_;
+    res.channel_high_water.assign(channels_.size(), -1);
+    for (size_t c = 0; c < channels_.size(); ++c)
+      if (channels_[c]) res.channel_high_water[c] = channels_[c]->high_water;
+
+    if (obs::kCompiledIn && rec_) {
+      rec_->finish_session(res.wall_seconds);
+      obs::MetricsRegistry& m = rec_->metrics();
+      m.gauge("runtime.wall_seconds").set(res.wall_seconds);
+      m.counter("runtime.total_firings").add(res.total_firings);
+      m.counter("runtime.delayed_releases").add(res.delayed_releases);
+      m.gauge("runtime.max_release_lag_seconds")
+          .set(res.max_release_lag_seconds);
+      if (faults_) m.counter("runtime.faults_injected").add(res.faults_injected);
+      if (ctrl_ != nullptr)
+        m.counter("runtime.frames_shed").add(res.frames_shed);
+      if (opt_.pace_inputs) {
+        m.gauge("runtime.lag_tolerance_seconds")
+            .set(opt_.lag_tolerance_seconds);
+        m.gauge("runtime.pace_slowdown").set(opt_.pace_slowdown);
+      }
+      for (size_t c = 0; c < channels_.size(); ++c)
+        if (channels_[c])
+          m.high_water("runtime.channel." + std::to_string(c) + ".occupancy")
+              .update(static_cast<double>(channels_[c]->high_water));
+      for (size_t k = 0; k < kernel_fired_.size(); ++k)
+        if (kernel_fired_[k] > 0)
+          m.counter("runtime.kernel." +
+                    g_.kernel(static_cast<KernelId>(k)).name() + ".firings")
+              .add(kernel_fired_[k]);
+    }
+    result_ = res;
+    return res;
+  }
+
+  // ---- state -------------------------------------------------------------
+
+  Graph& g_;
+  RuntimeOptions opt_;
+  Mapping mapping_;
+  rt::Machine& machine_;
+  std::function<void()> on_complete_;
+  std::vector<std::unique_ptr<RtChannel>> channels_;  // null for dead channels
+  std::vector<std::vector<ChannelId>> in_of_;
+  std::vector<std::vector<std::vector<ChannelId>>> outs_of_;
+  std::vector<std::vector<int>> connected_;
+  std::vector<std::deque<Emission>> pending_;
+  std::vector<std::vector<KernelId>> core_kernels_;
+  std::vector<CoreState> state_;  ///< indexed by machine core
+  std::vector<int> cores_used_;   ///< machine cores hosting our kernels
+  std::vector<int> eos_needed_;
+  std::vector<int> eos_seen_;
+  std::vector<char> is_sink_;
+  std::vector<std::optional<SourceEmission>> src_next_;
+  /// Per-source frame cursors (only the owning worker touches its sources):
+  /// whether the next data item opens a frame, and that frame's index.
+  std::vector<char> src_at_frame_start_;
+  std::vector<std::int32_t> src_frame_idx_;
+  /// Per-source shed state: mid-drop of the current frame.
+  std::vector<char> src_dropping_;
+  /// Fault injection (bound copy; see ctor) and degradation wiring.
+  fault::Injector inj_;
+  bool faults_ = false;
+  fault::DegradationController* ctrl_ = nullptr;
+  KernelId shed_source_ = -1;
+  std::unique_ptr<std::atomic<bool>[]> sink_done_;
+  std::unique_ptr<ReadyFlag[]> ready_;      // per-kernel, cache-line padded
+  std::unique_ptr<rt::ReadyNode[]> nodes_;  // per-kernel ready-queue nodes
+  double t0_off_ = 0.0;  ///< machine time at start()
+  int total_sinks_ = 0;
+  obs::Recorder* rec_ = nullptr;  // null = tracing off
+  bool started_ = false;
+  bool finished_ = false;
+  RuntimeResult result_;
+  std::vector<long> kernel_fired_;  // merged from CoreStates in finish()
+
+  // Hot counters, each on its own line so workers do not false-share.
+  alignas(kCacheLineSize) std::atomic<bool> done_{false};
+  alignas(kCacheLineSize) std::atomic<long> firings_{0};
+  alignas(kCacheLineSize) std::atomic<int> finished_sinks_{0};
+  alignas(kCacheLineSize) std::atomic<long> delayed_{0};
+  alignas(kCacheLineSize) std::atomic<double> max_lag_{0.0};
+};
+
+GraphProgram::GraphProgram(Graph& g, const Mapping& mapping,
+                           const RuntimeOptions& opt, rt::Machine& machine)
+    : impl_(std::make_unique<Impl>(g, mapping, opt, machine)) {}
+
+GraphProgram::~GraphProgram() {
+  if (impl_ && impl_->started_ && !impl_->finished_) (void)impl_->finish();
+}
+
+void GraphProgram::set_on_complete(std::function<void()> fn) {
+  impl_->on_complete_ = std::move(fn);
+}
+
+void GraphProgram::start() { impl_->start(); }
+
+bool GraphProgram::done() const {
+  return impl_->done_.load(std::memory_order_acquire);
+}
+
+bool GraphProgram::started() const { return impl_->started_; }
+
+long GraphProgram::firings() const {
+  return impl_->firings_.load(std::memory_order_relaxed);
+}
+
+double GraphProgram::elapsed_seconds() const { return impl_->elapsed(); }
+
+long GraphProgram::frames_shed() const {
+  return impl_->ctrl_ != nullptr ? impl_->ctrl_->frames_shed() : 0;
+}
+
+void GraphProgram::poll_recorder() {
+  if (obs::kCompiledIn && impl_->rec_ && impl_->started_ && !impl_->finished_)
+    impl_->rec_->poll();
+}
+
+RuntimeResult GraphProgram::finish() { return impl_->finish(); }
+
+}  // namespace bpp

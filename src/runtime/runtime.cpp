@@ -1,890 +1,91 @@
 #include "runtime/runtime.h"
 
-#include <atomic>
 #include <chrono>
 #include <condition_variable>
-#include <cstdint>
-#include <deque>
 #include <mutex>
-#include <optional>
-#include <thread>
+#include <string>
 #include <vector>
 
 #include "core/error.h"
-#include "core/firing.h"
-#include "core/spsc_ring.h"
-#include "fault/degradation.h"
-#include "fault/injector.h"
 #include "obs/recorder.h"
+#include "runtime/machine.h"
+#include "runtime/program.h"
 
 namespace bpp {
 
-namespace {
-
-// The scheduling layer (see DESIGN.md "Host runtime architecture"):
-//
-//  * Channels are lock-free SPSC rings — each has exactly one producer
-//    kernel and one consumer kernel, each kernel owned by one worker.
-//  * Workers run a ready set, not a scan: a kernel is processed only when
-//    something changed for it. A push marks the consumer kernel ready; a
-//    pop from a full ring re-arms a producer that declared itself blocked.
-//  * The ready set is a per-core Vyukov MPSC queue of intrusive nodes
-//    (one per kernel) guarded by a per-kernel ready bit, so a kernel is
-//    enqueued at most once however many channels feed it.
-//  * Workers park on a per-core eventcount (epoch + mutex/condvar used
-//    only for sleeping); producers bump the epoch after publishing work,
-//    which closes the check-then-sleep race without periodic timeouts.
-//
-// All flag protocols here are the same store/fence/load pattern: the
-// announcing side writes its state (ring slot + index, or blocked bit),
-// issues a seq_cst fence, then reads the other side's state; the reacting
-// side writes its state, issues a seq_cst fence, then reads the announcing
-// side's. The two fences totally order the exchanges, so at least one side
-// always observes the other — a lost-wakeup needs both to read stale data.
-
-struct RtChannel {
-  explicit RtChannel(std::size_t capacity) : ring(capacity) {}
-
-  SpscRing<Item> ring;
-  KernelId producer_kernel = -1;
-  KernelId consumer_kernel = -1;
-  /// Peak occupancy observed at push time. Producer-owned plain int (only
-  /// the producing worker writes it); read after workers join.
-  int high_water = 0;
-  /// Producer saw the ring full and parked; the consumer's next pop must
-  /// re-arm (mark ready) the producer kernel. Padded: written by both
-  /// sides, and must not share a line with the ring indices.
-  alignas(kCacheLineSize) std::atomic<bool> producer_blocked{false};
-};
-
-/// Intrusive node of the per-core ready queue; one per kernel. A kernel is
-/// in at most one queue at a time (its ready bit gates enqueueing), so the
-/// node is safe to reuse as soon as pop() returns it.
-struct ReadyNode {
-  std::atomic<ReadyNode*> next{nullptr};
-  KernelId kernel = -1;
-};
-
-/// Vyukov intrusive MPSC queue: any worker pushes ready kernels for a
-/// core; only that core's worker pops. pop() may transiently report empty
-/// while a push is mid-flight — the pusher always bumps the core's
-/// eventcount afterwards, so the consumer re-checks after parking.
-class ReadyQueue {
- public:
-  ReadyQueue() : push_end_(&stub_), pop_end_(&stub_) {}
-
-  void push(ReadyNode* n) {
-    n->next.store(nullptr, std::memory_order_relaxed);
-    ReadyNode* prev = push_end_.exchange(n, std::memory_order_acq_rel);
-    prev->next.store(n, std::memory_order_release);
-  }
-
-  ReadyNode* pop() {
-    ReadyNode* tail = pop_end_;
-    ReadyNode* next = tail->next.load(std::memory_order_acquire);
-    if (tail == &stub_) {
-      if (!next) return nullptr;
-      pop_end_ = next;
-      tail = next;
-      next = next->next.load(std::memory_order_acquire);
-    }
-    if (next) {
-      pop_end_ = next;
-      return tail;
-    }
-    if (tail != push_end_.load(std::memory_order_acquire))
-      return nullptr;  // push in flight; the pusher's wake will retry us
-    push(&stub_);
-    next = tail->next.load(std::memory_order_acquire);
-    if (next) {
-      pop_end_ = next;
-      return tail;
-    }
-    return nullptr;  // competing push in flight; same recovery
-  }
-
- private:
-  alignas(kCacheLineSize) std::atomic<ReadyNode*> push_end_;
-  alignas(kCacheLineSize) ReadyNode* pop_end_;  // worker-private
-  ReadyNode stub_;
-};
-
-/// Per-core parking lot: an eventcount. The mutex/condvar exist only to
-/// sleep and wake workers — no data is protected by them.
-struct CoreSync {
-  ReadyQueue queue;
-  alignas(kCacheLineSize) std::atomic<unsigned> epoch{0};
-  std::atomic<int> sleepers{0};
-  std::mutex mu;
-  std::condition_variable cv;
-};
-
-struct alignas(kCacheLineSize) ReadyFlag {
-  std::atomic<bool> ready{false};
-};
-
-class ThreadedRun {
- public:
-  ThreadedRun(Graph& g, const Mapping& mapping, const RuntimeOptions& opt)
-      : g_(g), opt_(opt), mapping_(mapping) {
-    const int n = g.kernel_count();
-    channels_.resize(static_cast<size_t>(g.channel_count()));
-    for (int c = 0; c < g.channel_count(); ++c) {
-      const Channel& ch = g.channel(c);
-      if (!ch.alive) continue;  // dead channels get no runtime state
-      auto rt = std::make_unique<RtChannel>(
-          static_cast<std::size_t>(opt.channel_capacity));
-      rt->producer_kernel = ch.src_kernel;
-      rt->consumer_kernel = ch.dst_kernel;
-      channels_[static_cast<size_t>(c)] = std::move(rt);
-    }
-
-    in_of_.resize(static_cast<size_t>(n));
-    outs_of_.resize(static_cast<size_t>(n));
-    connected_.resize(static_cast<size_t>(n));
-    pending_.resize(static_cast<size_t>(n));
-    eos_needed_.assign(static_cast<size_t>(n), 0);
-    eos_seen_.assign(static_cast<size_t>(n), 0);
-    is_sink_.assign(static_cast<size_t>(n), 0);
-    src_next_.resize(static_cast<size_t>(n));
-    sink_done_ = std::make_unique<std::atomic<bool>[]>(static_cast<size_t>(n));
-    ready_ = std::make_unique<ReadyFlag[]>(static_cast<size_t>(n));
-    nodes_ = std::make_unique<ReadyNode[]>(static_cast<size_t>(n));
-    for (int i = 0; i < n; ++i) {
-      sink_done_[static_cast<size_t>(i)] = false;
-      nodes_[static_cast<size_t>(i)].kernel = i;
-    }
-    core_kernels_.resize(static_cast<size_t>(mapping.cores));
-    sync_.resize(static_cast<size_t>(mapping.cores));
-    for (auto& s : sync_) s = std::make_unique<CoreSync>();
-
-    for (KernelId k = 0; k < n; ++k) {
-      Kernel& kn = g.kernel(k);
-      in_of_[static_cast<size_t>(k)].assign(kn.inputs().size(), -1);
-      for (size_t i = 0; i < kn.inputs().size(); ++i) {
-        auto c = g.in_channel(k, static_cast<int>(i));
-        if (c) {
-          in_of_[static_cast<size_t>(k)][i] = *c;
-          connected_[static_cast<size_t>(k)].push_back(static_cast<int>(i));
-          ++eos_needed_[static_cast<size_t>(k)];
-        }
-      }
-      outs_of_[static_cast<size_t>(k)].resize(kn.outputs().size());
-      for (size_t o = 0; o < kn.outputs().size(); ++o)
-        outs_of_[static_cast<size_t>(k)][o] = g.out_channels(k, static_cast<int>(o));
-      core_kernels_[static_cast<size_t>(mapping.core_of[static_cast<size_t>(k)])]
-          .push_back(k);
-      kn.init();
-      for (Emission& e : kn.initial_emissions())
-        pending_[static_cast<size_t>(k)].push_back(std::move(e));
-      if (!kn.is_source() && g.out_channels(k).empty()) {
-        is_sink_[static_cast<size_t>(k)] = 1;
-        ++total_sinks_;
-      }
-    }
-
-    kernel_fired_.assign(static_cast<size_t>(n), 0);
-    src_at_frame_start_.assign(static_cast<size_t>(n), 1);
-    src_frame_idx_.assign(static_cast<size_t>(n), 0);
-    src_dropping_.assign(static_cast<size_t>(n), 0);
-
-    // Fault injection: copy + re-bind so the caller's injector is reusable
-    // across runs of different graphs.
-    if (opt.injector != nullptr) {
-      inj_ = *opt.injector;
-      inj_.bind(g, mapping.core_of);
-      faults_ = inj_.active();
-    }
-
-    // Graceful degradation: sinks report completions, and the first
-    // rate-driven finite source owns shed claims (a deterministic choice;
-    // shedding with several independent rate-driven sources would need a
-    // cross-source frame barrier this runtime does not model).
-    ctrl_ = opt.degradation;
-    if (ctrl_ != nullptr) {
-      ctrl_->attach_sinks(total_sinks_);
-      for (KernelId k = 0; k < n; ++k) {
-        Kernel& kn = g.kernel(k);
-        if (!kn.is_source()) continue;
-        auto spec = kn.source_spec(0);
-        if (spec && spec->rate_hz > 0.0 && spec->frames > 0) {
-          shed_source_ = k;
-          break;
-        }
-      }
-    }
-    if (obs::kCompiledIn && opt.recorder) {
-      rec_ = opt.recorder;
-      std::vector<std::string> names;
-      names.reserve(static_cast<size_t>(n));
-      for (KernelId k = 0; k < n; ++k) names.push_back(g.kernel(k).name());
-      rec_->begin_session(obs::TraceClock::kWall, 0.0, mapping.cores,
-                          std::move(names));
-    }
-
-    // Everything starts ready: sources to emit, the rest to drain initial
-    // emissions or discover they have nothing to do. Runs before workers
-    // exist, so plain pushes are fine.
-    for (KernelId k = 0; k < n; ++k) {
-      ready_[static_cast<size_t>(k)].ready.store(true, std::memory_order_relaxed);
-      sync_[static_cast<size_t>(
-               mapping_.core_of[static_cast<size_t>(k)])]
-          ->queue.push(&nodes_[static_cast<size_t>(k)]);
-    }
-  }
-
-  [[nodiscard]] double elapsed() const {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_)
-        .count();
-  }
-
-  void update_max_lag(double lag) {
-    double cur = max_lag_.load(std::memory_order_relaxed);
-    while (lag > cur &&
-           !max_lag_.compare_exchange_weak(cur, lag, std::memory_order_relaxed)) {
-    }
-  }
-
-  RuntimeResult run() {
-    t0_ = std::chrono::steady_clock::now();
-    const auto t0 = t0_;
-    std::vector<std::thread> workers;
-    workers.reserve(static_cast<size_t>(mapping_.cores));
-    for (int c = 0; c < mapping_.cores; ++c)
-      if (!core_kernels_[static_cast<size_t>(c)].empty())
-        workers.emplace_back([this, c] { worker(c); });
-
-    // Completion latch + watchdog. The worker finishing the last sink
-    // signals done_cv_; otherwise we only wake once per watchdog window to
-    // compare the firing counter — no polling loop.
-    RuntimeResult res;
-    {
-      long last_firings = firings_.load(std::memory_order_relaxed);
-      auto last_change = std::chrono::steady_clock::now();
-      const auto window = std::chrono::duration_cast<
-          std::chrono::steady_clock::duration>(
-          std::chrono::duration<double>(opt_.watchdog_seconds));
-      // With a recorder attached, this thread doubles as the trace
-      // collector: wake every few ms to drain the per-core rings (SPSC,
-      // single consumer) so runs longer than the ring capacity keep every
-      // event instead of shedding the newest.
-      const bool polling = obs::kCompiledIn && rec_ != nullptr;
-      std::unique_lock<std::mutex> lk(done_mu_);
-      while (!done_) {
-        const auto deadline = last_change + window;
-        auto wake = deadline;
-        if (polling) {
-          const auto poll_at =
-              std::chrono::steady_clock::now() + std::chrono::milliseconds(2);
-          if (poll_at < wake) wake = poll_at;
-        }
-        if (done_cv_.wait_until(lk, wake, [&] { return done_; })) break;
-        if (polling) rec_->poll();
-        if (wake < deadline) continue;  // poll tick, not the watchdog
-        const long f = firings_.load(std::memory_order_relaxed);
-        if (f != last_firings) {
-          last_firings = f;
-          last_change = std::chrono::steady_clock::now();
-        } else {
-          res.watchdog_fired = true;
-          res.diagnostics = "watchdog: no progress for " +
-                            std::to_string(opt_.watchdog_seconds) + "s";
-          break;
-        }
-      }
-      res.completed = done_;
-    }
-
-    stop_.store(true, std::memory_order_seq_cst);
-    for (auto& s : sync_) {
-      s->epoch.fetch_add(1, std::memory_order_seq_cst);
-      {
-        std::lock_guard<std::mutex> lk(s->mu);
-      }
-      s->cv.notify_all();
-    }
-    for (std::thread& w : workers) w.join();
-
-    res.wall_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-    res.total_firings = firings_.load();
-    res.faults_injected = faults_total_;  // merged by workers on exit
-    if (ctrl_ != nullptr) res.frames_shed = ctrl_->frames_shed();
-    res.delayed_releases = delayed_.load();
-    res.max_release_lag_seconds = max_lag_.load();
-    res.kernel_firings = kernel_fired_;  // merged by workers on exit
-    res.channel_high_water.assign(channels_.size(), -1);
-    for (size_t c = 0; c < channels_.size(); ++c)
-      if (channels_[c])
-        res.channel_high_water[c] = channels_[c]->high_water;
-
-    if (obs::kCompiledIn && rec_) {
-      rec_->finish_session(res.wall_seconds);
-      obs::MetricsRegistry& m = rec_->metrics();
-      m.gauge("runtime.wall_seconds").set(res.wall_seconds);
-      m.counter("runtime.total_firings").add(res.total_firings);
-      m.counter("runtime.delayed_releases").add(res.delayed_releases);
-      m.gauge("runtime.max_release_lag_seconds")
-          .set(res.max_release_lag_seconds);
-      if (faults_) m.counter("runtime.faults_injected").add(res.faults_injected);
-      if (ctrl_ != nullptr)
-        m.counter("runtime.frames_shed").add(res.frames_shed);
-      if (opt_.pace_inputs) {
-        m.gauge("runtime.lag_tolerance_seconds")
-            .set(opt_.lag_tolerance_seconds);
-        m.gauge("runtime.pace_slowdown").set(opt_.pace_slowdown);
-      }
-      for (size_t c = 0; c < channels_.size(); ++c)
-        if (channels_[c])
-          m.high_water("runtime.channel." + std::to_string(c) +
-                       ".occupancy")
-              .update(static_cast<double>(channels_[c]->high_water));
-      for (size_t k = 0; k < kernel_fired_.size(); ++k)
-        if (kernel_fired_[k] > 0)
-          m.counter("runtime.kernel." + g_.kernel(static_cast<KernelId>(k)).name() +
-                    ".firings")
-              .add(kernel_fired_[k]);
-    }
-    return res;
-  }
-
- private:
-  /// Per-worker scratch, reused across process() calls so the hot loop
-  /// stops heap-allocating once vector capacities warm up.
-  struct Worker {
-    int core = -1;
-    ExecContext ctx;
-    FireDecision decision;
-    std::vector<Item> popped;
-    /// timed[k] >= 0: release time (seconds since t0) paced source k waits
-    /// for; entries only for this worker's kernels.
-    std::vector<double> timed;
-    int timed_armed = 0;
-    /// This core's event ring, or null when tracing is off — the single
-    /// branch every instrumented site pays when disabled.
-    obs::EventRing* ring = nullptr;
-    /// Worker-local per-kernel firing counts, merged into kernel_fired_ at
-    /// exit (keeps the hot loop off shared cache lines).
-    std::vector<long> fired;
-    /// Worker-local count of perturbed firings, merged at exit.
-    long faults = 0;
-  };
-
-  RtChannel& chan(ChannelId c) { return *channels_[static_cast<size_t>(c)]; }
-
-  /// Mark kernel `k` ready and wake its core. Callers must have issued a
-  /// seq_cst fence after the channel writes this readiness reports.
-  /// `self_core` is the calling worker's core: a push onto one's own queue
-  /// needs no eventcount bump — the worker is awake and re-polls its queue
-  /// before it can park.
-  void mark_ready(KernelId k, int self_core) {
-    if (ready_[static_cast<size_t>(k)].ready.exchange(
-            true, std::memory_order_seq_cst))
-      return;  // already queued (or about to re-run)
-    const int core = mapping_.core_of[static_cast<size_t>(k)];
-    CoreSync& s = *sync_[static_cast<size_t>(core)];
-    s.queue.push(&nodes_[static_cast<size_t>(k)]);
-    if (core == self_core) return;
-    s.epoch.fetch_add(1, std::memory_order_seq_cst);
-    if (s.sleepers.load(std::memory_order_seq_cst) > 0) {
-      {
-        std::lock_guard<std::mutex> lk(s.mu);
-      }
-      s.cv.notify_all();
-    }
-  }
-
-  /// True when every channel in `outs` has space. On the first full one,
-  /// arms its producer_blocked flag so the consumer's next pop re-arms us,
-  /// re-checking afterwards to close the race against a concurrent pop.
-  bool has_space_or_arm(const std::vector<ChannelId>& outs) {
-    for (ChannelId c : outs) {
-      RtChannel& ch = chan(c);
-      if (!ch.ring.full()) continue;
-      ch.producer_blocked.store(true, std::memory_order_seq_cst);
-      std::atomic_thread_fence(std::memory_order_seq_cst);
-      if (!ch.ring.full()) continue;  // freed meanwhile; stale flag only
-                                      // costs one spurious re-arm
-      return false;
-    }
-    return true;
-  }
-
-  /// Push one item to every channel of a fan-out and mark the consumers
-  /// ready. Callers guarantee space (has_space_or_arm) — only the owning
-  /// worker pushes, so space cannot shrink in between.
-  void push_all(const std::vector<ChannelId>& outs, Item item, Worker& w) {
-    const size_t n = outs.size();
-    for (size_t i = 0; i < n; ++i) {
-      RtChannel& ch = chan(outs[i]);
-      const bool ok = i + 1 == n ? ch.ring.try_push(std::move(item))
-                                 : ch.ring.try_push(item);
-      if (!ok)
-        throw ExecutionError("runtime: push on full channel (scheduler bug)");
-      const int occ = static_cast<int>(ch.ring.size_approx());
-      if (occ > ch.high_water) ch.high_water = occ;
-      if (obs::kCompiledIn && w.ring) {
-        obs::TraceEvent e;
-        e.kind = obs::EventKind::kChannelPush;
-        e.t0 = e.t1 = elapsed();
-        e.core = w.core;
-        e.channel = outs[i];
-        e.aux0 = static_cast<float>(occ);
-        w.ring->emit(e);
-      }
-    }
-    std::atomic_thread_fence(std::memory_order_seq_cst);
-    for (ChannelId c : outs) mark_ready(chan(c).consumer_kernel, w.core);
-  }
-
-  /// Drain pending emissions of kernel k. Returns true if all were moved.
-  /// With tracing on, a drain that moved items is recorded as a write span
-  /// (the back-pressured write phase of Fig. 13's breakdown).
-  bool drain(KernelId k, Worker& w) {
-    auto& pending = pending_[static_cast<size_t>(k)];
-    if (pending.empty()) return true;
-    const bool rec = obs::kCompiledIn && w.ring != nullptr;
-    const double t_begin = rec ? elapsed() : 0.0;
-    bool moved = false;
-    bool all = true;
-    while (!pending.empty()) {
-      Emission& e = pending.front();
-      const auto& outs = outs_of_[static_cast<size_t>(k)][static_cast<size_t>(e.port)];
-      if (!has_space_or_arm(outs)) {
-        all = false;
-        break;
-      }
-      push_all(outs, std::move(e.item), w);
-      pending.pop_front();
-      moved = true;
-    }
-    if (rec && moved) {
-      obs::TraceEvent e;
-      e.kind = obs::EventKind::kWrite;
-      e.t0 = t_begin;
-      e.t1 = elapsed();
-      e.aux2 = static_cast<float>(e.t1 - e.t0);  // whole span is write time
-      e.kernel = k;
-      e.core = w.core;
-      w.ring->emit(e);
-    }
-    return all;
-  }
-
-  /// After popping (and fencing), re-arm producers that parked on
-  /// back-pressure of channel `ch`.
-  void rearm_blocked_producer(RtChannel& ch, int self_core) {
-    if (ch.producer_blocked.load(std::memory_order_seq_cst) &&
-        ch.producer_blocked.exchange(false, std::memory_order_seq_cst))
-      mark_ready(ch.producer_kernel, self_core);
-  }
-
-  void signal_done() {
-    {
-      std::lock_guard<std::mutex> lk(done_mu_);
-      done_ = true;
-    }
-    done_cv_.notify_all();
-  }
-
-  /// Source loop: drain the staged emission then poll for more. Exits when
-  /// exhausted (never re-armed), back-pressured (producer_blocked armed),
-  /// or — paced — not due yet (timed re-arm via `timed`).
-  /// Instant event helper for frame/shed boundaries on a source.
-  void emit_frame_instant(obs::EventKind kind, KernelId k, Worker& w,
-                          std::int32_t frame) {
-    if (!obs::kCompiledIn || !w.ring) return;
-    obs::TraceEvent e;
-    e.kind = kind;
-    e.t0 = e.t1 = elapsed();
-    e.kernel = k;
-    e.core = w.core;
-    e.method = frame;
-    w.ring->emit(e);
-  }
-
-  void run_source(KernelId k, Kernel& kn, Worker& w) {
-    auto& next = src_next_[static_cast<size_t>(k)];
-    const bool sheddable = ctrl_ != nullptr && k == shed_source_;
-    while (true) {
-      if (next.has_value()) {
-        // Inspect before the item is moved. Frame bookkeeping runs
-        // unconditionally — the shed state machine needs it even with
-        // tracing off.
-        const bool frame_data = is_data(next->item);
-        const bool frame_eof =
-            !frame_data && as_token(next->item).cls == tok::kEndOfFrame;
-        const bool frame_eos =
-            !frame_data && as_token(next->item).cls == tok::kEndOfStream;
-
-        // Pacing is honored whether or not the item will be dropped: the
-        // camera does not pause while we shed.
-        if (opt_.pace_inputs) {
-          const double release = next->release_seconds * opt_.pace_slowdown;
-          if (elapsed() + 1e-9 < release) {
-            if (w.timed[static_cast<size_t>(k)] < 0.0) ++w.timed_armed;
-            w.timed[static_cast<size_t>(k)] = release;  // due later
-            return;
-          }
-        }
-
-        // Frame boundary: claim an armed shed request and drop the whole
-        // upcoming frame (never mid-frame, never end-of-stream).
-        if (frame_data && src_at_frame_start_[static_cast<size_t>(k)] &&
-            !src_dropping_[static_cast<size_t>(k)] && sheddable &&
-            ctrl_->should_shed()) {
-          src_dropping_[static_cast<size_t>(k)] = 1;
-          emit_frame_instant(obs::EventKind::kFrameShed, k, w,
-                             src_frame_idx_[static_cast<size_t>(k)]);
-        }
-
-        if (src_dropping_[static_cast<size_t>(k)] && !frame_eos) {
-          // Dropping: consume without pushing.
-          if (frame_data && src_at_frame_start_[static_cast<size_t>(k)])
-            src_at_frame_start_[static_cast<size_t>(k)] = 0;
-          next.reset();
-          if (frame_eof) {
-            const std::int32_t shed = src_frame_idx_[static_cast<size_t>(k)];
-            ++src_frame_idx_[static_cast<size_t>(k)];
-            src_at_frame_start_[static_cast<size_t>(k)] = 1;
-            src_dropping_[static_cast<size_t>(k)] = 0;
-            emit_frame_instant(obs::EventKind::kShedRecover, k, w, shed);
-            ctrl_->on_shed_complete(shed);
-          }
-        } else {
-          const auto& outs = outs_of_[static_cast<size_t>(k)]
-                                     [static_cast<size_t>(next->port)];
-          if (!has_space_or_arm(outs)) return;
-          if (opt_.pace_inputs) {
-            const double release = next->release_seconds * opt_.pace_slowdown;
-            const double lag = elapsed() - release;
-            const bool late = lag > opt_.lag_tolerance_seconds;
-            if (late) {
-              delayed_.fetch_add(1, std::memory_order_relaxed);
-              update_max_lag(lag);
-            }
-            if (obs::kCompiledIn && w.ring) {
-              obs::TraceEvent e;
-              e.kind = obs::EventKind::kSourceRelease;
-              e.t0 = e.t1 = elapsed();
-              e.kernel = k;
-              e.core = w.core;
-              e.aux0 = static_cast<float>(lag > 0.0 ? lag : 0.0);
-              e.aux1 = late ? 1.0f : 0.0f;
-              w.ring->emit(e);
-            }
-          }
-          push_all(outs, std::move(next->item), w);
-          next.reset();
-          if (frame_data && src_at_frame_start_[static_cast<size_t>(k)]) {
-            src_at_frame_start_[static_cast<size_t>(k)] = 0;
-            emit_frame_instant(obs::EventKind::kFrameStart, k, w,
-                               src_frame_idx_[static_cast<size_t>(k)]);
-          } else if (frame_eof) {
-            ++src_frame_idx_[static_cast<size_t>(k)];
-            src_at_frame_start_[static_cast<size_t>(k)] = 1;
-          }
-        }
-      }
-      SourceEmission e;
-      if (!kn.source_poll(e)) return;  // exhausted for good
-      next = std::move(e);
-    }
-  }
-
-  /// Run kernel `k` until it can make no more progress. Clears the ready
-  /// bit first (fenced), so any push/pop arriving after our channel reads
-  /// re-queues the kernel instead of being lost.
-  void process(KernelId k, Worker& w) {
-    ready_[static_cast<size_t>(k)].ready.store(false, std::memory_order_seq_cst);
-    std::atomic_thread_fence(std::memory_order_seq_cst);
-
-    Kernel& kn = g_.kernel(k);
-    if (kn.is_source()) {
-      if (!drain(k, w) &&
-          static_cast<long>(pending_[static_cast<size_t>(k)].size()) >=
-              kn.pending_capacity())
-        return;
-      run_source(k, kn, w);
-      return;
-    }
-
-    const auto& in_of = in_of_[static_cast<size_t>(k)];
-    while (true) {
-      if (!drain(k, w) &&
-          static_cast<long>(pending_[static_cast<size_t>(k)].size()) >=
-              kn.pending_capacity())
-        return;  // back-pressured; the consumer's pop re-arms us
-
-      decide_fire_into(
-          kn, connected_[static_cast<size_t>(k)],
-          [&](int port) -> const Item* {
-            const ChannelId c = in_of[static_cast<size_t>(port)];
-            if (c < 0) return nullptr;
-            return chan(c).ring.front();  // lock-free consumer-side peek
-          },
-          w.decision);
-      const FireDecision& d = w.decision;
-      if (!d.fires()) return;  // idle; the next push re-arms us
-
-      const bool rec = obs::kCompiledIn && w.ring != nullptr;
-      const double t_begin = rec ? elapsed() : 0.0;
-
-      // Fault injection, keyed on the kernel's firing index — w.fired[k]
-      // counts exactly that, and only this worker fires k, so the key is
-      // interleaving-independent (same seed -> same perturbed firings).
-      fault::Perturbation pert;
-      if (faults_) {
-        pert = inj_.perturb(k, w.fired[static_cast<size_t>(k)]);
-        if (!pert.identity()) {
-          ++w.faults;
-          if (rec) {
-            obs::TraceEvent e;
-            e.kind = obs::EventKind::kFaultInject;
-            e.t0 = e.t1 = elapsed();
-            e.kernel = k;
-            e.core = w.core;
-            e.aux0 = static_cast<float>(pert.time_scale);
-            e.aux1 = static_cast<float>(pert.stall_seconds);
-            e.aux2 = static_cast<float>(pert.delivery_delay_seconds);
-            w.ring->emit(e);
-          }
-        }
-      }
-
-      ExecContext& ctx = w.ctx;
-      ctx.reset();
-      w.popped.clear();
-      w.popped.reserve(d.pop_inputs.size());
-      for (int p : d.pop_inputs) {
-        RtChannel& ch = chan(in_of[static_cast<size_t>(p)]);
-        w.popped.push_back(std::move(*ch.ring.front_mut()));
-        ch.ring.pop();
-        if (rec) {
-          obs::TraceEvent e;
-          e.kind = obs::EventKind::kChannelPop;
-          e.t0 = e.t1 = elapsed();
-          e.core = w.core;
-          e.channel = in_of[static_cast<size_t>(p)];
-          e.aux0 = static_cast<float>(ch.ring.size_approx());
-          w.ring->emit(e);
-        }
-        if (is_token(w.popped.back()) &&
-            as_token(w.popped.back()).cls == tok::kEndOfStream)
-          ++eos_seen_[static_cast<size_t>(k)];
-      }
-      std::atomic_thread_fence(std::memory_order_seq_cst);
-      for (int p : d.pop_inputs)
-        rearm_blocked_producer(chan(in_of[static_cast<size_t>(p)]), w.core);
-      for (size_t i = 0; i < d.pop_inputs.size(); ++i)
-        ctx.bind_input(d.pop_inputs[i], &w.popped[i]);
-
-      const double t_read = rec || faults_ ? elapsed() : 0.0;
-      if (pert.stall_seconds > 0.0) fault::spin_for(pert.stall_seconds);
-      const double t_run = pert.stall_seconds > 0.0 ? elapsed() : t_read;
-      if (d.kind == FireDecision::Kind::Method) {
-        if (d.token >= 0) ctx.set_trigger_token(d.token, d.payload);
-        kn.invoke(d.method, ctx);
-      } else {
-        for (int o : d.forward_outputs)
-          ctx.emit(o, ControlToken{d.token, d.payload});
-      }
-      // Overrun/throttle: stretch the firing by spinning for the induced
-      // extra time (wall clock cannot run a kernel faster, so time scales
-      // below 1 are a no-op here; the simulator honors them). Delivery
-      // delay spins between the firing and the publication of its outputs.
-      if (pert.time_scale > 1.0)
-        fault::spin_for((elapsed() - t_run) * (pert.time_scale - 1.0));
-      if (pert.delivery_delay_seconds > 0.0)
-        fault::spin_for(pert.delivery_delay_seconds);
-      for (Emission& e : ctx.emissions())
-        pending_[static_cast<size_t>(k)].push_back(std::move(e));
-      firings_.fetch_add(1, std::memory_order_relaxed);
-      ++w.fired[static_cast<size_t>(k)];
-      if (rec) {
-        obs::TraceEvent e;
-        e.kind = obs::EventKind::kFiring;
-        e.t0 = t_begin;
-        e.t1 = elapsed();
-        e.aux0 = static_cast<float>(e.t1 - t_read);   // run (invoke)
-        e.aux1 = static_cast<float>(t_read - t_begin);  // read (pops)
-        e.kernel = k;
-        e.core = w.core;
-        e.method = d.kind == FireDecision::Kind::Method ? d.method : -1;
-        w.ring->emit(e);
-      }
-
-      // Frame tracking: a sink consuming an end-of-frame token closes the
-      // frame whose index rides in the token payload. The degradation
-      // controller gets the same completions as miss feedback.
-      if ((rec || ctrl_ != nullptr) && is_sink_[static_cast<size_t>(k)]) {
-        for (const Item& it : w.popped) {
-          if (!is_token(it) || as_token(it).cls != tok::kEndOfFrame) continue;
-          const double t_end = elapsed();
-          if (rec) {
-            obs::TraceEvent e;
-            e.kind = obs::EventKind::kFrameEnd;
-            e.t0 = e.t1 = t_end;
-            e.kernel = k;
-            e.core = w.core;
-            e.method = as_token(it).payload;
-            w.ring->emit(e);
-          }
-          if (ctrl_ != nullptr)
-            ctrl_->on_frame_end(as_token(it).payload, t_end);
-        }
-      }
-
-      // Sink completion: all connected inputs delivered end-of-stream.
-      if (is_sink_[static_cast<size_t>(k)] &&
-          eos_seen_[static_cast<size_t>(k)] >= eos_needed_[static_cast<size_t>(k)] &&
-          !sink_done_[static_cast<size_t>(k)].exchange(true)) {
-        if (finished_sinks_.fetch_add(1, std::memory_order_acq_rel) + 1 >=
-                total_sinks_ &&
-            total_sinks_ > 0)
-          signal_done();
-      }
-    }
-  }
-
-  void worker(int core) {
-    CoreSync& sync = *sync_[static_cast<size_t>(core)];
-    const auto& kernels = core_kernels_[static_cast<size_t>(core)];
-    Worker w;
-    w.core = core;
-    w.fired.assign(static_cast<size_t>(g_.kernel_count()), 0);
-    if (obs::kCompiledIn && rec_) w.ring = rec_->ring(core);
-    // Paced sources blocked on wall-clock time, worker-private:
-    // timed[k] >= 0 is the release (seconds since t0) kernel k waits for.
-    w.timed.assign(static_cast<size_t>(g_.kernel_count()), -1.0);
-
-    auto fire_due_sources = [&] {
-      if (w.timed_armed == 0) return;
-      const double now = elapsed();
-      for (KernelId k : kernels) {
-        double& rel = w.timed[static_cast<size_t>(k)];
-        if (rel >= 0.0 && now + 1e-9 >= rel) {
-          rel = -1.0;
-          --w.timed_armed;
-          mark_ready(k, core);  // our own queue; runs on the next pop
-        }
-      }
-    };
-
-    while (!stop_.load(std::memory_order_acquire)) {
-      fire_due_sources();
-      if (ReadyNode* n = sync.queue.pop()) {
-        process(n->kernel, w);
-        continue;
-      }
-
-      // Park: eventcount protocol. Load the epoch, re-check for work, then
-      // sleep until a producer bumps the epoch (or a paced deadline).
-      const unsigned e = sync.epoch.load(std::memory_order_seq_cst);
-      if (ReadyNode* n = sync.queue.pop()) {
-        process(n->kernel, w);
-        continue;
-      }
-      if (stop_.load(std::memory_order_acquire)) break;
-
-      double next_release = -1.0;
-      for (KernelId k : kernels) {
-        const double rel = w.timed[static_cast<size_t>(k)];
-        if (rel >= 0.0 && (next_release < 0.0 || rel < next_release))
-          next_release = rel;
-      }
-
-      const double t_park = obs::kCompiledIn && w.ring ? elapsed() : 0.0;
-      {
-        std::unique_lock<std::mutex> lk(sync.mu);
-        sync.sleepers.fetch_add(1, std::memory_order_seq_cst);
-        const auto pred = [&] {
-          return sync.epoch.load(std::memory_order_seq_cst) != e ||
-                 stop_.load(std::memory_order_acquire);
-        };
-        if (next_release >= 0.0) {
-          const auto deadline =
-              t0_ + std::chrono::duration_cast<
-                        std::chrono::steady_clock::duration>(
-                        std::chrono::duration<double>(next_release));
-          sync.cv.wait_until(lk, deadline, pred);
-        } else {
-          sync.cv.wait(lk, pred);
-        }
-        sync.sleepers.fetch_sub(1, std::memory_order_seq_cst);
-      }
-      if (obs::kCompiledIn && w.ring) {
-        obs::TraceEvent ev;
-        ev.kind = obs::EventKind::kPark;
-        ev.t0 = t_park;
-        ev.t1 = elapsed();
-        ev.core = core;
-        w.ring->emit(ev);
-      }
-    }
-
-    // Merge worker-local firing counts into the shared tally.
-    std::lock_guard<std::mutex> lk(merge_mu_);
-    for (size_t k = 0; k < w.fired.size(); ++k)
-      kernel_fired_[k] += w.fired[k];
-    faults_total_ += w.faults;
-  }
-
-  Graph& g_;
-  RuntimeOptions opt_;
-  Mapping mapping_;
-  std::vector<std::unique_ptr<RtChannel>> channels_;  // null for dead channels
-  std::vector<std::unique_ptr<CoreSync>> sync_;
-  std::vector<std::vector<ChannelId>> in_of_;
-  std::vector<std::vector<std::vector<ChannelId>>> outs_of_;
-  std::vector<std::vector<int>> connected_;
-  std::vector<std::deque<Emission>> pending_;
-  std::vector<std::vector<KernelId>> core_kernels_;
-  std::vector<int> eos_needed_;
-  std::vector<int> eos_seen_;
-  std::vector<char> is_sink_;
-  std::vector<std::optional<SourceEmission>> src_next_;
-  /// Per-source frame cursors (only the owning worker touches its sources):
-  /// whether the next data item opens a frame, and that frame's index.
-  std::vector<char> src_at_frame_start_;
-  std::vector<std::int32_t> src_frame_idx_;
-  /// Per-source shed state: mid-drop of the current frame.
-  std::vector<char> src_dropping_;
-  /// Fault injection (bound copy; see ctor) and degradation wiring.
-  fault::Injector inj_;
-  bool faults_ = false;
-  fault::DegradationController* ctrl_ = nullptr;
-  KernelId shed_source_ = -1;
-  std::unique_ptr<std::atomic<bool>[]> sink_done_;
-  std::unique_ptr<ReadyFlag[]> ready_;  // per-kernel, cache-line padded
-  std::unique_ptr<ReadyNode[]> nodes_;  // per-kernel ready-queue nodes
-  std::chrono::steady_clock::time_point t0_{};
-  int total_sinks_ = 0;
-  obs::Recorder* rec_ = nullptr;  // null = tracing off
-
-  std::mutex done_mu_;
-  std::condition_variable done_cv_;
-  bool done_ = false;  // guarded by done_mu_
-
-  std::mutex merge_mu_;
-  std::vector<long> kernel_fired_;  // guarded by merge_mu_ until join
-  long faults_total_ = 0;           // guarded by merge_mu_ until join
-
-  // Hot counters, each on its own line so workers do not false-share.
-  alignas(kCacheLineSize) std::atomic<bool> stop_{false};
-  alignas(kCacheLineSize) std::atomic<long> firings_{0};
-  alignas(kCacheLineSize) std::atomic<int> finished_sinks_{0};
-  alignas(kCacheLineSize) std::atomic<long> delayed_{0};
-  alignas(kCacheLineSize) std::atomic<double> max_lag_{0.0};
-};
-
-}  // namespace
+// The scheduling machinery lives in two halves since the bpd service
+// landed: rt::Machine (machine.{h,cpp}) owns the worker-core pool —
+// ready queues, eventcount parking, the worker loop — and GraphProgram
+// (program.{h,cpp}) owns one running pipeline instance. run_threaded()
+// is the single-tenant composition: a transient machine sized to the
+// mapping, one program, and this thread as the completion latch,
+// watchdog, and trace collector.
 
 RuntimeResult run_threaded(Graph& g, const Mapping& mapping,
                            const RuntimeOptions& options) {
   if (static_cast<int>(mapping.core_of.size()) != g.kernel_count())
     throw ExecutionError("run_threaded: mapping does not cover the graph");
-  return ThreadedRun(g, mapping, options).run();
+
+  rt::Machine machine(mapping.cores);
+  GraphProgram prog(g, mapping, options, machine);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  prog.set_on_complete([&] {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      done = true;
+    }
+    cv.notify_all();
+  });
+  prog.start();
+
+  // Completion latch + watchdog. The worker finishing the last sink
+  // signals cv; otherwise we only wake once per watchdog window to
+  // compare the firing counter — no polling loop. With a recorder
+  // attached, this thread doubles as the trace collector: wake every few
+  // ms to drain the per-core rings (SPSC, single consumer) so runs longer
+  // than the ring capacity keep every event instead of shedding the
+  // newest.
+  bool watchdog_fired = false;
+  std::string diagnostics;
+  {
+    long last_firings = prog.firings();
+    auto last_change = std::chrono::steady_clock::now();
+    const auto window =
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(options.watchdog_seconds));
+    const bool polling = obs::kCompiledIn && options.recorder != nullptr;
+    std::unique_lock<std::mutex> lk(mu);
+    while (!done) {
+      const auto deadline = last_change + window;
+      auto wake = deadline;
+      if (polling) {
+        const auto poll_at =
+            std::chrono::steady_clock::now() + std::chrono::milliseconds(2);
+        if (poll_at < wake) wake = poll_at;
+      }
+      if (cv.wait_until(lk, wake, [&] { return done; })) break;
+      if (polling) prog.poll_recorder();
+      if (wake < deadline) continue;  // poll tick, not the watchdog
+      const long f = prog.firings();
+      if (f != last_firings) {
+        last_firings = f;
+        last_change = std::chrono::steady_clock::now();
+      } else {
+        watchdog_fired = true;
+        diagnostics = "watchdog: no progress for " +
+                      std::to_string(options.watchdog_seconds) + "s";
+        break;
+      }
+    }
+  }
+
+  RuntimeResult res = prog.finish();
+  res.watchdog_fired = watchdog_fired;
+  if (!diagnostics.empty()) res.diagnostics = diagnostics;
+  return res;
 }
 
 RuntimeResult run_sequential(Graph& g, const RuntimeOptions& options) {

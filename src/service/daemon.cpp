@@ -1,0 +1,495 @@
+#include "service/daemon.h"
+
+#include <algorithm>
+#include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "apps/pipelines.h"
+#include "compiler/pipeline.h"
+#include "core/error.h"
+#include "fault/degradation.h"
+#include "fault/injector.h"
+#include "fault/plan.h"
+#include "obs/frames.h"
+#include "obs/recorder.h"
+#include "runtime/machine.h"
+#include "runtime/program.h"
+#include "runtime/runtime.h"
+#include "serialize/json.h"
+#include "serialize/serialize.h"
+#include "service/protocol.h"
+
+namespace bpp::service {
+
+const char* state_name(TenantState s) {
+  switch (s) {
+    case TenantState::kPending: return "pending";
+    case TenantState::kRunning: return "running";
+    case TenantState::kCompleted: return "completed";
+    case TenantState::kEvicted: return "evicted";
+    case TenantState::kRejected: return "rejected";
+    case TenantState::kFailed: return "failed";
+  }
+  return "?";
+}
+
+namespace {
+
+/// The fastest rate the data-flow analysis assigned — the input frame
+/// rate — stretched by the paced slowdown the tenant runs under.
+double declared_rate(const CompiledApp& app, double slowdown) {
+  double rate = 0.0;
+  for (const KernelAnalysis& ka : app.analysis.kernel)
+    rate = std::max(rate, ka.rate_hz);
+  return slowdown > 0.0 ? rate / slowdown : rate;
+}
+
+}  // namespace
+
+/// Everything one submission owns. Destruction order matters: `program`
+/// is declared last so it detaches from the machine (and stops touching
+/// the graph, recorder, injector, and controller) before they go away.
+struct Daemon::Tenant {
+  int id = -1;
+  TenantSpec spec;
+  std::string app_label;
+  TenantState state = TenantState::kPending;
+  Placement placement;
+  std::vector<double> vcore_util;
+  std::string reason;
+  double rate_hz = 0.0;  ///< deadline-schedule rate (post-slowdown)
+  bool evicting = false;
+
+  std::optional<CompiledApp> app;  ///< graph lives in here
+  std::optional<fault::Injector> injector;
+  std::unique_ptr<obs::Recorder> recorder;
+  std::unique_ptr<fault::DegradationController> ctrl;
+  Mapping pool_mapping;
+  std::unique_ptr<GraphProgram> program;
+
+  /// Stats frozen at finalize; live snapshots are built on demand.
+  TenantStatus final_status;
+  bool finalized = false;
+};
+
+struct Daemon::Impl {
+  explicit Impl(DaemonOptions o)
+      : opt(o),
+        machine(o.cores),
+        admission(o.cores, o.admission) {
+    monitor = std::thread([this] { monitor_loop(); });
+  }
+
+  ~Impl() {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      stop = true;
+    }
+    monitor.join();
+    // Finalize anything still running on this thread (eviction at
+    // teardown); Tenant destruction then detaches programs while the
+    // machine is still alive (member order: machine outlives tenants).
+    for (auto& t : tenants)
+      if (t->state == TenantState::kRunning) {
+        t->reason = "daemon shutdown";
+        finalize(*t, TenantState::kEvicted);
+      }
+  }
+
+  // ---- submission --------------------------------------------------------
+
+  int submit(const TenantSpec& spec) {
+    std::lock_guard<std::mutex> lk(mu);
+    auto t = std::make_unique<Tenant>();
+    t->id = static_cast<int>(tenants.size());
+    t->spec = spec;
+    t->app_label = spec.app.empty() ? "(graph)" : spec.app;
+    const int id = t->id;
+
+    if (opt.max_tenants > 0 &&
+        static_cast<int>(tenants.size()) >= opt.max_tenants) {
+      t->state = TenantState::kRejected;
+      t->reason = "tenant limit " + std::to_string(opt.max_tenants) + " reached";
+      tenants.push_back(std::move(t));
+      return id;
+    }
+
+    try {
+      start_tenant(*t);
+    } catch (const Error& e) {
+      t->state = TenantState::kFailed;
+      t->reason = e.what();
+      t->program.reset();
+    }
+    if (t->state == TenantState::kRunning) ++running;
+    tenants.push_back(std::move(t));
+    return id;
+  }
+
+  /// Compile, admit, start. Throws bpp::Error on build/compile failure.
+  void start_tenant(Tenant& t) {
+    const TenantSpec& spec = t.spec;
+    Graph source = spec.app.empty()
+                       ? graph_from_text(spec.graph_text)
+                       : apps::named_app(spec.app, spec.frame, spec.rate_hz,
+                                         spec.frames, spec.bins);
+    CompileOptions copt;
+    copt.machine = opt.machine;
+    t.app.emplace(compile(std::move(source), copt));
+    CompiledApp& app = *t.app;
+
+    t.vcore_util =
+        vcore_utilization(app.graph, app.loads, app.mapping, opt.machine);
+    t.placement = admission.admit(t.vcore_util);
+    t.reason = t.placement.reason;
+    if (t.placement.verdict == Verdict::kDegraded && !spec.allow_degraded) {
+      // The submitter refused degraded service; undo the commit.
+      admission.release(t.placement, t.vcore_util);
+      t.placement.verdict = Verdict::kRejected;
+      t.placement.pool_core_of_vcore.clear();
+      t.reason += "; tenant disallows degraded admission";
+    }
+    if (t.placement.verdict == Verdict::kRejected) {
+      t.state = TenantState::kRejected;
+      return;
+    }
+
+    t.rate_hz = declared_rate(app, opt.pace ? spec.pace_slowdown : 1.0);
+    fault::DegradationPolicy pol;
+    pol.shed = t.placement.verdict == Verdict::kDegraded;
+    pol.rate_hz = t.rate_hz;
+    pol.slack_seconds = spec.slack_seconds;
+    t.recorder = std::make_unique<obs::Recorder>();
+    t.ctrl = std::make_unique<fault::DegradationController>(
+        pol, &t.recorder->metrics());
+
+    if (!spec.fault_plan_json.empty()) {
+      const fault::FaultPlan plan = fault::parse_plan(spec.fault_plan_json);
+      t.injector.emplace(plan,
+                         spec.fault_seed_set ? spec.fault_seed : plan.seed);
+    }
+
+    // Translate the compiled mapping's virtual cores onto pool cores.
+    t.pool_mapping.cores = machine.cores();
+    t.pool_mapping.core_of.resize(app.mapping.core_of.size());
+    for (size_t k = 0; k < app.mapping.core_of.size(); ++k)
+      t.pool_mapping.core_of[k] =
+          t.placement.pool_core_of_vcore[static_cast<size_t>(
+              app.mapping.core_of[k])];
+
+    RuntimeOptions ropt;
+    ropt.pace_inputs = opt.pace;
+    ropt.pace_slowdown = spec.pace_slowdown;
+    ropt.recorder = t.recorder.get();
+    ropt.injector = t.injector ? &*t.injector : nullptr;
+    ropt.degradation = t.ctrl.get();
+    t.program = std::make_unique<GraphProgram>(app.graph, t.pool_mapping, ropt,
+                                               machine);
+    t.program->start();
+    t.state = TenantState::kRunning;
+  }
+
+  // ---- monitor -----------------------------------------------------------
+
+  void monitor_loop() {
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lk(mu);
+        if (stop) return;
+        bool changed = false;
+        for (auto& t : tenants) {
+          if (t->state != TenantState::kRunning) continue;
+          t->program->poll_recorder();
+          if (t->program->done()) {
+            finalize(*t, TenantState::kCompleted);
+            changed = true;
+          } else if (should_evict(*t)) {
+            t->reason = "evicted: " + std::to_string(t->ctrl->misses()) +
+                        " deadline misses (limit " +
+                        std::to_string(evict_limit(*t)) + ")";
+            finalize(*t, TenantState::kEvicted);
+            changed = true;
+          }
+        }
+        if (changed) cv.notify_all();
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  [[nodiscard]] long evict_limit(const Tenant& t) const {
+    // Degraded tenants shed as their first line of defense; eviction only
+    // fires if misses keep accumulating well past the admitted threshold.
+    const long base = opt.evict_misses;
+    return t.placement.verdict == Verdict::kDegraded ? base * 4 : base;
+  }
+
+  [[nodiscard]] bool should_evict(const Tenant& t) const {
+    if (opt.evict_misses <= 0 || !t.ctrl) return false;
+    return t.ctrl->misses() >= evict_limit(t);
+  }
+
+  /// Stop a running tenant's program, return its capacity, and freeze its
+  /// statistics. Called with `mu` held (monitor thread or teardown).
+  void finalize(Tenant& t, TenantState end_state) {
+    const RuntimeResult r = t.program->finish();
+    admission.release(t.placement, t.vcore_util);
+    t.state = end_state;
+    --running;
+
+    TenantStatus& s = t.final_status;
+    s = snapshot_common(t);
+    s.firings = r.total_firings;
+    s.faults_injected = r.faults_injected;
+    s.frames_shed = r.frames_shed;
+    s.wall_seconds = r.wall_seconds;
+    if (t.ctrl) {
+      s.frames_completed = t.ctrl->frames_completed();
+      s.deadline_misses = t.ctrl->misses();
+      double min_slack = 0.0;
+      bool first = true;
+      for (const obs::FrameVerdict& v : t.ctrl->verdicts()) {
+        const double slack = v.deadline_seconds - v.completed_seconds;
+        if (first || slack < min_slack) min_slack = slack;
+        first = false;
+      }
+      s.min_slack = first ? 0.0 : min_slack;
+    }
+    if (obs::kCompiledIn && t.recorder) {
+      const obs::FrameReport fr = obs::analyze_frames(t.recorder->trace());
+      s.latency_p50 = fr.latency.p50;
+      s.latency_p95 = fr.latency.p95;
+      if (s.frames_completed == 0)
+        s.frames_completed = static_cast<long>(fr.frames.size());
+    }
+    t.finalized = true;
+  }
+
+  // ---- status ------------------------------------------------------------
+
+  [[nodiscard]] TenantStatus snapshot_common(const Tenant& t) const {
+    TenantStatus s;
+    s.id = t.id;
+    s.name = t.spec.name;
+    s.app = t.app_label;
+    s.state = t.state;
+    s.admission = t.placement.verdict;
+    s.reason = t.reason;
+    s.demand = t.placement.demand;
+    s.peak_load = t.placement.peak_load;
+    s.rate_hz = t.rate_hz;
+    return s;
+  }
+
+  [[nodiscard]] TenantStatus snapshot(const Tenant& t) const {
+    if (t.finalized) return t.final_status;
+    TenantStatus s = snapshot_common(t);
+    if (t.state == TenantState::kRunning) {
+      s.firings = t.program->firings();
+      s.wall_seconds = t.program->elapsed_seconds();
+      s.frames_shed = t.program->frames_shed();
+      if (t.ctrl) {
+        s.frames_completed = t.ctrl->frames_completed();
+        s.deadline_misses = t.ctrl->misses();
+      }
+    }
+    return s;
+  }
+
+  [[nodiscard]] PoolStatus pool_status() const {
+    PoolStatus p;
+    p.cores = machine.cores();
+    p.load = admission.total_load();
+    p.capacity = admission.capacity();
+    for (const auto& t : tenants) switch (t->state) {
+        case TenantState::kRunning: ++p.running; break;
+        case TenantState::kCompleted: ++p.completed; break;
+        case TenantState::kEvicted: ++p.evicted; break;
+        case TenantState::kRejected: ++p.rejected; break;
+        case TenantState::kFailed: ++p.failed; break;
+        case TenantState::kPending: break;
+      }
+    return p;
+  }
+
+  DaemonOptions opt;
+  rt::Machine machine;  ///< declared before tenants: outlives every program
+  AdmissionController admission;
+  mutable std::mutex mu;
+  std::condition_variable cv;  ///< signaled when a tenant leaves kRunning
+  std::vector<std::unique_ptr<Tenant>> tenants;
+  std::set<std::string> spooled;  ///< spool files already submitted
+  int running = 0;
+  bool stop = false;
+  std::thread monitor;
+};
+
+Daemon::Daemon(DaemonOptions opt) : impl_(std::make_unique<Impl>(opt)) {}
+Daemon::~Daemon() = default;
+
+int Daemon::submit(const TenantSpec& spec) { return impl_->submit(spec); }
+
+int Daemon::submit_file(const std::string& path) {
+  std::ifstream f(path);
+  std::ostringstream text;
+  text << f.rdbuf();
+  TenantSpec spec;
+  try {
+    if (!f) throw Error("cannot read submission file '" + path + "'");
+    spec = parse_submission(text.str());
+  } catch (const Error& e) {
+    spec = TenantSpec{};
+    spec.name = std::filesystem::path(path).filename().string();
+    spec.app = "(invalid)";
+    // Route through submit() so the failure is recorded as a tenant.
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    auto t = std::make_unique<Tenant>();
+    t->id = static_cast<int>(impl_->tenants.size());
+    t->spec = spec;
+    t->app_label = spec.app;
+    t->state = TenantState::kFailed;
+    t->reason = e.what();
+    impl_->tenants.push_back(std::move(t));
+    return impl_->tenants.back()->id;
+  }
+  return impl_->submit(spec);
+}
+
+int Daemon::scan_spool(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    if (entry.path().extension() != ".json") continue;
+    files.push_back(entry.path().string());
+  }
+  if (ec) throw Error("cannot scan spool directory '" + dir + "'");
+  std::sort(files.begin(), files.end());
+  int submitted = 0;
+  for (const std::string& f : files) {
+    {
+      std::lock_guard<std::mutex> lk(impl_->mu);
+      if (!impl_->spooled.insert(f).second) continue;
+    }
+    submit_file(f);
+    ++submitted;
+  }
+  return submitted;
+}
+
+bool Daemon::wait_idle(double timeout_seconds) {
+  std::unique_lock<std::mutex> lk(impl_->mu);
+  return impl_->cv.wait_for(
+      lk, std::chrono::duration<double>(timeout_seconds),
+      [&] { return impl_->running == 0; });
+}
+
+TenantStatus Daemon::tenant(int id) const {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  return impl_->snapshot(*impl_->tenants.at(static_cast<size_t>(id)));
+}
+
+std::vector<TenantStatus> Daemon::tenants() const {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  std::vector<TenantStatus> out;
+  out.reserve(impl_->tenants.size());
+  for (const auto& t : impl_->tenants) out.push_back(impl_->snapshot(*t));
+  return out;
+}
+
+PoolStatus Daemon::pool() const {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  return impl_->pool_status();
+}
+
+int Daemon::cores() const { return impl_->machine.cores(); }
+
+void Daemon::write_status(std::ostream& os) const {
+  const PoolStatus p = pool();
+  const std::vector<TenantStatus> ts = tenants();
+  char line[512];
+  std::snprintf(line, sizeof line,
+                "bpd: pool %d cores, load %.2f/%.2f PE (%.0f%%), tenants: %d "
+                "running, %d completed, %d evicted, %d rejected, %d failed\n",
+                p.cores, p.load, p.capacity,
+                p.capacity > 0.0 ? 100.0 * p.load / p.capacity : 0.0,
+                p.running, p.completed, p.evicted, p.rejected, p.failed);
+  os << line;
+  for (const TenantStatus& s : ts) {
+    std::snprintf(line, sizeof line, "tenant %d '%s' app=%s: state=%s admission=%s",
+                  s.id, s.name.c_str(), s.app.c_str(), state_name(s.state),
+                  verdict_name(s.admission));
+    os << line;
+    if (s.state == TenantState::kRejected || s.state == TenantState::kFailed) {
+      os << " reason=\"" << s.reason << "\"\n";
+      continue;
+    }
+    std::snprintf(line, sizeof line,
+                  " demand=%.2f rate=%.1fHz frames=%ld missed=%ld shed=%ld "
+                  "firings=%ld",
+                  s.demand, s.rate_hz, s.frames_completed, s.deadline_misses,
+                  s.frames_shed, s.firings);
+    os << line;
+    if (s.frames_completed > 0) {
+      std::snprintf(line, sizeof line,
+                    " latency_p50=%.2fms latency_p95=%.2fms min_slack=%.2fms",
+                    s.latency_p50 * 1e3, s.latency_p95 * 1e3,
+                    s.min_slack * 1e3);
+      os << line;
+    }
+    if (s.state == TenantState::kEvicted)
+      os << " reason=\"" << s.reason << "\"";
+    os << '\n';
+  }
+}
+
+std::string Daemon::status_json() const {
+  const PoolStatus p = pool();
+  const std::vector<TenantStatus> ts = tenants();
+  json::Object pool_o;
+  pool_o["cores"] = p.cores;
+  pool_o["load_pe"] = p.load;
+  pool_o["capacity_pe"] = p.capacity;
+  pool_o["running"] = p.running;
+  pool_o["completed"] = p.completed;
+  pool_o["evicted"] = p.evicted;
+  pool_o["rejected"] = p.rejected;
+  pool_o["failed"] = p.failed;
+  json::Array arr;
+  for (const TenantStatus& s : ts) {
+    json::Object o;
+    o["id"] = s.id;
+    o["name"] = s.name;
+    o["app"] = s.app;
+    o["state"] = state_name(s.state);
+    o["admission"] = verdict_name(s.admission);
+    o["reason"] = s.reason;
+    o["demand_pe"] = s.demand;
+    o["rate_hz"] = s.rate_hz;
+    o["frames_completed"] = s.frames_completed;
+    o["deadline_misses"] = s.deadline_misses;
+    o["frames_shed"] = s.frames_shed;
+    o["firings"] = s.firings;
+    o["faults_injected"] = s.faults_injected;
+    o["wall_seconds"] = s.wall_seconds;
+    o["latency_p50_seconds"] = s.latency_p50;
+    o["latency_p95_seconds"] = s.latency_p95;
+    o["min_slack_seconds"] = s.min_slack;
+    arr.push_back(json::Value(std::move(o)));
+  }
+  json::Object root;
+  root["pool"] = json::Value(std::move(pool_o));
+  root["tenants"] = json::Value(std::move(arr));
+  return json::write(json::Value(std::move(root)));
+}
+
+}  // namespace bpp::service

@@ -1,0 +1,145 @@
+#pragma once
+// The bpd daemon core: a multi-tenant pipeline service.
+//
+// One Daemon owns one rt::Machine (the shared worker-core pool) and any
+// number of tenants — submitted pipeline instances, each compiled with
+// the block-parallel compiler, priced with its LoadMap, admitted (or
+// degraded, or rejected) by the AdmissionController, and run as its own
+// GraphProgram multiplexed onto the pool. Every tenant gets private
+// observability: its own obs::Recorder (trace rings + metrics) and its
+// own fault::DegradationController, which doubles as the runtime deadline
+// monitor — its verdicts are the per-frame slack the status report dumps,
+// and its miss counter drives eviction.
+//
+// A monitor thread polls running tenants every millisecond: it drains
+// their trace rings, finalizes completed programs (releasing pool
+// capacity), and evicts persistent deadline missers — a tenant whose
+// misses reach evict_misses is quiesced, detached, and its capacity
+// returned, protecting the remaining tenants' schedules. Tenants admitted
+// in degraded mode shed frames instead (the DegradationController claims
+// whole input frames at the source), and are only evicted if they *still*
+// accumulate misses past the threshold.
+//
+// Thread model: submit()/status()/wait_idle() may be called from any
+// thread (one internal lock); tenant finalization happens on the monitor
+// thread; kernel execution on the machine's workers. The destructor
+// evicts anything still running, so a Daemon can be torn down at any
+// point.
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compiler/machine.h"
+#include "service/admission.h"
+#include "service/protocol.h"
+
+namespace bpp::service {
+
+struct DaemonOptions {
+  int cores = 4;          ///< worker pool width
+  int max_tenants = 64;   ///< lifetime submission cap (0 = unlimited)
+  AdmissionPolicy admission;
+  /// Runtime deadline misses after which a tenant is evicted (0 = never).
+  long evict_misses = 3;
+  /// Pace tenant sources on their declared release schedules (the
+  /// real-time service mode; off = run-to-completion batch mode).
+  bool pace = true;
+  /// Compile target for tenant graphs; also prices admission.
+  MachineSpec machine;
+};
+
+/// Tenant lifecycle, as reported in status:
+///   pending -> running -> completed        (all sinks saw end-of-stream)
+///                      -> evicted          (persistent deadline misser)
+///   rejected                               (admission said no)
+///   failed                                 (submission did not build)
+enum class TenantState {
+  kPending,
+  kRunning,
+  kCompleted,
+  kEvicted,
+  kRejected,
+  kFailed,
+};
+
+[[nodiscard]] const char* state_name(TenantState s);
+
+/// Point-in-time snapshot of one tenant (copyable, lock-free to read).
+struct TenantStatus {
+  int id = -1;
+  std::string name;
+  std::string app;  ///< bundled app name or "(graph)"
+  TenantState state = TenantState::kPending;
+  Verdict admission = Verdict::kRejected;
+  std::string reason;  ///< admission/eviction/failure justification
+  double demand = 0.0;      ///< PE units requested
+  double peak_load = 0.0;   ///< pool peak after its placement
+  double rate_hz = 0.0;     ///< declared completion rate (post-slowdown)
+  long frames_completed = 0;
+  long deadline_misses = 0;
+  long frames_shed = 0;
+  long firings = 0;
+  long faults_injected = 0;
+  double wall_seconds = 0.0;
+  /// Frame latency/slack statistics (seconds); valid when frames > 0.
+  double latency_p50 = 0.0;
+  double latency_p95 = 0.0;
+  double min_slack = 0.0;  ///< min(deadline - completion) over frames
+};
+
+/// Pool-level counters for the status header.
+struct PoolStatus {
+  int cores = 0;
+  double load = 0.0;      ///< committed PE units
+  double capacity = 0.0;  ///< cores x core_budget
+  int running = 0;
+  int completed = 0;
+  int evicted = 0;
+  int rejected = 0;
+  int failed = 0;
+};
+
+class Daemon {
+ public:
+  explicit Daemon(DaemonOptions opt);
+  ~Daemon();  // evicts running tenants, stops the monitor and the pool
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Compile, admit, and (unless rejected) start a tenant. Returns its id.
+  /// Build/compile failures are recorded as state=failed, not thrown.
+  int submit(const TenantSpec& spec);
+
+  /// Read, parse, and submit one submission file. Parse errors are
+  /// recorded as a failed tenant named after the file.
+  int submit_file(const std::string& path);
+
+  /// Scan a spool directory for *.json submissions (sorted filename
+  /// order), submitting each file once per daemon lifetime. Returns the
+  /// number of new submissions.
+  int scan_spool(const std::string& dir);
+
+  /// Block until no tenant is running (or the timeout elapses).
+  bool wait_idle(double timeout_seconds);
+
+  [[nodiscard]] TenantStatus tenant(int id) const;
+  [[nodiscard]] std::vector<TenantStatus> tenants() const;
+  [[nodiscard]] PoolStatus pool() const;
+  [[nodiscard]] int cores() const;
+
+  /// Human-readable status report: one pool header line plus one line per
+  /// tenant (the format the CI smoke job greps).
+  void write_status(std::ostream& os) const;
+  /// The same report as sorted-key JSON.
+  [[nodiscard]] std::string status_json() const;
+
+ private:
+  struct Tenant;
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace bpp::service

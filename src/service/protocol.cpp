@@ -1,0 +1,95 @@
+#include "service/protocol.h"
+
+#include <cstdio>
+#include <set>
+
+#include "core/error.h"
+#include "fault/plan.h"
+#include "serialize/json.h"
+
+namespace bpp::service {
+
+namespace {
+
+Size2 parse_frame(const std::string& s) {
+  int w = 0, h = 0;
+  char extra = 0;
+  if (std::sscanf(s.c_str(), "%dx%d%c", &w, &h, &extra) != 2 || w <= 0 ||
+      h <= 0)
+    throw Error("submission: bad \"frame\" '" + s + "' (expected WxH)");
+  return {w, h};
+}
+
+}  // namespace
+
+TenantSpec parse_submission(const std::string& json_text) {
+  const json::Value doc = json::parse(json_text);
+  if (!doc.is_object()) throw Error("submission: top level must be an object");
+
+  static const std::set<std::string> known = {
+      "name",        "app",           "graph",          "frame",
+      "rate_hz",     "frames",        "bins",           "slack_seconds",
+      "pace_slowdown", "allow_degraded", "faults",      "fault_seed"};
+  for (const auto& [key, _] : doc.as_object())
+    if (known.find(key) == known.end())
+      throw Error("submission: unknown key \"" + key + "\"");
+
+  TenantSpec s;
+  s.name = doc.string_or("name", "");
+  if (s.name.empty()) throw Error("submission: \"name\" is required");
+  s.app = doc.string_or("app", "");
+  s.graph_text = doc.string_or("graph", "");
+  if (s.app.empty() == s.graph_text.empty())
+    throw Error("submission '" + s.name +
+                "': exactly one of \"app\" / \"graph\" is required");
+  if (const json::Value* f = doc.find("frame"))
+    s.frame = parse_frame(f->as_string());
+  s.rate_hz = doc.number_or("rate_hz", s.rate_hz);
+  s.frames = static_cast<int>(doc.number_or("frames", s.frames));
+  s.bins = static_cast<int>(doc.number_or("bins", s.bins));
+  s.slack_seconds = doc.number_or("slack_seconds", s.slack_seconds);
+  s.pace_slowdown = doc.number_or("pace_slowdown", s.pace_slowdown);
+  if (const json::Value* v = doc.find("allow_degraded"))
+    s.allow_degraded = v->as_bool();
+  if (const json::Value* v = doc.find("faults")) {
+    s.fault_plan_json = json::write(*v);
+    (void)fault::parse_plan(s.fault_plan_json);  // validate at submit time
+  }
+  if (const json::Value* v = doc.find("fault_seed")) {
+    s.fault_seed = static_cast<std::uint64_t>(v->as_number());
+    s.fault_seed_set = true;
+  }
+
+  if (s.rate_hz <= 0.0)
+    throw Error("submission '" + s.name + "': rate_hz must be positive");
+  if (s.frames <= 0)
+    throw Error("submission '" + s.name + "': frames must be positive");
+  if (s.bins <= 0)
+    throw Error("submission '" + s.name + "': bins must be positive");
+  if (s.slack_seconds < 0.0)
+    throw Error("submission '" + s.name + "': slack_seconds must be >= 0");
+  if (s.pace_slowdown <= 0.0)
+    throw Error("submission '" + s.name + "': pace_slowdown must be positive");
+  return s;
+}
+
+std::string write_submission(const TenantSpec& spec) {
+  json::Object o;
+  o["name"] = spec.name;
+  if (!spec.app.empty()) o["app"] = spec.app;
+  if (!spec.graph_text.empty()) o["graph"] = spec.graph_text;
+  o["frame"] = std::to_string(spec.frame.w) + "x" + std::to_string(spec.frame.h);
+  o["rate_hz"] = spec.rate_hz;
+  o["frames"] = spec.frames;
+  o["bins"] = spec.bins;
+  o["slack_seconds"] = spec.slack_seconds;
+  o["pace_slowdown"] = spec.pace_slowdown;
+  o["allow_degraded"] = spec.allow_degraded;
+  if (!spec.fault_plan_json.empty())
+    o["faults"] = json::parse(spec.fault_plan_json);
+  if (spec.fault_seed_set)
+    o["fault_seed"] = static_cast<double>(spec.fault_seed);
+  return json::write(json::Value(std::move(o)));
+}
+
+}  // namespace bpp::service

@@ -1,0 +1,58 @@
+#pragma once
+// bpd wire protocol: tenant submissions and status reports.
+//
+// A submission is one JSON object (written/read with src/serialize's
+// sorted-key json::Value, so round-trips are deterministic):
+//
+//   {
+//     "name": "cam0",               // required, unique per daemon
+//     "app": "fig1",                // bundled app name ...
+//     "graph": "bpp-graph 1\n...",  // ... or inline bpp-graph text
+//     "frame": "64x48",             // WxH (radio: W = samples)
+//     "rate_hz": 150.0,
+//     "frames": 30,
+//     "bins": 32,
+//     "slack_seconds": 0.005,       // deadline grace per frame
+//     "pace_slowdown": 1.0,         // stretch of the release schedule
+//     "allow_degraded": true,       // accept frame-shedding admission
+//     "faults": { ... },            // inline fault plan (src/fault/plan.h)
+//     "fault_seed": 7               // overrides the plan's default seed
+//   }
+//
+// Exactly one of "app" / "graph" must be present; everything else has the
+// defaults below. Submissions arrive either as files passed to
+// `bpd --submit` or dropped into a spool directory (`bpd --spool DIR`),
+// which the daemon scans in sorted filename order — the file-drop
+// equivalent of a local-socket submit, chosen so the protocol needs no
+// platform socket code and stays trivially scriptable in CI.
+
+#include <string>
+
+#include "core/geometry.h"
+
+namespace bpp::service {
+
+struct TenantSpec {
+  std::string name;
+  std::string app;         ///< bundled app name (empty when graph_text set)
+  std::string graph_text;  ///< inline bpp-graph source
+  Size2 frame{48, 36};
+  double rate_hz = 180.0;
+  int frames = 8;
+  int bins = 32;
+  double slack_seconds = 0.005;
+  double pace_slowdown = 1.0;
+  bool allow_degraded = true;
+  std::string fault_plan_json;  ///< inline plan, "" = none
+  std::uint64_t fault_seed = 0;
+  bool fault_seed_set = false;
+};
+
+/// Parse one submission object. Throws bpp::Error on malformed JSON,
+/// missing/duplicate graph source, unknown keys, or out-of-range values.
+[[nodiscard]] TenantSpec parse_submission(const std::string& json_text);
+
+/// Serialize a spec back to JSON (sorted keys; parse(write(s)) == s).
+[[nodiscard]] std::string write_submission(const TenantSpec& spec);
+
+}  // namespace bpp::service

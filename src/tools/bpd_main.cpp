@@ -1,0 +1,131 @@
+// bpd — the block-parallel pipeline service daemon.
+//
+// Admits JSON tenant submissions (files via --submit, or a --spool
+// directory scanned in sorted order — the file-drop protocol) onto a
+// shared worker-core pool, schedules every admitted pipeline instance
+// concurrently via the runtime's machine/program split, and writes a
+// per-tenant status report: admission verdicts, frame counts, deadline
+// misses, shed frames, latency percentiles, minimum slack, and pool
+// utilization.
+//
+//   bpd --cores 4 --submit cam0.json --submit cam1.json --status -
+//   bpd --cores 8 --spool /tmp/bpd --spool-rounds 10 --status-json s.json
+//
+// Exit status: 0 when every admitted tenant completed without deadline
+// misses; 3 when an admitted tenant missed deadlines, was evicted, or
+// never finished; 1 on operational errors; 2 on bad flags.
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "core/error.h"
+#include "kernels/simd/simd.h"
+#include "service/daemon.h"
+#include "tools/cli.h"
+
+using namespace bpp;
+
+namespace {
+
+void write_report(const std::string& path, const char* what,
+                  const std::string& text) {
+  if (path == "-") {
+    std::fputs(text.c_str(), stdout);
+    return;
+  }
+  std::ofstream f(path);
+  if (!f) throw Error(std::string("cannot open ") + what + " file '" + path + "'");
+  f << text;
+  if (!f)
+    throw Error(std::string("failed writing ") + what + " file '" + path + "'");
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cli::BpdArgs a;
+  if (!cli::parse_bpd(argc, argv, a)) {
+    std::fputs(cli::bpd_usage_text(), stdout);
+    return 2;
+  }
+  if (const char* err = cli::bpd_contradiction(a)) {
+    std::fprintf(stderr, "bpd: %s\n", err);
+    return 2;
+  }
+
+  if (!a.isa.empty()) {
+    const auto isa = simd::isa_from_name(a.isa);
+    if (!isa || !simd::supported(*isa)) {
+      std::fprintf(stderr, "bpd: unsupported ISA '%s'\n", a.isa.c_str());
+      return 2;
+    }
+    simd::set_isa(*isa);
+  }
+
+  try {
+    service::DaemonOptions opt;
+    opt.cores = a.cores;
+    opt.max_tenants = a.admission ? a.max_tenants : 0;
+    opt.admission.enabled = a.admission;
+    opt.admission.core_budget = a.core_budget;
+    opt.admission.degrade_budget = a.degrade_budget;
+    opt.evict_misses = a.pace ? a.evict_misses : 0;
+    opt.pace = a.pace;
+    opt.machine = a.machine;
+    service::Daemon daemon(opt);
+    std::printf("bpd: pool of %d cores (backend %s)\n", daemon.cores(),
+                simd::ops().name);
+
+    for (const std::string& f : a.submit_files) {
+      const int id = daemon.submit_file(f);
+      const service::TenantStatus s = daemon.tenant(id);
+      std::printf("bpd: submit %s -> tenant %d '%s' %s (%s)\n", f.c_str(), id,
+                  s.name.c_str(), service::state_name(s.state),
+                  s.reason.c_str());
+    }
+    if (!a.spool_dir.empty()) {
+      for (int round = 0; round < a.spool_rounds; ++round) {
+        if (round > 0)
+          std::this_thread::sleep_for(
+              std::chrono::duration<double>(a.spool_interval_seconds));
+        const int n = daemon.scan_spool(a.spool_dir);
+        if (n > 0) std::printf("bpd: spool round %d: %d new\n", round, n);
+      }
+    }
+
+    if (!daemon.wait_idle(a.timeout_seconds))
+      std::fprintf(stderr, "bpd: timeout after %.1fs with tenants running\n",
+                   a.timeout_seconds);
+
+    if (!a.status_path.empty()) {
+      std::ostringstream os;
+      daemon.write_status(os);
+      write_report(a.status_path, "status", os.str());
+    }
+    if (!a.status_json_path.empty())
+      write_report(a.status_json_path, "status JSON", daemon.status_json());
+    if (a.status_path.empty() && a.status_json_path.empty())
+      daemon.write_status(std::cout);
+
+    // Service-level objective for scripting: every admitted tenant
+    // completed, zero deadline misses.
+    int violations = 0;
+    for (const service::TenantStatus& s : daemon.tenants()) {
+      if (s.admission == service::Verdict::kRejected ||
+          s.state == service::TenantState::kFailed)
+        continue;  // never promised service
+      if (s.state != service::TenantState::kCompleted || s.deadline_misses > 0)
+        ++violations;
+    }
+    return violations > 0 ? 3 : 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "bpd: %s\n", e.what());
+    return 1;
+  }
+}

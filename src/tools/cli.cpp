@@ -198,4 +198,156 @@ const char* contradiction(const Args& a) {
   return nullptr;
 }
 
+const char* bpd_usage_text() {
+  return
+      "usage: bpd [options]\n"
+      "the multi-tenant pipeline service: admits JSON tenant submissions\n"
+      "onto a shared worker-core pool, runs them to completion, and dumps\n"
+      "a per-tenant status report\n"
+      "options:\n"
+      "  --cores N            worker pool width (default 4)\n"
+      "  --submit FILE        submit one JSON tenant spec (repeatable)\n"
+      "  --spool DIR          scan DIR for *.json submissions (file-drop\n"
+      "                       protocol; each file is submitted once)\n"
+      "  --spool-rounds N     rescan the spool N times (default 1)\n"
+      "  --spool-interval S   seconds between spool scans (default 0.2)\n"
+      "  --max-tenants N      reject submissions past N tenants (default 64)\n"
+      "  --no-admission       admit every submission (disables the analytic\n"
+      "                       LoadMap admission test and tenant limits)\n"
+      "  --core-budget X      per-core admit budget in PE units (default 0.9)\n"
+      "  --degrade-budget X   per-core ceiling for degraded (frame-shedding)\n"
+      "                       admission (default 1.25; must be >= core budget)\n"
+      "  --evict-misses N     evict a tenant after N runtime deadline misses\n"
+      "                       (default 3; 0 = never evict)\n"
+      "  --no-pace            run tenants unpaced (batch mode; disables\n"
+      "                       deadline monitoring and eviction)\n"
+      "  --machine C,M        compile-target PE clock_hz and mem_words\n"
+      "                       (default 20e6,512)\n"
+      "  --timeout S          wait this long for tenants to finish\n"
+      "                       (default 120)\n"
+      "  --status FILE        write the status report ('-' = stdout)\n"
+      "  --status-json FILE   write the status report as JSON\n"
+      "  --isa NAME           kernel backend: scalar | sse2 | avx2 | neon |\n"
+      "                       native\n";
+}
+
+bool parse_bpd(int argc, const char* const* argv, BpdArgs& a) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--cores") {
+      const char* v = value();
+      if (!v) return false;
+      a.cores = std::atoi(v);
+    } else if (flag == "--max-tenants") {
+      const char* v = value();
+      if (!v) return false;
+      a.max_tenants = std::atoi(v);
+      a.max_tenants_set = true;
+    } else if (flag == "--no-admission") {
+      a.admission = false;
+    } else if (flag == "--core-budget") {
+      const char* v = value();
+      if (!v) return false;
+      a.core_budget = std::atof(v);
+      a.core_budget_set = true;
+    } else if (flag == "--degrade-budget") {
+      const char* v = value();
+      if (!v) return false;
+      a.degrade_budget = std::atof(v);
+      a.degrade_budget_set = true;
+    } else if (flag == "--evict-misses") {
+      const char* v = value();
+      if (!v) return false;
+      a.evict_misses = std::atol(v);
+      a.evict_misses_set = true;
+    } else if (flag == "--no-pace") {
+      a.pace = false;
+    } else if (flag == "--submit") {
+      const char* v = value();
+      if (!v) return false;
+      a.submit_files.emplace_back(v);
+    } else if (flag == "--spool") {
+      const char* v = value();
+      if (!v) return false;
+      a.spool_dir = v;
+    } else if (flag == "--spool-rounds") {
+      const char* v = value();
+      if (!v) return false;
+      a.spool_rounds = std::atoi(v);
+      a.spool_rounds_set = true;
+    } else if (flag == "--spool-interval") {
+      const char* v = value();
+      if (!v) return false;
+      a.spool_interval_seconds = std::atof(v);
+      a.spool_interval_set = true;
+    } else if (flag == "--machine") {
+      const char* v = value();
+      double clock = 0;
+      long mem = 0;
+      if (!v || std::sscanf(v, "%lf,%ld", &clock, &mem) != 2) return false;
+      a.machine.clock_hz = clock;
+      a.machine.mem_words = mem;
+    } else if (flag == "--timeout") {
+      const char* v = value();
+      if (!v) return false;
+      a.timeout_seconds = std::atof(v);
+    } else if (flag == "--status") {
+      const char* v = value();
+      if (!v) return false;
+      a.status_path = v;
+    } else if (flag == "--status-json") {
+      const char* v = value();
+      if (!v) return false;
+      a.status_json_path = v;
+    } else if (flag == "--isa") {
+      const char* v = value();
+      if (!v) return false;
+      a.isa = v;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+const char* bpd_contradiction(const BpdArgs& a) {
+  if (a.cores < 1) return "--cores must be at least 1";
+  if (a.submit_files.empty() && a.spool_dir.empty())
+    return "nothing to serve; add --submit FILE or --spool DIR";
+  if (a.max_tenants_set && !a.admission)
+    return "--max-tenants is an admission limit; it contradicts "
+           "--no-admission";
+  if (a.max_tenants_set && a.max_tenants < 1)
+    return "--max-tenants must be at least 1";
+  if (a.core_budget_set && !a.admission)
+    return "--core-budget configures admission; it contradicts "
+           "--no-admission";
+  if (a.degrade_budget_set && !a.admission)
+    return "--degrade-budget configures admission; it contradicts "
+           "--no-admission";
+  if (a.core_budget <= 0.0) return "--core-budget must be positive";
+  if (a.degrade_budget < a.core_budget)
+    return "--degrade-budget below --core-budget: degraded admission would "
+           "be stricter than plain admission";
+  if (a.evict_misses_set && a.evict_misses < 0)
+    return "--evict-misses must be >= 0";
+  if (a.evict_misses_set && !a.pace)
+    return "--evict-misses needs paced tenants to observe deadlines; it "
+           "contradicts --no-pace";
+  if (a.spool_rounds_set && a.spool_dir.empty())
+    return "--spool-rounds requires --spool";
+  if (a.spool_interval_set && a.spool_dir.empty())
+    return "--spool-interval requires --spool";
+  if (a.spool_rounds_set && a.spool_rounds < 1)
+    return "--spool-rounds must be at least 1";
+  if (a.spool_interval_set && a.spool_interval_seconds < 0.0)
+    return "--spool-interval must be >= 0";
+  if (a.timeout_seconds <= 0.0) return "--timeout must be positive";
+  return nullptr;
+}
+
 }  // namespace bpp::cli

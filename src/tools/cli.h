@@ -5,6 +5,7 @@
 // actually executes: building apps, compiling, running engines.
 
 #include <string>
+#include <vector>
 
 #include "compiler/machine.h"
 #include "compiler/pipeline.h"
@@ -60,5 +61,41 @@ void apply_implications(Args& a);
 /// message for the first contradiction found, or nullptr when consistent.
 /// Called after apply_implications().
 [[nodiscard]] const char* contradiction(const Args& a);
+
+/// bpd — the multi-tenant pipeline service daemon (src/service).
+struct BpdArgs {
+  int cores = 4;
+  int max_tenants = 64;
+  bool max_tenants_set = false;
+  bool admission = true;       ///< --no-admission clears
+  double core_budget = 0.9;
+  bool core_budget_set = false;
+  double degrade_budget = 1.25;
+  bool degrade_budget_set = false;
+  long evict_misses = 3;
+  bool evict_misses_set = false;
+  bool pace = true;            ///< --no-pace clears
+  std::vector<std::string> submit_files;  ///< --submit FILE (repeatable)
+  std::string spool_dir;                  ///< --spool DIR
+  int spool_rounds = 1;
+  bool spool_rounds_set = false;
+  double spool_interval_seconds = 0.2;
+  bool spool_interval_set = false;
+  std::string status_path;       ///< --status FILE ('-' = stdout)
+  std::string status_json_path;  ///< --status-json FILE
+  double timeout_seconds = 120.0;
+  std::string isa;
+  MachineSpec machine;
+};
+
+[[nodiscard]] const char* bpd_usage_text();
+
+/// Parse argv into `a`. Returns false on unknown flags or malformed
+/// values (the driver prints usage and exits 2).
+[[nodiscard]] bool parse_bpd(int argc, const char* const* argv, BpdArgs& a);
+
+/// Contradictory bpd flag combinations (e.g. --max-tenants with
+/// --no-admission). Same contract as contradiction().
+[[nodiscard]] const char* bpd_contradiction(const BpdArgs& a);
 
 }  // namespace bpp::cli

@@ -434,5 +434,119 @@ TEST(AnalysisErrors, TrimmedLoopInputRejected) {
   }
 }
 
+// ---- bpd flag surface ---------------------------------------------------
+
+cli::BpdArgs bpd_parsed(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "bpd");
+  cli::BpdArgs a;
+  EXPECT_TRUE(cli::parse_bpd(static_cast<int>(argv.size()), argv.data(), a));
+  return a;
+}
+
+std::string bpd_reject(std::vector<const char*> argv) {
+  const cli::BpdArgs a = bpd_parsed(std::move(argv));
+  const char* err = cli::bpd_contradiction(a);
+  return err ? err : "";
+}
+
+TEST(BpdCli, ConsistentCombinationsAccepted) {
+  EXPECT_EQ(bpd_reject({"--submit", "a.json"}), "");
+  EXPECT_EQ(bpd_reject({"--submit", "a.json", "--submit", "b.json",
+                        "--status", "-"}),
+            "");
+  EXPECT_EQ(bpd_reject({"--spool", "dir", "--spool-rounds", "3",
+                        "--spool-interval", "0.1"}),
+            "");
+  EXPECT_EQ(bpd_reject({"--submit", "a.json", "--no-admission", "--no-pace"}),
+            "");
+  EXPECT_EQ(bpd_reject({"--submit", "a.json", "--cores", "8", "--max-tenants",
+                        "4", "--core-budget", "0.8", "--degrade-budget", "1.1",
+                        "--evict-misses", "5"}),
+            "");
+}
+
+TEST(BpdCli, EveryContradictionFires) {
+  EXPECT_EQ(bpd_reject({"--submit", "a.json", "--cores", "0"}),
+            "--cores must be at least 1");
+  EXPECT_EQ(bpd_reject({}),
+            "nothing to serve; add --submit FILE or --spool DIR");
+  EXPECT_EQ(bpd_reject({"--submit", "a.json", "--max-tenants", "4",
+                        "--no-admission"}),
+            "--max-tenants is an admission limit; it contradicts "
+            "--no-admission");
+  EXPECT_EQ(bpd_reject({"--submit", "a.json", "--max-tenants", "0"}),
+            "--max-tenants must be at least 1");
+  EXPECT_EQ(bpd_reject({"--submit", "a.json", "--core-budget", "0.8",
+                        "--no-admission"}),
+            "--core-budget configures admission; it contradicts "
+            "--no-admission");
+  EXPECT_EQ(bpd_reject({"--submit", "a.json", "--degrade-budget", "1.1",
+                        "--no-admission"}),
+            "--degrade-budget configures admission; it contradicts "
+            "--no-admission");
+  EXPECT_EQ(bpd_reject({"--submit", "a.json", "--core-budget", "0"}),
+            "--core-budget must be positive");
+  EXPECT_EQ(bpd_reject({"--submit", "a.json", "--core-budget", "0.9",
+                        "--degrade-budget", "0.5"}),
+            "--degrade-budget below --core-budget: degraded admission would "
+            "be stricter than plain admission");
+  EXPECT_EQ(bpd_reject({"--submit", "a.json", "--evict-misses", "-1"}),
+            "--evict-misses must be >= 0");
+  EXPECT_EQ(bpd_reject({"--submit", "a.json", "--evict-misses", "2",
+                        "--no-pace"}),
+            "--evict-misses needs paced tenants to observe deadlines; it "
+            "contradicts --no-pace");
+  EXPECT_EQ(bpd_reject({"--submit", "a.json", "--spool-rounds", "2"}),
+            "--spool-rounds requires --spool");
+  EXPECT_EQ(bpd_reject({"--submit", "a.json", "--spool-interval", "0.1"}),
+            "--spool-interval requires --spool");
+  EXPECT_EQ(bpd_reject({"--spool", "d", "--spool-rounds", "0"}),
+            "--spool-rounds must be at least 1");
+  EXPECT_EQ(bpd_reject({"--spool", "d", "--spool-interval", "-1"}),
+            "--spool-interval must be >= 0");
+  EXPECT_EQ(bpd_reject({"--submit", "a.json", "--timeout", "0"}),
+            "--timeout must be positive");
+}
+
+TEST(BpdCli, ParseRejectsMalformedFlags) {
+  auto fails = [](std::vector<const char*> argv) {
+    argv.insert(argv.begin(), "bpd");
+    cli::BpdArgs a;
+    return !cli::parse_bpd(static_cast<int>(argv.size()), argv.data(), a);
+  };
+  EXPECT_TRUE(fails({"--bogus"}));
+  EXPECT_TRUE(fails({"--cores"}));          // missing value
+  EXPECT_TRUE(fails({"--submit"}));         // missing value
+  EXPECT_TRUE(fails({"--machine", "oops"}));  // must be CLOCK_HZ,MEM_WORDS
+}
+
+TEST(BpdCli, ParsePopulatesServiceFields) {
+  const cli::BpdArgs a = bpd_parsed(
+      {"--cores", "8", "--max-tenants", "16", "--core-budget", "0.85",
+       "--degrade-budget", "1.2", "--evict-misses", "7", "--submit", "a.json",
+       "--submit", "b.json", "--spool", "box", "--spool-rounds", "4",
+       "--spool-interval", "0.5", "--machine", "40e6,1024", "--timeout", "9",
+       "--status", "s.txt", "--status-json", "s.json", "--isa", "scalar",
+       "--no-pace"});
+  EXPECT_EQ(a.cores, 8);
+  EXPECT_EQ(a.max_tenants, 16);
+  EXPECT_TRUE(a.max_tenants_set);
+  EXPECT_DOUBLE_EQ(a.core_budget, 0.85);
+  EXPECT_DOUBLE_EQ(a.degrade_budget, 1.2);
+  EXPECT_EQ(a.evict_misses, 7);
+  ASSERT_EQ(a.submit_files.size(), 2u);
+  EXPECT_EQ(a.submit_files[1], "b.json");
+  EXPECT_EQ(a.spool_dir, "box");
+  EXPECT_EQ(a.spool_rounds, 4);
+  EXPECT_DOUBLE_EQ(a.spool_interval_seconds, 0.5);
+  EXPECT_DOUBLE_EQ(a.machine.clock_hz, 40e6);
+  EXPECT_EQ(a.machine.mem_words, 1024);
+  EXPECT_DOUBLE_EQ(a.timeout_seconds, 9.0);
+  EXPECT_EQ(a.status_path, "s.txt");
+  EXPECT_EQ(a.status_json_path, "s.json");
+  EXPECT_EQ(a.isa, "scalar");
+  EXPECT_FALSE(a.pace);
+}
+
 }  // namespace
 }  // namespace bpp

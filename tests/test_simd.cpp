@@ -315,6 +315,44 @@ TEST(Simd, FindBinFirstMatchEvenUnsorted) {
   }
 }
 
+TEST(Simd, FindBinSortedMatchesScanOnSortedBounds) {
+  const Ops& sc = ops_for(Isa::kScalar);
+  std::uint64_t s = 19;
+  for (Isa isa : simd_isas()) {
+    const Ops& v = ops_for(isa);
+    for (const int bins : {1, 2, 3, 5, 8, 9, 32, 33}) {
+      std::vector<double> uppers(static_cast<size_t>(bins));
+      for (int i = 0; i < bins; ++i)
+        uppers[static_cast<size_t>(i)] = 256.0 * (i + 1) / bins - 128.0;
+      for (int trial = 0; trial < 200; ++trial) {
+        const double x = rnd(s) * 3.0;  // spread well past both ends
+        EXPECT_EQ(v.find_bin_sorted(x, uppers.data(), bins),
+                  sc.find_bin(x, uppers.data(), bins))
+            << v.name << " bins=" << bins << " x=" << x;
+      }
+      // Exact bound values: v == upper belongs to the next bin (strict <).
+      for (int i = 0; i < bins; ++i)
+        EXPECT_EQ(v.find_bin_sorted(uppers[static_cast<size_t>(i)],
+                                    uppers.data(), bins),
+                  sc.find_bin(uppers[static_cast<size_t>(i)], uppers.data(),
+                              bins))
+            << v.name << " bins=" << bins << " i=" << i;
+      // A NaN sample falls through every bound into the last bin, the
+      // same as the early-exit scan.
+      const double nan = std::numeric_limits<double>::quiet_NaN();
+      EXPECT_EQ(v.find_bin_sorted(nan, uppers.data(), bins), bins - 1)
+          << v.name << " bins=" << bins;
+    }
+    // Duplicate bounds (empty bins) still count consistently.
+    const std::vector<double> dup = {1.0, 1.0, 2.0, 2.0, 3.0};
+    const int nd = static_cast<int>(dup.size());
+    for (const double x : {0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 9.0})
+      EXPECT_EQ(v.find_bin_sorted(x, dup.data(), nd),
+                sc.find_bin(x, dup.data(), nd))
+          << v.name << " x=" << x;
+  }
+}
+
 TEST(Simd, Histogram2dBitExact) {
   const Ops& sc = ops_for(Isa::kScalar);
   std::uint64_t s = 10;
