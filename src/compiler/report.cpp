@@ -1,6 +1,8 @@
 #include "compiler/report.h"
 
+#include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <iomanip>
 #include <map>
 #include <sstream>
@@ -10,6 +12,74 @@
 #include "kernels/buffer.h"
 
 namespace bpp {
+
+void TextTable::column(std::string header, Align align) {
+  if (!rows_.empty())
+    throw Error("TextTable: declare columns before adding rows");
+  cols_.push_back(Col{std::move(header), align});
+}
+
+void TextTable::row(std::vector<std::string> cells) {
+  if (cells.size() > cols_.size())
+    throw Error("TextTable: row has more cells than declared columns");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+void TextTable::write(std::ostream& os, const std::string& indent) const {
+  std::vector<size_t> width(cols_.size(), 0);
+  for (size_t c = 0; c < cols_.size(); ++c) width[c] = cols_[c].header.size();
+  for (const auto& r : rows_)
+    for (size_t c = 0; c < r.size(); ++c)
+      width[c] = std::max(width[c], r[c].size());
+  auto emit = [&](const std::string& cell, size_t c, bool last) {
+    const size_t pad = width[c] - cell.size();
+    if (cols_[c].align == Align::Right) os << std::string(pad, ' ');
+    os << cell;
+    if (!last) {
+      if (cols_[c].align == Align::Left) os << std::string(pad, ' ');
+      os << "  ";
+    }
+  };
+  os << indent;
+  for (size_t c = 0; c < cols_.size(); ++c)
+    emit(cols_[c].header, c, c + 1 == cols_.size());
+  os << '\n';
+  for (const auto& r : rows_) {
+    os << indent;
+    const size_t n = r.size();
+    for (size_t c = 0; c < n; ++c) emit(r[c], c, c + 1 == n);
+    os << '\n';
+  }
+}
+
+void write_comparison(const std::vector<ComparisonRow>& rows,
+                      std::ostream& os) {
+  os << "predicted vs simulated vs measured:\n";
+  TextTable t;
+  t.column("quantity", TextTable::Align::Left);
+  t.column("predicted");
+  t.column("simulated");
+  t.column("measured");
+  auto cell = [](double v, int precision) {
+    return std::isnan(v) ? std::string("-") : TextTable::num(v, precision);
+  };
+  for (const ComparisonRow& r : rows)
+    t.row({r.quantity, cell(r.predicted, r.precision),
+           cell(r.simulated, r.precision), cell(r.measured, r.precision)});
+  t.write(os);
+}
+
+std::string comparison_string(const std::vector<ComparisonRow>& rows) {
+  std::ostringstream os;
+  write_comparison(rows, os);
+  return os.str();
+}
 
 GraphCensus census(const Graph& g) {
   GraphCensus c;
@@ -191,31 +261,31 @@ RateValidation validate_rates(const CompiledApp& app,
 }
 
 void write_rate_validation(const RateValidation& v, std::ostream& os) {
-  const auto fmt = os.flags();
-  const auto prec = os.precision();
   os << "firing rates, predicted vs measured:\n";
-  os << std::fixed << std::setprecision(1);
+  TextTable t;
+  t.column("kernel", TextTable::Align::Left);
+  t.column("predicted Hz");
+  t.column("measured Hz");
+  t.column("error");
+  t.column("firings");
   bool any_off = false;
   for (const RateRow& r : v.rows) {
-    os << "  " << std::left << std::setw(28) << r.name << std::right
-       << " predicted " << std::setw(10) << r.predicted_hz << " Hz";
-    if (!r.measured) {
-      os << "  measured        n/a (" << r.firings << " firings)\n";
-      continue;
+    std::string measured = "n/a";
+    std::string error;
+    if (r.measured) {
+      measured = TextTable::num(r.measured_hz, 1);
+      if (r.predicted_hz > 0.0) {
+        error = TextTable::num(100.0 * r.relative_error(), 2) + "%";
+        if (r.relative_error() > 0.01) any_off = true;
+      }
     }
-    os << "  measured " << std::setw(10) << r.measured_hz << " Hz";
-    if (r.predicted_hz > 0.0) {
-      os << "  (" << std::setprecision(2) << 100.0 * r.relative_error()
-         << "% off)" << std::setprecision(1);
-      if (r.relative_error() > 0.01) any_off = true;
-    }
-    os << '\n';
+    t.row({r.name, TextTable::num(r.predicted_hz, 1), std::move(measured),
+           std::move(error), std::to_string(r.firings)});
   }
+  t.write(os);
   os << (any_off ? "  WARNING: at least one kernel deviates >1% from the "
                    "compiled rate\n"
                  : "  all measured kernels within 1% of compiled rates\n");
-  os.flags(fmt);
-  os.precision(prec);
 }
 
 std::string rate_validation_string(const RateValidation& v) {

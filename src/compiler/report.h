@@ -5,6 +5,7 @@
 
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "compiler/pipeline.h"
 #include "obs/analysis.h"
@@ -14,6 +15,48 @@ namespace bpp {
 namespace fault {
 struct FaultPlan;
 }  // namespace fault
+
+/// Column-aligned text table: the one formatter behind the rate-validation
+/// and performance-prediction reports (and anything else that prints
+/// columns), so column layout is declared once instead of via scattered
+/// setw() calls. Widths adapt to the longest cell per column.
+class TextTable {
+ public:
+  enum class Align { Left, Right };
+
+  /// Declare the next column. Call before the first row().
+  void column(std::string header, Align align = Align::Right);
+  /// Append a row; missing trailing cells render empty, extra cells throw.
+  void row(std::vector<std::string> cells);
+  /// Fixed-point cell helper.
+  [[nodiscard]] static std::string num(double v, int precision);
+
+  void write(std::ostream& os, const std::string& indent = "  ") const;
+
+ private:
+  struct Col {
+    std::string header;
+    Align align = Align::Right;
+  };
+  std::vector<Col> cols_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// One row of a predicted vs simulated vs host-measured comparison table
+/// (the bpc --predict cross-check). NaN marks an absent measurement and
+/// renders as "-".
+struct ComparisonRow {
+  std::string quantity;  ///< label, unit included (e.g. "steady period (us)")
+  double predicted = 0.0;
+  double simulated = 0.0;
+  double measured = 0.0;
+  int precision = 3;
+};
+
+void write_comparison(const std::vector<ComparisonRow>& rows,
+                      std::ostream& os);
+[[nodiscard]] std::string comparison_string(
+    const std::vector<ComparisonRow>& rows);
 
 /// Kernel inventory of a compiled app: counts by role.
 struct GraphCensus {

@@ -1,0 +1,57 @@
+#include "predict/cost_table.h"
+
+#include "serialize/json.h"
+
+namespace bpp::predict {
+
+void CostTable::set(const std::string& key, double cycles) {
+  cycles_[key] = cycles;
+}
+
+double CostTable::cycles_for(const std::string& name) const {
+  const std::string* best = nullptr;
+  double cycles = -1.0;
+  for (const auto& [key, c] : cycles_) {
+    if (name.find(key) == std::string::npos) continue;
+    if (!best || key.size() > best->size()) {
+      best = &key;
+      cycles = c;
+    }
+  }
+  return best ? cycles : -1.0;
+}
+
+namespace {
+
+double unit_seconds(const std::string& unit) {
+  if (unit == "ns") return 1e-9;
+  if (unit == "us") return 1e-6;
+  if (unit == "ms") return 1e-3;
+  if (unit == "s") return 1.0;
+  return 1e-9;  // google-benchmark's default
+}
+
+}  // namespace
+
+CostTable parse_bench_costs(const std::string& json_text,
+                            const std::string& isa, double clock_hz) {
+  const json::Value doc = json::parse(json_text);
+  CostTable table;
+  const json::Value* benches = doc.find("benchmarks");
+  if (!benches || !benches->is_array()) return table;
+  for (const json::Value& b : benches->as_array()) {
+    const json::Value* name = b.find("name");
+    const json::Value* real = b.find("real_time");
+    if (!name || !name->is_string() || !real || !real->is_number()) continue;
+    const std::string& n = name->as_string();
+    const size_t slash = n.find('/');
+    if (slash == std::string::npos || n.substr(slash + 1) != isa) continue;
+    const double secs =
+        real->as_number() * unit_seconds(b.string_or("time_unit", "ns"));
+    if (secs <= 0.0) continue;
+    table.set(n.substr(0, slash), secs * clock_hz);
+  }
+  return table;
+}
+
+}  // namespace bpp::predict

@@ -1,0 +1,50 @@
+#pragma once
+// Microbench-calibrated kernel cost table.
+//
+// The modeled per-method cycle counts are the paper's declared resources:
+// good for sizing, but uniform across ISAs. The kernel microbench suite
+// (`bpp_bench_kernels --benchmark_format=json`, checked in as
+// BENCH_kernels.json) measures what each kernel family actually costs per
+// firing on the host, per SIMD backend. A CostTable turns those
+// measurements into per-firing run-cycle overrides the predictor can
+// substitute for the declared counts — "calibrated" prediction.
+//
+// Matching is by name: a table entry keyed `conv2d_3x3` applies to any
+// kernel whose name contains that key (longest matching key wins), which
+// is how benchmark families map onto graph kernels named e.g.
+// "blur_conv2d_3x3_1".
+
+#include <map>
+#include <string>
+
+namespace bpp::predict {
+
+class CostTable {
+ public:
+  /// Register `cycles` per firing for kernels matching `key`.
+  void set(const std::string& key, double cycles);
+
+  /// Per-firing cycles for kernel `name`: the entry with the longest key
+  /// contained in `name`, or a negative value when nothing matches.
+  [[nodiscard]] double cycles_for(const std::string& name) const;
+
+  [[nodiscard]] bool empty() const { return cycles_.empty(); }
+  [[nodiscard]] size_t size() const { return cycles_.size(); }
+  [[nodiscard]] const std::map<std::string, double>& entries() const {
+    return cycles_;
+  }
+
+ private:
+  std::map<std::string, double> cycles_;
+};
+
+/// Build a cost table from Google-benchmark JSON (the BENCH_kernels.json
+/// schema): every benchmark named `family/isa` whose isa segment equals
+/// `isa` contributes family -> measured_seconds * clock_hz cycles per
+/// firing (real_time is per iteration, honoring time_unit). Unmatched or
+/// malformed entries are skipped; malformed JSON throws bpp::Error.
+[[nodiscard]] CostTable parse_bench_costs(const std::string& json_text,
+                                          const std::string& isa,
+                                          double clock_hz);
+
+}  // namespace bpp::predict

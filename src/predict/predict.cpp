@@ -1,0 +1,237 @@
+#include "predict/predict.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/token.h"
+
+namespace bpp::predict {
+
+namespace {
+
+/// Does the stored analysis still describe this graph? Parallelization
+/// adds kernels and channels after the final analyze() pass, so matching
+/// counts mean no structural edits happened (ids are append-only).
+bool analysis_current(const CompiledApp& app) {
+  return app.graph.kernel_count() ==
+             static_cast<int>(app.analysis.kernel.size()) &&
+         app.graph.channel_count() ==
+             static_cast<int>(app.analysis.channel.size());
+}
+
+/// Control-token traffic of one framed stream, per frame: end-of-line
+/// tokens (one per grid row) plus one end-of-frame. End-of-stream happens
+/// once per run, not per frame, so it is not part of steady state.
+double tokens_per_frame(const StreamInfo& si) {
+  if (si.rate_hz <= 0.0) return 0.0;  // untimed parameter stream
+  return static_cast<double>(si.grid.h) + 1.0;
+}
+
+/// Exact-tier composition of one kernel's per-frame demand. The stored
+/// analysis already counts every method firing (data- and token-triggered)
+/// with its reads and cycles; what it does not count is
+///  * write traffic per *channel* (it charges per output port once, but a
+///    port fanning out writes one copy per channel — simulator.cpp
+///    drain_pending), and
+///  * token-forward firings: a control token no method handles costs a
+///    context switch, a 2-cycle FSM step, one read word per popped input,
+///    and one written word per forwarded copy (simulator.cpp core_action).
+/// Both are recomposed here from the graph topology and channel streams.
+void compose_exact(const CompiledApp& app, KernelId k, KernelPrediction& p) {
+  const Graph& g = app.graph;
+  const Kernel& kn = g.kernel(k);
+  const KernelAnalysis& a = app.analysis.kernel[static_cast<size_t>(k)];
+
+  p.exact = true;
+  p.rate_hz = a.rate_hz;
+  p.firings = static_cast<double>(a.firings_per_frame);
+  p.run_cycles = static_cast<double>(a.cycles_per_frame);
+  p.read_words = static_cast<double>(a.read_words_per_frame);
+
+  // Write traffic, per out-channel: data items plus the control tokens the
+  // kernel emits or forwards downstream (grid.h end-of-lines + 1
+  // end-of-frame per frame, plus declared user tokens).
+  p.write_words = 0.0;
+  for (ChannelId c : g.out_channels(k)) {
+    const StreamInfo& si = app.analysis.channel[static_cast<size_t>(c)];
+    if (si.rate_hz <= 0.0) continue;  // untimed: emitted once, not per frame
+    p.write_words +=
+        static_cast<double>(si.items_per_frame) *
+            static_cast<double>(si.item.area()) +
+        tokens_per_frame(si);
+    for (const auto& tr : si.token_rates) p.write_words += tr.second;
+  }
+
+  // Token forwards: for every data-triggered method, tokens arriving on
+  // its trigger inputs that no token method of this kernel handles are
+  // forwarded — one firing per token instance, popping every input of the
+  // method (the subtract-kernel rule: the class must head all of them).
+  for (size_t m = 0; m < kn.methods().size(); ++m) {
+    const MethodDef& md = kn.methods()[m];
+    if (md.token_triggered() || md.inputs.empty()) continue;
+    // Live trigger inputs of this method and the framed stream they carry.
+    int live_inputs = 0;
+    const StreamInfo* si = nullptr;
+    for (int port : md.inputs) {
+      const auto ch = g.in_channel(k, port);
+      if (!ch) continue;
+      ++live_inputs;
+      const StreamInfo& s = app.analysis.channel[static_cast<size_t>(*ch)];
+      if (s.rate_hz > 0.0) si = &s;
+    }
+    if (live_inputs == 0 || !si) continue;
+    const int port0 = md.inputs.front();
+    double forwards = 0.0;
+    if (kn.token_method_of_input(port0, tok::kEndOfLine) < 0)
+      forwards += static_cast<double>(si->grid.h);
+    if (kn.token_method_of_input(port0, tok::kEndOfFrame) < 0) forwards += 1.0;
+    for (const auto& tr : si->token_rates)
+      if (kn.token_method_of_input(port0, tr.first) < 0) forwards += tr.second;
+    if (forwards <= 0.0) continue;
+    p.forwards += forwards;
+    p.firings += forwards;
+    p.run_cycles += 2.0 * forwards;  // token forwarding FSM step
+    p.read_words += forwards * static_cast<double>(live_inputs);
+  }
+}
+
+/// Approximate-tier composition from the LoadMap (per-second demand
+/// maintained through every compiler pass, including the analytic
+/// forwarding estimates for parallelize-inserted split/join kernels).
+void compose_from_loads(const CompiledApp& app, KernelId k, double input_rate,
+                        KernelPrediction& p) {
+  const LoadModel& lm = app.loads.of(k);
+  p.exact = false;
+  p.rate_hz = input_rate;
+  const double frames = input_rate > 0.0 ? input_rate : 1.0;
+  p.firings = lm.firings_per_second / frames;
+  p.run_cycles = lm.cycles_per_second / frames;
+  p.read_words = lm.read_words_per_second / frames;
+  p.write_words = lm.write_words_per_second / frames;
+}
+
+}  // namespace
+
+Prediction predict(const CompiledApp& app, const PredictOptions& options) {
+  const Graph& g = app.graph;
+  const MachineSpec& m = app.options.machine;
+
+  Prediction out;
+  out.machine = m;
+
+  // Input schedule: the fastest source frame rate paces the pipeline.
+  for (KernelId s : g.sources()) {
+    const Kernel& kn = g.kernel(s);
+    for (int port = 0; port < static_cast<int>(kn.outputs().size()); ++port) {
+      const auto spec = kn.source_spec(port);
+      if (!spec || spec->rate_hz <= 0.0) continue;
+      if (spec->rate_hz > out.input_rate_hz) {
+        out.input_rate_hz = spec->rate_hz;
+        out.frames = spec->frames;
+      }
+    }
+  }
+  if (out.input_rate_hz > 0.0)
+    out.input_period_seconds = 1.0 / out.input_rate_hz;
+
+  const bool exact_tier = analysis_current(app);
+  out.exact = exact_tier;
+
+  // Per-kernel composition.
+  out.kernels.resize(static_cast<size_t>(g.kernel_count()));
+  for (KernelId k = 0; k < g.kernel_count(); ++k) {
+    KernelPrediction& p = out.kernels[static_cast<size_t>(k)];
+    p.kernel = k;
+    p.name = g.kernel(k).name();
+    p.is_source = g.kernel(k).is_source();
+    if (p.is_source) continue;  // releases off-core, zero modeled demand
+    const bool resolved =
+        exact_tier && app.analysis.kernel[static_cast<size_t>(k)].resolved;
+    if (resolved)
+      compose_exact(app, k, p);
+    else
+      compose_from_loads(app, k, out.input_rate_hz, p);
+    if (!p.exact) out.exact = false;
+
+    if (!options.costs.empty()) {
+      const double cycles = options.costs.cycles_for(p.name);
+      if (cycles >= 0.0) {
+        // Replace modeled method cycles with the measured per-firing cost;
+        // forwarding FSM steps stay modeled.
+        p.run_cycles = cycles * (p.firings - p.forwards) + 2.0 * p.forwards;
+        p.calibrated = true;
+      }
+    }
+
+    p.busy_cycles = m.context_switch * p.firings +
+                    m.read_cost * p.read_words + p.run_cycles +
+                    m.write_cost * p.write_words;
+    if (p.rate_hz > 0.0 && m.clock_hz > 0.0)
+      p.utilization = p.busy_cycles * p.rate_hz / m.clock_hz;
+  }
+
+  // Compose through the placement.
+  out.cores.resize(static_cast<size_t>(std::max(0, app.mapping.cores)));
+  for (int c = 0; c < app.mapping.cores; ++c)
+    out.cores[static_cast<size_t>(c)].core = c;
+  for (KernelId k = 0; k < g.kernel_count(); ++k) {
+    const int c = app.mapping.core_of[static_cast<size_t>(k)];
+    if (c < 0 || c >= app.mapping.cores) continue;
+    CorePrediction& core = out.cores[static_cast<size_t>(c)];
+    const KernelPrediction& p = out.kernels[static_cast<size_t>(k)];
+    if (p.is_source) continue;
+    core.source_only = false;
+    ++core.kernels;
+    core.utilization += p.utilization;
+    // Per input frame. When the kernel runs at the input rate (the usual
+    // case) this is a plain cycle sum, which keeps it bit-comparable to
+    // the simulator's per-core cycle counters; re-rated kernels are
+    // frequency-scaled.
+    if (p.rate_hz == out.input_rate_hz || out.input_rate_hz <= 0.0)
+      core.busy_cycles_per_frame += p.busy_cycles;
+    else
+      core.busy_cycles_per_frame +=
+          p.busy_cycles * p.rate_hz * out.input_period_seconds;
+  }
+
+  // Verdict: the bottleneck non-source core sets the steady cadence.
+  int busy_cores = 0;
+  for (const CorePrediction& core : out.cores) {
+    if (core.source_only) continue;
+    ++busy_cores;
+    out.avg_utilization += core.utilization;
+    if (core.utilization > out.bottleneck_utilization) {
+      out.bottleneck_utilization = core.utilization;
+      out.bottleneck_core = core.core;
+    }
+  }
+  if (busy_cores > 0) out.avg_utilization /= busy_cores;
+  out.meets_realtime = out.bottleneck_utilization <= 1.0;
+  if (out.input_rate_hz > 0.0)
+    out.steady_period_seconds =
+        out.meets_realtime
+            ? out.input_period_seconds
+            : out.input_period_seconds * out.bottleneck_utilization;
+
+  // Critical path: longest source-to-sink chain of per-frame busy time,
+  // after the input frame has been delivered. Channels entering feedback
+  // kernels are loop back-edges (same rule as Graph::topo_order).
+  std::vector<double> dist(static_cast<size_t>(g.kernel_count()), 0.0);
+  double longest = 0.0;
+  for (KernelId k : g.topo_order()) {
+    const KernelPrediction& p = out.kernels[static_cast<size_t>(k)];
+    double in_dist = 0.0;
+    if (!g.kernel(k).is_feedback())
+      for (ChannelId c : g.in_channels(k))
+        in_dist = std::max(in_dist, dist[static_cast<size_t>(g.channel(c).src_kernel)]);
+    const double node =
+        p.is_source || m.clock_hz <= 0.0 ? 0.0 : p.busy_cycles / m.clock_hz;
+    dist[static_cast<size_t>(k)] = in_dist + node;
+    longest = std::max(longest, dist[static_cast<size_t>(k)]);
+  }
+  out.critical_path_seconds = out.input_period_seconds + longest;
+
+  return out;
+}
+
+}  // namespace bpp::predict

@@ -1,0 +1,17 @@
+#pragma once
+// Human-readable rendering of a Prediction (bpc --predict): fidelity
+// banner, per-core utilization table, bottleneck, steady period, critical
+// path, and the real-time verdict. Columns come from the shared TextTable
+// formatter in compiler/report.h.
+
+#include <ostream>
+#include <string>
+
+#include "predict/predict.h"
+
+namespace bpp::predict {
+
+void write_prediction(const Prediction& p, std::ostream& os);
+[[nodiscard]] std::string prediction_string(const Prediction& p);
+
+}  // namespace bpp::predict

@@ -1,8 +1,11 @@
 #include "service/admission.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <numeric>
+
+#include "predict/predict.h"
 
 namespace bpp::service {
 
@@ -25,6 +28,25 @@ std::vector<double> vcore_utilization(const Graph& g, const LoadMap& loads,
         loads.of(k).utilization(m);
   }
   return util;
+}
+
+PredictionCrossCheck cross_check_prediction(
+    const CompiledApp& app, const std::vector<double>& vcore_util,
+    double tolerance) {
+  const predict::Prediction pred = predict::predict(app);
+  PredictionCrossCheck x;
+  x.exact = pred.exact;
+  x.predicted_period_seconds = pred.steady_period_seconds;
+  x.meets_realtime = pred.meets_realtime;
+  for (const predict::CorePrediction& c : pred.cores) {
+    const double ledger = static_cast<size_t>(c.core) < vcore_util.size()
+                              ? vcore_util[static_cast<size_t>(c.core)]
+                              : 0.0;
+    x.max_abs_deviation =
+        std::max(x.max_abs_deviation, std::fabs(c.utilization - ledger));
+  }
+  x.consistent = x.max_abs_deviation <= tolerance;
+  return x;
 }
 
 namespace {

@@ -29,6 +29,7 @@
 #include "compiler/loads.h"
 #include "compiler/machine.h"
 #include "compiler/multiplex.h"
+#include "compiler/pipeline.h"
 #include "core/graph.h"
 
 namespace bpp::service {
@@ -70,6 +71,28 @@ struct Placement {
                                                     const LoadMap& loads,
                                                     const Mapping& mapping,
                                                     const MachineSpec& m);
+
+/// Differential cross-check of the LoadMap admission ledger against the
+/// compositional predictor (src/predict). Both price the same compiled
+/// app by independent routes — the ledger sums LoadModel utilizations per
+/// virtual core, the predictor composes per-frame demand (including the
+/// token forwards the LoadMap omits) through the same mapping — so their
+/// per-virtual-core vectors must agree to within a small margin. A large
+/// deviation means one of the two models is wrong for this graph; the
+/// daemon records it in the tenant's reason rather than trusting either
+/// side blindly.
+struct PredictionCrossCheck {
+  bool exact = false;  ///< predictor ran in its exact composition tier
+  double predicted_period_seconds = 0.0;  ///< standalone steady period
+  bool meets_realtime = false;  ///< predictor verdict on the tenant's own
+                                ///< compiled mapping (1 vcore = 1 PE)
+  double max_abs_deviation = 0.0;  ///< worst per-vcore |predictor-ledger|, PE
+  bool consistent = false;         ///< deviation within tolerance
+};
+
+[[nodiscard]] PredictionCrossCheck cross_check_prediction(
+    const CompiledApp& app, const std::vector<double>& vcore_util,
+    double tolerance = 0.05);
 
 /// The pool's capacity ledger. Not thread-safe; the daemon serializes
 /// calls under its own lock.

@@ -64,6 +64,7 @@ struct Daemon::Tenant {
   TenantState state = TenantState::kPending;
   Placement placement;
   std::vector<double> vcore_util;
+  PredictionCrossCheck xcheck;
   std::string reason;
   double rate_hz = 0.0;  ///< deadline-schedule rate (post-slowdown)
   bool evicting = false;
@@ -148,8 +149,17 @@ struct Daemon::Impl {
 
     t.vcore_util =
         vcore_utilization(app.graph, app.loads, app.mapping, opt.machine);
+    t.xcheck = cross_check_prediction(app, t.vcore_util);
     t.placement = admission.admit(t.vcore_util);
     t.reason = t.placement.reason;
+    if (!t.xcheck.consistent) {
+      char warn[128];
+      std::snprintf(warn, sizeof warn,
+                    "; WARNING: predictor deviates %.3f PE from the "
+                    "admission ledger",
+                    t.xcheck.max_abs_deviation);
+      t.reason += warn;
+    }
     if (t.placement.verdict == Verdict::kDegraded && !spec.allow_degraded) {
       // The submitter refused degraded service; undo the commit.
       admission.release(t.placement, t.vcore_util);
@@ -286,6 +296,9 @@ struct Daemon::Impl {
     s.demand = t.placement.demand;
     s.peak_load = t.placement.peak_load;
     s.rate_hz = t.rate_hz;
+    s.predicted_period_seconds = t.xcheck.predicted_period_seconds;
+    s.predictor_deviation = t.xcheck.max_abs_deviation;
+    s.predictor_consistent = t.xcheck.consistent;
     return s;
   }
 
@@ -439,6 +452,12 @@ void Daemon::write_status(std::ostream& os) const {
                   s.demand, s.rate_hz, s.frames_completed, s.deadline_misses,
                   s.frames_shed, s.firings);
     os << line;
+    if (s.predicted_period_seconds > 0.0) {
+      std::snprintf(line, sizeof line, " predicted_period=%.2fms%s",
+                    s.predicted_period_seconds * 1e3,
+                    s.predictor_consistent ? "" : " predictor=INCONSISTENT");
+      os << line;
+    }
     if (s.frames_completed > 0) {
       std::snprintf(line, sizeof line,
                     " latency_p50=%.2fms latency_p95=%.2fms min_slack=%.2fms",
@@ -484,6 +503,9 @@ std::string Daemon::status_json() const {
     o["latency_p50_seconds"] = s.latency_p50;
     o["latency_p95_seconds"] = s.latency_p95;
     o["min_slack_seconds"] = s.min_slack;
+    o["predicted_period_seconds"] = s.predicted_period_seconds;
+    o["predictor_deviation_pe"] = s.predictor_deviation;
+    o["predictor_consistent"] = s.predictor_consistent;
     arr.push_back(json::Value(std::move(o)));
   }
   json::Object root;

@@ -16,7 +16,10 @@
 
 #include <cstdio>
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <optional>
+#include <sstream>
 #include <vector>
 #include <fstream>
 #include <iostream>
@@ -37,6 +40,8 @@
 #include "obs/deadline.h"
 #include "obs/frames.h"
 #include "obs/recorder.h"
+#include "predict/predict.h"
+#include "predict/report.h"
 #include "runtime/runtime.h"
 #include "sim/simulator.h"
 #include "tools/cli.h"
@@ -214,6 +219,17 @@ void write_analysis(const cli::Args& a, const CompiledApp& app,
   });
 }
 
+// --predict-costs FILE: a Google-benchmark JSON dump (the kernel
+// microbench suite's schema, e.g. BENCH_kernels.json) keyed "family/isa".
+// Calibrates against the active kernel backend's ISA.
+predict::CostTable load_cost_table(const std::string& path, double clock_hz) {
+  std::ifstream f(path);
+  if (!f) throw Error("cannot open cost table '" + path + "'");
+  std::ostringstream text;
+  text << f.rdbuf();
+  return predict::parse_bench_costs(text.str(), simd::ops().name, clock_hz);
+}
+
 // Dump the recorder's trace and/or metrics as requested by --trace and
 // --metrics. Called for whichever execution (sim or host run) owns the
 // observability output.
@@ -276,6 +292,22 @@ int main(int argc, char** argv) {
     CompiledApp app = compile(std::move(source), opt);
     write_report(app, std::cout);
 
+    std::optional<predict::Prediction> pred;
+    if (a.do_predict) {
+      predict::PredictOptions popt;
+      if (!a.predict_costs_path.empty()) {
+        popt.costs = load_cost_table(a.predict_costs_path, a.machine.clock_hz);
+        std::printf("cost table: %zu kernel families (%s)\n",
+                    popt.costs.size(), simd::ops().name);
+      }
+      pred = predict::predict(app, popt);
+      predict::write_prediction(*pred, std::cout);
+    }
+    // Execution-measured counterparts for the comparison table; NaN marks
+    // a quantity the requested executions cannot supply.
+    constexpr double kAbsent = std::numeric_limits<double>::quiet_NaN();
+    double sim_period = kAbsent, sim_util = kAbsent, run_period = kAbsent;
+
     fault::FaultPlan plan;
     std::optional<fault::Injector> inj;
     if (!a.faults_path.empty()) {
@@ -316,6 +348,10 @@ int main(int argc, char** argv) {
           r.max_input_lag_seconds * 1e6,
           100.0 * r.avg_utilization(opt.machine), r.total_firings,
           extra.c_str());
+      if (pred) {
+        sim_period = r.steady_frame_period();
+        sim_util = r.avg_utilization(opt.machine);
+      }
       if (obs::kCompiledIn)
         write_utilization(obs::analyze_utilization(rec.trace()), std::cout);
       if (a.show_kernels) {
@@ -360,11 +396,15 @@ int main(int argc, char** argv) {
       const bool observe =
           !a.do_sim && (!a.trace_path.empty() || !a.metrics_path.empty() ||
                         !a.analyze_path.empty() || !a.degradation_path.empty());
+      // The comparison table's measured column needs the host run's frame
+      // cadence, which only the recorder sees.
+      const bool observe_for_predict =
+          pred.has_value() && obs::kCompiledIn && !observe;
       const double slowdown = a.pace ? a.pace_slowdown : 1.0;
       RuntimeOptions ropt;
       ropt.pace_inputs = a.pace;
       ropt.pace_slowdown = a.pace_slowdown;
-      if (observe) ropt.recorder = &rec;
+      if (observe || observe_for_predict) ropt.recorder = &rec;
       ropt.injector = inj ? &*inj : nullptr;
       std::optional<fault::DegradationController> ctrl;
       if (a.shed) {
@@ -386,6 +426,10 @@ int main(int argc, char** argv) {
       std::printf("run: completed=%s wall=%.1fms firings=%ld%s\n",
                   r.completed ? "yes" : "no", r.wall_seconds * 1e3,
                   r.total_firings, extra.c_str());
+      if (pred && (observe || observe_for_predict)) {
+        const obs::FrameReport frames = obs::analyze_frames(rec.trace());
+        if (frames.period.count > 0) run_period = frames.period.mean;
+      }
       fault::DegradationReport deg;
       bool have_deg = false;
       if (ctrl) {
@@ -404,6 +448,33 @@ int main(int argc, char** argv) {
         write_obs_outputs(a, rec);
       }
       if (have_deg) write_degradation_output(a, deg);
+    }
+
+    if (pred && (!std::isnan(sim_period) || !std::isnan(run_period))) {
+      std::vector<ComparisonRow> rows;
+      rows.push_back({"steady period (us)", pred->steady_period_seconds * 1e6,
+                      sim_period * 1e6, run_period * 1e6, 2});
+      rows.push_back({"avg core utilization (%)",
+                      100.0 * pred->avg_utilization, 100.0 * sim_util,
+                      kAbsent, 1});
+      write_comparison(rows, std::cout);
+    }
+    if (a.predict_check_set) {
+      if (std::isnan(sim_period) || sim_period <= 0.0)
+        throw Error("--predict-check: the simulated run produced no steady "
+                    "frame period to compare against");
+      const double rel =
+          std::fabs(sim_period - pred->steady_period_seconds) / sim_period;
+      std::printf("prediction check: |sim - predicted| / sim = %.4g "
+                  "(tolerance %g)\n", rel, a.predict_check);
+      if (rel > a.predict_check) {
+        std::fprintf(stderr,
+                     "bpc: prediction check FAILED: predicted %.6g us vs "
+                     "simulated %.6g us deviates %.3g > %.3g\n",
+                     pred->steady_period_seconds * 1e6, sim_period * 1e6, rel,
+                     a.predict_check);
+        return 1;
+      }
     }
   } catch (const Error& e) {
     std::fprintf(stderr, "bpc: %s\n", e.what());

@@ -25,6 +25,16 @@ const char* usage_text() {
       "  --save FILE        write the source graph as bpp-graph text\n"
       "  --dot FILE         write the compiled graph as Graphviz\n"
       "  --simulate         verify real time on the timing simulator\n"
+      "  --predict          predict utilization, steady period, and the\n"
+      "                     real-time verdict analytically, without running\n"
+      "                     anything; with --simulate/--run also prints a\n"
+      "                     predicted-vs-simulated-vs-measured table\n"
+      "  --predict-check T  with --predict --simulate: exit nonzero when the\n"
+      "                     predicted steady period deviates from the\n"
+      "                     simulated one by more than relative tolerance T\n"
+      "  --predict-costs F  calibrate the prediction from a Google-benchmark\n"
+      "                     JSON cost table (BENCH_kernels.json); implies\n"
+      "                     --predict\n"
       "  --firings N        with --simulate: print the first N firings\n"
       "  --kernels          with --simulate: busiest kernels by cycles\n"
       "  --run              execute functionally on host threads\n"
@@ -110,6 +120,17 @@ bool parse(int argc, const char* const* argv, Args& a) {
       a.dot_path = v;
     } else if (flag == "--simulate") {
       a.do_sim = true;
+    } else if (flag == "--predict") {
+      a.do_predict = true;
+    } else if (flag == "--predict-check") {
+      const char* v = value();
+      if (!v) return false;
+      a.predict_check = std::atof(v);
+      a.predict_check_set = true;
+    } else if (flag == "--predict-costs") {
+      const char* v = value();
+      if (!v) return false;
+      a.predict_costs_path = v;
     } else if (flag == "--firings") {
       const char* v = value();
       if (!v) return false;
@@ -176,6 +197,7 @@ void apply_implications(Args& a) {
        !a.faults_path.empty() || !a.degradation_path.empty()) &&
       !a.do_sim && !a.do_run)
     a.do_sim = true;
+  if (!a.predict_costs_path.empty()) a.do_predict = true;
 }
 
 const char* contradiction(const Args& a) {
@@ -191,6 +213,12 @@ const char* contradiction(const Args& a) {
     return "--slowdown requires --pace";
   if (a.fault_seed_set && a.faults_path.empty())
     return "--fault-seed requires --faults";
+  if (a.predict_check_set && !a.do_predict)
+    return "--predict-check requires --predict";
+  if (a.predict_check_set && !a.do_sim)
+    return "--predict-check compares against the simulator; add --simulate";
+  if (a.predict_check_set && a.predict_check <= 0.0)
+    return "--predict-check tolerance must be positive";
   if (a.shed && !a.do_run)
     return "--shed applies to the host runtime; add --run";
   if (a.deadline_slack_set && a.analyze_path.empty() && !a.shed)

@@ -24,6 +24,10 @@ struct Args {
   bool multiplex = true;
   bool do_sim = false;
   bool do_run = false;
+  bool do_predict = false;        ///< --predict: analytic performance model
+  double predict_check = 0.0;     ///< --predict-check TOL (relative)
+  bool predict_check_set = false;
+  std::string predict_costs_path; ///< --predict-costs FILE (bench JSON)
   bool show_kernels = false;
   long firings = 0;
   bool firings_set = false;  ///< --firings given explicitly

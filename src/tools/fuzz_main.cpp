@@ -15,6 +15,9 @@
 //   bpp_fuzz --seed 3
 //   bpp_fuzz --seed 3 --faulted --trace fuzz-3.json
 //   bpp_fuzz --seed 3 --isa avx2   # pin the kernel backend (A/B vs scalar)
+//   bpp_fuzz --seed 3 --predict    # + differential prediction check:
+//                                  # predicted steady period must track an
+//                                  # unfaulted simulation within 0.5%
 
 #include <cmath>
 #include <cstdio>
@@ -35,6 +38,7 @@
 #include "obs/deadline.h"
 #include "obs/frames.h"
 #include "obs/recorder.h"
+#include "predict/predict.h"
 #include "ref/reference.h"
 #include "runtime/runtime.h"
 #include "sim/simulator.h"
@@ -194,7 +198,7 @@ SimFingerprint simulate_once(const CompiledApp& app,
 
 int usage() {
   std::fprintf(stderr,
-               "usage: bpp_fuzz --seed N [--faulted] [--isa NAME] "
+               "usage: bpp_fuzz --seed N [--faulted] [--predict] [--isa NAME] "
                "[--trace FILE]\n");
   return 2;
 }
@@ -205,6 +209,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 0;
   bool seed_set = false;
   bool faulted = false;
+  bool predict_mode = false;
   std::string isa_arg;
   std::string trace_path;
   for (int i = 1; i < argc; ++i) {
@@ -214,6 +219,8 @@ int main(int argc, char** argv) {
       seed_set = true;
     } else if (flag == "--faulted") {
       faulted = true;
+    } else if (flag == "--predict") {
+      predict_mode = true;
     } else if (flag == "--isa" && i + 1 < argc) {
       isa_arg = argv[++i];
     } else if (flag == "--trace" && i + 1 < argc) {
@@ -236,7 +243,7 @@ int main(int argc, char** argv) {
 
   const std::string repro =
       std::string("repro: bpp_fuzz --seed ") + std::to_string(seed) +
-      (faulted ? " --faulted" : "") +
+      (faulted ? " --faulted" : "") + (predict_mode ? " --predict" : "") +
       (isa_arg.empty() ? "" : " --isa " + isa_arg);
   std::printf("kernel backend: %s\n", simd::ops().name);
   auto fail = [&](const std::string& why) {
@@ -271,6 +278,26 @@ int main(int argc, char** argv) {
     std::printf("seed=%llu frame=%dx%d stages=%zu faulted=%d\n",
                 static_cast<unsigned long long>(seed), frame.w, frame.h,
                 stages.size(), faulted ? 1 : 0);
+
+    // Differential prediction check: the analytic steady period must
+    // track an unfaulted simulation of the same seed (faults perturb the
+    // timeline by design, so the faulted runs are not comparable).
+    if (predict_mode) {
+      const predict::Prediction pred = predict::predict(app);
+      Graph pg = app.graph.clone();
+      SimOptions psopt;
+      psopt.machine = app.options.machine;
+      const SimResult pr = simulate(pg, app.mapping, psopt);
+      if (!pr.completed) return fail("predict-mode simulation incomplete");
+      const double sim = pr.steady_frame_period();
+      if (sim <= 0.0) return fail("predict-mode: no steady frame period");
+      const double rel = std::fabs(sim - pred.steady_period_seconds) / sim;
+      std::printf("predict: exact=%d period=%.6gs sim=%.6gs rel=%.3g\n",
+                  pred.exact ? 1 : 0, pred.steady_period_seconds, sim, rel);
+      if (rel > 0.005)
+        return fail("predicted period deviates " + std::to_string(rel) +
+                    " (> 0.005) from the simulator");
+    }
 
     const fault::FaultPlan plan = fuzz_plan(seed);
     fault::Injector inj(plan, seed);

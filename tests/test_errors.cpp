@@ -293,6 +293,26 @@ TEST(Cli, EveryContradictionFires) {
             std::string("--shed applies to the host runtime; add --run"));
   EXPECT_EQ(reject({"fig1", "--simulate", "--deadline-slack", "0.1"}),
             std::string("--deadline-slack requires --analyze or --shed"));
+  EXPECT_EQ(reject({"fig1", "--simulate", "--predict-check", "0.01"}),
+            std::string("--predict-check requires --predict"));
+  EXPECT_EQ(reject({"fig1", "--predict", "--predict-check", "0.01"}),
+            std::string(
+                "--predict-check compares against the simulator; add "
+                "--simulate"));
+  EXPECT_EQ(
+      reject({"fig1", "--predict", "--simulate", "--predict-check", "0"}),
+      std::string("--predict-check tolerance must be positive"));
+}
+
+TEST(Cli, PredictFlagsCompose) {
+  EXPECT_EQ(reject({"fig1", "--predict"}), "");
+  EXPECT_EQ(
+      reject({"fig1", "--predict", "--simulate", "--predict-check", "0.005"}),
+      "");
+  // A cost table is only useful to the predictor, so it implies it.
+  const cli::Args a = parsed({"fig1", "--predict-costs", "bench.json"});
+  EXPECT_TRUE(a.do_predict);
+  EXPECT_EQ(a.predict_costs_path, "bench.json");
 }
 
 TEST(Cli, ImplicationsDefaultToSimulator) {

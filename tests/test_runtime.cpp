@@ -3,11 +3,18 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
 #include "apps/pipelines.h"
 #include "compiler/pipeline.h"
 #include "kernels/kernels.h"
 #include "obs/recorder.h"
 #include "ref/reference.h"
+#include "runtime/machine.h"
+#include "runtime/program.h"
 #include "runtime/runtime.h"
 #include "test_util.h"
 
@@ -336,6 +343,73 @@ TEST(Compile, WarnsWhenDependencyEdgeCapsNeededParallelism) {
     warned = warned || w.find("caps parallelism") != std::string::npos;
   EXPECT_TRUE(warned);
   EXPECT_FALSE(app.parallelization.factors.count("hungry"));
+}
+
+// Regression stress for the two-phase start() protocol: attach() must
+// register a program on the timed rosters *before* the initial ready set
+// is seeded, or a worker can pop a seeded node while the rosters are
+// still being written. The single-program tests above never widen that
+// window — it only opens when other programs keep the workers hot while
+// a new one attaches. So: keep a paced background program in flight on a
+// shared machine and have two threads churn short-lived programs through
+// start()/finish() against it. Runs in the TSan CI job (test_runtime
+// target), where any resurrected race trips halt_on_error.
+TEST(Machine, AttachDetachChurnWhileFramesInFlight) {
+  rt::Machine machine(3);
+  auto pool = [&](const Mapping& m) {
+    Mapping out;
+    out.cores = machine.cores();
+    out.core_of.resize(m.core_of.size());
+    for (size_t i = 0; i < m.core_of.size(); ++i)
+      out.core_of[i] = m.core_of[i] % out.cores;
+    return out;
+  };
+
+  // Background tenant: paced so frames stay in flight for the whole
+  // churn window even on a fast host.
+  CompiledApp bg = compile(apps::figure1_app({32, 24}, 400.0, 120, 16));
+  Graph bg_graph = bg.graph.clone();
+  RuntimeOptions bg_opt;
+  bg_opt.pace_inputs = true;
+  GraphProgram background(bg_graph, pool(bg.mapping), bg_opt, machine);
+  background.start();
+
+  constexpr int kRoundsPerThread = 6;
+  std::atomic<int> completed{0};
+  std::atomic<long> churn_firings{0};
+  auto churn = [&](std::uint64_t salt) {
+    for (int round = 0; round < kRoundsPerThread; ++round) {
+      // Vary the shape per thread so the two churners exercise
+      // different kernel sets and core assignments.
+      CompiledApp a = salt & 1
+                          ? compile(apps::histogram_app({16, 12}, 300.0, 2, 8))
+                          : compile(apps::sobel_app({20, 16}, 250.0, 2, 96.0));
+      Graph g = a.graph.clone();
+      GraphProgram p(g, pool(a.mapping), RuntimeOptions{}, machine);
+      p.start();
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(60);
+      while (!p.done() && std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      const RuntimeResult r = p.finish();
+      if (r.completed) completed.fetch_add(1, std::memory_order_relaxed);
+      churn_firings.fetch_add(r.total_firings, std::memory_order_relaxed);
+    }
+  };
+  std::thread t0(churn, 0);
+  std::thread t1(churn, 1);
+  t0.join();
+  t1.join();
+  EXPECT_EQ(completed.load(), 2 * kRoundsPerThread);
+  EXPECT_GT(churn_firings.load(), 0);
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (!background.done() && std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  const RuntimeResult r = background.finish();
+  EXPECT_TRUE(r.completed);
+  EXPECT_GT(r.total_firings, 0);
 }
 
 }  // namespace

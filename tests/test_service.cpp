@@ -75,6 +75,32 @@ TEST(Admission, DegradedBandBetweenBudgets) {
   EXPECT_NEAR(c.total_load(), 3.5, 1e-12);  // degraded demand is committed
 }
 
+TEST(Admission, BudgetBoundariesAreInclusive) {
+  // The verdict comparisons are <=, so a load landing exactly on a budget
+  // stays on the cheaper side of the band: 0.9 is admitted outright and
+  // 1.25 is degraded, not rejected. Both constants are exactly
+  // representable in binary, so no epsilon is involved.
+  AdmissionController a(1, AdmissionPolicy{});
+  const Placement at_admit = a.admit({0.9});
+  EXPECT_EQ(at_admit.verdict, Verdict::kAdmitted);
+  EXPECT_NEAR(at_admit.peak_load, 0.9, 1e-15);
+
+  AdmissionController b(1, AdmissionPolicy{});
+  const Placement at_degrade = b.admit({1.25});
+  EXPECT_EQ(at_degrade.verdict, Verdict::kDegraded);
+  EXPECT_NEAR(at_degrade.peak_load, 1.25, 1e-15);
+}
+
+TEST(Admission, JustAboveEachBudgetCrossesTheBand) {
+  AdmissionController a(1, AdmissionPolicy{});
+  EXPECT_EQ(a.admit({0.9 + 1e-9}).verdict, Verdict::kDegraded);
+
+  AdmissionController b(1, AdmissionPolicy{});
+  const Placement p = b.admit({1.25 + 1e-9});
+  EXPECT_EQ(p.verdict, Verdict::kRejected);
+  EXPECT_NEAR(b.total_load(), 0.0, 1e-12);  // nothing committed
+}
+
 TEST(Admission, RejectsWideVirtualCoreEvenOnEmptyPool) {
   AdmissionController c(4, AdmissionPolicy{});
   const Placement p = c.admit({1.3});  // one vcore above the degrade budget
@@ -335,6 +361,75 @@ TEST(Service, FaultedTenantEvictedCleanTenantIsolated) {
   EXPECT_EQ(d.pool().evicted, 1);
   EXPECT_EQ(d.pool().completed, 1);
   EXPECT_NEAR(d.pool().load, 0.0, 1e-9);  // eviction released its capacity
+}
+
+TEST(Service, EvictedTenantReadmitsImmediately) {
+  // Eviction must return the tenant's demand to the ledger synchronously:
+  // resubmitting the very same spec right afterwards has to re-admit on
+  // the freed capacity, and the name may be reused.
+  DaemonOptions opt;
+  opt.cores = 4;
+  opt.evict_misses = 2;
+  Daemon d(opt);
+
+  TenantSpec t = cam("flappy", "fig1");
+  t.frames = 8;
+  t.slack_seconds = 0.005;
+  // Stall the serial merge well past the frame period on every firing so
+  // post-anchor frames miss deterministically and eviction is certain.
+  t.fault_plan_json =
+      R"({"kernels":[{"match":"merge*","stall_prob":1.0,"stall_seconds":0.15}]})";
+  t.fault_seed = 1;
+  t.fault_seed_set = true;
+  const int first = d.submit(t);
+  ASSERT_TRUE(d.wait_idle(60.0));
+  ASSERT_EQ(d.tenant(first).state, TenantState::kEvicted)
+      << d.tenant(first).reason;
+  EXPECT_NEAR(d.pool().load, 0.0, 1e-9);
+
+  // Same tenant, faults cleared: admitted again at once and completes.
+  t.fault_plan_json.clear();
+  t.slack_seconds = 0.05;
+  const int second = d.submit(t);
+  EXPECT_NE(second, first);
+  ASSERT_TRUE(d.wait_idle(60.0));
+  const service::TenantStatus s = d.tenant(second);
+  EXPECT_EQ(s.admission, Verdict::kAdmitted);
+  EXPECT_EQ(s.state, TenantState::kCompleted) << s.reason;
+  EXPECT_EQ(s.deadline_misses, 0);
+  EXPECT_EQ(d.pool().evicted, 1);
+  EXPECT_EQ(d.pool().completed, 1);
+  EXPECT_NEAR(d.pool().load, 0.0, 1e-9);
+}
+
+TEST(Service, EmptyPoolStatusIsWellFormed) {
+  // A daemon that never saw a tenant still reports a coherent pool line
+  // and a parseable JSON document with an empty tenants array — the shape
+  // monitoring scrapes before the first submission.
+  DaemonOptions opt;
+  opt.cores = 3;
+  Daemon d(opt);
+
+  std::ostringstream os;
+  d.write_status(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("bpd: pool 3 cores"), std::string::npos) << text;
+  EXPECT_NE(text.find("load 0.00/2.70 PE (0%)"), std::string::npos) << text;
+  EXPECT_NE(
+      text.find("0 running, 0 completed, 0 evicted, 0 rejected, 0 failed"),
+      std::string::npos)
+      << text;
+  EXPECT_EQ(text.find("tenant "), std::string::npos) << text;
+
+  const json::Value v = json::parse(d.status_json());
+  const json::Value* pool = v.find("pool");
+  ASSERT_NE(pool, nullptr);
+  EXPECT_EQ(pool->number_or("cores", -1.0), 3.0);
+  EXPECT_EQ(pool->number_or("load_pe", -1.0), 0.0);
+  EXPECT_EQ(pool->number_or("running", -1.0), 0.0);
+  const json::Value* tenants = v.find("tenants");
+  ASSERT_NE(tenants, nullptr);
+  EXPECT_TRUE(tenants->as_array().empty());
 }
 
 TEST(Service, TenantLimitRejectsOverflow) {
