@@ -73,6 +73,12 @@ Perturbation Injector::perturb(int kernel_id,
     if (rule.stall_prob > 0.0 &&
         u01(kernel_id, firing_index, 3) < rule.stall_prob)
       p.stall_seconds = rule.stall_seconds;
+    if (rule.throw_prob > 0.0 &&
+        u01(kernel_id, firing_index, 5) < rule.throw_prob)
+      p.throw_fault = true;
+    if (rule.wedge_prob > 0.0 &&
+        u01(kernel_id, firing_index, 6) < rule.wedge_prob)
+      p.wedge = true;
   }
   if (r.delivery != nullptr && r.delivery->prob > 0.0 &&
       u01(kernel_id, firing_index, 4) < r.delivery->prob)

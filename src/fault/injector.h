@@ -10,13 +10,18 @@
 // races, and the simulator uses the same counters; faulted firing N of
 // kernel K sees the same Perturbation in both engines.
 //
-// Faults perturb *timing only* (scale, stall, delivery delay); values are
-// never touched, so bit-exactness against the scalar reference must hold
-// under any plan (asserted by the fuzz harness and test_random_pipelines).
+// Timing faults perturb *timing only* (scale, stall, delivery delay);
+// values are never touched, so bit-exactness against the scalar reference
+// must hold under any plan (asserted by the fuzz harness and
+// test_random_pipelines). The recovery fault kinds (throw/wedge) are the
+// exception: they abort or halt the firing instead of retiming it, exist to
+// exercise the supervision layer (DESIGN.md §8), and are ignored by the
+// timing simulator.
 
 #include <cstdint>
 #include <vector>
 
+#include "core/error.h"
 #include "fault/plan.h"
 
 namespace bpp {
@@ -25,15 +30,24 @@ class Graph;
 
 namespace bpp::fault {
 
+/// Raised by the host runtime when a firing draws a throw fault. Derives
+/// from Error so existing catch sites treat it like any kernel failure.
+class InjectedFault : public Error {
+ public:
+  using Error::Error;
+};
+
 /// The perturbation applied to a single firing.
 struct Perturbation {
   double time_scale = 1.0;      ///< multiply execution time/cycles by this
   double stall_seconds = 0.0;   ///< stall before the firing runs
   double delivery_delay_seconds = 0.0;  ///< outputs become visible this late
+  bool throw_fault = false;  ///< the firing raises InjectedFault (kThrow)
+  bool wedge = false;        ///< the kernel stops firing for good (kWedge)
 
   [[nodiscard]] bool identity() const {
     return time_scale == 1.0 && stall_seconds == 0.0 &&
-           delivery_delay_seconds == 0.0;
+           delivery_delay_seconds == 0.0 && !throw_fault && !wedge;
   }
 };
 

@@ -41,7 +41,7 @@ void check_keys(const json::Object& obj,
 KernelRule parse_kernel_rule(const json::Value& v) {
   check_keys(v.as_object(),
              {"match", "jitter", "overrun_prob", "overrun_factor",
-              "stall_prob", "stall_seconds"},
+              "stall_prob", "stall_seconds", "throw_prob", "wedge_prob"},
              "kernels[] entry");
   KernelRule r;
   r.match = v.string_or("match", "*");
@@ -50,12 +50,16 @@ KernelRule parse_kernel_rule(const json::Value& v) {
   r.overrun_factor = v.number_or("overrun_factor", 1.0);
   r.stall_prob = v.number_or("stall_prob", 0.0);
   r.stall_seconds = v.number_or("stall_seconds", 0.0);
+  r.throw_prob = v.number_or("throw_prob", 0.0);
+  r.wedge_prob = v.number_or("wedge_prob", 0.0);
   if (!(r.jitter >= 0.0 && r.jitter < 1.0))
     throw Error("fault plan: jitter must be in [0, 1)");
   check_prob(r.overrun_prob, "overrun_prob");
   check_factor(r.overrun_factor, "overrun_factor");
   check_prob(r.stall_prob, "stall_prob");
   check_nonneg(r.stall_seconds, "stall_seconds");
+  check_prob(r.throw_prob, "throw_prob");
+  check_prob(r.wedge_prob, "wedge_prob");
   return r;
 }
 
@@ -152,6 +156,8 @@ std::string write_plan(const FaultPlan& plan) {
     o["overrun_factor"] = r.overrun_factor;
     o["stall_prob"] = r.stall_prob;
     o["stall_seconds"] = r.stall_seconds;
+    o["throw_prob"] = r.throw_prob;
+    o["wedge_prob"] = r.wedge_prob;
     kernels.emplace_back(std::move(o));
   }
   if (!kernels.empty()) doc["kernels"] = std::move(kernels);

@@ -12,13 +12,23 @@
 //     "kernels": [
 //       {"match": "conv*", "jitter": 0.2,
 //        "overrun_prob": 0.05, "overrun_factor": 8.0,
-//        "stall_prob": 0.01, "stall_seconds": 2e-4}
+//        "stall_prob": 0.01, "stall_seconds": 2e-4,
+//        "throw_prob": 0.0, "wedge_prob": 0.0}
 //     ],
 //     "cores": [{"core": 1, "throttle": 2.0}],
 //     "delivery": [{"match": "*", "prob": 0.02, "delay_seconds": 5e-5}]
 //   }
 // "match" is a glob over kernel names (* and ? only); the first matching
 // rule wins. "seed" is a default and is overridden by --fault-seed.
+//
+// Two fault kinds exist for exercising the service-layer recovery paths
+// (DESIGN.md §8) rather than timing: "throw_prob" makes the firing raise
+// fault::InjectedFault (kThrow — the program fails, the worker pool
+// survives), and "wedge_prob" makes the kernel permanently stop firing
+// (kWedge — the program stops making progress and trips the supervisor's
+// stall watchdog). The timing simulator has no failure semantics and
+// ignores both kinds; plans carrying them are meaningful to the host
+// runtime and the bpd supervisor.
 
 #include <cstdint>
 #include <string>
@@ -34,6 +44,8 @@ struct KernelRule {
   double overrun_factor = 1.0;  ///< multiplier applied on overrun
   double stall_prob = 0.0;      ///< chance a firing stalls before running
   double stall_seconds = 0.0;   ///< stall duration (wall/model time)
+  double throw_prob = 0.0;      ///< chance a firing raises (kThrow)
+  double wedge_prob = 0.0;      ///< chance the kernel wedges for good (kWedge)
 };
 
 /// Slow-core throttling: every firing placed on `core` runs `throttle`x

@@ -7,6 +7,10 @@ namespace bpp::rt {
 void Program::record_park(int /*core*/, double /*t0_seconds*/,
                           double /*t1_seconds*/) {}
 
+void Program::on_worker_exception(int /*core*/, const char* /*what*/) {
+  quiesce();
+}
+
 Machine::Machine(int cores) : epoch_(std::chrono::steady_clock::now()) {
   cores_.resize(static_cast<size_t>(std::max(cores, 1)));
   for (auto& c : cores_) c = std::make_unique<Core>();
@@ -81,11 +85,26 @@ void Machine::worker(int core) {
   // roster lock is uncontended outside attach/detach; taking it once per
   // loop iteration keeps detach() free to destroy programs the moment
   // their in-flight count drains.
+  // Exception containment: no exception may unwind through the worker
+  // loop — that would std::terminate the whole pool and every co-tenant
+  // with it. Escapees are routed to the owning program, which fails and
+  // quiesces itself; its remaining queued nodes drain as no-ops.
+  auto run_guarded = [&](Program* p, auto&& fn) {
+    try {
+      fn();
+    } catch (const std::exception& e) {
+      p->on_worker_exception(core, e.what());
+    } catch (...) {
+      p->on_worker_exception(core, "unknown exception");
+    }
+  };
+
   auto fire_due = [&] {
     const double t = now();
     std::lock_guard<std::mutex> lk(sync.roster_mu);
     for (Program* p : sync.roster)
-      if (!p->quiesced()) p->fire_due_sources(core, t);
+      if (!p->quiesced())
+        run_guarded(p, [&] { p->fire_due_sources(core, t); });
   };
   auto earliest_release = [&]() -> double {
     double next = -1.0;
@@ -102,7 +121,8 @@ void Machine::worker(int core) {
     fire_due();
     if (ReadyNode* n = sync.queue.pop()) {
       Program* p = n->program;
-      if (!p->quiesced()) p->process(n->kernel, core);
+      if (!p->quiesced())
+        run_guarded(p, [&] { p->process(n->kernel, core); });
       p->inflight_.fetch_sub(1, std::memory_order_acq_rel);
       continue;
     }
@@ -112,7 +132,8 @@ void Machine::worker(int core) {
     const unsigned e = sync.epoch.load(std::memory_order_seq_cst);
     if (ReadyNode* n = sync.queue.pop()) {
       Program* p = n->program;
-      if (!p->quiesced()) p->process(n->kernel, core);
+      if (!p->quiesced())
+        run_guarded(p, [&] { p->process(n->kernel, core); });
       p->inflight_.fetch_sub(1, std::memory_order_acq_rel);
       continue;
     }

@@ -121,6 +121,13 @@ class Program {
   /// spans. Default: ignore.
   virtual void record_park(int core, double t0_seconds, double t1_seconds);
 
+  /// An exception escaped process() or fire_due_sources() on a worker.
+  /// The pool contains it: the program is failed, never the machine — a
+  /// throwing kernel must not take down co-tenants (DESIGN.md §8). The
+  /// default quiesces the program; overrides should record `what` first.
+  /// Called on the worker thread, possibly concurrently from several.
+  virtual void on_worker_exception(int core, const char* what);
+
   /// Stop doing work: after this, process() must return without touching
   /// channels and fire_due_sources must not arm new kernels. Queued ready
   /// nodes drain as no-ops.

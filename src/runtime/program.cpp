@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -151,6 +152,10 @@ struct GraphProgram::Impl final : rt::Program {
     src_at_frame_start_.assign(static_cast<size_t>(n), 1);
     src_frame_idx_.assign(static_cast<size_t>(n), 0);
     src_dropping_.assign(static_cast<size_t>(n), 0);
+    src_stopped_.assign(static_cast<size_t>(n), 0);
+    wedged_.assign(static_cast<size_t>(n), 0);
+    for (KernelId k = 0; k < n; ++k)
+      if (g.kernel(k).is_source()) ++total_sources_;
 
     cores_used_.clear();
     for (int c = 0; c < mcores; ++c)
@@ -243,6 +248,7 @@ struct GraphProgram::Impl final : rt::Program {
       return;
     }
 
+    if (wedged_[static_cast<size_t>(k)]) return;  // kWedge: never fires again
     const auto& in_of = in_of_[static_cast<size_t>(k)];
     while (!quiesced()) {
       if (!drain(k, core, w) &&
@@ -284,6 +290,20 @@ struct GraphProgram::Impl final : rt::Program {
             w.ring->emit(e);
           }
         }
+        // Recovery fault kinds (DESIGN.md §8): a wedge halts this kernel
+        // for good before it pops anything — inputs back up and the
+        // program stops making progress (the supervisor's stall watchdog
+        // is what notices). A throw aborts the firing; the machine's
+        // worker backstop routes it to on_worker_exception, which fails
+        // and quiesces this program only.
+        if (pert.wedge) {
+          wedged_[static_cast<size_t>(k)] = 1;
+          return;
+        }
+        if (pert.throw_fault)
+          throw fault::InjectedFault("injected fault: kernel '" + kn.name() +
+                                     "' firing " +
+                                     std::to_string(w.fired[static_cast<size_t>(k)]));
       }
 
       ExecContext& ctx = w.ctx;
@@ -551,10 +571,21 @@ struct GraphProgram::Impl final : rt::Program {
   /// exhausted (never re-armed), back-pressured (producer_blocked armed),
   /// or — paced — not due yet (timed re-arm via CoreState::timed).
   void run_source(KernelId k, Kernel& kn, int core, CoreState& w) {
+    if (src_stopped_[static_cast<size_t>(k)]) return;  // drained or exhausted
     auto& next = src_next_[static_cast<size_t>(k)];
     const bool sheddable = ctrl_ != nullptr && k == shed_source_;
     while (!quiesced()) {
       if (next.has_value()) {
+        // Drain: retire at the next frame boundary — the same safe point
+        // shedding uses — so the in-flight frame completes downstream but
+        // no new frame starts. Checked before pacing: a source parked
+        // until its next release stops the moment it is next looked at.
+        if (src_at_frame_start_[static_cast<size_t>(k)] &&
+            !src_dropping_[static_cast<size_t>(k)] && is_data(next->item) &&
+            drain_.load(std::memory_order_acquire)) {
+          mark_source_stopped(k);
+          return;
+        }
         // Inspect before the item is moved. Frame bookkeeping runs
         // unconditionally — the shed state machine needs it even with
         // tracing off.
@@ -634,9 +665,47 @@ struct GraphProgram::Impl final : rt::Program {
         }
       }
       SourceEmission e;
-      if (!kn.source_poll(e)) return;  // exhausted for good
+      if (!kn.source_poll(e)) {
+        mark_source_stopped(k);  // exhausted for good
+        return;
+      }
       next = std::move(e);
     }
+  }
+
+  /// Count each source's retirement once (owning worker only writes the
+  /// flag; the counter is read cross-thread by sources_drained()).
+  void mark_source_stopped(KernelId k) {
+    if (src_stopped_[static_cast<size_t>(k)]) return;
+    src_stopped_[static_cast<size_t>(k)] = 1;
+    sources_stopped_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  /// Terminal failure: record the first message, quiesce, and notify the
+  /// completion callback (it signals terminal transitions, not success —
+  /// waiters check done()/failed()). Safe from any worker, any time.
+  void fail(const char* what) {
+    {
+      std::lock_guard<std::mutex> lk(err_mu_);
+      if (error_.empty()) error_ = what;
+    }
+    failed_.store(true, std::memory_order_release);
+    quiesce();
+    if (on_complete_) on_complete_();
+  }
+
+  void on_worker_exception(int /*core*/, const char* what) override {
+    fail(what);
+  }
+
+  void request_drain() {
+    if (drain_.exchange(true, std::memory_order_acq_rel)) return;
+    if (!started_) return;
+    // Wake every source so one parked until a future release re-checks
+    // the drain flag now instead of at that release.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    for (KernelId k = 0; k < g_.kernel_count(); ++k)
+      if (g_.kernel(k).is_source()) mark_ready(k, /*self_core=*/-1);
   }
 
   RuntimeResult finish() {
@@ -648,6 +717,11 @@ struct GraphProgram::Impl final : rt::Program {
 
     RuntimeResult res;
     res.completed = done_.load(std::memory_order_acquire);
+    res.failed = failed_.load(std::memory_order_acquire);
+    {
+      std::lock_guard<std::mutex> lk(err_mu_);
+      res.error = error_;
+    }
     res.wall_seconds = wall;
     res.total_firings = firings_.load();
     long faults_total = 0;
@@ -721,6 +795,14 @@ struct GraphProgram::Impl final : rt::Program {
   std::vector<std::int32_t> src_frame_idx_;
   /// Per-source shed state: mid-drop of the current frame.
   std::vector<char> src_dropping_;
+  /// Per-source retirement flag (drain/exhaustion; owner-worker written).
+  std::vector<char> src_stopped_;
+  /// Per-kernel kWedge latches (owner-worker written).
+  std::vector<char> wedged_;
+  int total_sources_ = 0;
+  /// First failure message, set once under err_mu_.
+  mutable std::mutex err_mu_;
+  std::string error_;
   /// Fault injection (bound copy; see ctor) and degradation wiring.
   fault::Injector inj_;
   bool faults_ = false;
@@ -739,6 +821,9 @@ struct GraphProgram::Impl final : rt::Program {
 
   // Hot counters, each on its own line so workers do not false-share.
   alignas(kCacheLineSize) std::atomic<bool> done_{false};
+  alignas(kCacheLineSize) std::atomic<bool> failed_{false};
+  alignas(kCacheLineSize) std::atomic<bool> drain_{false};
+  alignas(kCacheLineSize) std::atomic<int> sources_stopped_{0};
   alignas(kCacheLineSize) std::atomic<long> firings_{0};
   alignas(kCacheLineSize) std::atomic<int> finished_sinks_{0};
   alignas(kCacheLineSize) std::atomic<long> delayed_{0};
@@ -764,6 +849,22 @@ bool GraphProgram::done() const {
 }
 
 bool GraphProgram::started() const { return impl_->started_; }
+
+bool GraphProgram::failed() const {
+  return impl_->failed_.load(std::memory_order_acquire);
+}
+
+std::string GraphProgram::error() const {
+  std::lock_guard<std::mutex> lk(impl_->err_mu_);
+  return impl_->error_;
+}
+
+void GraphProgram::request_drain() { impl_->request_drain(); }
+
+bool GraphProgram::sources_drained() const {
+  return impl_->sources_stopped_.load(std::memory_order_acquire) >=
+         impl_->total_sources_;
+}
 
 long GraphProgram::firings() const {
   return impl_->firings_.load(std::memory_order_relaxed);

@@ -45,8 +45,10 @@ class GraphProgram {
   GraphProgram& operator=(const GraphProgram&) = delete;
 
   /// `fn` runs on a worker thread the moment every sink has consumed
-  /// end-of-stream. Use it to notify a waiter; calling finish() from
-  /// inside it would self-deadlock (finish drains the very node the
+  /// end-of-stream — or the program fails (check done()/failed() to tell
+  /// which; a late co-firing fault can fire it twice, so treat it as a
+  /// wakeup, not an event). Use it to notify a waiter; calling finish()
+  /// from inside it would self-deadlock (finish drains the very node the
   /// callback runs under). Set before start().
   void set_on_complete(std::function<void()> fn);
 
@@ -56,6 +58,22 @@ class GraphProgram {
 
   [[nodiscard]] bool done() const;
   [[nodiscard]] bool started() const;
+  /// True once a kernel firing raised: the program quiesced itself and
+  /// will make no further progress (the machine and co-tenant programs
+  /// are unaffected). finish() reports the same via RuntimeResult.
+  [[nodiscard]] bool failed() const;
+  /// First failure message (empty while !failed()).
+  [[nodiscard]] std::string error() const;
+
+  /// Ask every source to retire at its next frame boundary — the same
+  /// safe point frame-shedding uses — so in-flight frames complete but no
+  /// new frame starts. Idempotent; call after start(). A drained program
+  /// never reaches done() (sinks see no end-of-stream); poll
+  /// sources_drained() plus a stable firings() count, then finish().
+  void request_drain();
+  /// True when every source has retired (drained at a frame boundary or
+  /// naturally exhausted). Only meaningful after request_drain().
+  [[nodiscard]] bool sources_drained() const;
   /// Total firings so far — the progress counter watchdogs compare.
   [[nodiscard]] long firings() const;
   /// Seconds since start() on the machine clock.

@@ -85,6 +85,10 @@ RuntimeResult run_threaded(Graph& g, const Mapping& mapping,
   RuntimeResult res = prog.finish();
   res.watchdog_fired = watchdog_fired;
   if (!diagnostics.empty()) res.diagnostics = diagnostics;
+  // Single-tenant composition: a contained kernel fault becomes a thrown
+  // error here (the multi-tenant daemon instead restarts/quarantines the
+  // tenant; the machine survived either way).
+  if (res.failed) throw ExecutionError("kernel fault: " + res.error);
   return res;
 }
 

@@ -79,6 +79,10 @@ struct RuntimeOptions {
 struct RuntimeResult {
   bool completed = false;
   bool watchdog_fired = false;
+  /// A kernel firing raised and the program failed itself (the worker
+  /// pool survives; see machine.h). `error` holds the first message.
+  bool failed = false;
+  std::string error;
   double wall_seconds = 0.0;
   long total_firings = 0;
   /// Firings the fault injector perturbed (0 without an injector).
@@ -98,7 +102,9 @@ struct RuntimeResult {
 };
 
 /// Run `g` to completion on `threads` = mapping cores. Kernels mutate;
-/// read results out of the graph's OutputKernels afterwards.
+/// read results out of the graph's OutputKernels afterwards. A kernel
+/// exception (including an injected throw fault) fails the run and is
+/// rethrown here as ExecutionError — it never takes down the process.
 [[nodiscard]] RuntimeResult run_threaded(Graph& g, const Mapping& mapping,
                                          const RuntimeOptions& options = {});
 

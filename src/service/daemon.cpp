@@ -1,8 +1,10 @@
 #include "service/daemon.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <condition_variable>
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -25,6 +27,7 @@
 #include "runtime/runtime.h"
 #include "serialize/json.h"
 #include "serialize/serialize.h"
+#include "service/journal.h"
 #include "service/protocol.h"
 
 namespace bpp::service {
@@ -34,11 +37,23 @@ const char* state_name(TenantState s) {
     case TenantState::kPending: return "pending";
     case TenantState::kRunning: return "running";
     case TenantState::kCompleted: return "completed";
+    case TenantState::kDrained: return "drained";
     case TenantState::kEvicted: return "evicted";
+    case TenantState::kQuarantined: return "quarantined";
     case TenantState::kRejected: return "rejected";
     case TenantState::kFailed: return "failed";
   }
   return "?";
+}
+
+TenantState state_from_name(const std::string& name) {
+  for (TenantState s :
+       {TenantState::kPending, TenantState::kRunning, TenantState::kCompleted,
+        TenantState::kDrained, TenantState::kEvicted,
+        TenantState::kQuarantined, TenantState::kRejected,
+        TenantState::kFailed})
+    if (name == state_name(s)) return s;
+  throw Error("unknown tenant state \"" + name + "\"");
 }
 
 namespace {
@@ -50,6 +65,12 @@ double declared_rate(const CompiledApp& app, double slowdown) {
   for (const KernelAnalysis& ka : app.analysis.kernel)
     rate = std::max(rate, ka.rate_hz);
   return slowdown > 0.0 ? rate / slowdown : rate;
+}
+
+Verdict verdict_from_name(const std::string& name) {
+  if (name == "admitted") return Verdict::kAdmitted;
+  if (name == "degraded") return Verdict::kDegraded;
+  return Verdict::kRejected;
 }
 
 }  // namespace
@@ -69,6 +90,24 @@ struct Daemon::Tenant {
   double rate_hz = 0.0;  ///< deadline-schedule rate (post-slowdown)
   bool evicting = false;
 
+  // ---- supervisor state (monitor thread, under the daemon lock) ----
+  int restarts = 0;             ///< restart attempts performed so far
+  double backoff_until = -1.0;  ///< machine time to retry at; <0 = none
+  std::string last_error;       ///< most recent failure message
+  long last_firings = 0;        ///< progress watchdog cursor ...
+  double last_progress = 0.0;   ///< ... and when it last advanced
+  bool drain_requested = false;
+  long drain_firings = -1;        ///< drain-completion stability cursor
+  double drain_stable_since = 0.0;
+  /// Stats accumulated across failed attempts; the live attempt's counts
+  /// are added on top at conclude() / in snapshots.
+  long acc_firings = 0;
+  long acc_faults = 0;
+  long acc_shed = 0;
+  long acc_frames = 0;
+  long acc_misses = 0;
+  double acc_wall = 0.0;
+
   std::optional<CompiledApp> app;  ///< graph lives in here
   std::optional<fault::Injector> injector;
   std::unique_ptr<obs::Recorder> recorder;
@@ -85,7 +124,8 @@ struct Daemon::Impl {
   explicit Impl(DaemonOptions o)
       : opt(o),
         machine(o.cores),
-        admission(o.cores, o.admission) {
+        admission(o.cores, o.admission),
+        journal(o.journal_path) {  // empty path = journaling disabled
     monitor = std::thread([this] { monitor_loop(); });
   }
 
@@ -95,13 +135,16 @@ struct Daemon::Impl {
       stop = true;
     }
     monitor.join();
-    // Finalize anything still running on this thread (eviction at
-    // teardown); Tenant destruction then detaches programs while the
-    // machine is still alive (member order: machine outlives tenants).
+    // Stop anything still running on this thread; Tenant destruction then
+    // detaches programs while the machine is still alive (member order:
+    // machine outlives tenants). Teardown stops are journaled as drained
+    // — the daemon going away is not the tenant's fault, so a recover()
+    // resumes them (same rule as a crash, where the journal still says
+    // "running").
     for (auto& t : tenants)
       if (t->state == TenantState::kRunning) {
         t->reason = "daemon shutdown";
-        finalize(*t, TenantState::kEvicted);
+        conclude(*t, TenantState::kDrained);
       }
   }
 
@@ -115,22 +158,26 @@ struct Daemon::Impl {
     t->app_label = spec.app.empty() ? "(graph)" : spec.app;
     const int id = t->id;
 
-    if (opt.max_tenants > 0 &&
-        static_cast<int>(tenants.size()) >= opt.max_tenants) {
+    if (draining) {
+      t->state = TenantState::kRejected;
+      t->reason = "daemon draining; admission stopped";
+    } else if (opt.max_tenants > 0 &&
+               static_cast<int>(tenants.size()) >= opt.max_tenants) {
       t->state = TenantState::kRejected;
       t->reason = "tenant limit " + std::to_string(opt.max_tenants) + " reached";
-      tenants.push_back(std::move(t));
-      return id;
-    }
-
-    try {
-      start_tenant(*t);
-    } catch (const Error& e) {
-      t->state = TenantState::kFailed;
-      t->reason = e.what();
-      t->program.reset();
+    } else {
+      try {
+        start_tenant(*t);
+      } catch (const Error& e) {
+        t->state = TenantState::kFailed;
+        t->reason = e.what();
+        t->program.reset();
+      }
     }
     if (t->state == TenantState::kRunning) ++running;
+    journal.record_submission(t->id, &t->spec, t->spec.name,
+                              verdict_name(t->placement.verdict),
+                              state_name(t->state), t->reason, t->restarts);
     tenants.push_back(std::move(t));
     return id;
   }
@@ -183,8 +230,13 @@ struct Daemon::Impl {
 
     if (!spec.fault_plan_json.empty()) {
       const fault::FaultPlan plan = fault::parse_plan(spec.fault_plan_json);
-      t.injector.emplace(plan,
-                         spec.fault_seed_set ? spec.fault_seed : plan.seed);
+      // Offset the seed per attempt: a tenant that failed on a
+      // probabilistic fault gets a different draw after restart (a
+      // deterministic throw_prob=1.0 plan still fails every attempt and
+      // exhausts the budget, which is what its tests want).
+      const std::uint64_t base =
+          spec.fault_seed_set ? spec.fault_seed : plan.seed;
+      t.injector.emplace(plan, base + static_cast<std::uint64_t>(t.restarts));
     }
 
     // Translate the compiled mapping's virtual cores onto pool cores.
@@ -205,6 +257,8 @@ struct Daemon::Impl {
                                                machine);
     t.program->start();
     t.state = TenantState::kRunning;
+    t.last_firings = 0;
+    t.last_progress = machine.now();
   }
 
   // ---- monitor -----------------------------------------------------------
@@ -215,23 +269,150 @@ struct Daemon::Impl {
         std::unique_lock<std::mutex> lk(mu);
         if (stop) return;
         bool changed = false;
+        const double now = machine.now();
         for (auto& t : tenants) {
           if (t->state != TenantState::kRunning) continue;
+
+          // Restart backoff: the tenant holds no program (and no pool
+          // capacity) while waiting for its retry time.
+          if (t->backoff_until >= 0.0) {
+            if (now >= t->backoff_until) {
+              t->backoff_until = -1.0;
+              attempt_restart(*t);
+              if (t->state != TenantState::kRunning) changed = true;
+            }
+            continue;
+          }
+
           t->program->poll_recorder();
-          if (t->program->done()) {
-            finalize(*t, TenantState::kCompleted);
+          if (t->program->failed()) {
+            handle_failure(*t, "kernel fault: " + t->program->error());
             changed = true;
+          } else if (t->program->done()) {
+            conclude(*t, TenantState::kCompleted);
+            changed = true;
+          } else if (t->drain_requested) {
+            // Draining: wait for every source to retire at its frame
+            // boundary, then for in-flight firings to settle.
+            if (t->program->sources_drained()) {
+              const long f = t->program->firings();
+              if (f != t->drain_firings) {
+                t->drain_firings = f;
+                t->drain_stable_since = now;
+              } else if (now - t->drain_stable_since >= 0.05) {
+                t->reason = "drained at frame boundary (daemon shutdown)";
+                conclude(*t, TenantState::kDrained);
+                changed = true;
+              }
+            }
           } else if (should_evict(*t)) {
             t->reason = "evicted: " + std::to_string(t->ctrl->misses()) +
                         " deadline misses (limit " +
                         std::to_string(evict_limit(*t)) + ")";
-            finalize(*t, TenantState::kEvicted);
+            conclude(*t, TenantState::kEvicted);
+            changed = true;
+          } else if (stalled(*t, now)) {
+            char why[96];
+            std::snprintf(why, sizeof why,
+                          "stalled: no progress for %.2fs (window %.2fs)",
+                          now - t->last_progress, stall_window(*t));
+            handle_failure(*t, why);
             changed = true;
           }
         }
         if (changed) cv.notify_all();
       }
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  // ---- supervisor --------------------------------------------------------
+
+  [[nodiscard]] double stall_window(const Tenant& t) const {
+    const double period = t.rate_hz > 0.0 ? 1.0 / t.rate_hz : 0.0;
+    return std::max(opt.stall_grace_seconds, opt.stall_factor * period);
+  }
+
+  /// Progress watchdog: true when the firing counter has not advanced for
+  /// a full stall window. Updates the progress cursor as a side effect.
+  [[nodiscard]] bool stalled(Tenant& t, double now) const {
+    const long f = t.program->firings();
+    if (f != t.last_firings) {
+      t.last_firings = f;
+      t.last_progress = now;
+      return false;
+    }
+    return now - t.last_progress >= stall_window(t);
+  }
+
+  /// Tear down the live attempt, return its pool capacity, and fold its
+  /// statistics into the across-attempt accumulators. The tenant keeps
+  /// its spec/placement metadata so a restart can recompile from scratch.
+  void stop_attempt(Tenant& t) {
+    const RuntimeResult r = t.program->finish();
+    admission.release(t.placement, t.vcore_util);
+    t.acc_firings += r.total_firings;
+    t.acc_faults += r.faults_injected;
+    t.acc_shed += r.frames_shed;
+    t.acc_wall += r.wall_seconds;
+    if (t.ctrl) {
+      t.acc_frames += t.ctrl->frames_completed();
+      t.acc_misses += t.ctrl->misses();
+    }
+    t.program.reset();
+    t.ctrl.reset();
+    t.recorder.reset();
+    t.injector.reset();
+    t.app.reset();
+  }
+
+  /// An attempt failed (kernel exception, stall, or a restart that never
+  /// produced a program). Restart with exponential backoff until the
+  /// budget is spent, then quarantine.
+  void handle_failure(Tenant& t, const std::string& why) {
+    if (t.program) stop_attempt(t);
+    t.last_error = why;
+    if (draining || t.drain_requested) {
+      // No restarts during shutdown; record the failure and move on.
+      t.reason = "failed during drain: " + why;
+      conclude(t, TenantState::kEvicted);
+      return;
+    }
+    if (t.restarts >= opt.max_restarts) {
+      t.reason = "quarantined after " + std::to_string(t.restarts + 1) +
+                 " failed attempts (restart budget " +
+                 std::to_string(opt.max_restarts) + "); last: " + why;
+      conclude(t, TenantState::kQuarantined);
+      return;
+    }
+    ++t.restarts;
+    const double backoff =
+        opt.restart_backoff_seconds * std::ldexp(1.0, t.restarts - 1);
+    t.backoff_until = machine.now() + backoff;
+    char note[160];
+    std::snprintf(note, sizeof note, "restarting (attempt %d/%d) in %.0fms",
+                  t.restarts, opt.max_restarts, backoff * 1e3);
+    t.reason = std::string(note) + " after: " + why;
+    journal.record_restart(t.id, t.restarts, why);
+  }
+
+  /// Backoff expired: recompile and re-admit. A failure here (compile
+  /// error or re-admission refusal) consumes the attempt like any other.
+  void attempt_restart(Tenant& t) {
+    try {
+      start_tenant(t);
+    } catch (const Error& e) {
+      t.state = TenantState::kRunning;  // stay supervised
+      t.program.reset();
+      handle_failure(t, std::string("restart failed: ") + e.what());
+      return;
+    }
+    if (t.state == TenantState::kRejected) {
+      // The pool filled up while we were away; that will not improve by
+      // retrying, so quarantine immediately.
+      t.state = TenantState::kRunning;
+      t.reason = "quarantined: re-admission rejected: " + t.reason;
+      conclude(t, TenantState::kQuarantined);
     }
   }
 
@@ -247,40 +428,48 @@ struct Daemon::Impl {
     return t.ctrl->misses() >= evict_limit(t);
   }
 
-  /// Stop a running tenant's program, return its capacity, and freeze its
-  /// statistics. Called with `mu` held (monitor thread or teardown).
-  void finalize(Tenant& t, TenantState end_state) {
-    const RuntimeResult r = t.program->finish();
-    admission.release(t.placement, t.vcore_util);
+  /// Move a tenant to a terminal (or drained) state: stop any live
+  /// attempt, freeze its statistics, and journal the transition. Called
+  /// with `mu` held (monitor thread or teardown).
+  void conclude(Tenant& t, TenantState end_state) {
+    double min_slack = 0.0;
+    bool have_slack = false;
+    double lat_p50 = 0.0, lat_p95 = 0.0;
+    long frames_from_trace = 0;
+    if (t.program) {
+      if (t.ctrl) {
+        for (const obs::FrameVerdict& v : t.ctrl->verdicts()) {
+          const double slack = v.deadline_seconds - v.completed_seconds;
+          if (!have_slack || slack < min_slack) min_slack = slack;
+          have_slack = true;
+        }
+      }
+      if (obs::kCompiledIn && t.recorder) {
+        const obs::FrameReport fr = obs::analyze_frames(t.recorder->trace());
+        lat_p50 = fr.latency.p50;
+        lat_p95 = fr.latency.p95;
+        frames_from_trace = static_cast<long>(fr.frames.size());
+      }
+      stop_attempt(t);  // folds the live attempt into the accumulators
+    }
     t.state = end_state;
+    t.backoff_until = -1.0;
     --running;
 
     TenantStatus& s = t.final_status;
     s = snapshot_common(t);
-    s.firings = r.total_firings;
-    s.faults_injected = r.faults_injected;
-    s.frames_shed = r.frames_shed;
-    s.wall_seconds = r.wall_seconds;
-    if (t.ctrl) {
-      s.frames_completed = t.ctrl->frames_completed();
-      s.deadline_misses = t.ctrl->misses();
-      double min_slack = 0.0;
-      bool first = true;
-      for (const obs::FrameVerdict& v : t.ctrl->verdicts()) {
-        const double slack = v.deadline_seconds - v.completed_seconds;
-        if (first || slack < min_slack) min_slack = slack;
-        first = false;
-      }
-      s.min_slack = first ? 0.0 : min_slack;
-    }
-    if (obs::kCompiledIn && t.recorder) {
-      const obs::FrameReport fr = obs::analyze_frames(t.recorder->trace());
-      s.latency_p50 = fr.latency.p50;
-      s.latency_p95 = fr.latency.p95;
-      if (s.frames_completed == 0)
-        s.frames_completed = static_cast<long>(fr.frames.size());
-    }
+    s.firings = t.acc_firings;
+    s.faults_injected = t.acc_faults;
+    s.frames_shed = t.acc_shed;
+    s.wall_seconds = t.acc_wall;
+    s.frames_completed =
+        t.acc_frames > 0 ? t.acc_frames : frames_from_trace;
+    s.deadline_misses = t.acc_misses;
+    s.min_slack = have_slack ? min_slack : 0.0;
+    s.latency_p50 = lat_p50;
+    s.latency_p95 = lat_p95;
     t.finalized = true;
+    journal.record_state(t.id, state_name(end_state), t.reason, t.restarts);
   }
 
   // ---- status ------------------------------------------------------------
@@ -296,6 +485,7 @@ struct Daemon::Impl {
     s.demand = t.placement.demand;
     s.peak_load = t.placement.peak_load;
     s.rate_hz = t.rate_hz;
+    s.restarts = t.restarts;
     s.predicted_period_seconds = t.xcheck.predicted_period_seconds;
     s.predictor_deviation = t.xcheck.max_abs_deviation;
     s.predictor_consistent = t.xcheck.consistent;
@@ -305,13 +495,21 @@ struct Daemon::Impl {
   [[nodiscard]] TenantStatus snapshot(const Tenant& t) const {
     if (t.finalized) return t.final_status;
     TenantStatus s = snapshot_common(t);
-    if (t.state == TenantState::kRunning) {
-      s.firings = t.program->firings();
-      s.wall_seconds = t.program->elapsed_seconds();
-      s.frames_shed = t.program->frames_shed();
+    // Prior (failed) attempts' counts, plus the live attempt's if one is
+    // running (a tenant in restart backoff has no program).
+    s.firings = t.acc_firings;
+    s.faults_injected = t.acc_faults;
+    s.frames_shed = t.acc_shed;
+    s.frames_completed = t.acc_frames;
+    s.deadline_misses = t.acc_misses;
+    s.wall_seconds = t.acc_wall;
+    if (t.state == TenantState::kRunning && t.program) {
+      s.firings += t.program->firings();
+      s.wall_seconds += t.program->elapsed_seconds();
+      s.frames_shed += t.program->frames_shed();
       if (t.ctrl) {
-        s.frames_completed = t.ctrl->frames_completed();
-        s.deadline_misses = t.ctrl->misses();
+        s.frames_completed += t.ctrl->frames_completed();
+        s.deadline_misses += t.ctrl->misses();
       }
     }
     return s;
@@ -325,12 +523,31 @@ struct Daemon::Impl {
     for (const auto& t : tenants) switch (t->state) {
         case TenantState::kRunning: ++p.running; break;
         case TenantState::kCompleted: ++p.completed; break;
+        case TenantState::kDrained: ++p.drained; break;
         case TenantState::kEvicted: ++p.evicted; break;
+        case TenantState::kQuarantined: ++p.quarantined; break;
         case TenantState::kRejected: ++p.rejected; break;
         case TenantState::kFailed: ++p.failed; break;
         case TenantState::kPending: break;
       }
     return p;
+  }
+
+  /// Record a submission that never parsed/built as a failed roster entry
+  /// (so status and the journal still account for it). Returns its id.
+  int record_failed(const std::string& name, const std::string& reason) {
+    std::lock_guard<std::mutex> lk(mu);
+    auto t = std::make_unique<Tenant>();
+    t->id = static_cast<int>(tenants.size());
+    t->spec.name = name;
+    t->app_label = "(invalid)";
+    t->state = TenantState::kFailed;
+    t->reason = reason;
+    const int id = t->id;
+    journal.record_submission(id, nullptr, name, "rejected", "failed", reason,
+                              0);
+    tenants.push_back(std::move(t));
+    return id;
   }
 
   DaemonOptions opt;
@@ -340,8 +557,11 @@ struct Daemon::Impl {
   std::condition_variable cv;  ///< signaled when a tenant leaves kRunning
   std::vector<std::unique_ptr<Tenant>> tenants;
   std::set<std::string> spooled;  ///< spool files already submitted
+  std::vector<std::string> spool_diag;  ///< per-file spool diagnostics
+  Journal journal;
   int running = 0;
   bool stop = false;
+  bool draining = false;  ///< admission closed (drain() was called)
   std::thread monitor;
 };
 
@@ -359,44 +579,200 @@ int Daemon::submit_file(const std::string& path) {
     if (!f) throw Error("cannot read submission file '" + path + "'");
     spec = parse_submission(text.str());
   } catch (const Error& e) {
-    spec = TenantSpec{};
-    spec.name = std::filesystem::path(path).filename().string();
-    spec.app = "(invalid)";
-    // Route through submit() so the failure is recorded as a tenant.
-    std::lock_guard<std::mutex> lk(impl_->mu);
-    auto t = std::make_unique<Tenant>();
-    t->id = static_cast<int>(impl_->tenants.size());
-    t->spec = spec;
-    t->app_label = spec.app;
-    t->state = TenantState::kFailed;
-    t->reason = e.what();
-    impl_->tenants.push_back(std::move(t));
-    return impl_->tenants.back()->id;
+    return impl_->record_failed(
+        std::filesystem::path(path).filename().string(), e.what());
   }
   return impl_->submit(spec);
 }
 
 int Daemon::scan_spool(const std::string& dir) {
   namespace fs = std::filesystem;
-  std::vector<std::string> files;
+
+  // Enumerate with per-entry error checks: a file that vanishes or turns
+  // unreadable mid-scan produces a diagnostic, not a failed scan. Only
+  // `*.json` is picked up — a writer's in-flight `foo.json.tmp` (the
+  // atomic write-to-tmp-then-rename discipline, protocol.h) is skipped
+  // until its rename lands.
   std::error_code ec;
-  for (const auto& entry : fs::directory_iterator(dir, ec)) {
-    if (!entry.is_regular_file()) continue;
-    if (entry.path().extension() != ".json") continue;
-    files.push_back(entry.path().string());
+  fs::directory_iterator it(dir, ec);
+  if (ec)
+    throw Error("cannot scan spool directory '" + dir + "': " + ec.message());
+  std::vector<std::string> files;
+  for (const fs::directory_iterator end; it != end;) {
+    const fs::path p = it->path();
+    std::error_code fec;
+    const bool regular = it->is_regular_file(fec);
+    if (fec) {
+      std::lock_guard<std::mutex> lk(impl_->mu);
+      impl_->spool_diag.push_back("spool: cannot stat '" + p.string() +
+                                  "': " + fec.message());
+    } else if (regular && p.extension() == ".json") {
+      files.push_back(p.string());
+    }
+    it.increment(fec);
+    if (fec) {
+      std::lock_guard<std::mutex> lk(impl_->mu);
+      impl_->spool_diag.push_back("spool: scan of '" + dir +
+                                  "' aborted: " + fec.message());
+      break;
+    }
   }
-  if (ec) throw Error("cannot scan spool directory '" + dir + "'");
   std::sort(files.begin(), files.end());
+
   int submitted = 0;
   for (const std::string& f : files) {
     {
       std::lock_guard<std::mutex> lk(impl_->mu);
-      if (!impl_->spooled.insert(f).second) continue;
+      if (impl_->spooled.count(f) != 0) continue;
     }
-    submit_file(f);
-    ++submitted;
+
+    // A torn read here means we raced a non-atomic writer; retry briefly
+    // before declaring the file malformed for good.
+    std::string err;
+    TenantSpec spec;
+    bool parsed = false;
+    for (int attempt = 0; attempt < 3 && !parsed; ++attempt) {
+      if (attempt > 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(10 << attempt));
+      std::ifstream in(f);
+      std::ostringstream text;
+      text << in.rdbuf();
+      if (!in) {
+        err = "cannot read file";
+        continue;
+      }
+      try {
+        spec = parse_submission(text.str());
+        parsed = true;
+      } catch (const Error& e) {
+        err = e.what();
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lk(impl_->mu);
+      impl_->spooled.insert(f);
+    }
+    if (parsed) {
+      impl_->submit(spec);
+      ++submitted;
+      continue;
+    }
+
+    // Persistently malformed: quarantine the file under spool/bad/ with a
+    // sibling .reason note so it stops being rescanned and the operator
+    // can see why, and record it as a failed tenant.
+    const fs::path src(f);
+    const std::string fname = src.filename().string();
+    std::error_code mec;
+    if (!fs::exists(src, mec)) {
+      std::lock_guard<std::mutex> lk(impl_->mu);
+      impl_->spool_diag.push_back("spool: '" + f +
+                                  "' vanished during scan; skipped");
+      continue;
+    }
+    const fs::path baddir = src.parent_path() / "bad";
+    fs::create_directories(baddir, mec);
+    const fs::path dst = baddir / fname;
+    if (!mec) fs::rename(src, dst, mec);
+    std::string note;
+    if (mec) {
+      note = "spool: malformed '" + f + "' (" + err +
+             "); could not move to bad/: " + mec.message();
+    } else {
+      std::ofstream reason(dst.string() + ".reason", std::ios::trunc);
+      reason << err << '\n';
+      note = "spool: malformed '" + f + "' moved to '" + dst.string() +
+             "': " + err;
+    }
+    {
+      std::lock_guard<std::mutex> lk(impl_->mu);
+      impl_->spool_diag.push_back(note);
+    }
+    impl_->record_failed(fname, "malformed spool file: " + err);
   }
   return submitted;
+}
+
+bool Daemon::drain(double timeout_seconds) {
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    impl_->draining = true;  // submit() now rejects everything
+    for (auto& t : impl_->tenants) {
+      if (t->state != TenantState::kRunning) continue;
+      if (t->program) {
+        t->drain_requested = true;
+        t->drain_firings = -1;
+        t->drain_stable_since = 0.0;
+        t->program->request_drain();
+      } else {
+        // Restart backoff: there is nothing running to retire.
+        t->reason = "drained during restart backoff";
+        impl_->conclude(*t, TenantState::kDrained);
+      }
+    }
+    impl_->cv.notify_all();
+  }
+  const bool idle = wait_idle(timeout_seconds);
+  if (!idle) {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    for (auto& t : impl_->tenants)
+      if (t->state == TenantState::kRunning) {
+        t->reason = "drain timeout exceeded; stopped mid-frame";
+        impl_->conclude(*t, TenantState::kDrained);
+      }
+    impl_->cv.notify_all();
+  }
+  return idle;
+}
+
+int Daemon::recover(const std::string& journal_path) {
+  const std::vector<JournalEntry> entries = replay_journal(journal_path);
+  int resumed = 0;
+  for (const JournalEntry& e : entries) {
+    if (e.resumable() && e.has_spec) {
+      submit(e.spec);  // normal admission; journaled like any submission
+      ++resumed;
+      continue;
+    }
+    // Terminal (or spec-less) entries are restored as frozen roster
+    // entries: quarantine and eviction decisions survive the restart.
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    auto t = std::make_unique<Tenant>();
+    t->id = static_cast<int>(impl_->tenants.size());
+    if (e.has_spec) {
+      t->spec = e.spec;
+      t->app_label = e.spec.app.empty() ? "(graph)" : e.spec.app;
+    } else {
+      t->spec.name = e.name;
+      t->app_label = "(recovered)";
+    }
+    if (e.resumable()) {
+      // Resumable per the journal, but the spec never made it to disk —
+      // nothing to restart from.
+      t->state = TenantState::kFailed;
+      t->reason = "recover: spec unavailable; cannot resume (was " + e.state +
+                  ")";
+    } else {
+      t->state = state_from_name(e.state);
+      t->reason = e.reason;
+    }
+    t->restarts = e.restarts;
+    t->placement.verdict = verdict_from_name(e.verdict);
+    t->final_status = impl_->snapshot_common(*t);
+    t->finalized = true;
+    impl_->journal.record_submission(
+        t->id, e.has_spec ? &t->spec : nullptr, t->spec.name, e.verdict,
+        state_name(t->state), t->reason, t->restarts);
+    impl_->tenants.push_back(std::move(t));
+  }
+  return resumed;
+}
+
+std::vector<std::string> Daemon::spool_diagnostics() {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  std::vector<std::string> out;
+  out.swap(impl_->spool_diag);
+  return out;
 }
 
 bool Daemon::wait_idle(double timeout_seconds) {
@@ -432,10 +808,12 @@ void Daemon::write_status(std::ostream& os) const {
   char line[512];
   std::snprintf(line, sizeof line,
                 "bpd: pool %d cores, load %.2f/%.2f PE (%.0f%%), tenants: %d "
-                "running, %d completed, %d evicted, %d rejected, %d failed\n",
+                "running, %d completed, %d drained, %d evicted, %d "
+                "quarantined, %d rejected, %d failed\n",
                 p.cores, p.load, p.capacity,
                 p.capacity > 0.0 ? 100.0 * p.load / p.capacity : 0.0,
-                p.running, p.completed, p.evicted, p.rejected, p.failed);
+                p.running, p.completed, p.drained, p.evicted, p.quarantined,
+                p.rejected, p.failed);
   os << line;
   for (const TenantStatus& s : ts) {
     std::snprintf(line, sizeof line, "tenant %d '%s' app=%s: state=%s admission=%s",
@@ -452,6 +830,10 @@ void Daemon::write_status(std::ostream& os) const {
                   s.demand, s.rate_hz, s.frames_completed, s.deadline_misses,
                   s.frames_shed, s.firings);
     os << line;
+    if (s.restarts > 0) {
+      std::snprintf(line, sizeof line, " restarts=%d", s.restarts);
+      os << line;
+    }
     if (s.predicted_period_seconds > 0.0) {
       std::snprintf(line, sizeof line, " predicted_period=%.2fms%s",
                     s.predicted_period_seconds * 1e3,
@@ -465,7 +847,9 @@ void Daemon::write_status(std::ostream& os) const {
                     s.min_slack * 1e3);
       os << line;
     }
-    if (s.state == TenantState::kEvicted)
+    if (s.state == TenantState::kEvicted ||
+        s.state == TenantState::kQuarantined ||
+        s.state == TenantState::kDrained)
       os << " reason=\"" << s.reason << "\"";
     os << '\n';
   }
@@ -480,7 +864,9 @@ std::string Daemon::status_json() const {
   pool_o["capacity_pe"] = p.capacity;
   pool_o["running"] = p.running;
   pool_o["completed"] = p.completed;
+  pool_o["drained"] = p.drained;
   pool_o["evicted"] = p.evicted;
+  pool_o["quarantined"] = p.quarantined;
   pool_o["rejected"] = p.rejected;
   pool_o["failed"] = p.failed;
   json::Array arr;
@@ -494,6 +880,7 @@ std::string Daemon::status_json() const {
     o["reason"] = s.reason;
     o["demand_pe"] = s.demand;
     o["rate_hz"] = s.rate_hz;
+    o["restarts"] = s.restarts;
     o["frames_completed"] = s.frames_completed;
     o["deadline_misses"] = s.deadline_misses;
     o["frames_shed"] = s.frames_shed;

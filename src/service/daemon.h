@@ -20,6 +20,19 @@
 // whole input frames at the source), and are only evicted if they *still*
 // accumulate misses past the threshold.
 //
+// The monitor doubles as the per-tenant supervisor (DESIGN.md §8): a
+// tenant whose program failed (a kernel firing raised — contained by the
+// machine's worker backstop, so co-tenants never notice) or whose firing
+// counter stops advancing for a stall window is torn down, its capacity
+// released, and restarted with exponential backoff; after max_restarts
+// failed restarts it lands in kQuarantined for good. All decisions are
+// journaled (service/journal.h) when DaemonOptions::journal_path is set,
+// and recover() replays such a journal after a crash: terminal states are
+// restored verbatim (quarantine survives restarts), previously running or
+// drained tenants are re-admitted. drain() is the graceful-shutdown path:
+// admission stops, every source retires at its next frame boundary, and
+// tenants conclude as kDrained (resumable on recover).
+//
 // Thread model: submit()/status()/wait_idle() may be called from any
 // thread (one internal lock); tenant finalization happens on the monitor
 // thread; kernel execution on the machine's workers. The destructor
@@ -48,23 +61,45 @@ struct DaemonOptions {
   bool pace = true;
   /// Compile target for tenant graphs; also prices admission.
   MachineSpec machine;
+  /// Restart budget: a failing tenant is restarted this many times (with
+  /// exponential backoff) before being quarantined. 0 = quarantine on the
+  /// first failure.
+  int max_restarts = 3;
+  /// First restart delay; doubles per consecutive failure.
+  double restart_backoff_seconds = 0.05;
+  /// Stall watchdog: a tenant whose firing counter does not advance for
+  /// max(stall_grace_seconds, stall_factor / rate_hz) is declared stalled
+  /// and treated like a failure (restart, then quarantine).
+  double stall_factor = 8.0;
+  double stall_grace_seconds = 1.0;
+  /// Admission journal path ("" = journaling off). See service/journal.h.
+  std::string journal_path;
 };
 
 /// Tenant lifecycle, as reported in status:
 ///   pending -> running -> completed        (all sinks saw end-of-stream)
+///                      -> drained          (graceful shutdown; resumable)
 ///                      -> evicted          (persistent deadline misser)
+///                      -> quarantined      (restart budget exhausted)
 ///   rejected                               (admission said no)
 ///   failed                                 (submission did not build)
+/// A running tenant that fails (kernel exception or stall) is restarted
+/// in place — it stays kRunning through the backoff — and only becomes
+/// kQuarantined once max_restarts restarts have also failed.
 enum class TenantState {
   kPending,
   kRunning,
   kCompleted,
+  kDrained,
   kEvicted,
+  kQuarantined,
   kRejected,
   kFailed,
 };
 
 [[nodiscard]] const char* state_name(TenantState s);
+/// Inverse of state_name (used by journal replay). Throws on unknown.
+[[nodiscard]] TenantState state_from_name(const std::string& name);
 
 /// Point-in-time snapshot of one tenant (copyable, lock-free to read).
 struct TenantStatus {
@@ -77,6 +112,7 @@ struct TenantStatus {
   double demand = 0.0;      ///< PE units requested
   double peak_load = 0.0;   ///< pool peak after its placement
   double rate_hz = 0.0;     ///< declared completion rate (post-slowdown)
+  int restarts = 0;         ///< supervisor restarts performed
   long frames_completed = 0;
   long deadline_misses = 0;
   long frames_shed = 0;
@@ -103,7 +139,9 @@ struct PoolStatus {
   double capacity = 0.0;  ///< cores x core_budget
   int running = 0;
   int completed = 0;
+  int drained = 0;
   int evicted = 0;
+  int quarantined = 0;
   int rejected = 0;
   int failed = 0;
 };
@@ -131,6 +169,25 @@ class Daemon {
 
   /// Block until no tenant is running (or the timeout elapses).
   bool wait_idle(double timeout_seconds);
+
+  /// Graceful shutdown: stop admission (further submissions are rejected),
+  /// ask every running tenant to retire its sources at the next frame
+  /// boundary, and wait for the pool to go idle. Tenants conclude as
+  /// kDrained (journaled as resumable). Returns false if the timeout
+  /// elapsed — stragglers are then force-stopped mid-frame (still
+  /// kDrained, with the timeout in their reason).
+  bool drain(double timeout_seconds);
+
+  /// Replay a journal written by a previous daemon (service/journal.h):
+  /// terminal tenants are restored as frozen roster entries (quarantine
+  /// decisions preserved), resumable ones re-submitted through normal
+  /// admission. Call before new submissions; this daemon's own journal is
+  /// rewritten with the restored roster. Returns the number re-admitted.
+  int recover(const std::string& journal_path);
+
+  /// Per-file spool diagnostics accumulated since the last call (iterator
+  /// errors, unreadable or malformed files moved to spool/bad/). Clears.
+  [[nodiscard]] std::vector<std::string> spool_diagnostics();
 
   [[nodiscard]] TenantStatus tenant(int id) const;
   [[nodiscard]] std::vector<TenantStatus> tenants() const;

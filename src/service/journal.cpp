@@ -1,0 +1,127 @@
+#include "service/journal.h"
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "core/error.h"
+#include "serialize/json.h"
+
+namespace bpp::service {
+
+void Journal::record_submission(int id, const TenantSpec* spec,
+                                const std::string& name,
+                                const std::string& verdict,
+                                const std::string& state,
+                                const std::string& reason, int restarts) {
+  if (!enabled()) return;
+  json::Object o;
+  o["event"] = "submit";
+  o["id"] = id;
+  o["name"] = name;
+  if (spec != nullptr)
+    o["spec"] = json::parse(write_submission(*spec));
+  o["verdict"] = verdict;
+  o["state"] = state;
+  o["reason"] = reason;
+  o["restarts"] = restarts;
+  append_line(json::write(json::Value(std::move(o))));
+}
+
+void Journal::record_restart(int id, int attempt, const std::string& reason) {
+  if (!enabled()) return;
+  json::Object o;
+  o["event"] = "restart";
+  o["id"] = id;
+  o["attempt"] = attempt;
+  o["reason"] = reason;
+  append_line(json::write(json::Value(std::move(o))));
+}
+
+void Journal::record_state(int id, const std::string& state,
+                           const std::string& reason, int restarts) {
+  if (!enabled()) return;
+  json::Object o;
+  o["event"] = "state";
+  o["id"] = id;
+  o["state"] = state;
+  o["reason"] = reason;
+  o["restarts"] = restarts;
+  append_line(json::write(json::Value(std::move(o))));
+}
+
+void Journal::append_line(const std::string& line) {
+  lines_.push_back(line);
+  // Atomic durability: rewrite the whole (small) journal into a sibling
+  // .tmp and rename it over the real path. Readers never see a torn file.
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out)
+      throw Error("journal: cannot write '" + tmp + "'");
+    for (const std::string& l : lines_) out << l << '\n';
+    out.flush();
+    if (!out) throw Error("journal: write to '" + tmp + "' failed");
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path_, ec);
+  if (ec)
+    throw Error("journal: cannot rename '" + tmp + "' over '" + path_ +
+                "': " + ec.message());
+}
+
+std::vector<JournalEntry> replay_journal(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("journal: cannot open '" + path + "'");
+
+  std::map<int, JournalEntry> by_id;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    json::Value v;
+    try {
+      v = json::parse(line);
+    } catch (const Error& e) {
+      throw Error("journal: '" + path + "' line " + std::to_string(lineno) +
+                  ": " + e.what());
+    }
+    const std::string event = v.string_or("event", "");
+    const int id = static_cast<int>(v.number_or("id", -1.0));
+    if (id < 0)
+      throw Error("journal: '" + path + "' line " + std::to_string(lineno) +
+                  ": missing id");
+    JournalEntry& e = by_id[id];
+    e.id = id;
+    if (event == "submit") {
+      e.name = v.string_or("name", "");
+      e.verdict = v.string_or("verdict", "rejected");
+      e.state = v.string_or("state", "failed");
+      e.reason = v.string_or("reason", "");
+      e.restarts = static_cast<int>(v.number_or("restarts", 0.0));
+      if (const json::Value* spec = v.find("spec")) {
+        e.spec = parse_submission(json::write(*spec));
+        e.has_spec = true;
+      }
+    } else if (event == "restart") {
+      e.restarts = static_cast<int>(v.number_or("attempt", 0.0));
+      e.reason = v.string_or("reason", e.reason);
+    } else if (event == "state") {
+      e.state = v.string_or("state", e.state);
+      e.reason = v.string_or("reason", e.reason);
+      e.restarts = static_cast<int>(v.number_or("restarts", e.restarts));
+    } else {
+      throw Error("journal: '" + path + "' line " + std::to_string(lineno) +
+                  ": unknown event \"" + event + "\"");
+    }
+  }
+
+  std::vector<JournalEntry> out;
+  out.reserve(by_id.size());
+  for (auto& [id, e] : by_id) out.push_back(std::move(e));
+  return out;
+}
+
+}  // namespace bpp::service

@@ -1,0 +1,93 @@
+#pragma once
+// Durable admission journal for the bpd daemon (DESIGN.md §8).
+//
+// An append-only write-ahead log of everything the daemon decided about
+// its tenants: submissions (with the full spec), admission verdicts,
+// restart attempts, and terminal states. On disk it is JSONL — one
+// sorted-key JSON object per line:
+//
+//   {"event":"submit","id":0,"name":"cam0","reason":"...","restarts":0,
+//    "spec":{...},"state":"running","verdict":"admitted"}
+//   {"event":"restart","attempt":1,"id":0,"reason":"kernel fault: ..."}
+//   {"event":"state","id":0,"reason":"...","restarts":1,"state":"completed"}
+//
+// Durability discipline: the journal is small (one line per event, tens
+// of tenants), so every record rewrites the whole file to `<path>.tmp`
+// and renames it over `<path>` — the same atomic write-to-tmp-then-rename
+// contract spool writers follow. A reader (or a crashed daemon's
+// `bpd --recover`) therefore always sees a complete, parseable snapshot;
+// there is no torn-tail state to repair.
+//
+// Recovery semantics (replay_journal): an entry's last recorded state
+// decides its fate. Terminal states — completed, evicted, quarantined,
+// rejected, failed — are restored as frozen roster entries (quarantine
+// decisions survive a daemon restart). Everything else — running, or
+// drained by a graceful shutdown — is resumable: `--recover` re-submits
+// the stored spec through normal admission. A SIGKILLed daemon leaves its
+// running tenants journaled as "running", so crash recovery and
+// graceful-drain recovery converge on the same replay rule.
+
+#include <string>
+#include <vector>
+
+#include "service/protocol.h"
+
+namespace bpp::service {
+
+/// The write side. A default-constructed Journal is disabled: every
+/// record_* call is a no-op, so callers need no "is journaling on"
+/// branches. Not thread-safe; the daemon serializes calls under its lock.
+class Journal {
+ public:
+  Journal() = default;
+  explicit Journal(std::string path) : path_(std::move(path)) {}
+
+  [[nodiscard]] bool enabled() const { return !path_.empty(); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// One submission: its id, spec (null for submissions that never parsed
+  /// — they are restorable but not resumable), admission verdict, initial
+  /// state, and reason. Flushes.
+  void record_submission(int id, const TenantSpec* spec,
+                         const std::string& name, const std::string& verdict,
+                         const std::string& state, const std::string& reason,
+                         int restarts);
+  /// Restart attempt `attempt` (1-based) of tenant `id`. Flushes.
+  void record_restart(int id, int attempt, const std::string& reason);
+  /// A state transition (normally terminal, or "drained"). Flushes.
+  void record_state(int id, const std::string& state,
+                    const std::string& reason, int restarts);
+
+ private:
+  void append_line(const std::string& line);  // rewrite .tmp + rename
+
+  std::string path_;
+  std::vector<std::string> lines_;
+};
+
+/// One tenant reconstructed from the journal.
+struct JournalEntry {
+  int id = -1;
+  std::string name;
+  TenantSpec spec;
+  bool has_spec = false;  ///< false for submissions that never parsed
+  std::string verdict;    ///< "admitted" / "degraded" / "rejected"
+  std::string state;      ///< last recorded state name
+  std::string reason;
+  int restarts = 0;
+
+  /// Resumable tenants are re-admitted by `bpd --recover`; the rest are
+  /// restored as frozen terminal roster entries.
+  [[nodiscard]] bool resumable() const {
+    return state == "running" || state == "drained" || state == "pending";
+  }
+};
+
+/// Replay a journal file into per-tenant entries (ordered by id). Throws
+/// bpp::Error if the file is unreadable or a line is malformed — the
+/// atomic-rename write discipline means a valid journal never has a torn
+/// line, so damage here is real and worth surfacing.
+[[nodiscard]] std::vector<JournalEntry> replay_journal(
+    const std::string& path);
+
+}  // namespace bpp::service

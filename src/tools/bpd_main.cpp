@@ -3,19 +3,32 @@
 // Admits JSON tenant submissions (files via --submit, or a --spool
 // directory scanned in sorted order — the file-drop protocol) onto a
 // shared worker-core pool, schedules every admitted pipeline instance
-// concurrently via the runtime's machine/program split, and writes a
-// per-tenant status report: admission verdicts, frame counts, deadline
-// misses, shed frames, latency percentiles, minimum slack, and pool
-// utilization.
+// concurrently via the runtime's machine/program split, supervises the
+// tenants (crash containment, restart-with-backoff, quarantine — see
+// DESIGN.md §8), and writes a per-tenant status report: admission
+// verdicts, frame counts, deadline misses, shed frames, restarts,
+// latency percentiles, minimum slack, and pool utilization.
 //
 //   bpd --cores 4 --submit cam0.json --submit cam1.json --status -
 //   bpd --cores 8 --spool /tmp/bpd --spool-rounds 10 --status-json s.json
+//   bpd --journal /tmp/bpd.journal --recover --status -
 //
-// Exit status: 0 when every admitted tenant completed without deadline
-// misses; 3 when an admitted tenant missed deadlines, was evicted, or
-// never finished; 1 on operational errors; 2 on bad flags.
+// With --journal every admission decision is logged durably; after a
+// crash (or SIGKILL) `bpd --recover --journal FILE` restores the roster:
+// terminal tenants (completed, quarantined, ...) reappear frozen,
+// previously running ones are re-admitted and re-run.
+//
+// SIGTERM/SIGINT trigger a graceful drain: admission stops, every tenant
+// retires its sources at the next frame boundary, and the daemon exits
+// once the pool is idle (or --drain-timeout expires).
+//
+// Exit status: 0 when every admitted tenant completed (or drained)
+// without deadline misses; 3 when an admitted tenant missed deadlines,
+// was evicted, or was quarantined; 4 on timeout (tenants still running);
+// 1 on operational errors; 2 on bad flags.
 
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -32,6 +45,10 @@ using namespace bpp;
 
 namespace {
 
+volatile std::sig_atomic_t g_signal = 0;
+
+void on_signal(int sig) { g_signal = sig; }
+
 void write_report(const std::string& path, const char* what,
                   const std::string& text) {
   if (path == "-") {
@@ -44,6 +61,11 @@ void write_report(const std::string& path, const char* what,
   if (!f)
     throw Error(std::string("failed writing ") + what + " file '" + path + "'");
   std::printf("wrote %s\n", path.c_str());
+}
+
+void print_spool_diagnostics(service::Daemon& daemon) {
+  for (const std::string& d : daemon.spool_diagnostics())
+    std::fprintf(stderr, "bpd: %s\n", d.c_str());
 }
 
 }  // namespace
@@ -68,6 +90,9 @@ int main(int argc, char** argv) {
     simd::set_isa(*isa);
   }
 
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+
   try {
     service::DaemonOptions opt;
     opt.cores = a.cores;
@@ -78,9 +103,20 @@ int main(int argc, char** argv) {
     opt.evict_misses = a.pace ? a.evict_misses : 0;
     opt.pace = a.pace;
     opt.machine = a.machine;
+    opt.max_restarts = a.max_restarts;
+    opt.restart_backoff_seconds = a.restart_backoff_seconds;
+    opt.stall_factor = a.stall_factor;
+    opt.stall_grace_seconds = a.stall_grace_seconds;
+    opt.journal_path = a.journal_path;
     service::Daemon daemon(opt);
     std::printf("bpd: pool of %d cores (backend %s)\n", daemon.cores(),
                 simd::ops().name);
+
+    if (a.recover) {
+      const int resumed = daemon.recover(a.journal_path);
+      std::printf("bpd: recovered %zu tenants from '%s' (%d resumed)\n",
+                  daemon.tenants().size(), a.journal_path.c_str(), resumed);
+    }
 
     for (const std::string& f : a.submit_files) {
       const int id = daemon.submit_file(f);
@@ -89,19 +125,41 @@ int main(int argc, char** argv) {
                   s.name.c_str(), service::state_name(s.state),
                   s.reason.c_str());
     }
-    if (!a.spool_dir.empty()) {
-      for (int round = 0; round < a.spool_rounds; ++round) {
+    if (!a.spool_dir.empty() && g_signal == 0) {
+      for (int round = 0; round < a.spool_rounds && g_signal == 0; ++round) {
         if (round > 0)
           std::this_thread::sleep_for(
               std::chrono::duration<double>(a.spool_interval_seconds));
         const int n = daemon.scan_spool(a.spool_dir);
+        print_spool_diagnostics(daemon);
         if (n > 0) std::printf("bpd: spool round %d: %d new\n", round, n);
       }
     }
 
-    if (!daemon.wait_idle(a.timeout_seconds))
-      std::fprintf(stderr, "bpd: timeout after %.1fs with tenants running\n",
-                   a.timeout_seconds);
+    // Wait for the pool to go idle in short slices so a SIGTERM/SIGINT is
+    // honored promptly with a graceful drain.
+    bool timed_out = false;
+    bool drained_clean = true;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration<double>(a.timeout_seconds);
+    for (;;) {
+      if (g_signal != 0) {
+        std::fprintf(stderr,
+                     "bpd: signal %d: draining tenants (timeout %.1fs)\n",
+                     static_cast<int>(g_signal), a.drain_timeout_seconds);
+        drained_clean = daemon.drain(a.drain_timeout_seconds);
+        if (!drained_clean)
+          std::fprintf(stderr, "bpd: drain timeout exceeded\n");
+        break;
+      }
+      if (daemon.wait_idle(0.05)) break;
+      if (std::chrono::steady_clock::now() >= deadline) {
+        std::fprintf(stderr, "bpd: timeout after %.1fs with tenants running\n",
+                     a.timeout_seconds);
+        timed_out = true;
+        break;
+      }
+    }
 
     if (!a.status_path.empty()) {
       std::ostringstream os;
@@ -113,15 +171,18 @@ int main(int argc, char** argv) {
     if (a.status_path.empty() && a.status_json_path.empty())
       daemon.write_status(std::cout);
 
+    if (timed_out || !drained_clean) return 4;
+
     // Service-level objective for scripting: every admitted tenant
-    // completed, zero deadline misses.
+    // completed (or was gracefully drained), zero deadline misses.
     int violations = 0;
     for (const service::TenantStatus& s : daemon.tenants()) {
       if (s.admission == service::Verdict::kRejected ||
           s.state == service::TenantState::kFailed)
         continue;  // never promised service
-      if (s.state != service::TenantState::kCompleted || s.deadline_misses > 0)
-        ++violations;
+      const bool ok = s.state == service::TenantState::kCompleted ||
+                      s.state == service::TenantState::kDrained;
+      if (!ok || s.deadline_misses > 0) ++violations;
     }
     return violations > 0 ? 3 : 0;
   } catch (const Error& e) {

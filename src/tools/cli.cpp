@@ -253,6 +253,19 @@ const char* bpd_usage_text() {
       "                       (default 20e6,512)\n"
       "  --timeout S          wait this long for tenants to finish\n"
       "                       (default 120)\n"
+      "  --max-restarts N     restart a failing tenant N times (exponential\n"
+      "                       backoff) before quarantining it (default 3)\n"
+      "  --restart-backoff S  first restart delay in seconds; doubles per\n"
+      "                       consecutive failure (default 0.05)\n"
+      "  --stall-factor X     declare a tenant stalled after X frame periods\n"
+      "                       without progress (default 8)\n"
+      "  --stall-grace S      minimum stall window in seconds (default 1)\n"
+      "  --journal FILE       append-only admission journal (JSONL, written\n"
+      "                       atomically); enables --recover after a crash\n"
+      "  --recover            replay the --journal first: restore terminal\n"
+      "                       tenants, re-admit previously running ones\n"
+      "  --drain-timeout S    on SIGTERM/SIGINT, drain tenants at frame\n"
+      "                       boundaries for up to S seconds (default 10)\n"
       "  --status FILE        write the status report ('-' = stdout)\n"
       "  --status-json FILE   write the status report as JSON\n"
       "  --isa NAME           kernel backend: scalar | sse2 | avx2 | neon |\n"
@@ -322,6 +335,37 @@ bool parse_bpd(int argc, const char* const* argv, BpdArgs& a) {
       const char* v = value();
       if (!v) return false;
       a.timeout_seconds = std::atof(v);
+    } else if (flag == "--max-restarts") {
+      const char* v = value();
+      if (!v) return false;
+      a.max_restarts = std::atoi(v);
+      a.max_restarts_set = true;
+    } else if (flag == "--restart-backoff") {
+      const char* v = value();
+      if (!v) return false;
+      a.restart_backoff_seconds = std::atof(v);
+      a.restart_backoff_set = true;
+    } else if (flag == "--stall-factor") {
+      const char* v = value();
+      if (!v) return false;
+      a.stall_factor = std::atof(v);
+      a.stall_factor_set = true;
+    } else if (flag == "--stall-grace") {
+      const char* v = value();
+      if (!v) return false;
+      a.stall_grace_seconds = std::atof(v);
+      a.stall_grace_set = true;
+    } else if (flag == "--journal") {
+      const char* v = value();
+      if (!v) return false;
+      a.journal_path = v;
+    } else if (flag == "--recover") {
+      a.recover = true;
+    } else if (flag == "--drain-timeout") {
+      const char* v = value();
+      if (!v) return false;
+      a.drain_timeout_seconds = std::atof(v);
+      a.drain_timeout_set = true;
     } else if (flag == "--status") {
       const char* v = value();
       if (!v) return false;
@@ -344,8 +388,8 @@ bool parse_bpd(int argc, const char* const* argv, BpdArgs& a) {
 
 const char* bpd_contradiction(const BpdArgs& a) {
   if (a.cores < 1) return "--cores must be at least 1";
-  if (a.submit_files.empty() && a.spool_dir.empty())
-    return "nothing to serve; add --submit FILE or --spool DIR";
+  if (a.submit_files.empty() && a.spool_dir.empty() && !a.recover)
+    return "nothing to serve; add --submit FILE, --spool DIR, or --recover";
   if (a.max_tenants_set && !a.admission)
     return "--max-tenants is an admission limit; it contradicts "
            "--no-admission";
@@ -375,6 +419,18 @@ const char* bpd_contradiction(const BpdArgs& a) {
   if (a.spool_interval_set && a.spool_interval_seconds < 0.0)
     return "--spool-interval must be >= 0";
   if (a.timeout_seconds <= 0.0) return "--timeout must be positive";
+  if (a.recover && a.journal_path.empty())
+    return "--recover replays the admission journal; it requires --journal";
+  if (a.max_restarts_set && a.max_restarts < 0)
+    return "--max-restarts must be >= 0";
+  if (a.restart_backoff_set && a.restart_backoff_seconds < 0.0)
+    return "--restart-backoff must be >= 0";
+  if (a.stall_factor_set && a.stall_factor <= 0.0)
+    return "--stall-factor must be positive";
+  if (a.stall_grace_set && a.stall_grace_seconds < 0.0)
+    return "--stall-grace must be >= 0";
+  if (a.drain_timeout_set && a.drain_timeout_seconds <= 0.0)
+    return "--drain-timeout must be positive";
   return nullptr;
 }
 

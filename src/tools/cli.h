@@ -88,6 +88,18 @@ struct BpdArgs {
   std::string status_path;       ///< --status FILE ('-' = stdout)
   std::string status_json_path;  ///< --status-json FILE
   double timeout_seconds = 120.0;
+  std::string journal_path;      ///< --journal FILE (admission WAL)
+  bool recover = false;          ///< --recover: replay the journal first
+  int max_restarts = 3;          ///< --max-restarts N
+  bool max_restarts_set = false;
+  double restart_backoff_seconds = 0.05;  ///< --restart-backoff S
+  bool restart_backoff_set = false;
+  double stall_factor = 8.0;     ///< --stall-factor X (periods of silence)
+  bool stall_factor_set = false;
+  double stall_grace_seconds = 1.0;  ///< --stall-grace S
+  bool stall_grace_set = false;
+  double drain_timeout_seconds = 10.0;  ///< --drain-timeout S (on SIGTERM)
+  bool drain_timeout_set = false;
   std::string isa;
   MachineSpec machine;
 };

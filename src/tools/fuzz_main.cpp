@@ -18,14 +18,22 @@
 //   bpp_fuzz --seed 3 --predict    # + differential prediction check:
 //                                  # predicted steady period must track an
 //                                  # unfaulted simulation within 0.5%
+//   bpp_fuzz --seed 3 --recovery   # supervision/journal scenario instead:
+//                                  # a crashing tenant (kThrow or kWedge by
+//                                  # seed) must quarantine without touching
+//                                  # its co-tenant, a drained tenant must
+//                                  # resume via journal recovery
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "apps/pipelines.h"
@@ -41,6 +49,8 @@
 #include "predict/predict.h"
 #include "ref/reference.h"
 #include "runtime/runtime.h"
+#include "service/daemon.h"
+#include "service/journal.h"
 #include "sim/simulator.h"
 
 using namespace bpp;
@@ -198,9 +208,181 @@ SimFingerprint simulate_once(const CompiledApp& app,
 
 int usage() {
   std::fprintf(stderr,
-               "usage: bpp_fuzz --seed N [--faulted] [--predict] [--isa NAME] "
-               "[--trace FILE]\n");
+               "usage: bpp_fuzz --seed N [--faulted] [--predict] [--recovery] "
+               "[--isa NAME] [--trace FILE]\n");
   return 2;
+}
+
+/// --recovery: a seeded supervision/journal scenario against the real
+/// daemon. Three tenants: one short clean pipeline, one that fails
+/// deterministically (kThrow or kWedge chosen by the seed) and must burn
+/// its restart budget into quarantine without disturbing the clean
+/// tenant, and one long runner that gets drained mid-stream and must
+/// resume to completion in a second daemon recovered from the journal.
+int run_recovery(std::uint64_t seed, const std::string& repro) {
+  namespace fs = std::filesystem;
+  auto fail = [&](const std::string& why) {
+    std::fprintf(stderr, "FAIL seed=%llu: %s\n  %s\n",
+                 static_cast<unsigned long long>(seed), why.c_str(),
+                 repro.c_str());
+    return 1;
+  };
+
+  const bool wedge = (seed & 1) != 0;
+  const int max_restarts = 1 + static_cast<int>(seed % 3);
+  const std::string journal_path =
+      (fs::temp_directory_path() /
+       ("bpp-fuzz-recovery-" + std::to_string(seed) + ".journal"))
+          .string();
+  std::error_code ec;
+  fs::remove(journal_path, ec);
+
+  service::DaemonOptions opt;
+  opt.cores = 4;
+  opt.max_restarts = max_restarts;
+  opt.restart_backoff_seconds = 0.01;
+  opt.stall_factor = 8.0;
+  opt.stall_grace_seconds = 0.3;
+  opt.journal_path = journal_path;
+  opt.evict_misses = 0;  // this scenario tests supervision, not eviction
+
+  service::TenantSpec clean;
+  clean.name = "clean";
+  clean.app = (seed >> 1) % 2 == 0 ? "fig1" : "sobel";
+  clean.frame = {32, 24};
+  clean.rate_hz = 20.0;
+  clean.frames = 4;
+  clean.slack_seconds = 0.05;
+
+  service::TenantSpec faulty;
+  faulty.name = "faulty";
+  faulty.app = "fig1";
+  faulty.frame = {32, 24};
+  faulty.rate_hz = 50.0;
+  faulty.frames = 5;
+  faulty.slack_seconds = 0.05;
+  {
+    fault::FaultPlan plan;
+    plan.seed = seed;
+    fault::KernelRule kr;
+    kr.match = "merge*";
+    if (wedge)
+      kr.wedge_prob = 1.0;
+    else
+      kr.throw_prob = 1.0;
+    plan.kernels.push_back(kr);
+    faulty.fault_plan_json = fault::write_plan(plan);
+  }
+
+  service::TenantSpec longrun;
+  longrun.name = "longrun";
+  longrun.app = "fig1";
+  longrun.frame = {32, 24};
+  longrun.rate_hz = 100.0;
+  longrun.frames = 400;  // ~4s paced; drained long before completion
+  // Generous slack: this scenario asserts supervision mechanics, not
+  // tight real-time margins, and CI machines are noisy.
+  longrun.slack_seconds = 0.25;
+
+  int clean_id = -1, faulty_id = -1, longrun_id = -1;
+  {
+    service::Daemon daemon(opt);
+    clean_id = daemon.submit(clean);
+    faulty_id = daemon.submit(faulty);
+    longrun_id = daemon.submit(longrun);
+    for (int id : {clean_id, faulty_id, longrun_id})
+      if (daemon.tenant(id).state != service::TenantState::kRunning)
+        return fail("tenant " + std::to_string(id) + " not admitted: " +
+                    daemon.tenant(id).reason);
+
+    // Wait for the faulty tenant to quarantine and the clean one to
+    // complete; the long runner keeps going.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    for (;;) {
+      const auto fs_ = daemon.tenant(faulty_id).state;
+      const auto cs = daemon.tenant(clean_id).state;
+      if (fs_ == service::TenantState::kQuarantined &&
+          cs == service::TenantState::kCompleted)
+        break;
+      if (std::chrono::steady_clock::now() > deadline)
+        return fail(std::string("timeout waiting for quarantine: faulty=") +
+                    service::state_name(fs_) + " clean=" +
+                    service::state_name(cs));
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+
+    const service::TenantStatus fst = daemon.tenant(faulty_id);
+    if (fst.restarts != max_restarts)
+      return fail("faulty tenant restarts=" + std::to_string(fst.restarts) +
+                  ", want " + std::to_string(max_restarts));
+    const service::TenantStatus cst = daemon.tenant(clean_id);
+    if (cst.deadline_misses != 0)
+      return fail("clean co-tenant missed " +
+                  std::to_string(cst.deadline_misses) + " deadlines");
+    if (cst.faults_injected != 0)
+      return fail("clean co-tenant saw injected faults");
+
+    if (daemon.tenant(longrun_id).state != service::TenantState::kRunning)
+      return fail("long runner finished before the drain; raise frames");
+    if (!daemon.drain(10.0)) return fail("drain timed out");
+    const service::TenantStatus lst = daemon.tenant(longrun_id);
+    if (lst.state != service::TenantState::kDrained)
+      return fail(std::string("long runner state after drain: ") +
+                  service::state_name(lst.state));
+    if (lst.deadline_misses != 0)
+      return fail("long runner missed deadlines before the drain");
+    std::printf(
+        "recovery: phase 1 ok (%s fault, %d restarts, drained at frame "
+        "%ld)\n",
+        wedge ? "wedge" : "throw", fst.restarts, lst.frames_completed);
+  }
+
+  // Round-trip the journal itself.
+  const std::vector<service::JournalEntry> entries =
+      service::replay_journal(journal_path);
+  if (entries.size() != 3)
+    return fail("journal replay: " + std::to_string(entries.size()) +
+                " entries, want 3");
+  if (entries[static_cast<size_t>(faulty_id)].state != "quarantined" ||
+      entries[static_cast<size_t>(faulty_id)].restarts != max_restarts)
+    return fail("journal lost the quarantine decision");
+  const service::JournalEntry& le =
+      entries[static_cast<size_t>(longrun_id)];
+  if (le.state != "drained" || !le.resumable() || !le.has_spec)
+    return fail("journal: long runner not resumable (state " + le.state +
+                ")");
+
+  // Recover into a fresh daemon: terminal states frozen, the drained
+  // tenant re-admitted and run to completion.
+  service::DaemonOptions opt2 = opt;
+  opt2.journal_path.clear();
+  service::Daemon daemon2(opt2);
+  const int resumed = daemon2.recover(journal_path);
+  if (resumed != 1)
+    return fail("recover resumed " + std::to_string(resumed) + ", want 1");
+  if (daemon2.tenant(faulty_id).state != service::TenantState::kQuarantined)
+    return fail("quarantine did not survive recovery");
+  if (daemon2.tenant(faulty_id).restarts != max_restarts)
+    return fail("restart count did not survive recovery");
+  if (daemon2.tenant(clean_id).state != service::TenantState::kCompleted)
+    return fail("completed co-tenant did not survive recovery");
+  if (!daemon2.wait_idle(30.0))
+    return fail("resumed long runner did not finish");
+  const service::TenantStatus lst2 = daemon2.tenant(longrun_id);
+  if (lst2.state != service::TenantState::kCompleted)
+    return fail(std::string("resumed long runner state: ") +
+                service::state_name(lst2.state));
+  if (lst2.frames_completed != longrun.frames)
+    return fail("resumed long runner completed " +
+                std::to_string(lst2.frames_completed) + "/" +
+                std::to_string(longrun.frames) + " frames");
+
+  fs::remove(journal_path, ec);
+  std::printf("OK seed=%llu (recovery, %s fault)\n",
+              static_cast<unsigned long long>(seed),
+              wedge ? "wedge" : "throw");
+  return 0;
 }
 
 }  // namespace
@@ -210,6 +392,7 @@ int main(int argc, char** argv) {
   bool seed_set = false;
   bool faulted = false;
   bool predict_mode = false;
+  bool recovery_mode = false;
   std::string isa_arg;
   std::string trace_path;
   for (int i = 1; i < argc; ++i) {
@@ -221,6 +404,8 @@ int main(int argc, char** argv) {
       faulted = true;
     } else if (flag == "--predict") {
       predict_mode = true;
+    } else if (flag == "--recovery") {
+      recovery_mode = true;
     } else if (flag == "--isa" && i + 1 < argc) {
       isa_arg = argv[++i];
     } else if (flag == "--trace" && i + 1 < argc) {
@@ -244,8 +429,20 @@ int main(int argc, char** argv) {
   const std::string repro =
       std::string("repro: bpp_fuzz --seed ") + std::to_string(seed) +
       (faulted ? " --faulted" : "") + (predict_mode ? " --predict" : "") +
+      (recovery_mode ? " --recovery" : "") +
       (isa_arg.empty() ? "" : " --isa " + isa_arg);
   std::printf("kernel backend: %s\n", simd::ops().name);
+
+  if (recovery_mode) {
+    try {
+      return run_recovery(seed, repro);
+    } catch (const Error& e) {
+      std::fprintf(stderr, "FAIL seed=%llu: exception: %s\n  %s\n",
+                   static_cast<unsigned long long>(seed), e.what(),
+                   repro.c_str());
+      return 1;
+    }
+  }
   auto fail = [&](const std::string& why) {
     std::fprintf(stderr, "FAIL seed=%llu: %s\n  %s\n",
                  static_cast<unsigned long long>(seed), why.c_str(),

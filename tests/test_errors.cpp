@@ -483,13 +483,19 @@ TEST(BpdCli, ConsistentCombinationsAccepted) {
                         "4", "--core-budget", "0.8", "--degrade-budget", "1.1",
                         "--evict-misses", "5"}),
             "");
+  EXPECT_EQ(bpd_reject({"--recover", "--journal", "j.jsonl"}), "");
+  EXPECT_EQ(bpd_reject({"--submit", "a.json", "--journal", "j.jsonl",
+                        "--max-restarts", "0", "--restart-backoff", "0",
+                        "--stall-factor", "4", "--stall-grace", "0.5",
+                        "--drain-timeout", "5"}),
+            "");
 }
 
 TEST(BpdCli, EveryContradictionFires) {
   EXPECT_EQ(bpd_reject({"--submit", "a.json", "--cores", "0"}),
             "--cores must be at least 1");
   EXPECT_EQ(bpd_reject({}),
-            "nothing to serve; add --submit FILE or --spool DIR");
+            "nothing to serve; add --submit FILE, --spool DIR, or --recover");
   EXPECT_EQ(bpd_reject({"--submit", "a.json", "--max-tenants", "4",
                         "--no-admission"}),
             "--max-tenants is an admission limit; it contradicts "
@@ -526,6 +532,18 @@ TEST(BpdCli, EveryContradictionFires) {
             "--spool-interval must be >= 0");
   EXPECT_EQ(bpd_reject({"--submit", "a.json", "--timeout", "0"}),
             "--timeout must be positive");
+  EXPECT_EQ(bpd_reject({"--recover"}),
+            "--recover replays the admission journal; it requires --journal");
+  EXPECT_EQ(bpd_reject({"--submit", "a.json", "--max-restarts", "-1"}),
+            "--max-restarts must be >= 0");
+  EXPECT_EQ(bpd_reject({"--submit", "a.json", "--restart-backoff", "-0.1"}),
+            "--restart-backoff must be >= 0");
+  EXPECT_EQ(bpd_reject({"--submit", "a.json", "--stall-factor", "0"}),
+            "--stall-factor must be positive");
+  EXPECT_EQ(bpd_reject({"--submit", "a.json", "--stall-grace", "-1"}),
+            "--stall-grace must be >= 0");
+  EXPECT_EQ(bpd_reject({"--submit", "a.json", "--drain-timeout", "0"}),
+            "--drain-timeout must be positive");
 }
 
 TEST(BpdCli, ParseRejectsMalformedFlags) {
@@ -547,7 +565,9 @@ TEST(BpdCli, ParsePopulatesServiceFields) {
        "--submit", "b.json", "--spool", "box", "--spool-rounds", "4",
        "--spool-interval", "0.5", "--machine", "40e6,1024", "--timeout", "9",
        "--status", "s.txt", "--status-json", "s.json", "--isa", "scalar",
-       "--no-pace"});
+       "--no-pace", "--journal", "wal.jsonl", "--recover", "--max-restarts",
+       "2", "--restart-backoff", "0.1", "--stall-factor", "6", "--stall-grace",
+       "0.4", "--drain-timeout", "7"});
   EXPECT_EQ(a.cores, 8);
   EXPECT_EQ(a.max_tenants, 16);
   EXPECT_TRUE(a.max_tenants_set);
@@ -566,6 +586,15 @@ TEST(BpdCli, ParsePopulatesServiceFields) {
   EXPECT_EQ(a.status_json_path, "s.json");
   EXPECT_EQ(a.isa, "scalar");
   EXPECT_FALSE(a.pace);
+  EXPECT_EQ(a.journal_path, "wal.jsonl");
+  EXPECT_TRUE(a.recover);
+  EXPECT_EQ(a.max_restarts, 2);
+  EXPECT_TRUE(a.max_restarts_set);
+  EXPECT_DOUBLE_EQ(a.restart_backoff_seconds, 0.1);
+  EXPECT_DOUBLE_EQ(a.stall_factor, 6.0);
+  EXPECT_DOUBLE_EQ(a.stall_grace_seconds, 0.4);
+  EXPECT_DOUBLE_EQ(a.drain_timeout_seconds, 7.0);
+  EXPECT_TRUE(a.drain_timeout_set);
 }
 
 }  // namespace

@@ -10,6 +10,8 @@
 
 #include "apps/pipelines.h"
 #include "compiler/pipeline.h"
+#include "fault/injector.h"
+#include "fault/plan.h"
 #include "kernels/kernels.h"
 #include "obs/recorder.h"
 #include "ref/reference.h"
@@ -410,6 +412,58 @@ TEST(Machine, AttachDetachChurnWhileFramesInFlight) {
   const RuntimeResult r = background.finish();
   EXPECT_TRUE(r.completed);
   EXPECT_GT(r.total_firings, 0);
+}
+
+// Exception-containment stress for the guarded worker loop: a firing
+// that throws must fail only its own program while co-resident programs
+// and the pool itself stay healthy — repeatedly, with the failure racing
+// live traffic from a clean program on the same workers. Runs in the
+// TSan CI job, where the fail()/quiesce/detach path is checked against
+// concurrent attach and firing traffic.
+TEST(Machine, ThrowingProgramChurnLeavesPoolAndCoProgramHealthy) {
+  rt::Machine machine(3);
+  auto pool = [&](const Mapping& m) {
+    Mapping out;
+    out.cores = machine.cores();
+    out.core_of.resize(m.core_of.size());
+    for (size_t i = 0; i < m.core_of.size(); ++i)
+      out.core_of[i] = m.core_of[i] % out.cores;
+    return out;
+  };
+
+  fault::FaultPlan plan;
+  plan.seed = 11;
+  fault::KernelRule kr;
+  kr.match = "merge*";
+  kr.throw_prob = 1.0;
+  plan.kernels.push_back(kr);
+
+  CompiledApp faulty = compile(apps::figure1_app({24, 18}, 300.0, 2, 8));
+  CompiledApp clean = compile(apps::histogram_app({16, 12}, 300.0, 2, 8));
+
+  constexpr int kRounds = 8;
+  for (int round = 0; round < kRounds; ++round) {
+    const fault::Injector inj(plan, static_cast<std::uint64_t>(round));
+    Graph gf = faulty.graph.clone();
+    RuntimeOptions fopt;
+    fopt.injector = &inj;
+    GraphProgram pf(gf, pool(faulty.mapping), fopt, machine);
+    Graph gc = clean.graph.clone();
+    GraphProgram pc(gc, pool(clean.mapping), RuntimeOptions{}, machine);
+    pf.start();
+    pc.start();
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    while ((!pf.failed() || !pc.done()) &&
+           std::chrono::steady_clock::now() < deadline)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ASSERT_TRUE(pf.failed()) << "round " << round;
+    const RuntimeResult rf = pf.finish();
+    EXPECT_TRUE(rf.failed);
+    EXPECT_NE(rf.error.find("injected fault"), std::string::npos) << rf.error;
+    ASSERT_TRUE(pc.done()) << "round " << round;
+    EXPECT_TRUE(pc.finish().completed);
+  }
 }
 
 }  // namespace

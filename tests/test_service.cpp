@@ -415,9 +415,9 @@ TEST(Service, EmptyPoolStatusIsWellFormed) {
   const std::string text = os.str();
   EXPECT_NE(text.find("bpd: pool 3 cores"), std::string::npos) << text;
   EXPECT_NE(text.find("load 0.00/2.70 PE (0%)"), std::string::npos) << text;
-  EXPECT_NE(
-      text.find("0 running, 0 completed, 0 evicted, 0 rejected, 0 failed"),
-      std::string::npos)
+  EXPECT_NE(text.find("0 running, 0 completed, 0 drained, 0 evicted, 0 "
+                      "quarantined, 0 rejected, 0 failed"),
+            std::string::npos)
       << text;
   EXPECT_EQ(text.find("tenant "), std::string::npos) << text;
 
